@@ -1,0 +1,83 @@
+// Ablation (paper future work, §3.1): evaluate against *job-impacting*
+// failures only. "Our future work will incorporate filtering out this
+// ambiguity of failures and analyze only those failures which will
+// impact user jobs." A fatal event is job-impacting when a user job was
+// running on the reporting hardware (JOB_ID set); failures on idle
+// partitions or infrastructure cards crash nothing.
+//
+// The same meta-learner warnings are scored twice — against all fatal
+// events and against the job-impacting subset — plus the spatial
+// locality of failure cascades.
+//
+// Usage: ablation_job_impact [--scale=0.3] [--window-minutes=30]
+
+#include "bench_common.hpp"
+#include "eval/job_impact.hpp"
+#include "stats/correlation.hpp"
+
+using namespace bglpred;
+using namespace bglpred::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.3);
+  const Duration window = args.get_int("window-minutes", 30) * kMinute;
+  print_header("Ablation (future work, §3.1)",
+               "Scoring against job-impacting failures only", scale);
+
+  for (const char* profile : {"ANL", "SDSC"}) {
+    const PreparedLog& prepared = prepared_log(profile, scale);
+    const JobImpactStats impact = job_impact_stats(prepared.log);
+    std::printf("%s: %zu of %zu unique fatal events are job-impacting "
+                "(%.1f%%)\n",
+                profile, impact.job_impacting, impact.fatal_events,
+                100.0 * impact.impacting_fraction());
+
+    // Train on 80%, replay 20%, score the same warnings both ways.
+    const auto& records = prepared.log.records();
+    const std::size_t cut = records.size() * 8 / 10;
+    const RasLog training = prepared.log.subset(
+        {records.begin(),
+         records.begin() + static_cast<std::ptrdiff_t>(cut)});
+    const RasLog test = prepared.log.subset(
+        {records.begin() + static_cast<std::ptrdiff_t>(cut),
+         records.end()});
+    ThreePhaseOptions opt = paper_options(profile, window);
+    const ThreePhasePredictor tpp(opt);
+    PredictorPtr meta = tpp.make_predictor(Method::kMeta);
+    meta->train(training);
+    meta->reset();
+    std::vector<Warning> warnings;
+    for (const RasRecord& rec : test.records()) {
+      if (auto w = meta->observe(rec)) {
+        warnings.push_back(std::move(*w));
+      }
+    }
+    warnings = merge_episodes(std::move(warnings));
+
+    const Confusion vs_all = match_warnings(warnings, fatal_times(test));
+    const Confusion vs_impacting =
+        match_warnings(warnings, job_impacting_fatal_times(test));
+
+    TextTable table;
+    table.set_header({"failure set", "failures", "precision", "recall"});
+    table.add_row({"all fatal events",
+                   std::to_string(vs_all.failures()),
+                   TextTable::num(vs_all.precision(), 4),
+                   TextTable::num(vs_all.recall(), 4)});
+    table.add_row({"job-impacting only",
+                   std::to_string(vs_impacting.failures()),
+                   TextTable::num(vs_impacting.precision(), 4),
+                   TextTable::num(vs_impacting.recall(), 4)});
+    std::fputs(table.render().c_str(), stdout);
+
+    const SpatialLocality locality = spatial_locality(prepared.log, kHour);
+    std::printf("  cascade spatial locality: %.1f%% of <=1h consecutive "
+                "failure pairs share a midplane (uniform: %.1f%%, lift "
+                "%.1fx)\n\n",
+                100.0 * locality.same_midplane_fraction,
+                100.0 * locality.uniform_expectation,
+                locality.locality_lift());
+  }
+  return 0;
+}

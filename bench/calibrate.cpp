@@ -1,0 +1,114 @@
+// Calibration driver: prints, for each profile, every quantity the paper
+// publishes next to the value this repository's generator + pipeline
+// produce. Used to tune SystemProfile knobs; the per-table benches print
+// the publication-ready subsets.
+//
+// Usage: calibrate [--profile=ANL|SDSC|both] [--scale=0.25] [--folds=10]
+//                  [--window=1800]
+
+#include <cstdio>
+#include <iostream>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/three_phase.hpp"
+#include "mining/event_sets.hpp"
+#include "simgen/generator.hpp"
+#include "stats/interarrival.hpp"
+
+using namespace bglpred;
+
+namespace {
+
+void run_profile(const SystemProfile& profile, double scale,
+                 std::size_t folds, Duration window) {
+  std::printf("==== %s (scale=%.2f) ====\n", profile.name.c_str(), scale);
+  LogGenerator gen(profile);
+  GeneratedLog g = gen.generate(scale);
+  std::printf("raw records: %zu (target %.0f)\n", g.log.size(),
+              static_cast<double>(profile.target_raw_records) * scale);
+  std::printf("unique events (truth): %zu; fatal occurrences: %zu\n",
+              g.truth.unique_events, g.truth.fatal_occurrences.size());
+
+  ThreePhaseOptions opt;
+  opt.prediction.window = window;
+  opt.cv_folds = folds;
+  if (profile.name == "SDSC") {
+    opt.rule.rule_generation_window = 25 * kMinute;
+  }
+  ThreePhasePredictor tpp(opt);
+  PreprocessStats p1 = tpp.run_phase1(g.log);
+  std::printf("after temporal: %zu, after spatial: %zu\n",
+              p1.temporal.output_records, p1.spatial.output_records);
+  std::printf("unique fatal: %zu (target %.0f)\n", p1.unique_fatal_events,
+              static_cast<double>(profile.total_fatal_target()) * scale);
+  TextTable t4;
+  t4.set_header({"category", "measured", "target(scaled)"});
+  for (int c = 0; c < kMainCategoryCount; ++c) {
+    t4.add_row({to_string(static_cast<MainCategory>(c)),
+                TextTable::count(static_cast<std::int64_t>(
+                    p1.fatal_per_main[static_cast<std::size_t>(c)])),
+                TextTable::num(
+                    static_cast<double>(
+                        profile.fatal_per_category[static_cast<std::size_t>(
+                            c)]) *
+                        scale,
+                    0)});
+  }
+  std::cout << t4.render();
+
+  // Fig 2 proxy: CDF of inter-failure gaps at a few points.
+  const Ecdf cdf = fatal_gap_cdf(g.log);
+  std::printf("gap CDF: 5m=%.3f 15m=%.3f 30m=%.3f 1h=%.3f 4h=%.3f 1d=%.3f\n",
+              cdf.eval(5 * kMinute), cdf.eval(15 * kMinute),
+              cdf.eval(30 * kMinute), cdf.eval(1 * kHour),
+              cdf.eval(4 * kHour), cdf.eval(1 * kDay));
+
+  // Precursor coverage at several windows.
+  for (Duration w : {5 * kMinute, 15 * kMinute, 30 * kMinute, kHour}) {
+    EventSetStats es;
+    extract_event_sets(g.log, w, &es);
+    std::printf("no-precursor fraction @%lldm: %.3f\n",
+                static_cast<long long>(w / kMinute),
+                es.no_precursor_fraction());
+  }
+
+  // Table-5 configuration: statistical predictor with [5 min, 1 h] window.
+  {
+    ThreePhaseOptions t5 = opt;
+    t5.prediction.lead = 5 * kMinute;
+    t5.prediction.window = kHour;
+    ThreePhasePredictor tpp5(t5);
+    const CvResult cv = tpp5.evaluate(g.log, Method::kStatistical);
+    std::printf("statistical[5m,1h]  P=%.4f R=%.4f\n", cv.macro_precision,
+                cv.macro_recall);
+  }
+
+  for (Method m : {Method::kStatistical, Method::kRule, Method::kMeta}) {
+    const CvResult cv = tpp.evaluate(g.log, m);
+    std::printf("%-12s  P=%.4f R=%.4f (pooled P=%.4f R=%.4f) warn/fold=%.0f\n",
+                to_string(m), cv.macro_precision, cv.macro_recall,
+                cv.pooled.precision(), cv.pooled.recall(),
+                static_cast<double>(cv.pooled.warnings()) /
+                    static_cast<double>(folds));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const std::string which = args.get("profile", "both");
+  const double scale = args.get_double("scale", 0.25);
+  const auto folds = static_cast<std::size_t>(args.get_int("folds", 10));
+  const Duration window = args.get_int("window", 30 * kMinute);
+
+  if (which == "ANL" || which == "both") {
+    run_profile(SystemProfile::anl(), scale, folds, window);
+  }
+  if (which == "SDSC" || which == "both") {
+    run_profile(SystemProfile::sdsc(), scale, folds, window);
+  }
+  return 0;
+}

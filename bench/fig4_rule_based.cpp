@@ -1,0 +1,60 @@
+// Reproduces Figure 4: "Prediction Results (left ANL, right SDSC)" —
+// precision and recall of the rule-based predictor as the prediction
+// window sweeps 5..60 minutes (rule generation window fixed at 15 min
+// for ANL and 25 min for SDSC, as selected in §3.2.2).
+//
+// Paper bands: precision 0.7-0.9; recall 0.22-0.55, rising with the
+// window without substantial precision loss.
+//
+// Usage: fig4_rule_based [--scale=1.0] [--folds=10] [--csv=path]
+
+#include "bench_common.hpp"
+#include "common/csv.hpp"
+
+using namespace bglpred;
+using namespace bglpred::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  const auto folds = static_cast<std::size_t>(args.get_int("folds", 10));
+  print_header("Figure 4", "Rule-based predictor vs prediction window",
+               scale);
+
+  const Duration windows[] = {5 * kMinute,  10 * kMinute, 15 * kMinute,
+                              20 * kMinute, 30 * kMinute, 45 * kMinute,
+                              60 * kMinute};
+  CsvWriter csv({"profile", "window_minutes", "precision", "recall"});
+  for (const char* profile : {"ANL", "SDSC"}) {
+    const PreparedLog& prepared = prepared_log(profile, scale);
+    std::printf("%s (rule generation window %s):\n", profile,
+                format_duration(rulegen_window_for(profile)).c_str());
+    TextTable table;
+    table.set_header({"prediction window", "precision", "recall", "F1",
+                      "warnings/fold"});
+    for (const Duration w : windows) {
+      ThreePhaseOptions opt = paper_options(profile, w);
+      opt.cv_folds = folds;
+      const CvResult cv =
+          ThreePhasePredictor(opt).evaluate(prepared.log, Method::kRule);
+      table.add_row({format_duration(w),
+                     TextTable::num(cv.macro_precision, 4),
+                     TextTable::num(cv.macro_recall, 4),
+                     TextTable::num(cv.macro_f1(), 4),
+                     TextTable::num(static_cast<double>(
+                                        cv.pooled.warnings()) /
+                                        static_cast<double>(folds),
+                                    1)});
+      csv.add_row({profile, std::to_string(w / kMinute),
+                   TextTable::num(cv.macro_precision, 6),
+                   TextTable::num(cv.macro_recall, 6)});
+    }
+    std::fputs(table.render().c_str(), stdout);
+    std::printf("  paper band: precision 0.7-0.9, recall 0.22-0.55 "
+                "(rising)\n\n");
+  }
+  if (args.has("csv")) {
+    csv.write_file(args.get("csv", "fig4.csv"));
+  }
+  return 0;
+}

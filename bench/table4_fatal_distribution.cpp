@@ -1,0 +1,73 @@
+// Reproduces Table 4: "Distribution of Compressed Fatal Events" — the
+// per-category counts of unique FATAL/FAILURE events after Phase-1
+// preprocessing of both logs.
+//
+// Paper: ANL total 2823, SDSC total 2182 (rows in bench output).
+//
+// Usage: table4_fatal_distribution [--scale=1.0]
+
+#include "bench_common.hpp"
+
+using namespace bglpred;
+using namespace bglpred::bench;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 1.0);
+  print_header("Table 4", "Distribution of compressed fatal events", scale);
+
+  const std::size_t paper_anl[] = {762, 1173, 224, 52, 102, 482, 20, 8};
+  const std::size_t paper_sdsc[] = {587, 905, 182, 25, 97, 366, 17, 3};
+
+  const PreparedLog& anl = prepared_log("ANL", scale);
+  const PreparedLog& sdsc = prepared_log("SDSC", scale);
+
+  TextTable table;
+  table.set_header({"Main Category", "ANL (paper)", "ANL (measured)",
+                    "SDSC (paper)", "SDSC (measured)"});
+  std::size_t anl_total = 0;
+  std::size_t sdsc_total = 0;
+  for (int c = 0; c < kMainCategoryCount; ++c) {
+    const auto ci = static_cast<std::size_t>(c);
+    anl_total += anl.phase1.fatal_per_main[ci];
+    sdsc_total += sdsc.phase1.fatal_per_main[ci];
+    table.add_row(
+        {to_string(static_cast<MainCategory>(c)),
+         TextTable::count(
+             static_cast<std::int64_t>(paper_anl[ci] * scale)),
+         TextTable::count(
+             static_cast<std::int64_t>(anl.phase1.fatal_per_main[ci])),
+         TextTable::count(
+             static_cast<std::int64_t>(paper_sdsc[ci] * scale)),
+         TextTable::count(
+             static_cast<std::int64_t>(sdsc.phase1.fatal_per_main[ci]))});
+  }
+  table.add_row({"TOTAL",
+                 TextTable::count(static_cast<std::int64_t>(2823 * scale)),
+                 TextTable::count(static_cast<std::int64_t>(anl_total)),
+                 TextTable::count(static_cast<std::int64_t>(2182 * scale)),
+                 TextTable::count(static_cast<std::int64_t>(sdsc_total))});
+  std::fputs(table.render().c_str(), stdout);
+
+  std::printf("\nPhase-1 compression detail:\n");
+  TextTable detail;
+  detail.set_header({"log", "raw records", "after temporal",
+                     "after spatial", "compression"});
+  for (const auto* p : {&anl, &sdsc}) {
+    detail.add_row(
+        {p == &anl ? "ANL" : "SDSC",
+         TextTable::count(static_cast<std::int64_t>(p->raw_records)),
+         TextTable::count(
+             static_cast<std::int64_t>(p->phase1.temporal.output_records)),
+         TextTable::count(
+             static_cast<std::int64_t>(p->phase1.spatial.output_records)),
+         TextTable::num(100.0 * (1.0 - static_cast<double>(
+                                           p->phase1.unique_events) /
+                                           static_cast<double>(
+                                               p->raw_records)),
+                        2) +
+             "%"});
+  }
+  std::fputs(detail.render().c_str(), stdout);
+  return 0;
+}

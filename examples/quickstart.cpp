@@ -1,0 +1,55 @@
+// Quickstart: the whole three-phase pipeline in ~40 lines.
+//
+// Generates a month of synthetic ANL-profile RAS data, runs Phase-1
+// preprocessing, and cross-validates the statistical, rule-based, and
+// meta-learning predictors with a 30-minute prediction window.
+//
+//   $ ./quickstart [--scale=0.07] [--window-minutes=30]
+
+#include <cstdio>
+
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/three_phase.hpp"
+#include "simgen/generator.hpp"
+
+using namespace bglpred;
+
+int main(int argc, char** argv) {
+  const CliArgs args(argc, argv);
+  const double scale = args.get_double("scale", 0.07);  // ~1 month
+  const Duration window = args.get_int("window-minutes", 30) * kMinute;
+
+  // 1. Obtain a raw RAS log. Here: the calibrated ANL-profile generator;
+  //    in production this would be load_log("raslog.txt").
+  std::printf("generating a synthetic BG/L RAS log (ANL profile, scale "
+              "%.2f)...\n",
+              scale);
+  GeneratedLog generated = LogGenerator(SystemProfile::anl()).generate(scale);
+  std::printf("  %zu raw records over %s\n", generated.log.size(),
+              format_duration(generated.span.length()).c_str());
+
+  // 2. Configure the pipeline and run Phase 1 (categorize + compress).
+  ThreePhaseOptions options;
+  options.prediction.window = window;
+  ThreePhasePredictor pipeline(options);
+  const PreprocessStats phase1 = pipeline.run_phase1(generated.log);
+  std::printf("  phase 1: %zu unique events (%zu fatal)\n",
+              phase1.unique_events, phase1.unique_fatal_events);
+
+  // 3. Cross-validate each prediction method (Phases 2 + 3).
+  TextTable table;
+  table.set_header({"method", "precision", "recall", "F1"});
+  for (const Method m :
+       {Method::kStatistical, Method::kRule, Method::kMeta}) {
+    const CvResult cv = pipeline.evaluate(generated.log, m);
+    table.add_row({to_string(m), TextTable::num(cv.macro_precision, 4),
+                   TextTable::num(cv.macro_recall, 4),
+                   TextTable::num(cv.macro_f1(), 4)});
+  }
+  std::printf("\n10-fold cross-validation, %s prediction window:\n%s",
+              format_duration(window).c_str(), table.render().c_str());
+  std::printf("\nThe meta-learner combines both bases: its recall should "
+              "dominate either one (the paper's headline result).\n");
+  return 0;
+}

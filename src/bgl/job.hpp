@@ -1,0 +1,30 @@
+// Job model.
+//
+// RAS records carry a JOB_ID: the job that detected the event. Phase-1
+// temporal compression keys on (JOB_ID, LOCATION), so realistic job
+// streams matter — two reports of the same fault under different jobs are
+// *not* coalesced, exactly as in the paper's filtering.
+#pragma once
+
+#include <cstdint>
+
+#include "bgl/location.hpp"
+#include "common/time.hpp"
+
+namespace bglpred::bgl {
+
+/// Scheduler-assigned job identifier. 0 denotes "no job" (system events).
+using JobId = std::uint32_t;
+
+inline constexpr JobId kNoJob = 0;
+
+/// One scheduled job occupying a partition for a time span.
+struct JobRecord {
+  JobId id = kNoJob;
+  /// The partition the job ran on. Jobs are allocated whole midplanes in
+  /// this model (the smallest BG/L allocation unit for the torus).
+  Location partition;
+  TimeSpan span;
+};
+
+}  // namespace bglpred::bgl

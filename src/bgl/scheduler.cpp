@@ -1,0 +1,64 @@
+#include "bgl/scheduler.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bglpred::bgl {
+
+JobTrace JobTrace::generate(const Topology& topo, TimeSpan span,
+                            const WorkloadParams& params, Rng& rng) {
+  BGL_REQUIRE(!span.empty(), "job trace span must be non-empty");
+  BGL_REQUIRE(params.mean_idle_gap > 0.0, "mean idle gap must be positive");
+  JobTrace trace;
+  JobId next_id = 1;
+  for (const Location& mid : topo.midplanes()) {
+    const std::size_t first = trace.jobs_.size();
+    TimePoint t = span.begin;
+    // Random initial offset so midplanes are not phase-locked.
+    t += static_cast<Duration>(rng.exponential(params.mean_idle_gap));
+    while (t < span.end) {
+      const double raw =
+          rng.lognormal(params.runtime_mu, params.runtime_sigma);
+      const Duration runtime = std::max<Duration>(
+          params.min_runtime, static_cast<Duration>(raw));
+      const TimePoint end = std::min<TimePoint>(span.end, t + runtime);
+      trace.jobs_.push_back(
+          JobRecord{next_id++, mid, TimeSpan{t, end}});
+      t = end + static_cast<Duration>(rng.exponential(params.mean_idle_gap));
+    }
+    trace.index_.emplace(mid,
+                         std::make_pair(first, trace.jobs_.size()));
+  }
+  return trace;
+}
+
+JobId JobTrace::job_at(const Location& where, TimePoint t) const {
+  if (where.kind == LocationKind::kRack ||
+      where.kind == LocationKind::kLinkCard ||
+      where.kind == LocationKind::kServiceCard) {
+    return kNoJob;  // infrastructure units report outside any job
+  }
+  const Location mid = where.kind == LocationKind::kMidplane
+                           ? where
+                           : where.parent_midplane();
+  const auto it = index_.find(mid);
+  if (it == index_.end()) {
+    return kNoJob;
+  }
+  const auto [first, last] = it->second;
+  // Binary search for the last job starting at or before t.
+  const auto begin = jobs_.begin() + static_cast<std::ptrdiff_t>(first);
+  const auto end = jobs_.begin() + static_cast<std::ptrdiff_t>(last);
+  auto after = std::upper_bound(
+      begin, end, t, [](TimePoint time, const JobRecord& job) {
+        return time < job.span.begin;
+      });
+  if (after == begin) {
+    return kNoJob;
+  }
+  const JobRecord& candidate = *(after - 1);
+  return candidate.span.contains(t) ? candidate.id : kNoJob;
+}
+
+}  // namespace bglpred::bgl

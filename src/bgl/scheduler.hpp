@@ -1,0 +1,56 @@
+// Synthetic job-trace generation and lookup.
+//
+// Generates, per midplane, a stream of back-to-back jobs with exponential
+// idle gaps and log-normal runtimes — the standard parametric shape for
+// HPC workloads. The generator layer queries `job_at` to stamp each RAS
+// record with the job running on the reporting chip's midplane at that
+// instant.
+#pragma once
+
+#include <map>
+#include <vector>
+
+#include "bgl/job.hpp"
+#include "bgl/topology.hpp"
+#include "common/rng.hpp"
+#include "common/time.hpp"
+
+namespace bglpred::bgl {
+
+/// Workload-shape parameters for the job-trace generator.
+struct WorkloadParams {
+  /// Mean idle gap between consecutive jobs on a midplane (seconds).
+  double mean_idle_gap = 30.0 * kMinute;
+  /// Log-normal runtime parameters (of the underlying normal).
+  double runtime_mu = 8.0;     ///< e^8 ≈ 50 min median
+  double runtime_sigma = 1.2;  ///< heavy tail up to multi-day jobs
+  /// Minimum runtime floor (seconds).
+  Duration min_runtime = 2 * kMinute;
+};
+
+/// An immutable per-machine job trace with time-indexed lookup.
+class JobTrace {
+ public:
+  /// Generates a trace covering `span` for every midplane in `topo`.
+  static JobTrace generate(const Topology& topo, TimeSpan span,
+                           const WorkloadParams& params, Rng& rng);
+
+  /// The job running on the midplane containing `where` at time `t`, or
+  /// kNoJob if the midplane is idle (or `where` is a service/link card,
+  /// which report under no job).
+  JobId job_at(const Location& where, TimePoint t) const;
+
+  /// All jobs, ordered by (midplane, start time).
+  const std::vector<JobRecord>& jobs() const { return jobs_; }
+
+  /// Number of distinct jobs in the trace.
+  std::size_t size() const { return jobs_.size(); }
+
+ private:
+  // Jobs grouped contiguously per midplane; index_ maps a midplane
+  // location to its [first, last) range in jobs_.
+  std::vector<JobRecord> jobs_;
+  std::map<Location, std::pair<std::size_t, std::size_t>> index_;
+};
+
+}  // namespace bglpred::bgl

@@ -1,0 +1,143 @@
+#include "bgl/topology.hpp"
+
+#include "common/error.hpp"
+
+namespace bglpred::bgl {
+
+MachineConfig MachineConfig::anl() {
+  MachineConfig c;
+  c.racks = 1;
+  c.io_nodes_per_node_card = 1;  // 32 I/O nodes total
+  return c;
+}
+
+MachineConfig MachineConfig::sdsc() {
+  MachineConfig c;
+  c.racks = 1;
+  c.io_nodes_per_node_card = 4;  // 128 I/O nodes total (I/O-rich)
+  return c;
+}
+
+std::uint32_t MachineConfig::total_midplanes() const {
+  return static_cast<std::uint32_t>(racks) * midplanes_per_rack;
+}
+
+std::uint32_t MachineConfig::total_node_cards() const {
+  return total_midplanes() * node_cards_per_midplane;
+}
+
+std::uint32_t MachineConfig::total_compute_chips() const {
+  return total_node_cards() * chips_per_node_card;
+}
+
+std::uint32_t MachineConfig::total_io_nodes() const {
+  return total_node_cards() * io_nodes_per_node_card;
+}
+
+std::uint32_t MachineConfig::total_link_cards() const {
+  return total_midplanes() * link_cards_per_midplane;
+}
+
+Topology::Topology(const MachineConfig& config) : config_(config) {
+  BGL_REQUIRE(config.racks >= 1, "machine needs at least one rack");
+  BGL_REQUIRE(config.midplanes_per_rack >= 1, "need >= 1 midplane per rack");
+  BGL_REQUIRE(config.node_cards_per_midplane >= 1,
+              "need >= 1 node card per midplane");
+  BGL_REQUIRE(config.chips_per_node_card >= 1,
+              "need >= 1 chip per node card");
+  BGL_REQUIRE(config.io_nodes_per_node_card >= 1,
+              "need >= 1 I/O node per node card");
+}
+
+std::vector<Location> Topology::compute_chips() const {
+  std::vector<Location> out;
+  out.reserve(config_.total_compute_chips());
+  for (std::uint16_t r = 0; r < config_.racks; ++r) {
+    for (std::uint8_t m = 0; m < config_.midplanes_per_rack; ++m) {
+      for (std::uint8_t n = 0; n < config_.node_cards_per_midplane; ++n) {
+        for (std::uint8_t c = 0; c < config_.chips_per_node_card; ++c) {
+          out.push_back(Location::make_compute_chip(r, m, n, c));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Location> Topology::io_nodes() const {
+  std::vector<Location> out;
+  out.reserve(config_.total_io_nodes());
+  for (std::uint16_t r = 0; r < config_.racks; ++r) {
+    for (std::uint8_t m = 0; m < config_.midplanes_per_rack; ++m) {
+      for (std::uint8_t n = 0; n < config_.node_cards_per_midplane; ++n) {
+        for (std::uint8_t i = 0; i < config_.io_nodes_per_node_card; ++i) {
+          out.push_back(Location::make_io_node(r, m, n, i));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Location> Topology::node_cards() const {
+  std::vector<Location> out;
+  out.reserve(config_.total_node_cards());
+  for (std::uint16_t r = 0; r < config_.racks; ++r) {
+    for (std::uint8_t m = 0; m < config_.midplanes_per_rack; ++m) {
+      for (std::uint8_t n = 0; n < config_.node_cards_per_midplane; ++n) {
+        out.push_back(Location::make_node_card(r, m, n));
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Location> Topology::midplanes() const {
+  std::vector<Location> out;
+  out.reserve(config_.total_midplanes());
+  for (std::uint16_t r = 0; r < config_.racks; ++r) {
+    for (std::uint8_t m = 0; m < config_.midplanes_per_rack; ++m) {
+      out.push_back(Location::make_midplane(r, m));
+    }
+  }
+  return out;
+}
+
+std::vector<Location> Topology::link_cards() const {
+  std::vector<Location> out;
+  out.reserve(config_.total_link_cards());
+  for (std::uint16_t r = 0; r < config_.racks; ++r) {
+    for (std::uint8_t m = 0; m < config_.midplanes_per_rack; ++m) {
+      for (std::uint8_t l = 0; l < config_.link_cards_per_midplane; ++l) {
+        out.push_back(Location::make_link_card(r, m, l));
+      }
+    }
+  }
+  return out;
+}
+
+Location Topology::compute_chip_at(std::uint32_t index) const {
+  BGL_REQUIRE(index < config_.total_compute_chips(),
+              "compute chip index out of range");
+  const std::uint32_t chips_per_card = config_.chips_per_node_card;
+  const std::uint32_t cards_per_mid = config_.node_cards_per_midplane;
+  const std::uint32_t mids_per_rack = config_.midplanes_per_rack;
+
+  const std::uint8_t chip = static_cast<std::uint8_t>(index % chips_per_card);
+  std::uint32_t rest = index / chips_per_card;
+  const std::uint8_t card = static_cast<std::uint8_t>(rest % cards_per_mid);
+  rest /= cards_per_mid;
+  const std::uint8_t mid = static_cast<std::uint8_t>(rest % mids_per_rack);
+  const std::uint16_t rack = static_cast<std::uint16_t>(rest / mids_per_rack);
+  return Location::make_compute_chip(rack, mid, card, chip);
+}
+
+Location Topology::io_node_for(const Location& chip) const {
+  BGL_REQUIRE(chip.kind == LocationKind::kComputeChip,
+              "io_node_for expects a compute chip");
+  const std::uint8_t io = static_cast<std::uint8_t>(
+      chip.unit % config_.io_nodes_per_node_card);
+  return Location::make_io_node(chip.rack, chip.midplane, chip.node_card, io);
+}
+
+}  // namespace bglpred::bgl

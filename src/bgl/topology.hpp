@@ -1,0 +1,73 @@
+// Machine topology model.
+//
+// Describes the physical inventory of a Blue Gene/L installation — how
+// many racks, midplanes, node cards, compute chips, I/O nodes, and link
+// cards exist — and provides enumeration helpers. Both systems in the
+// paper are single-rack machines with 1024 compute nodes; they differ in
+// I/O richness (SDSC: 128 I/O nodes, ANL: 32).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "bgl/location.hpp"
+
+namespace bglpred::bgl {
+
+/// Structural parameters of a BG/L installation.
+struct MachineConfig {
+  std::uint16_t racks = 1;
+  std::uint8_t midplanes_per_rack = 2;
+  std::uint8_t node_cards_per_midplane = 16;
+  std::uint8_t chips_per_node_card = 32;
+  /// I/O nodes per node card; 1 for I/O-rich half-rack spacing, etc.
+  /// Total I/O nodes = racks * midplanes * node_cards * io_per_node_card.
+  std::uint8_t io_nodes_per_node_card = 1;
+  std::uint8_t link_cards_per_midplane = 4;
+
+  /// ANL BG/L: 1024 compute nodes, 32 I/O nodes (1 per midplane-quadrant).
+  static MachineConfig anl();
+  /// SDSC BG/L: 1024 compute nodes, I/O-rich with 128 I/O nodes.
+  static MachineConfig sdsc();
+
+  std::uint32_t total_midplanes() const;
+  std::uint32_t total_node_cards() const;
+  std::uint32_t total_compute_chips() const;
+  std::uint32_t total_io_nodes() const;
+  std::uint32_t total_link_cards() const;
+};
+
+/// Enumeration and sampling over a machine's hardware units.
+class Topology {
+ public:
+  explicit Topology(const MachineConfig& config);
+
+  const MachineConfig& config() const { return config_; }
+
+  /// All compute-chip locations, in deterministic scan order.
+  std::vector<Location> compute_chips() const;
+
+  /// All I/O-node locations.
+  std::vector<Location> io_nodes() const;
+
+  /// All node-card locations.
+  std::vector<Location> node_cards() const;
+
+  /// All midplane locations.
+  std::vector<Location> midplanes() const;
+
+  /// All link-card locations.
+  std::vector<Location> link_cards() const;
+
+  /// The i-th compute chip in scan order. i < total_compute_chips().
+  Location compute_chip_at(std::uint32_t index) const;
+
+  /// The I/O node serving a given compute chip (round-robin mapping of
+  /// node-card chips onto that card's I/O nodes).
+  Location io_node_for(const Location& chip) const;
+
+ private:
+  MachineConfig config_;
+};
+
+}  // namespace bglpred::bgl

@@ -1,0 +1,112 @@
+#include "bgl/torus.hpp"
+
+#include <cmath>
+#include <cstdlib>
+
+#include "common/error.hpp"
+
+namespace bglpred::bgl {
+namespace {
+
+// Wraparound distance along one axis of extent `n`.
+int axis_distance(int a, int b, int n) {
+  int d = std::abs(a - b) % n;
+  return std::min(d, n - d);
+}
+
+}  // namespace
+
+TorusMap::TorusMap(const Topology& topo)
+    : topo_(topo),
+      chips_per_midplane_(
+          static_cast<int>(topo.config().node_cards_per_midplane) *
+          topo.config().chips_per_node_card) {
+  // A full midplane is 512 nodes = 8x8x8. For scaled-down test machines we
+  // fall back to a flat 1-D torus per midplane (x extent = chip count).
+  if (chips_per_midplane_ == 512) {
+    dims_ = {8, 8, 8 * static_cast<int>(topo.config().total_midplanes())};
+  } else {
+    dims_ = {chips_per_midplane_, 1,
+             static_cast<int>(topo.config().total_midplanes())};
+  }
+}
+
+TorusCoord TorusMap::coord_of(const Location& chip) const {
+  BGL_REQUIRE(chip.kind == LocationKind::kComputeChip,
+              "coord_of expects a compute chip");
+  const auto& cfg = topo_.config();
+  const int mid_index =
+      chip.rack * cfg.midplanes_per_rack + chip.midplane;
+  const int within =
+      chip.node_card * cfg.chips_per_node_card + chip.unit;
+  if (chips_per_midplane_ == 512) {
+    return TorusCoord{within % 8, (within / 8) % 8,
+                      mid_index * 8 + within / 64};
+  }
+  return TorusCoord{within, 0, mid_index};
+}
+
+Location TorusMap::chip_at(TorusCoord c) const {
+  const auto& cfg = topo_.config();
+  auto mod = [](int v, int n) { return ((v % n) + n) % n; };
+  c.x = mod(c.x, dims_[0]);
+  c.y = mod(c.y, dims_[1]);
+  c.z = mod(c.z, dims_[2]);
+  int mid_index = 0;
+  int within = 0;
+  if (chips_per_midplane_ == 512) {
+    mid_index = c.z / 8;
+    within = (c.z % 8) * 64 + c.y * 8 + c.x;
+  } else {
+    mid_index = c.z;
+    within = c.x;
+  }
+  const std::uint16_t rack =
+      static_cast<std::uint16_t>(mid_index / cfg.midplanes_per_rack);
+  const std::uint8_t mid =
+      static_cast<std::uint8_t>(mid_index % cfg.midplanes_per_rack);
+  const std::uint8_t card =
+      static_cast<std::uint8_t>(within / cfg.chips_per_node_card);
+  const std::uint8_t chip =
+      static_cast<std::uint8_t>(within % cfg.chips_per_node_card);
+  return Location::make_compute_chip(rack, mid, card, chip);
+}
+
+std::vector<TorusCoord> TorusMap::neighbors(TorusCoord c) const {
+  auto mod = [](int v, int n) { return ((v % n) + n) % n; };
+  std::vector<TorusCoord> out;
+  out.reserve(6);
+  out.push_back({mod(c.x + 1, dims_[0]), c.y, c.z});
+  out.push_back({mod(c.x - 1, dims_[0]), c.y, c.z});
+  if (dims_[1] > 1) {
+    out.push_back({c.x, mod(c.y + 1, dims_[1]), c.z});
+    out.push_back({c.x, mod(c.y - 1, dims_[1]), c.z});
+  }
+  if (dims_[2] > 1) {
+    out.push_back({c.x, c.y, mod(c.z + 1, dims_[2])});
+    out.push_back({c.x, c.y, mod(c.z - 1, dims_[2])});
+  }
+  return out;
+}
+
+int TorusMap::distance(const Location& a, const Location& b) const {
+  const TorusCoord ca = coord_of(a);
+  const TorusCoord cb = coord_of(b);
+  return axis_distance(ca.x, cb.x, dims_[0]) +
+         axis_distance(ca.y, cb.y, dims_[1]) +
+         axis_distance(ca.z, cb.z, dims_[2]);
+}
+
+std::vector<Location> TorusMap::line_x(const Location& origin,
+                                       int count) const {
+  BGL_REQUIRE(count >= 0, "line length must be non-negative");
+  TorusCoord c = coord_of(origin);
+  std::vector<Location> out;
+  out.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count && i < dims_[0]; ++i) {
+    out.push_back(chip_at(TorusCoord{c.x + i, c.y, c.z}));
+  }
+  return out;
+}
+
+}  // namespace bglpred::bgl

@@ -1,0 +1,63 @@
+// Torus-network coordinate model.
+//
+// BG/L compute nodes are interconnected in a 3-D torus; a midplane is an
+// 8x8x8 cube of 512 nodes. The fault model uses torus coordinates to make
+// network-category failures spatially coherent (a failing link perturbs a
+// line of nodes), which in turn exercises the spatial-compression step of
+// Phase 1 with realistic multi-location duplicates.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bgl/location.hpp"
+#include "bgl/topology.hpp"
+
+namespace bglpred::bgl {
+
+/// Integer coordinate on the 3-D torus.
+struct TorusCoord {
+  int x = 0;
+  int y = 0;
+  int z = 0;
+
+  friend bool operator==(const TorusCoord&, const TorusCoord&) = default;
+};
+
+/// Maps compute-chip locations onto a 3-D torus and back.
+///
+/// The machine's midplanes are stacked along Z: a machine with M midplanes
+/// spans an 8 x 8 x (8*M) torus. Within a midplane, chips are laid out in
+/// X-major scan order.
+class TorusMap {
+ public:
+  explicit TorusMap(const Topology& topo);
+
+  /// Torus extent along each axis.
+  std::array<int, 3> dims() const { return dims_; }
+
+  /// Coordinate of a compute chip. Requires a compute-chip location that
+  /// exists in the topology.
+  TorusCoord coord_of(const Location& chip) const;
+
+  /// Compute chip at a coordinate (coordinates taken modulo dims).
+  Location chip_at(TorusCoord c) const;
+
+  /// The six torus neighbors of a coordinate.
+  std::vector<TorusCoord> neighbors(TorusCoord c) const;
+
+  /// Torus (wraparound) Manhattan distance between two chips.
+  int distance(const Location& a, const Location& b) const;
+
+  /// Chips along the +X torus line starting at `origin`, length `count`
+  /// (wraps around). Used to model a failing torus link's blast radius.
+  std::vector<Location> line_x(const Location& origin, int count) const;
+
+ private:
+  Topology topo_;
+  std::array<int, 3> dims_;
+  int chips_per_midplane_;
+};
+
+}  // namespace bglpred::bgl

@@ -1,0 +1,47 @@
+// Tiny command-line flag parser shared by examples and bench drivers.
+//
+// Supports `--name=value` and `--name value` forms plus boolean switches.
+// Not a general-purpose parser — just enough for reproducibility knobs
+// (seed, scale, output path) without pulling in a dependency.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bglpred {
+
+/// Parsed command line: flag map plus positional arguments.
+class CliArgs {
+ public:
+  /// Parses argv; throws ParseError on a malformed flag.
+  CliArgs(int argc, const char* const* argv);
+
+  /// True if the flag was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// String flag with default.
+  std::string get(const std::string& name, const std::string& def) const;
+
+  /// Integer flag with default; throws ParseError on non-numeric value.
+  std::int64_t get_int(const std::string& name, std::int64_t def) const;
+
+  /// Floating flag with default; throws ParseError on non-numeric value.
+  double get_double(const std::string& name, double def) const;
+
+  /// Boolean switch: present without value, or with true/false value.
+  bool get_bool(const std::string& name, bool def) const;
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Program name (argv[0]).
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> flags_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bglpred

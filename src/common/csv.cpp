@@ -1,0 +1,96 @@
+#include "common/csv.hpp"
+
+#include <fstream>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+bool needs_quoting(const std::string& field) {
+  return field.find_first_of(",\"\n") != std::string::npos;
+}
+
+std::string quote(const std::string& field) {
+  if (!needs_quoting(field)) {
+    return field;
+  }
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') {
+      out += '"';
+    }
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string join(const std::vector<std::string>& fields) {
+  std::string out;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) {
+      out += ',';
+    }
+    out += quote(fields[i]);
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace
+
+CsvWriter::CsvWriter(std::vector<std::string> header)
+    : width_(header.size()), body_(join(header)) {
+  BGL_REQUIRE(width_ > 0, "CSV header must be non-empty");
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  BGL_REQUIRE(row.size() == width_, "CSV row width mismatch");
+  body_ += join(row);
+}
+
+std::string CsvWriter::str() const { return body_; }
+
+void CsvWriter::write_file(const std::string& path) const {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw Error("cannot open for writing: " + path);
+  }
+  out << body_;
+  if (!out) {
+    throw Error("write failed: " + path);
+  }
+}
+
+std::vector<std::string> parse_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string cur;
+  bool in_quotes = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      in_quotes = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  fields.push_back(std::move(cur));
+  return fields;
+}
+
+}  // namespace bglpred

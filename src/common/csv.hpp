@@ -1,0 +1,33 @@
+// Minimal CSV writing/reading used for exporting experiment series
+// (e.g. the Figure 4/5 precision-recall curves) for external plotting.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace bglpred {
+
+/// Accumulates rows and writes RFC-4180-style CSV (quotes fields that
+/// contain commas, quotes, or newlines).
+class CsvWriter {
+ public:
+  explicit CsvWriter(std::vector<std::string> header);
+
+  /// Appends a row; must match the header width.
+  void add_row(const std::vector<std::string>& row);
+
+  /// Serializes header + rows.
+  std::string str() const;
+
+  /// Writes to a file; throws Error on I/O failure.
+  void write_file(const std::string& path) const;
+
+ private:
+  std::size_t width_;
+  std::string body_;
+};
+
+/// Parses one CSV line into fields (handles quoted fields).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+}  // namespace bglpred

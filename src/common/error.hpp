@@ -1,0 +1,60 @@
+// Error-handling helpers shared across the library.
+//
+// The library throws exceptions derived from `bglpred::Error` for
+// programmer-facing contract violations (bad arguments, malformed input).
+// Hot inner loops use BGL_ASSERT, which compiles away in release builds
+// unless BGL_ENABLE_ASSERTS is defined.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace bglpred {
+
+/// Base class for all exceptions thrown by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates its documented contract.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown when textual input (log lines, config files) cannot be parsed.
+class ParseError : public Error {
+ public:
+  explicit ParseError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_invalid_argument(const char* expr,
+                                                const char* file, int line,
+                                                const std::string& msg) {
+  throw InvalidArgument(std::string(file) + ":" + std::to_string(line) +
+                        ": requirement `" + expr + "` failed" +
+                        (msg.empty() ? "" : (": " + msg)));
+}
+}  // namespace detail
+
+}  // namespace bglpred
+
+/// Precondition check that always runs; throws InvalidArgument on failure.
+#define BGL_REQUIRE(expr, msg)                                              \
+  do {                                                                      \
+    if (!(expr)) {                                                          \
+      ::bglpred::detail::throw_invalid_argument(#expr, __FILE__, __LINE__, \
+                                                (msg));                     \
+    }                                                                       \
+  } while (false)
+
+/// Internal-consistency check; enabled in debug builds only.
+#if !defined(NDEBUG) || defined(BGL_ENABLE_ASSERTS)
+#define BGL_ASSERT(expr) BGL_REQUIRE(expr, "internal assertion")
+#else
+#define BGL_ASSERT(expr) \
+  do {                   \
+  } while (false)
+#endif

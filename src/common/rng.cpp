@@ -1,0 +1,148 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t s = seed;
+  for (auto& w : state_) {
+    w = splitmix64(s);
+  }
+}
+
+std::uint64_t Rng::operator()() {
+  const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+  const std::uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = rotl(state_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  BGL_REQUIRE(lo <= hi, "uniform: lo > hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::int64_t Rng::uniform_int(std::int64_t lo, std::int64_t hi) {
+  BGL_REQUIRE(lo <= hi, "uniform_int: lo > hi");
+  const std::uint64_t span = static_cast<std::uint64_t>(hi - lo) + 1;
+  if (span == 0) {  // full 64-bit range
+    return static_cast<std::int64_t>((*this)());
+  }
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = (~0ULL) - (~0ULL) % span;
+  std::uint64_t v = (*this)();
+  while (v >= limit) {
+    v = (*this)();
+  }
+  return lo + static_cast<std::int64_t>(v % span);
+}
+
+bool Rng::bernoulli(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return uniform() < p;
+}
+
+double Rng::exponential(double mean) {
+  BGL_REQUIRE(mean > 0.0, "exponential: mean must be positive");
+  double u = uniform();
+  while (u <= 0.0) {
+    u = uniform();
+  }
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) {
+  // Polar method; the spare deviate is intentionally discarded so the
+  // stream consumed per call is data-independent on average.
+  double u = 0.0;
+  double v = 0.0;
+  double s = 0.0;
+  do {
+    u = uniform(-1.0, 1.0);
+    v = uniform(-1.0, 1.0);
+    s = u * u + v * v;
+  } while (s >= 1.0 || s == 0.0);
+  const double factor = std::sqrt(-2.0 * std::log(s) / s);
+  return mean + stddev * u * factor;
+}
+
+double Rng::lognormal(double mu, double sigma) {
+  return std::exp(normal(mu, sigma));
+}
+
+std::int64_t Rng::poisson(double lambda) {
+  BGL_REQUIRE(lambda >= 0.0, "poisson: lambda must be non-negative");
+  if (lambda == 0.0) {
+    return 0;
+  }
+  if (lambda < 64.0) {
+    const double limit = std::exp(-lambda);
+    std::int64_t k = 0;
+    double prod = uniform();
+    while (prod > limit) {
+      ++k;
+      prod *= uniform();
+    }
+    return k;
+  }
+  // Normal approximation with continuity correction; adequate for the
+  // bulk-arrival counts the generator needs at high rates.
+  const double x = normal(lambda, std::sqrt(lambda));
+  return x < 0.0 ? 0 : static_cast<std::int64_t>(x + 0.5);
+}
+
+std::size_t Rng::weighted_index(const std::vector<double>& weights) {
+  BGL_REQUIRE(!weights.empty(), "weighted_index: empty weights");
+  double total = 0.0;
+  for (double w : weights) {
+    BGL_REQUIRE(w >= 0.0, "weighted_index: negative weight");
+    total += w;
+  }
+  BGL_REQUIRE(total > 0.0, "weighted_index: weights sum to zero");
+  double target = uniform() * total;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    target -= weights[i];
+    if (target < 0.0) {
+      return i;
+    }
+  }
+  return weights.size() - 1;  // numeric fallback
+}
+
+Rng Rng::split() {
+  return Rng((*this)());
+}
+
+}  // namespace bglpred

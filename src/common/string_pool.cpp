@@ -1,0 +1,28 @@
+#include "common/string_pool.hpp"
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+StringId StringPool::intern(std::string_view s) {
+  if (auto it = index_.find(s); it != index_.end()) {
+    return it->second;
+  }
+  const StringId id = static_cast<StringId>(strings_.size());
+  strings_.emplace_back(s);
+  // Deque elements never move, so viewing the stored string is safe.
+  index_.emplace(std::string_view(strings_.back()), id);
+  return id;
+}
+
+StringId StringPool::find(std::string_view s) const {
+  auto it = index_.find(s);
+  return it == index_.end() ? kInvalidStringId : it->second;
+}
+
+const std::string& StringPool::str(StringId id) const {
+  BGL_REQUIRE(id < strings_.size(), "StringPool::str: bad id");
+  return strings_[id];
+}
+
+}  // namespace bglpred

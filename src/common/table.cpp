@@ -1,0 +1,84 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+void TextTable::set_header(std::vector<std::string> header) {
+  BGL_REQUIRE(rows_.empty(), "set_header must precede add_row");
+  header_ = std::move(header);
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  BGL_REQUIRE(row.size() == header_.size(),
+              "row width does not match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+  return buf;
+}
+
+std::string TextTable::count(std::int64_t value) {
+  std::string digits = std::to_string(value < 0 ? -value : value);
+  std::string out;
+  int since_sep = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (since_sep == 3) {
+      out += ',';
+      since_sep = 0;
+    }
+    out += *it;
+    ++since_sep;
+  }
+  if (value < 0) {
+    out += '-';
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size(), 0);
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    widths[c] = header_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    os << '|';
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << ' ' << row[c] << std::string(widths[c] - row[c].size(), ' ')
+         << " |";
+    }
+    os << '\n';
+  };
+  std::ostringstream os;
+  emit_row(os, header_);
+  os << '|';
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    os << std::string(widths[c] + 2, '-') << '|';
+  }
+  os << '\n';
+  for (const auto& row : rows_) {
+    emit_row(os, row);
+  }
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const TextTable& t) {
+  return os << t.render();
+}
+
+}  // namespace bglpred

@@ -1,0 +1,43 @@
+// ASCII table rendering for benchmark/report output.
+//
+// Every bench binary reproduces a table or figure from the paper; this
+// helper renders aligned, pipe-separated tables so the output is directly
+// comparable to the published rows and trivially machine-parseable.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace bglpred {
+
+/// A simple column-aligned text table.
+class TextTable {
+ public:
+  /// Sets the header row. Must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a data row; its size must match the header's.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats a double with fixed precision.
+  static std::string num(double value, int precision = 4);
+
+  /// Convenience: formats an integral count with thousands separators.
+  static std::string count(std::int64_t value);
+
+  /// Renders the table (header, separator, rows).
+  std::string render() const;
+
+  /// Renders directly to a stream.
+  friend std::ostream& operator<<(std::ostream& os, const TextTable& t);
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace bglpred

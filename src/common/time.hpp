@@ -1,0 +1,52 @@
+// Time types used throughout the library.
+//
+// RAS logs timestamp events at one-second granularity (the CMCS logging
+// layer records sub-millisecond internally but emits seconds), so the
+// canonical representation is an integral count of seconds since the Unix
+// epoch. We deliberately avoid std::chrono::system_clock in the data model
+// to keep records POD-like and serialization trivially portable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bglpred {
+
+/// Signed duration in whole seconds.
+using Duration = std::int64_t;
+
+/// Seconds since the Unix epoch (UTC). Signed to allow deltas.
+using TimePoint = std::int64_t;
+
+/// Common duration constants.
+inline constexpr Duration kSecond = 1;
+inline constexpr Duration kMinute = 60;
+inline constexpr Duration kHour = 3600;
+inline constexpr Duration kDay = 86400;
+
+/// A closed-open time interval [begin, end).
+struct TimeSpan {
+  TimePoint begin = 0;
+  TimePoint end = 0;
+
+  constexpr Duration length() const { return end - begin; }
+  constexpr bool contains(TimePoint t) const { return t >= begin && t < end; }
+  constexpr bool empty() const { return end <= begin; }
+};
+
+/// Formats a time point as "YYYY-MM-DD HH:MM:SS" (UTC).
+std::string format_time(TimePoint t);
+
+/// Parses "YYYY-MM-DD HH:MM:SS" (UTC); throws ParseError on bad input.
+TimePoint parse_time(const std::string& text);
+
+/// Builds a TimePoint from calendar components (UTC, proleptic Gregorian).
+/// Months are 1-12, days 1-31. Throws InvalidArgument for out-of-range
+/// component values.
+TimePoint make_time(int year, int month, int day, int hour = 0, int minute = 0,
+                    int second = 0);
+
+/// Formats a duration compactly, e.g. "5m", "1h30m", "2d4h".
+std::string format_duration(Duration d);
+
+}  // namespace bglpred

@@ -1,0 +1,48 @@
+#include "core/online.hpp"
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+std::size_t OnlineEngine::KeyHash::operator()(const Key& k) const {
+  std::uint64_t h = k.job;
+  h = h * 0x9e3779b97f4a7c15ULL + k.location.rack;
+  h = h * 0x9e3779b97f4a7c15ULL +
+      (static_cast<std::uint64_t>(k.location.kind) << 24 |
+       static_cast<std::uint64_t>(k.location.midplane) << 16 |
+       static_cast<std::uint64_t>(k.location.node_card) << 8 |
+       k.location.unit);
+  h = h * 0x9e3779b97f4a7c15ULL + k.subcategory;
+  return static_cast<std::size_t>(h ^ (h >> 32));
+}
+
+OnlineEngine::OnlineEngine(PredictorPtr predictor, Duration dedup_threshold)
+    : predictor_(std::move(predictor)), threshold_(dedup_threshold) {
+  BGL_REQUIRE(predictor_ != nullptr, "online engine needs a predictor");
+  BGL_REQUIRE(threshold_ >= 0, "threshold must be non-negative");
+}
+
+std::optional<Warning> OnlineEngine::feed(const RasRecord& record,
+                                          std::string_view entry_data) {
+  ++stats_.raw_records;
+  RasRecord rec = record;
+  rec.subcategory =
+      classifier_.classify(entry_data, rec.facility, rec.severity);
+
+  const Key key{rec.job, rec.location, rec.subcategory};
+  auto [it, inserted] = last_seen_.try_emplace(key, rec.time);
+  if (!inserted && rec.time - it->second <= threshold_) {
+    it->second = rec.time;
+    ++stats_.deduplicated;
+    return std::nullopt;
+  }
+  it->second = rec.time;
+  ++stats_.forwarded;
+  auto warning = predictor_->observe(rec);
+  if (warning) {
+    ++stats_.warnings;
+  }
+  return warning;
+}
+
+}  // namespace bglpred

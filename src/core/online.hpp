@@ -1,0 +1,63 @@
+// Online prediction engine.
+//
+// The paper argues the meta-learner is cheap enough to deploy online
+// (§3.3: rule matching is trivial; rule generation runs offline). This
+// adapter wraps a trained predictor behind a raw-record feed: it
+// classifies each incoming record, applies *streaming* temporal
+// compression (the same (JOB_ID, LOCATION, subcategory) ≤ threshold rule
+// as Phase 1, evaluated incrementally), and forwards surviving events to
+// the predictor. examples/online_prediction.cpp drives it against a live
+// replay of a generated log.
+#pragma once
+
+#include <optional>
+#include <unordered_map>
+
+#include "predict/predictor.hpp"
+#include "preprocess/compressors.hpp"
+#include "taxonomy/classifier.hpp"
+
+namespace bglpred {
+
+/// Streaming statistics of the online engine.
+struct OnlineStats {
+  std::size_t raw_records = 0;
+  std::size_t deduplicated = 0;   ///< dropped as duplicates
+  std::size_t forwarded = 0;      ///< events handed to the predictor
+  std::size_t warnings = 0;
+};
+
+/// See file comment. The engine owns the (already trained) predictor.
+class OnlineEngine {
+ public:
+  OnlineEngine(PredictorPtr predictor,
+               Duration dedup_threshold = kDefaultCompressionThreshold);
+
+  /// Feeds one raw record (records must arrive in time order; entry text
+  /// is the raw ENTRY_DATA). Returns a warning when the predictor emits
+  /// one.
+  std::optional<Warning> feed(const RasRecord& record,
+                              std::string_view entry_data);
+
+  const OnlineStats& stats() const { return stats_; }
+  BasePredictor& predictor() { return *predictor_; }
+
+ private:
+  struct Key {
+    bgl::JobId job;
+    bgl::Location location;
+    SubcategoryId subcategory;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const;
+  };
+
+  PredictorPtr predictor_;
+  Duration threshold_;
+  EventClassifier classifier_;
+  std::unordered_map<Key, TimePoint, KeyHash> last_seen_;
+  OnlineStats stats_;
+};
+
+}  // namespace bglpred

@@ -1,0 +1,71 @@
+// The three-phase failure predictor — the library's top-level facade
+// (Figure 1 of the paper).
+//
+//   Phase 1  event preprocessing   raw RAS log -> unique-event stream
+//   Phase 2  base prediction       statistical + rule-based predictors
+//   Phase 3  meta-learning         coverage-based stacking of the bases
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   ThreePhaseOptions opt;
+//   opt.prediction.window = 30 * kMinute;
+//   ThreePhasePredictor tpp(opt);
+//   PreprocessStats p1 = tpp.run_phase1(raw_log);       // in place
+//   CvResult meta = tpp.evaluate(raw_log, Method::kMeta);
+//   // meta.macro_precision / meta.macro_recall
+#pragma once
+
+#include "eval/cross_validation.hpp"
+#include "meta/meta_learner.hpp"
+#include "predict/baselines.hpp"
+#include "predict/rule_predictor.hpp"
+#include "predict/statistical_predictor.hpp"
+#include "preprocess/pipeline.hpp"
+
+namespace bglpred {
+
+/// Prediction method selector.
+enum class Method {
+  kStatistical,   ///< §3.2.1 base predictor
+  kRule,          ///< §3.2.2 base predictor
+  kMeta,          ///< §3.3 meta-learner over both bases
+  kPeriodic,      ///< naive baseline
+  kEveryFailure,  ///< naive baseline
+};
+
+const char* to_string(Method m);
+
+/// All knobs of the end-to-end pipeline.
+struct ThreePhaseOptions {
+  PreprocessOptions preprocess;
+  PredictionConfig prediction;
+  StatisticalOptions statistical;
+  RulePredictorOptions rule;
+  MetaOptions meta;
+  std::size_t cv_folds = 10;
+};
+
+/// See file comment.
+class ThreePhasePredictor {
+ public:
+  explicit ThreePhasePredictor(ThreePhaseOptions options = {});
+
+  const ThreePhaseOptions& options() const { return options_; }
+
+  /// Phase 1, in place; returns the preprocessing statistics.
+  PreprocessStats run_phase1(RasLog& raw) const;
+
+  /// Builds an untrained predictor of the given method with this
+  /// pipeline's configuration.
+  PredictorPtr make_predictor(Method method) const;
+
+  /// n-fold cross-validated evaluation of a method over a *preprocessed*
+  /// log (run run_phase1 first).
+  CvResult evaluate(const RasLog& preprocessed, Method method,
+                    ThreadPool& pool = ThreadPool::global()) const;
+
+ private:
+  ThreePhaseOptions options_;
+};
+
+}  // namespace bglpred

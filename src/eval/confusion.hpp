@@ -1,0 +1,65 @@
+// Confusion counts and the paper's accuracy metrics.
+//
+// Precision = Tp / (Tp + Fp); Recall = Tp / (Tp + Fn) (§3.2). As in the
+// failure-prediction literature the paper belongs to, the two metrics
+// count different objects:
+//
+//   * recall side  — a failure is *covered* (a true positive for recall)
+//     if at least one warning's window contains it, else it is missed
+//     (Fn);
+//   * precision side — a warning is *true* (a true positive for
+//     precision) if at least one failure falls inside its window, else it
+//     is a false alarm (Fp).
+//
+// When warnings and failures pair one-to-one the two Tp counts coincide
+// with the classical confusion matrix; under failure bursts one warning
+// may cover several failures (all correctly predicted) without inflating
+// the false-alarm count.
+#pragma once
+
+#include <cstddef>
+
+namespace bglpred {
+
+/// Coverage-based confusion counts with derived metrics.
+struct Confusion {
+  std::size_t covered_failures = 0;  ///< failures preceded by a warning
+  std::size_t missed_failures = 0;   ///< failures with no warning (Fn)
+  std::size_t true_warnings = 0;     ///< warnings that saw a failure
+  std::size_t false_warnings = 0;    ///< warnings with no failure (Fp)
+
+  std::size_t failures() const {
+    return covered_failures + missed_failures;
+  }
+  std::size_t warnings() const { return true_warnings + false_warnings; }
+
+  double precision() const {
+    return warnings() == 0 ? 0.0
+                           : static_cast<double>(true_warnings) /
+                                 static_cast<double>(warnings());
+  }
+  double recall() const {
+    return failures() == 0 ? 0.0
+                           : static_cast<double>(covered_failures) /
+                                 static_cast<double>(failures());
+  }
+  double f1() const {
+    const double p = precision();
+    const double r = recall();
+    return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+  }
+
+  Confusion& operator+=(const Confusion& other) {
+    covered_failures += other.covered_failures;
+    missed_failures += other.missed_failures;
+    true_warnings += other.true_warnings;
+    false_warnings += other.false_warnings;
+    return *this;
+  }
+  friend Confusion operator+(Confusion a, const Confusion& b) {
+    a += b;
+    return a;
+  }
+};
+
+}  // namespace bglpred

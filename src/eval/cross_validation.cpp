@@ -1,0 +1,80 @@
+#include "eval/cross_validation.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+
+namespace bglpred {
+
+FoldResult evaluate_split(const RasLog& training, const RasLog& test,
+                          BasePredictor& predictor) {
+  predictor.train(training);
+  predictor.reset();
+  std::vector<Warning> warnings;
+  for (const RasRecord& rec : test.records()) {
+    if (auto w = predictor.observe(rec)) {
+      warnings.push_back(std::move(*w));
+    }
+  }
+  warnings = merge_episodes(std::move(warnings));
+  FoldResult result;
+  result.test_records = test.size();
+  result.warnings = warnings.size();
+  const std::vector<TimePoint> failures = fatal_times(test);
+  result.test_failures = failures.size();
+  result.confusion = match_warnings(warnings, failures);
+  return result;
+}
+
+CvResult cross_validate(const RasLog& log, std::size_t folds,
+                        const PredictorFactory& factory, ThreadPool& pool) {
+  BGL_REQUIRE(folds >= 2, "cross-validation needs >= 2 folds");
+  BGL_REQUIRE(log.size() >= folds, "fewer records than folds");
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+
+  const std::size_t n = log.size();
+  const auto& records = log.records();
+  // Fold i covers [bounds[i], bounds[i+1]).
+  std::vector<std::size_t> bounds(folds + 1);
+  for (std::size_t i = 0; i <= folds; ++i) {
+    bounds[i] = i * n / folds;
+  }
+
+  CvResult result;
+  result.folds = parallel_map(
+      folds,
+      [&](std::size_t i) {
+        std::vector<RasRecord> train_records;
+        train_records.reserve(n - (bounds[i + 1] - bounds[i]));
+        train_records.insert(train_records.end(), records.begin(),
+                             records.begin() +
+                                 static_cast<std::ptrdiff_t>(bounds[i]));
+        train_records.insert(
+            train_records.end(),
+            records.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]),
+            records.end());
+        std::vector<RasRecord> test_records(
+            records.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
+            records.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]));
+        const RasLog training = log.subset(train_records);
+        const RasLog test = log.subset(test_records);
+        PredictorPtr predictor = factory();
+        BGL_REQUIRE(predictor != nullptr, "factory returned null");
+        return evaluate_split(training, test, *predictor);
+      },
+      pool);
+
+  double sum_p = 0.0;
+  double sum_r = 0.0;
+  for (const FoldResult& fold : result.folds) {
+    result.pooled += fold.confusion;
+    sum_p += fold.confusion.precision();
+    sum_r += fold.confusion.recall();
+  }
+  result.macro_precision = sum_p / static_cast<double>(folds);
+  result.macro_recall = sum_r / static_cast<double>(folds);
+  return result;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,60 @@
+// n-fold cross-validation (§3.2).
+//
+// The compressed event sequence is split into n contiguous chronological
+// folds of equal record count. For fold i, a fresh predictor is trained
+// on the concatenation of the other n-1 folds and driven through fold i;
+// the emitted warnings are matched against fold i's fatal events. The
+// paper averages the per-fold results (macro average); we report that
+// plus the pooled (micro) counts. Folds run in parallel on the shared
+// thread pool — each fold owns its own predictor instance.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "eval/confusion.hpp"
+#include "eval/matcher.hpp"
+#include "parallel/thread_pool.hpp"
+#include "predict/predictor.hpp"
+
+namespace bglpred {
+
+/// Creates a fresh, untrained predictor. Invoked once per fold, possibly
+/// concurrently — the factory must be thread-safe (stateless lambdas are).
+using PredictorFactory = std::function<PredictorPtr()>;
+
+/// Per-fold outcome.
+struct FoldResult {
+  Confusion confusion;
+  std::size_t test_records = 0;
+  std::size_t test_failures = 0;
+  std::size_t warnings = 0;
+};
+
+/// Aggregate cross-validation outcome.
+struct CvResult {
+  std::vector<FoldResult> folds;
+  Confusion pooled;           ///< micro: summed counts
+  double macro_precision = 0;  ///< mean of per-fold precision
+  double macro_recall = 0;     ///< mean of per-fold recall
+
+  double macro_f1() const {
+    return macro_precision + macro_recall == 0.0
+               ? 0.0
+               : 2.0 * macro_precision * macro_recall /
+                     (macro_precision + macro_recall);
+  }
+};
+
+/// Runs n-fold cross-validation of `factory`'s predictor over a
+/// preprocessed, time-sorted log. Requires folds >= 2 and enough records.
+CvResult cross_validate(const RasLog& log, std::size_t folds,
+                        const PredictorFactory& factory,
+                        ThreadPool& pool = ThreadPool::global());
+
+/// Trains on `training` and evaluates on `test` (single split); the
+/// building block cross_validate composes.
+FoldResult evaluate_split(const RasLog& training, const RasLog& test,
+                          BasePredictor& predictor);
+
+}  // namespace bglpred

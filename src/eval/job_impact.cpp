@@ -1,0 +1,34 @@
+#include "eval/job_impact.hpp"
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+bool is_job_impacting(const RasRecord& rec) {
+  return rec.fatal() && rec.job != bgl::kNoJob;
+}
+
+JobImpactStats job_impact_stats(const RasLog& log) {
+  JobImpactStats stats;
+  for (const RasRecord& rec : log.records()) {
+    if (!rec.fatal()) {
+      continue;
+    }
+    ++stats.fatal_events;
+    stats.job_impacting += is_job_impacting(rec);
+  }
+  return stats;
+}
+
+std::vector<TimePoint> job_impacting_fatal_times(const RasLog& log) {
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  std::vector<TimePoint> out;
+  for (const RasRecord& rec : log.records()) {
+    if (is_job_impacting(rec)) {
+      out.push_back(rec.time);
+    }
+  }
+  return out;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,47 @@
+// Job-impact failure filtering — the paper's stated future work.
+//
+// §3.1: "as has been studied by Oliner et al., some of these failures are
+// not true/actual failures from the perspective of applications ... Our
+// future work will incorporate filtering out this ambiguity of failures
+// and analyze only those failures which will impact user jobs."
+//
+// This module implements that filter: a fatal event is *job-impacting*
+// when a user job was running on the reporting hardware at the time (the
+// JOB_ID field is set). Fatal events on idle partitions or from
+// infrastructure units (link/service cards, environmental monitors)
+// still matter to administrators but terminate no application.
+// bench/ablation_job_impact evaluates the predictors against impacting
+// failures only.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "raslog/log.hpp"
+
+namespace bglpred {
+
+/// Split of a log's fatal events by job impact.
+struct JobImpactStats {
+  std::size_t fatal_events = 0;
+  std::size_t job_impacting = 0;
+
+  double impacting_fraction() const {
+    return fatal_events == 0
+               ? 0.0
+               : static_cast<double>(job_impacting) /
+                     static_cast<double>(fatal_events);
+  }
+};
+
+/// True if this fatal record terminated (or could terminate) a user job.
+bool is_job_impacting(const RasRecord& rec);
+
+/// Counts impacting vs total fatal events.
+JobImpactStats job_impact_stats(const RasLog& log);
+
+/// Times of job-impacting fatal events only (time-sorted log required) —
+/// the failure set the future-work evaluation scores against.
+std::vector<TimePoint> job_impacting_fatal_times(const RasLog& log);
+
+}  // namespace bglpred

@@ -1,0 +1,58 @@
+#include "eval/lead_time.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+double LeadTimeReport::actionable_fraction(Duration threshold) const {
+  if (leads.empty()) {
+    return 0.0;
+  }
+  const auto n = static_cast<std::size_t>(std::count_if(
+      leads.begin(), leads.end(), [threshold](double lead) {
+        return lead >= static_cast<double>(threshold);
+      }));
+  return static_cast<double>(n) / static_cast<double>(leads.size());
+}
+
+LeadTimeReport lead_time_report(const std::vector<Warning>& warnings,
+                                const std::vector<TimePoint>& failures) {
+  BGL_REQUIRE(std::is_sorted(failures.begin(), failures.end()),
+              "failures must be time-sorted");
+  // Sort warnings by issue time so the first cover found is the earliest.
+  std::vector<const Warning*> by_issue;
+  by_issue.reserve(warnings.size());
+  for (const Warning& w : warnings) {
+    by_issue.push_back(&w);
+  }
+  std::sort(by_issue.begin(), by_issue.end(),
+            [](const Warning* a, const Warning* b) {
+              return a->issued_at < b->issued_at;
+            });
+
+  LeadTimeReport report;
+  report.failures = failures.size();
+  for (const TimePoint t : failures) {
+    const Warning* earliest = nullptr;
+    for (const Warning* w : by_issue) {
+      if (w->issued_at > t) {
+        break;  // later warnings cannot cover an earlier failure
+      }
+      if (w->covers(t)) {
+        earliest = w;
+        break;
+      }
+    }
+    if (earliest != nullptr) {
+      ++report.covered;
+      report.leads.push_back(
+          static_cast<double>(t - earliest->issued_at));
+    }
+  }
+  report.summary = summarize(report.leads);
+  return report;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,37 @@
+// Warning lead-time analysis.
+//
+// The paper motivates the [5 min, 1 h] window operationally: a
+// prediction is only useful if fault-tolerance machinery (checkpointing,
+// job migration) has time to act. This helper measures the *achieved*
+// lead — for every covered failure, the distance from the earliest
+// covering warning's issue time to the failure — and summarizes its
+// distribution.
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "predict/predictor.hpp"
+#include "stats/summary.hpp"
+
+namespace bglpred {
+
+/// Lead-time distribution over the covered failures of one test pass.
+struct LeadTimeReport {
+  std::size_t failures = 0;          ///< all failures considered
+  std::size_t covered = 0;           ///< failures with >= 1 covering warning
+  std::vector<double> leads;         ///< seconds, one per covered failure
+  SummaryStats summary;              ///< over `leads`
+
+  /// Fraction of covered failures with at least `threshold` seconds of
+  /// lead — e.g. actionable_fraction(300) = "could we have checkpointed?"
+  double actionable_fraction(Duration threshold) const;
+};
+
+/// Computes lead times of `warnings` (any order) against time-sorted
+/// `failures`. A failure's lead is measured from the *earliest issued*
+/// warning covering it, the most conservative reading.
+LeadTimeReport lead_time_report(const std::vector<Warning>& warnings,
+                                const std::vector<TimePoint>& failures);
+
+}  // namespace bglpred

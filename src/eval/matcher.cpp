@@ -1,0 +1,104 @@
+#include "eval/matcher.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+Confusion match_warnings(const std::vector<Warning>& warnings,
+                         const std::vector<TimePoint>& failures) {
+  BGL_REQUIRE(std::is_sorted(warnings.begin(), warnings.end(),
+                             [](const Warning& a, const Warning& b) {
+                               return a.window_begin < b.window_begin;
+                             }),
+              "warnings must be sorted by window begin");
+  BGL_REQUIRE(std::is_sorted(failures.begin(), failures.end()),
+              "failures must be time-sorted");
+  Confusion c;
+
+  // Recall side: a failure is covered iff some warning with
+  // window_begin <= t has window_end >= t. Since warnings are sorted by
+  // window_begin, the prefix maximum of window_end decides in O(log n).
+  std::vector<TimePoint> prefix_max_end(warnings.size());
+  TimePoint running = 0;
+  for (std::size_t i = 0; i < warnings.size(); ++i) {
+    running = i == 0 ? warnings[i].window_end
+                     : std::max(running, warnings[i].window_end);
+    prefix_max_end[i] = running;
+  }
+  for (const TimePoint t : failures) {
+    const auto it = std::upper_bound(
+        warnings.begin(), warnings.end(), t,
+        [](TimePoint time, const Warning& w) {
+          return time < w.window_begin;
+        });
+    const auto count = static_cast<std::size_t>(it - warnings.begin());
+    if (count > 0 && prefix_max_end[count - 1] >= t) {
+      ++c.covered_failures;
+    } else {
+      ++c.missed_failures;
+    }
+  }
+
+  // Precision side: a warning is true iff some failure lies inside its
+  // window.
+  for (const Warning& w : warnings) {
+    const auto it =
+        std::lower_bound(failures.begin(), failures.end(), w.window_begin);
+    if (it != failures.end() && *it <= w.window_end) {
+      ++c.true_warnings;
+    } else {
+      ++c.false_warnings;
+    }
+  }
+  return c;
+}
+
+std::vector<Warning> merge_episodes(std::vector<Warning> warnings) {
+  std::sort(warnings.begin(), warnings.end(),
+            [](const Warning& a, const Warning& b) {
+              return a.window_begin < b.window_begin;
+            });
+  std::vector<Warning> out;
+  // Open episode per source; flat scan is fine for the handful of
+  // sources in play.
+  for (Warning& w : warnings) {
+    bool merged = false;
+    if (w.mergeable) {
+      for (auto it = out.rbegin(); it != out.rend(); ++it) {
+        if (!it->mergeable || it->source != w.source) {
+          continue;
+        }
+        if (w.window_begin <= it->window_end + 1) {
+          it->window_end = std::max(it->window_end, w.window_end);
+          it->confidence = std::max(it->confidence, w.confidence);
+          merged = true;
+        }
+        break;  // only the most recent episode of this source can absorb
+      }
+    }
+    if (!merged) {
+      out.push_back(std::move(w));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Warning& a, const Warning& b) {
+              return a.window_begin < b.window_begin;
+            });
+  return out;
+}
+
+std::vector<TimePoint> fatal_times(const RasLog& log) {
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  std::vector<TimePoint> out;
+  for (const RasRecord& rec : log.records()) {
+    if (rec.fatal()) {
+      out.push_back(rec.time);
+    }
+  }
+  return out;
+}
+
+}  // namespace bglpred

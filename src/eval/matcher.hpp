@@ -1,0 +1,34 @@
+// Warning-to-failure matching.
+//
+// Pairs emitted warnings with the fatal events they cover. Each warning
+// may be consumed by at most one failure and vice versa; matching is the
+// earliest-deadline-first greedy, which is optimal for interval
+// scheduling (maximizes Tp, so the reported numbers are the best
+// interpretation the predictor's output admits — any other matching
+// discipline only lowers both metrics symmetrically across methods).
+#pragma once
+
+#include <vector>
+
+#include "common/time.hpp"
+#include "eval/confusion.hpp"
+#include "predict/predictor.hpp"
+
+namespace bglpred {
+
+/// Matches `warnings` (sorted by issue time) against `failures` (sorted
+/// fatal-event times) and returns the confusion counts.
+Confusion match_warnings(const std::vector<Warning>& warnings,
+                         const std::vector<TimePoint>& failures);
+
+/// Folds overlapping *mergeable* warnings from the same source into one
+/// prediction episode (interval union, max confidence). A persisting
+/// precursor body that keeps re-firing a rule is one prediction, not a
+/// stream of false positives. Input and output are sorted by
+/// window_begin.
+std::vector<Warning> merge_episodes(std::vector<Warning> warnings);
+
+/// Extracts the fatal-event times from a time-sorted log.
+std::vector<TimePoint> fatal_times(const RasLog& log);
+
+}  // namespace bglpred

@@ -1,0 +1,117 @@
+#include "meta/meta_learner.hpp"
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+MetaLearner::MetaLearner(const PredictionConfig& config,
+                         const MetaOptions& options)
+    : config_(config), options_(options) {
+  BGL_REQUIRE(config.window > config.lead,
+              "prediction window must exceed the lead time");
+}
+
+void MetaLearner::add_base(PredictorPtr base, bool treat_as_rule_like) {
+  BGL_REQUIRE(base != nullptr, "null base predictor");
+  bases_.push_back(BaseSlot{std::move(base), treat_as_rule_like});
+}
+
+void MetaLearner::train(const RasLog& training) {
+  BGL_REQUIRE(!bases_.empty(), "meta-learner needs at least one base");
+  for (BaseSlot& slot : bases_) {
+    slot.predictor->train(training);
+  }
+  reset();
+}
+
+void MetaLearner::reset() {
+  for (BaseSlot& slot : bases_) {
+    slot.predictor->reset();
+  }
+  recent_fatal_.clear();
+  recent_nonfatal_.clear();
+  dispatch_ = MetaDispatchStats{};
+}
+
+std::optional<Warning> MetaLearner::observe(const RasRecord& rec) {
+  // Maintain the coverage window (same width as the prediction window).
+  const TimePoint cutoff = rec.time - config_.window;
+  while (!recent_fatal_.empty() && recent_fatal_.front() <= cutoff) {
+    recent_fatal_.pop_front();
+  }
+  while (!recent_nonfatal_.empty() && recent_nonfatal_.front() <= cutoff) {
+    recent_nonfatal_.pop_front();
+  }
+  if (rec.fatal()) {
+    recent_fatal_.push_back(rec.time);
+  } else {
+    recent_nonfatal_.push_back(rec.time);
+  }
+  const bool have_nonfatal = !recent_nonfatal_.empty();
+  const bool have_fatal = !recent_fatal_.empty();
+
+  // Drive every base (they all need the event stream to stay in sync)
+  // and collect candidates.
+  std::optional<Warning> best_rule_like;
+  std::optional<Warning> best_stat_like;
+  for (BaseSlot& slot : bases_) {
+    auto candidate = slot.predictor->observe(rec);
+    if (!candidate) {
+      continue;
+    }
+    auto& best = slot.rule_like ? best_rule_like : best_stat_like;
+    if (!best || candidate->confidence > best->confidence) {
+      best = std::move(candidate);
+    }
+  }
+  if (!best_rule_like && !best_stat_like) {
+    return std::nullopt;
+  }
+
+  // Coverage-based dispatch (§3.3).
+  std::optional<Warning> chosen;
+  if (have_nonfatal && !have_fatal) {
+    chosen = best_rule_like;
+    if (chosen) {
+      ++dispatch_.to_rule_only;
+    } else if (best_stat_like) {
+      ++dispatch_.suppressed;
+    }
+  } else if (have_fatal && !have_nonfatal) {
+    chosen = best_stat_like;
+    if (chosen) {
+      ++dispatch_.to_statistical_only;
+    } else if (best_rule_like) {
+      ++dispatch_.suppressed;
+    }
+  } else {
+    // Both kinds present: highest confidence wins. Under strict
+    // dispatch, a lone statistical warning is suppressed — non-fatal
+    // context means the rule method owns the window.
+    if (best_rule_like && best_stat_like) {
+      chosen = best_rule_like->confidence >= best_stat_like->confidence
+                   ? best_rule_like
+                   : best_stat_like;
+    } else if (best_rule_like) {
+      chosen = best_rule_like;
+    } else if (!options_.strict_mixed_dispatch) {
+      chosen = best_stat_like;
+    } else {
+      ++dispatch_.suppressed;
+    }
+    if (chosen) {
+      ++dispatch_.by_confidence;
+    }
+  }
+  if (!chosen) {
+    return std::nullopt;
+  }
+  Warning w = *chosen;
+  w.source = name() + ("/" + w.source);
+  // Each warning keeps its base's trigger semantics (rule warnings are
+  // level-triggered episodes, statistical ones edge-triggered), so the
+  // evaluator treats a meta warning exactly as it would the base's.
+  return w;
+}
+
+}  // namespace bglpred

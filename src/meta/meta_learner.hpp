@@ -1,0 +1,88 @@
+// Meta-learning predictor (Phase 3, §3.3).
+//
+// Coverage-based stacked generalization over the base predictors:
+//
+//   * if only non-fatal events were observed in the current window, the
+//     rule-based method decides;
+//   * if only fatal events were observed, the statistical method decides;
+//   * if both kinds are present, the base method producing the prediction
+//     with the higher confidence decides.
+//
+// Implementation: the meta-learner feeds every test event to all
+// registered base predictors, tracks which event kinds are inside the
+// sliding window, and arbitrates among the candidate warnings per the
+// coverage rule. Training simply trains every base on the same training
+// fold; there is no second-level model to fit — exactly the "simple and
+// time efficient" scheme the paper deploys (its cost is the rule-based
+// method's cost).
+//
+// The class is deliberately open: any BasePredictor can be registered, so
+// the framework extends beyond the paper's two bases (see
+// examples/custom_predictor.cpp).
+#pragma once
+
+#include <deque>
+#include <vector>
+
+#include "predict/predictor.hpp"
+
+namespace bglpred {
+
+/// Which base the coverage rule dispatched to, per emitted warning.
+struct MetaDispatchStats {
+  std::size_t to_rule_only = 0;       ///< only non-fatal context
+  std::size_t to_statistical_only = 0;  ///< only fatal context
+  std::size_t by_confidence = 0;      ///< both present, max-confidence win
+  std::size_t suppressed = 0;         ///< base fired but rule dispatched away
+};
+
+/// Arbitration variants for the mixed (both event kinds present) case.
+struct MetaOptions {
+  /// Strict reading of §3.3: in a mixed window the *rule* method is the
+  /// authority — a statistical warning only goes through when the rule
+  /// method also produced one and the statistical confidence is higher.
+  /// When false (default), a lone statistical warning in a mixed window
+  /// passes — the permissive reading, which preserves the statistical
+  /// method's burst-interior predictions (its best cases).
+  /// bench/ablation_meta_dispatch compares the two.
+  bool strict_mixed_dispatch = false;
+};
+
+/// See file comment.
+class MetaLearner final : public BasePredictor {
+ public:
+  explicit MetaLearner(const PredictionConfig& config,
+                       const MetaOptions& options = {});
+
+  /// Registers a base predictor. `treat_as_rule_like` marks predictors
+  /// consuming non-fatal context (dispatched when non-fatal events are
+  /// present); the others are statistical-like (dispatched on fatal
+  /// context).
+  void add_base(PredictorPtr base, bool treat_as_rule_like);
+
+  std::string name() const override { return "meta"; }
+  void train(const RasLog& training) override;
+  void reset() override;
+  std::optional<Warning> observe(const RasRecord& rec) override;
+
+  const MetaDispatchStats& dispatch_stats() const { return dispatch_; }
+  std::size_t base_count() const { return bases_.size(); }
+
+ private:
+  struct BaseSlot {
+    PredictorPtr predictor;
+    bool rule_like;
+  };
+
+  PredictionConfig config_;
+  MetaOptions options_;
+  std::vector<BaseSlot> bases_;
+  MetaDispatchStats dispatch_;
+
+  // Sliding window of observed event kinds (times of fatal / non-fatal
+  // arrivals) implementing the coverage test.
+  std::deque<TimePoint> recent_fatal_;
+  std::deque<TimePoint> recent_nonfatal_;
+};
+
+}  // namespace bglpred

@@ -1,0 +1,173 @@
+#include "mining/apriori.hpp"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+// Hash for an itemset (FNV-ish over items). Collisions are resolved by the
+// map's key equality.
+struct ItemsetHash {
+  std::size_t operator()(const Itemset& items) const {
+    std::uint64_t h = 1469598103934665603ULL;
+    for (Item it : items) {
+      h ^= it;
+      h *= 1099511628211ULL;
+    }
+    return static_cast<std::size_t>(h);
+  }
+};
+
+using CandidateCounts = std::unordered_map<Itemset, std::size_t, ItemsetHash>;
+
+// Generates (k+1)-candidates from sorted frequent k-itemsets via the
+// prefix join, pruning candidates with an infrequent k-subset.
+std::vector<Itemset> generate_candidates(
+    const std::vector<Itemset>& frequent_k) {
+  std::vector<Itemset> candidates;
+  // frequent_k is sorted lexicographically; itemsets sharing a (k-1)
+  // prefix are adjacent.
+  for (std::size_t i = 0; i < frequent_k.size(); ++i) {
+    for (std::size_t j = i + 1; j < frequent_k.size(); ++j) {
+      const Itemset& a = frequent_k[i];
+      const Itemset& b = frequent_k[j];
+      if (!std::equal(a.begin(), a.end() - 1, b.begin(), b.end() - 1)) {
+        break;  // prefixes diverge; later j only diverge further
+      }
+      Itemset candidate = a;
+      candidate.push_back(b.back());
+      // Apriori pruning: every k-subset must be frequent. The two
+      // "parents" are frequent by construction; test the others.
+      bool prune = false;
+      for (std::size_t drop = 0; drop + 2 < candidate.size(); ++drop) {
+        Itemset subset;
+        subset.reserve(candidate.size() - 1);
+        for (std::size_t m = 0; m < candidate.size(); ++m) {
+          if (m != drop) {
+            subset.push_back(candidate[m]);
+          }
+        }
+        if (!std::binary_search(frequent_k.begin(), frequent_k.end(),
+                                subset)) {
+          prune = true;
+          break;
+        }
+      }
+      if (!prune) {
+        candidates.push_back(std::move(candidate));
+      }
+    }
+  }
+  return candidates;
+}
+
+// Enumerates all k-subsets of `items` and bumps matching candidates.
+void count_subsets(const Itemset& items, std::size_t k,
+                   CandidateCounts& counts) {
+  if (items.size() < k) {
+    return;
+  }
+  // Iterative combination enumeration over indices.
+  std::vector<std::size_t> idx(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    idx[i] = i;
+  }
+  Itemset subset(k);
+  for (;;) {
+    for (std::size_t i = 0; i < k; ++i) {
+      subset[i] = items[idx[i]];
+    }
+    if (auto it = counts.find(subset); it != counts.end()) {
+      ++it->second;
+    }
+    // Advance to the next combination: bump the rightmost index that has
+    // room, then reset everything to its right.
+    std::ptrdiff_t pos = static_cast<std::ptrdiff_t>(k) - 1;
+    while (pos >= 0 &&
+           idx[static_cast<std::size_t>(pos)] ==
+               static_cast<std::size_t>(pos) + items.size() - k) {
+      --pos;
+    }
+    if (pos < 0) {
+      return;
+    }
+    ++idx[static_cast<std::size_t>(pos)];
+    for (std::size_t i = static_cast<std::size_t>(pos) + 1; i < k; ++i) {
+      idx[i] = idx[i - 1] + 1;
+    }
+  }
+}
+
+}  // namespace
+
+FrequentSet apriori(const TransactionDb& db, const MiningOptions& options) {
+  BGL_REQUIRE(options.max_itemset_size >= 1, "max itemset size must be >= 1");
+  std::vector<FrequentItemset> result;
+  if (db.empty()) {
+    return FrequentSet(std::move(result));
+  }
+  const std::size_t min_count = db.min_count_for(options.min_support);
+
+  // Pass 1: frequent single items.
+  std::map<Item, std::size_t> singles;
+  for (const Transaction& t : db.transactions()) {
+    for (Item item : t) {
+      ++singles[item];
+    }
+  }
+  std::vector<Itemset> frequent_k;
+  for (const auto& [item, count] : singles) {
+    if (count >= min_count) {
+      result.push_back({{item}, count});
+      frequent_k.push_back({item});
+    }
+  }
+
+  // Restrict each transaction to its frequent items once; sortedness of
+  // transactions is preserved by the filter.
+  std::vector<Itemset> filtered;
+  filtered.reserve(db.size());
+  for (const Transaction& t : db.transactions()) {
+    Itemset keep;
+    for (Item item : t) {
+      const auto it = singles.find(item);
+      if (it != singles.end() && it->second >= min_count) {
+        keep.push_back(item);
+      }
+    }
+    filtered.push_back(std::move(keep));
+  }
+
+  // Level-wise passes.
+  for (std::size_t k = 2;
+       k <= options.max_itemset_size && frequent_k.size() >= 2; ++k) {
+    const std::vector<Itemset> candidates = generate_candidates(frequent_k);
+    if (candidates.empty()) {
+      break;
+    }
+    CandidateCounts counts;
+    counts.reserve(candidates.size() * 2);
+    for (const Itemset& c : candidates) {
+      counts.emplace(c, 0);
+    }
+    for (const Itemset& t : filtered) {
+      count_subsets(t, k, counts);
+    }
+    frequent_k.clear();
+    for (const Itemset& c : candidates) {
+      const std::size_t count = counts.at(c);
+      if (count >= min_count) {
+        result.push_back({c, count});
+        frequent_k.push_back(c);
+      }
+    }
+    std::sort(frequent_k.begin(), frequent_k.end());
+  }
+  return FrequentSet(std::move(result));
+}
+
+}  // namespace bglpred

@@ -1,0 +1,17 @@
+// Apriori frequent-itemset mining (Agrawal & Srikant, VLDB '94) — the
+// algorithm the paper cites for Step 2 of the rule-based method.
+//
+// Level-wise search: frequent k-itemsets are joined into (k+1)-candidates
+// sharing a k-1 prefix, candidates with any infrequent k-subset are pruned
+// (the apriori property), and support is counted by enumerating k-subsets
+// of each transaction's frequent items against a candidate hash set.
+#pragma once
+
+#include "mining/frequent.hpp"
+
+namespace bglpred {
+
+/// Mines all frequent itemsets of `db` under `options`.
+FrequentSet apriori(const TransactionDb& db, const MiningOptions& options);
+
+}  // namespace bglpred

@@ -1,0 +1,100 @@
+#include "mining/event_sets.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace bglpred {
+
+TransactionDb extract_event_sets(const RasLog& log, Duration window,
+                                 EventSetStats* stats,
+                                 double negative_ratio,
+                                 std::uint64_t seed) {
+  BGL_REQUIRE(window > 0, "rule generation window must be positive");
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  EventSetStats local;
+  TransactionDb db;
+
+  const auto& records = log.records();
+  std::size_t window_start = 0;  // first index with time > t - window
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    const RasRecord& rec = records[i];
+    if (!rec.fatal()) {
+      continue;
+    }
+    ++local.fatal_events;
+    while (window_start < i &&
+           records[window_start].time <= rec.time - window) {
+      ++window_start;
+    }
+    Transaction t;
+    for (std::size_t j = window_start; j < i; ++j) {
+      const RasRecord& prior = records[j];
+      if (!prior.fatal() && prior.subcategory != kUnclassified) {
+        t.push_back(body_item(prior.subcategory));
+      }
+    }
+    if (t.empty()) {
+      ++local.without_precursors;
+    } else {
+      ++local.with_precursors;
+    }
+    BGL_REQUIRE(rec.subcategory != kUnclassified,
+                "fatal record lacks a subcategory; run preprocess first");
+    t.push_back(label_item(rec.subcategory));
+    db.add(std::move(t));  // add() sorts and dedupes
+  }
+  // Negative windows: instants with no fatal event in the following
+  // `window` seconds; their transactions are label-free.
+  if (negative_ratio > 0.0 && !records.empty()) {
+    std::vector<TimePoint> fatal_times;
+    for (const RasRecord& rec : records) {
+      if (rec.fatal()) {
+        fatal_times.push_back(rec.time);
+      }
+    }
+    const TimeSpan span{records.front().time, records.back().time + 1};
+    const auto wanted = static_cast<std::size_t>(
+        negative_ratio * static_cast<double>(local.fatal_events));
+    Rng rng(seed ^ (records.size() * 0x9e3779b97f4a7c15ULL));
+    std::size_t made = 0;
+    for (std::size_t attempt = 0; attempt < wanted * 8 && made < wanted;
+         ++attempt) {
+      const TimePoint t =
+          span.begin + rng.uniform_int(0, span.length() - 1);
+      // Reject if a fatal event falls in (t, t + window].
+      const auto next = std::upper_bound(fatal_times.begin(),
+                                         fatal_times.end(), t);
+      if (next != fatal_times.end() && *next <= t + window) {
+        continue;
+      }
+      // Collect non-fatal subcategories in (t - window, t].
+      const auto lo = std::lower_bound(
+          records.begin(), records.end(), t - window + 1,
+          [](const RasRecord& rec, TimePoint time) {
+            return rec.time < time;
+          });
+      const auto hi = std::upper_bound(
+          records.begin(), records.end(), t,
+          [](TimePoint time, const RasRecord& rec) {
+            return time < rec.time;
+          });
+      Transaction neg;
+      for (auto it = lo; it != hi; ++it) {
+        if (!it->fatal() && it->subcategory != kUnclassified) {
+          neg.push_back(body_item(it->subcategory));
+        }
+      }
+      db.add(std::move(neg));  // label-free (possibly empty) transaction
+      ++made;
+    }
+  }
+
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return db;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,47 @@
+// Event-set extraction (§3.2.2 Step 1).
+//
+// For each fatal event f in a preprocessed log, the event-set is the set
+// of distinct *non-fatal* subcategories observed in the rule generation
+// window (t_f - W, t_f) plus the label item for f's subcategory. Fatal
+// events with no precursors yield label-only transactions; they stay in
+// the database (they contribute to the support denominator and measure
+// the "no precursor" fraction the paper reports) but generate no rules.
+#pragma once
+
+#include "common/time.hpp"
+#include "mining/transaction.hpp"
+#include "raslog/log.hpp"
+
+namespace bglpred {
+
+/// Extraction statistics reported alongside the transactions.
+struct EventSetStats {
+  std::size_t fatal_events = 0;
+  std::size_t with_precursors = 0;
+  std::size_t without_precursors = 0;
+
+  /// Fraction of fatal events lacking any non-fatal precursor (the
+  /// quantity behind the rule-based method's recall ceiling).
+  double no_precursor_fraction() const {
+    return fatal_events == 0
+               ? 0.0
+               : static_cast<double>(without_precursors) /
+                     static_cast<double>(fatal_events);
+  }
+};
+
+/// Builds the event-set transaction database from a time-sorted,
+/// categorized log using rule generation window `window` (seconds).
+///
+/// `negative_ratio` adds that many label-free *negative* windows per
+/// fatal event, sampled (deterministically from `seed`) at instants not
+/// followed by a failure within `window`. Negatives make a body's
+/// support count reflect how often it occurs when nothing fails, so rule
+/// confidence estimates P(failure | body) instead of the
+/// conditioned-on-failure quantity mined from positive windows alone.
+TransactionDb extract_event_sets(const RasLog& log, Duration window,
+                                 EventSetStats* stats = nullptr,
+                                 double negative_ratio = 0.0,
+                                 std::uint64_t seed = 0x5eed);
+
+}  // namespace bglpred

@@ -1,0 +1,190 @@
+#include "mining/fpgrowth.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+// FP-tree node. Children are keyed by item; header chains link nodes of
+// the same item across the tree. Nodes are owned by a flat arena so
+// recursion depth never risks destructor stack overflow.
+struct FpNode {
+  Item item = 0;
+  std::size_t count = 0;
+  FpNode* parent = nullptr;
+  FpNode* next_same_item = nullptr;  // header-table chain
+  std::map<Item, FpNode*> children;
+};
+
+class FpTree {
+ public:
+  explicit FpTree() { root_ = new_node(0, nullptr); }
+
+  FpNode* root() { return root_; }
+
+  FpNode* new_node(Item item, FpNode* parent) {
+    arena_.push_back(std::make_unique<FpNode>());
+    FpNode* node = arena_.back().get();
+    node->item = item;
+    node->parent = parent;
+    return node;
+  }
+
+  // Inserts a frequency-ordered transaction with multiplicity `count`.
+  void insert(const std::vector<Item>& ordered, std::size_t count) {
+    FpNode* cur = root_;
+    for (Item item : ordered) {
+      auto it = cur->children.find(item);
+      if (it == cur->children.end()) {
+        FpNode* child = new_node(item, cur);
+        cur->children.emplace(item, child);
+        // Prepend to the header chain.
+        auto& head = header_[item];
+        child->next_same_item = head;
+        head = child;
+        cur = child;
+      } else {
+        cur = it->second;
+      }
+    }
+    // Add count along the path.
+    for (FpNode* n = cur; n != root_; n = n->parent) {
+      n->count += count;
+    }
+  }
+
+  const std::unordered_map<Item, FpNode*>& header() const { return header_; }
+
+  bool empty() const { return root_->children.empty(); }
+
+ private:
+  std::vector<std::unique_ptr<FpNode>> arena_;
+  FpNode* root_;
+  std::unordered_map<Item, FpNode*> header_;
+};
+
+// Recursive pattern growth. `suffix` is the itemset conditioned on so far
+// (stored in ascending item order at emission time).
+void mine(const FpTree& tree, std::size_t min_count,
+          std::size_t max_size, Itemset& suffix,
+          std::vector<FrequentItemset>& out) {
+  if (suffix.size() >= max_size) {
+    return;
+  }
+  // Item totals in this (conditional) tree.
+  std::map<Item, std::size_t> totals;
+  for (const auto& [item, head] : tree.header()) {
+    std::size_t total = 0;
+    for (const FpNode* n = head; n != nullptr; n = n->next_same_item) {
+      total += n->count;
+    }
+    if (total >= min_count) {
+      totals.emplace(item, total);
+    }
+  }
+  for (const auto& [item, total] : totals) {
+    // Emit {item} ∪ suffix.
+    Itemset emitted;
+    emitted.reserve(suffix.size() + 1);
+    emitted = suffix;
+    emitted.push_back(item);
+    std::sort(emitted.begin(), emitted.end());
+    out.push_back({std::move(emitted), total});
+
+    // Build the conditional tree on `item`'s prefix paths.
+    FpTree conditional;
+    const auto head_it = tree.header().find(item);
+    BGL_ASSERT(head_it != tree.header().end());
+    for (const FpNode* n = head_it->second; n != nullptr;
+         n = n->next_same_item) {
+      // Collect the prefix path root->..->parent(n).
+      std::vector<Item> path;
+      for (const FpNode* p = n->parent; p != nullptr && p->parent != nullptr;
+           p = p->parent) {
+        path.push_back(p->item);
+      }
+      std::reverse(path.begin(), path.end());
+      // Keep only items frequent in this conditional context.
+      std::vector<Item> kept;
+      kept.reserve(path.size());
+      for (Item pi : path) {
+        if (totals.count(pi) != 0) {
+          kept.push_back(pi);
+        }
+      }
+      if (!kept.empty()) {
+        conditional.insert(kept, n->count);
+      }
+    }
+    if (!conditional.empty()) {
+      suffix.push_back(item);
+      mine(conditional, min_count, max_size, suffix, out);
+      suffix.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+FrequentSet fpgrowth(const TransactionDb& db, const MiningOptions& options) {
+  BGL_REQUIRE(options.max_itemset_size >= 1, "max itemset size must be >= 1");
+  std::vector<FrequentItemset> result;
+  if (db.empty()) {
+    return FrequentSet(std::move(result));
+  }
+  const std::size_t min_count = db.min_count_for(options.min_support);
+
+  // Global item frequencies.
+  std::map<Item, std::size_t> singles;
+  for (const Transaction& t : db.transactions()) {
+    for (Item item : t) {
+      ++singles[item];
+    }
+  }
+
+  // Frequency-descending item order (ties by item id for determinism).
+  std::vector<std::pair<Item, std::size_t>> order;
+  for (const auto& [item, count] : singles) {
+    if (count >= min_count) {
+      order.emplace_back(item, count);
+    }
+  }
+  std::sort(order.begin(), order.end(), [](const auto& a, const auto& b) {
+    if (a.second != b.second) {
+      return a.second > b.second;
+    }
+    return a.first < b.first;
+  });
+  std::unordered_map<Item, std::size_t> rank;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    rank.emplace(order[i].first, i);
+  }
+
+  // Build the global FP-tree.
+  FpTree tree;
+  for (const Transaction& t : db.transactions()) {
+    std::vector<Item> kept;
+    for (Item item : t) {
+      if (rank.count(item) != 0) {
+        kept.push_back(item);
+      }
+    }
+    std::sort(kept.begin(), kept.end(), [&](Item a, Item b) {
+      return rank.at(a) < rank.at(b);
+    });
+    if (!kept.empty()) {
+      tree.insert(kept, 1);
+    }
+  }
+
+  Itemset suffix;
+  mine(tree, min_count, options.max_itemset_size, suffix, result);
+  return FrequentSet(std::move(result));
+}
+
+}  // namespace bglpred

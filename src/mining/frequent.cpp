@@ -1,0 +1,28 @@
+#include "mining/frequent.hpp"
+
+#include <algorithm>
+
+namespace bglpred {
+
+FrequentSet::FrequentSet(std::vector<FrequentItemset> itemsets)
+    : itemsets_(std::move(itemsets)) {
+  for (const FrequentItemset& f : itemsets_) {
+    index_.emplace(f.items, f.count);
+  }
+}
+
+std::size_t FrequentSet::count_of(const Itemset& items) const {
+  const auto it = index_.find(items);
+  return it == index_.end() ? 0 : it->second;
+}
+
+std::vector<FrequentItemset> sorted_by_itemset(
+    std::vector<FrequentItemset> itemsets) {
+  std::sort(itemsets.begin(), itemsets.end(),
+            [](const FrequentItemset& a, const FrequentItemset& b) {
+              return a.items < b.items;
+            });
+  return itemsets;
+}
+
+}  // namespace bglpred

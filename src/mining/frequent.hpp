@@ -1,0 +1,49 @@
+// Frequent-itemset mining interface shared by Apriori and FP-Growth.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "mining/transaction.hpp"
+
+namespace bglpred {
+
+/// One frequent itemset with its absolute support count.
+struct FrequentItemset {
+  Itemset items;
+  std::size_t count = 0;
+};
+
+/// Mining bounds shared by both algorithms.
+struct MiningOptions {
+  /// Relative minimum support (paper: 0.04).
+  double min_support = 0.04;
+  /// Maximum itemset cardinality (body + label). Bounds the exponential
+  /// blow-up the paper describes for low thresholds.
+  std::size_t max_itemset_size = 5;
+};
+
+/// Result of a frequent-itemset mining pass: the itemsets plus an exact
+/// support lookup (used by rule generation for confidence computation).
+class FrequentSet {
+ public:
+  explicit FrequentSet(std::vector<FrequentItemset> itemsets);
+
+  const std::vector<FrequentItemset>& itemsets() const { return itemsets_; }
+  std::size_t size() const { return itemsets_.size(); }
+
+  /// Support count of a frequent itemset; 0 if the itemset is not
+  /// frequent (or larger than max_itemset_size).
+  std::size_t count_of(const Itemset& items) const;
+
+ private:
+  std::vector<FrequentItemset> itemsets_;
+  std::map<Itemset, std::size_t> index_;
+};
+
+/// Canonicalizes results for comparison in tests (sorted by itemset).
+std::vector<FrequentItemset> sorted_by_itemset(
+    std::vector<FrequentItemset> itemsets);
+
+}  // namespace bglpred

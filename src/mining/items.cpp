@@ -1,0 +1,35 @@
+#include "mining/items.hpp"
+
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+
+bool is_subset(const Itemset& needle, const Itemset& haystack) {
+  auto it = haystack.begin();
+  for (Item want : needle) {
+    while (it != haystack.end() && *it < want) {
+      ++it;
+    }
+    if (it == haystack.end() || *it != want) {
+      return false;
+    }
+    ++it;
+  }
+  return true;
+}
+
+std::string itemset_to_string(const Itemset& items) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) {
+      out += ' ';
+    }
+    out += std::string(catalog().info(subcat_of(items[i])).name);
+    if (is_label(items[i])) {
+      out += '!';
+    }
+  }
+  return out;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,45 @@
+// Item encoding for association-rule mining.
+//
+// Transactions ("event-sets", §3.2.2) mix two kinds of items:
+//   * body items  — non-fatal subcategories observed in the rule
+//     generation window before a failure;
+//   * label items — the fatal subcategory the event-set was built around.
+// Labels are offset into a disjoint id range so a single itemset
+// representation carries both, and rule generation can require "exactly
+// one label in the head".
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "raslog/record.hpp"
+
+namespace bglpred {
+
+/// Mining item id. Body items are subcategory ids; label items are
+/// subcategory ids offset by kLabelBase.
+using Item = std::uint32_t;
+
+inline constexpr Item kLabelBase = 0x10000;
+
+constexpr Item body_item(SubcategoryId subcat) { return subcat; }
+constexpr Item label_item(SubcategoryId subcat) {
+  return kLabelBase + subcat;
+}
+constexpr bool is_label(Item item) { return item >= kLabelBase; }
+constexpr SubcategoryId subcat_of(Item item) {
+  return static_cast<SubcategoryId>(is_label(item) ? item - kLabelBase
+                                                   : item);
+}
+
+/// A sorted set of distinct items.
+using Itemset = std::vector<Item>;
+
+/// True if `needle` (sorted) is a subset of `haystack` (sorted).
+bool is_subset(const Itemset& needle, const Itemset& haystack);
+
+/// Renders an itemset using catalog names, labels suffixed with '!'.
+std::string itemset_to_string(const Itemset& items);
+
+}  // namespace bglpred

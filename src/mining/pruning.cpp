@@ -1,0 +1,66 @@
+#include "mining/pruning.hpp"
+
+#include <algorithm>
+
+namespace bglpred {
+namespace {
+
+bool heads_superset(const std::vector<SubcategoryId>& super,
+                    const std::vector<SubcategoryId>& sub) {
+  // Both head lists are sorted/deduped by combine_rules.
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+// True if `dominator` makes `candidate` redundant: a *strictly smaller*
+// body (combine_rules already merged equal bodies, so equality means the
+// same rule) that is a subset of the candidate's, predicting at least
+// the same heads with at least the same confidence.
+bool dominates(const Rule& dominator, const Rule& candidate) {
+  return dominator.body.size() < candidate.body.size() &&
+         dominator.confidence + 1e-12 >= candidate.confidence &&
+         is_subset(dominator.body, candidate.body) &&
+         heads_superset(dominator.heads, candidate.heads);
+}
+
+}  // namespace
+
+std::vector<Rule> prune_redundant_rules(std::vector<Rule> rules,
+                                        PruneStats* stats) {
+  PruneStats local;
+  local.input_rules = rules.size();
+  std::vector<bool> dead(rules.size(), false);
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (dead[i]) {
+      continue;
+    }
+    for (std::size_t j = 0; j < rules.size(); ++j) {
+      if (i == j || dead[j]) {
+        continue;
+      }
+      if (dominates(rules[j], rules[i])) {
+        dead[i] = true;
+        break;
+      }
+    }
+  }
+  std::vector<Rule> kept;
+  kept.reserve(rules.size());
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    if (!dead[i]) {
+      kept.push_back(std::move(rules[i]));
+    }
+  }
+  local.kept = kept.size();
+  local.pruned = local.input_rules - local.kept;
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return kept;
+}
+
+RuleSet prune_redundant_rules(const RuleSet& rules, PruneStats* stats) {
+  return RuleSet(prune_redundant_rules(
+      std::vector<Rule>(rules.rules()), stats));
+}
+
+}  // namespace bglpred

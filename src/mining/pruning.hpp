@@ -1,0 +1,34 @@
+// Redundant-rule pruning.
+//
+// Per-class mining emits every frequent sub-body as its own rule, so a
+// strong chain {a, b, c} -> f drags along {a}, {b}, {a, b}, ... variants.
+// A rule is *redundant* when some other rule with a subset body predicts
+// a superset of its heads at least as confidently — the general rule
+// fires whenever the specific one would, earlier, with no loss. Pruning
+// shrinks the matcher's working set without changing best_match outcomes
+// (up to confidence ties), which bench/ablation_rule_pruning verifies.
+#pragma once
+
+#include <vector>
+
+#include "mining/rules.hpp"
+
+namespace bglpred {
+
+/// Outcome counts of a pruning pass.
+struct PruneStats {
+  std::size_t input_rules = 0;
+  std::size_t kept = 0;
+  std::size_t pruned = 0;
+};
+
+/// Removes rules dominated by a subset-bodied, superset-headed rule of
+/// greater or equal confidence. Preserves relative order of survivors.
+std::vector<Rule> prune_redundant_rules(std::vector<Rule> rules,
+                                        PruneStats* stats = nullptr);
+
+/// Convenience: prunes a RuleSet, returning a new sorted RuleSet.
+RuleSet prune_redundant_rules(const RuleSet& rules,
+                              PruneStats* stats = nullptr);
+
+}  // namespace bglpred

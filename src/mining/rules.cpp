@@ -1,0 +1,210 @@
+#include "mining/rules.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "mining/apriori.hpp"
+#include "mining/fpgrowth.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+
+std::string Rule::to_string() const {
+  std::string out;
+  for (std::size_t i = 0; i < body.size(); ++i) {
+    if (i != 0) {
+      out += ' ';
+    }
+    out += std::string(catalog().info(subcat_of(body[i])).name);
+  }
+  out += " ==> ";
+  for (std::size_t i = 0; i < heads.size(); ++i) {
+    if (i != 0) {
+      out += ' ';
+    }
+    out += std::string(catalog().info(heads[i]).name);
+  }
+  out += ": " + TextTable::num(confidence, 6);
+  return out;
+}
+
+RuleSet::RuleSet(std::vector<Rule> rules) : rules_(std::move(rules)) {
+  std::sort(rules_.begin(), rules_.end(), [](const Rule& a, const Rule& b) {
+    if (a.confidence != b.confidence) {
+      return a.confidence > b.confidence;
+    }
+    if (a.support != b.support) {
+      return a.support > b.support;
+    }
+    return a.body < b.body;
+  });
+}
+
+const Rule* RuleSet::best_match(const Itemset& observed) const {
+  for (const Rule& rule : rules_) {
+    if (is_subset(rule.body, observed)) {
+      return &rule;  // rules are confidence-sorted; first match wins
+    }
+  }
+  return nullptr;
+}
+
+std::vector<Rule> generate_rules(const FrequentSet& frequent,
+                                 std::size_t transaction_count,
+                                 double min_confidence) {
+  BGL_REQUIRE(transaction_count > 0 || frequent.size() == 0,
+              "transaction count required for support computation");
+  std::vector<Rule> rules;
+  for (const FrequentItemset& f : frequent.itemsets()) {
+    // Split into body and labels.
+    Itemset body;
+    std::vector<SubcategoryId> labels;
+    for (Item item : f.items) {
+      if (is_label(item)) {
+        labels.push_back(subcat_of(item));
+      } else {
+        body.push_back(item);
+      }
+    }
+    if (labels.size() != 1 || body.empty()) {
+      continue;  // rule form is body -> single label at this stage
+    }
+    const std::size_t body_count = frequent.count_of(body);
+    BGL_ASSERT(body_count >= f.count);
+    const double confidence =
+        static_cast<double>(f.count) / static_cast<double>(body_count);
+    if (confidence + 1e-12 < min_confidence) {
+      continue;
+    }
+    Rule rule;
+    rule.body = body;
+    rule.heads = labels;
+    rule.hit_count = f.count;
+    rule.body_count = body_count;
+    rule.support = static_cast<double>(f.count) /
+                   static_cast<double>(transaction_count);
+    rule.confidence = confidence;
+    rules.push_back(std::move(rule));
+  }
+  return rules;
+}
+
+std::vector<Rule> combine_rules(std::vector<Rule> rules) {
+  std::map<Itemset, Rule> by_body;
+  for (Rule& rule : rules) {
+    auto [it, inserted] = by_body.try_emplace(rule.body, rule);
+    if (inserted) {
+      continue;
+    }
+    Rule& merged = it->second;
+    BGL_ASSERT(merged.body_count == rule.body_count);
+    merged.heads.insert(merged.heads.end(), rule.heads.begin(),
+                        rule.heads.end());
+    merged.hit_count += rule.hit_count;
+    merged.support += rule.support;
+    // Exact because each event-set carries exactly one label: the head
+    // events are disjoint across transactions with this body.
+    merged.confidence =
+        std::min(1.0, merged.confidence + rule.confidence);
+  }
+  std::vector<Rule> out;
+  out.reserve(by_body.size());
+  for (auto& [body, rule] : by_body) {
+    std::sort(rule.heads.begin(), rule.heads.end());
+    rule.heads.erase(std::unique(rule.heads.begin(), rule.heads.end()),
+                     rule.heads.end());
+    out.push_back(std::move(rule));
+  }
+  return out;
+}
+
+namespace {
+
+FrequentSet run_miner(const TransactionDb& db, const MiningOptions& options,
+                      MiningAlgorithm algorithm) {
+  return algorithm == MiningAlgorithm::kApriori ? apriori(db, options)
+                                                : fpgrowth(db, options);
+}
+
+// Per-label mining: for each fatal label, mine frequent bodies among the
+// transactions carrying that label (support relative to the label's
+// count), then compute each rule's confidence against the *full*
+// database so competing contexts still discount weak bodies.
+std::vector<Rule> mine_rules_per_label(const TransactionDb& db,
+                                       const RuleOptions& options,
+                                       MiningAlgorithm algorithm) {
+  // Group transactions by their (single) label item.
+  std::map<Item, std::vector<Transaction>> by_label;
+  for (const Transaction& t : db.transactions()) {
+    for (Item item : t) {
+      if (is_label(item)) {
+        // Strip the label; the per-class sub-database holds bodies only.
+        Transaction body;
+        body.reserve(t.size() - 1);
+        for (Item other : t) {
+          if (!is_label(other)) {
+            body.push_back(other);
+          }
+        }
+        by_label[item].push_back(std::move(body));
+        break;
+      }
+    }
+  }
+
+  std::vector<Rule> rules;
+  for (const auto& [label, bodies] : by_label) {
+    if (bodies.size() < options.min_label_count) {
+      continue;
+    }
+    TransactionDb class_db{std::vector<Transaction>(bodies)};
+    MiningOptions mining = options.mining;
+    // Reserve one slot of the itemset budget for the label.
+    mining.max_itemset_size =
+        std::max<std::size_t>(1, mining.max_itemset_size - 1);
+    const FrequentSet frequent = run_miner(class_db, mining, algorithm);
+    for (const FrequentItemset& f : frequent.itemsets()) {
+      if (f.items.empty() || f.count < options.min_rule_hits) {
+        continue;
+      }
+      const std::size_t body_count = db.absolute_support(f.items);
+      BGL_ASSERT(body_count >= f.count);
+      const double confidence = static_cast<double>(f.count) /
+                                static_cast<double>(body_count);
+      if (confidence + 1e-12 < options.min_confidence) {
+        continue;
+      }
+      Rule rule;
+      rule.body = f.items;
+      rule.heads = {subcat_of(label)};
+      rule.hit_count = f.count;
+      rule.body_count = body_count;
+      rule.support =
+          static_cast<double>(f.count) / static_cast<double>(db.size());
+      rule.confidence = confidence;
+      rules.push_back(std::move(rule));
+    }
+  }
+  return rules;
+}
+
+}  // namespace
+
+RuleSet mine_rules(const TransactionDb& db, const RuleOptions& options,
+                   MiningAlgorithm algorithm) {
+  if (db.empty()) {
+    return RuleSet{};
+  }
+  std::vector<Rule> rules;
+  if (options.support_base == SupportBase::kPerLabel) {
+    rules = mine_rules_per_label(db, options, algorithm);
+  } else {
+    const FrequentSet frequent = run_miner(db, options.mining, algorithm);
+    rules = generate_rules(frequent, db.size(), options.min_confidence);
+  }
+  return RuleSet(combine_rules(std::move(rules)));
+}
+
+}  // namespace bglpred

@@ -1,0 +1,100 @@
+// Association-rule generation over mined frequent itemsets
+// (§3.2.2 Steps 2-4).
+//
+// Rules have the class-association form
+//
+//     {non-fatal subcategories} -> {fatal subcategories}
+//
+// Each event-set transaction contains exactly one label item (the fatal
+// event it was built around), so after the Step-3 merge of equal-body
+// rules the combined confidence P(any head | body) is the exact sum of
+// the member confidences.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mining/frequent.hpp"
+
+namespace bglpred {
+
+/// One (possibly combined) association rule.
+struct Rule {
+  Itemset body;                          ///< sorted non-fatal body items
+  std::vector<SubcategoryId> heads;      ///< fatal subcategories predicted
+  double support = 0.0;                  ///< relative support of body∪head
+  double confidence = 0.0;               ///< P(any head | body)
+  std::size_t body_count = 0;            ///< absolute support of the body
+  std::size_t hit_count = 0;             ///< absolute support of body∪head
+
+  /// Renders "a b ==> f1 f2: 0.71" using catalog names (Figure 3 style).
+  std::string to_string() const;
+};
+
+/// What the minimum-support fraction is relative to.
+enum class SupportBase {
+  /// Classic association rules: fraction of *all* event-sets. Rules for
+  /// rare failure classes can never clear the bar (a class with fewer
+  /// occurrences than min_support * |D| is unminable).
+  kAllTransactions,
+  /// Class-based association rules: fraction of the event-sets built
+  /// around the rule's *own* fatal label. This is the only reading under
+  /// which the paper's Figure-3 rules are possible — e.g. its
+  /// linkcardFailure rules exist although linkcardFailure accounts for
+  /// under 4% of all fatal events — so it is the default.
+  kPerLabel,
+};
+
+/// Rule-generation thresholds (paper: support 0.04, confidence 0.2).
+struct RuleOptions {
+  MiningOptions mining;
+  double min_confidence = 0.2;
+  SupportBase support_base = SupportBase::kPerLabel;
+  /// Labels with fewer training occurrences than this are not mined under
+  /// kPerLabel (too few samples for a meaningful 4% bar).
+  std::size_t min_label_count = 10;
+  /// Absolute floor on a rule's hit count under kPerLabel: a body must
+  /// co-occur with its label at least this often, whatever the relative
+  /// support works out to (guards rare classes against one-shot rules).
+  std::size_t min_rule_hits = 5;
+};
+
+/// An ordered rule collection with matching support.
+class RuleSet {
+ public:
+  RuleSet() = default;
+  /// Sorts rules in descending confidence (Step 4), ties broken by higher
+  /// support then lexicographic body for determinism.
+  explicit RuleSet(std::vector<Rule> rules);
+
+  const std::vector<Rule>& rules() const { return rules_; }
+  std::size_t size() const { return rules_.size(); }
+  bool empty() const { return rules_.empty(); }
+
+  /// Returns the highest-confidence rule whose body is a subset of
+  /// `observed` (sorted body items of the current window), or nullptr if
+  /// none matches (Step 6: "select the rule with the highest confidence").
+  const Rule* best_match(const Itemset& observed) const;
+
+ private:
+  std::vector<Rule> rules_;
+};
+
+/// Generates single-head rules body->label from a frequent set: for every
+/// frequent itemset containing exactly one label item and a non-empty
+/// body, with confidence >= min_confidence. (Step 2.)
+std::vector<Rule> generate_rules(const FrequentSet& frequent,
+                                 std::size_t transaction_count,
+                                 double min_confidence);
+
+/// Merges rules with identical bodies into multi-head rules, summing
+/// confidences and hit counts (Step 3).
+std::vector<Rule> combine_rules(std::vector<Rule> rules);
+
+/// Convenience: mine (with the given algorithm), generate, combine, sort.
+enum class MiningAlgorithm { kApriori, kFpGrowth };
+
+RuleSet mine_rules(const TransactionDb& db, const RuleOptions& options,
+                   MiningAlgorithm algorithm = MiningAlgorithm::kApriori);
+
+}  // namespace bglpred

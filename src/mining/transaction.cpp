@@ -1,0 +1,43 @@
+#include "mining/transaction.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+TransactionDb::TransactionDb(std::vector<Transaction> transactions)
+    : transactions_(std::move(transactions)) {
+  for (Transaction& t : transactions_) {
+    std::sort(t.begin(), t.end());
+    t.erase(std::unique(t.begin(), t.end()), t.end());
+  }
+}
+
+void TransactionDb::add(Transaction t) {
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  transactions_.push_back(std::move(t));
+}
+
+std::size_t TransactionDb::absolute_support(const Itemset& items) const {
+  std::size_t count = 0;
+  for (const Transaction& t : transactions_) {
+    if (is_subset(items, t)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::size_t TransactionDb::min_count_for(double relative_support) const {
+  BGL_REQUIRE(relative_support >= 0.0 && relative_support <= 1.0,
+              "relative support must be in [0, 1]");
+  const double raw =
+      relative_support * static_cast<double>(transactions_.size());
+  const auto count = static_cast<std::size_t>(std::ceil(raw - 1e-9));
+  return std::max<std::size_t>(1, count);
+}
+
+}  // namespace bglpred

@@ -1,0 +1,42 @@
+// Transaction database for frequent-itemset mining.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mining/items.hpp"
+
+namespace bglpred {
+
+/// One transaction: a sorted set of distinct items (body items plus at
+/// most one label item in the event-set construction).
+using Transaction = Itemset;
+
+/// An immutable collection of transactions.
+class TransactionDb {
+ public:
+  TransactionDb() = default;
+  explicit TransactionDb(std::vector<Transaction> transactions);
+
+  /// Appends a transaction; items are sorted and deduplicated here.
+  void add(Transaction t);
+
+  const std::vector<Transaction>& transactions() const {
+    return transactions_;
+  }
+  std::size_t size() const { return transactions_.size(); }
+  bool empty() const { return transactions_.empty(); }
+
+  /// Absolute support (number of containing transactions) of an itemset.
+  /// Linear scan; intended for tests and spot checks, not inner loops.
+  std::size_t absolute_support(const Itemset& items) const;
+
+  /// Minimum absolute count corresponding to a relative support threshold
+  /// (ceil, but at least 1).
+  std::size_t min_count_for(double relative_support) const;
+
+ private:
+  std::vector<Transaction> transactions_;
+};
+
+}  // namespace bglpred

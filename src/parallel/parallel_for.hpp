@@ -1,0 +1,78 @@
+// Data-parallel loop helpers layered on ThreadPool.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <exception>
+#include <future>
+#include <vector>
+
+#include "parallel/thread_pool.hpp"
+
+namespace bglpred {
+
+/// Executes body(i) for every i in [begin, end), block-partitioned across
+/// the pool's workers. Blocks until all iterations finish. The first
+/// exception thrown by any iteration is rethrown in the caller.
+///
+/// `grain` is the minimum block size; small ranges run inline to avoid
+/// scheduling overhead.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body,
+                  ThreadPool& pool = ThreadPool::global(),
+                  std::size_t grain = 1) {
+  if (begin >= end) {
+    return;
+  }
+  const std::size_t n = end - begin;
+  const std::size_t workers = pool.thread_count();
+  if (workers <= 1 || n <= grain) {
+    for (std::size_t i = begin; i < end; ++i) {
+      body(i);
+    }
+    return;
+  }
+  const std::size_t blocks = std::min(workers, (n + grain - 1) / grain);
+  const std::size_t block_size = (n + blocks - 1) / blocks;
+  std::vector<std::future<void>> futures;
+  futures.reserve(blocks);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t lo = begin + b * block_size;
+    const std::size_t hi = std::min(end, lo + block_size);
+    if (lo >= hi) {
+      break;
+    }
+    futures.push_back(pool.submit([lo, hi, &body] {
+      for (std::size_t i = lo; i < hi; ++i) {
+        body(i);
+      }
+    }));
+  }
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) {
+        first_error = std::current_exception();
+      }
+    }
+  }
+  if (first_error) {
+    std::rethrow_exception(first_error);
+  }
+}
+
+/// Maps fn over [0, n) in parallel, collecting results in order.
+template <typename Fn>
+auto parallel_map(std::size_t n, const Fn& fn,
+                  ThreadPool& pool = ThreadPool::global())
+    -> std::vector<decltype(fn(std::size_t{0}))> {
+  using R = decltype(fn(std::size_t{0}));
+  std::vector<R> out(n);
+  parallel_for(
+      0, n, [&](std::size_t i) { out[i] = fn(i); }, pool);
+  return out;
+}
+
+}  // namespace bglpred

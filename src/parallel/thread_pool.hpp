@@ -1,0 +1,66 @@
+// Fixed-size worker pool used by the mining and evaluation layers.
+//
+// The paper's heavy stages — association-rule mining per fold, the
+// rule-generation-window sweep, and 10-fold cross-validation itself — are
+// embarrassingly parallel across folds / window sizes. This pool provides
+// the shared-memory execution substrate: tasks are type-erased closures,
+// submission returns a future, and `parallel_for` block-partitions an index
+// range across workers.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace bglpred {
+
+/// A fixed-size thread pool. Threads are joined in the destructor; tasks
+/// still queued at destruction are executed before shutdown completes
+/// (drain semantics), so submitted work is never silently dropped.
+class ThreadPool {
+ public:
+  /// Creates `threads` workers; 0 means hardware_concurrency (min 1).
+  explicit ThreadPool(std::size_t threads = 0);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  ~ThreadPool();
+
+  /// Schedules `fn` and returns a future for its result. Exceptions thrown
+  /// by the task propagate through the future.
+  template <typename Fn>
+  auto submit(Fn&& fn) -> std::future<std::invoke_result_t<Fn>> {
+    using R = std::invoke_result_t<Fn>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<Fn>(fn));
+    std::future<R> result = task->get_future();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.emplace_back([task] { (*task)(); });
+    }
+    cv_.notify_one();
+    return result;
+  }
+
+  std::size_t thread_count() const { return workers_.size(); }
+
+  /// Process-wide default pool, sized to hardware concurrency. Created on
+  /// first use; lives until process exit.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bglpred

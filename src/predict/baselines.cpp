@@ -1,0 +1,76 @@
+#include "predict/baselines.hpp"
+
+#include <algorithm>
+
+#include "stats/interarrival.hpp"
+#include "stats/summary.hpp"
+
+namespace bglpred {
+
+NeverPredictor::NeverPredictor(const PredictionConfig& config)
+    : config_(config) {}
+
+void NeverPredictor::train(const RasLog& training) { (void)training; }
+
+std::optional<Warning> NeverPredictor::observe(const RasRecord& rec) {
+  (void)rec;
+  return std::nullopt;
+}
+
+EveryFailurePredictor::EveryFailurePredictor(const PredictionConfig& config)
+    : config_(config) {}
+
+void EveryFailurePredictor::train(const RasLog& training) {
+  (void)training;  // nothing to learn
+}
+
+std::optional<Warning> EveryFailurePredictor::observe(const RasRecord& rec) {
+  if (!rec.fatal()) {
+    return std::nullopt;
+  }
+  Warning w;
+  w.issued_at = rec.time;
+  w.window_begin = rec.time + config_.lead + 1;
+  w.window_end = rec.time + config_.window;
+  w.confidence = 0.5;
+  w.source = name();
+  return w;
+}
+
+PeriodicPredictor::PeriodicPredictor(const PredictionConfig& config)
+    : config_(config) {}
+
+void PeriodicPredictor::train(const RasLog& training) {
+  const auto gaps = fatal_interarrival_gaps(training);
+  const SummaryStats stats = summarize(gaps);
+  period_ = stats.n == 0
+                ? kHour
+                : std::max<Duration>(kMinute,
+                                     static_cast<Duration>(stats.mean));
+}
+
+void PeriodicPredictor::reset() {
+  armed_ = false;
+  next_due_ = 0;
+}
+
+std::optional<Warning> PeriodicPredictor::observe(const RasRecord& rec) {
+  if (!armed_) {
+    armed_ = true;
+    next_due_ = rec.time + period_;
+    return std::nullopt;
+  }
+  if (rec.time < next_due_) {
+    return std::nullopt;
+  }
+  next_due_ += period_;
+  Warning w;
+  w.issued_at = rec.time;
+  w.window_begin = rec.time + config_.lead + 1;
+  w.window_end = rec.time + config_.window;
+  w.confidence = 0.1;
+  w.source = name();
+  return w;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,56 @@
+// Naive reference predictors used by the ablation benches to anchor the
+// precision/recall numbers of the real methods.
+#pragma once
+
+#include "predict/predictor.hpp"
+
+namespace bglpred {
+
+/// Emits no warnings: recall 0, precision undefined (reported as 0).
+class NeverPredictor final : public BasePredictor {
+ public:
+  explicit NeverPredictor(const PredictionConfig& config);
+  std::string name() const override { return "never"; }
+  void train(const RasLog& training) override;
+  void reset() override {}
+  std::optional<Warning> observe(const RasRecord& rec) override;
+
+ private:
+  PredictionConfig config_;
+};
+
+/// Warns after *every* fatal event: recall equals the fraction of
+/// failures that follow another failure within the window; precision is
+/// the unconditional follow-up rate.
+class EveryFailurePredictor final : public BasePredictor {
+ public:
+  explicit EveryFailurePredictor(const PredictionConfig& config);
+  std::string name() const override { return "every-failure"; }
+  void train(const RasLog& training) override;
+  void reset() override {}
+  std::optional<Warning> observe(const RasRecord& rec) override;
+
+ private:
+  PredictionConfig config_;
+};
+
+/// Warns on a fixed period learned as the training log's mean
+/// inter-failure gap — coverage without any signal.
+class PeriodicPredictor final : public BasePredictor {
+ public:
+  explicit PeriodicPredictor(const PredictionConfig& config);
+  std::string name() const override { return "periodic"; }
+  void train(const RasLog& training) override;
+  void reset() override;
+  std::optional<Warning> observe(const RasRecord& rec) override;
+
+  Duration period() const { return period_; }
+
+ private:
+  PredictionConfig config_;
+  Duration period_ = kHour;
+  TimePoint next_due_ = 0;
+  bool armed_ = false;
+};
+
+}  // namespace bglpred

@@ -1,0 +1,72 @@
+// Naive-Bayes base predictor.
+//
+// The paper's related work cites Bayesian failure prediction (Hamerly &
+// Elkan's disk-drive work [14]); this class brings that family into the
+// framework as a third pluggable base. It models the window before an
+// instant as a bag of non-fatal subcategories and scores
+//
+//   P(failure | window) ∝ P(failure) Π_s P(s present | failure)^[s]
+//                                     Π_s P(s absent  | failure)^[!s]
+//
+// with Laplace-smoothed per-subcategory Bernoulli likelihoods learned
+// from the same positive/negative window extraction the rule miner uses.
+// It warns when the posterior clears a threshold. Compared to the rule
+// base it generalizes across bodies it never saw verbatim; compared to
+// the statistical base it uses non-fatal context. examples and
+// bench/ablation_bayes_base quantify what it adds under the meta-learner.
+#pragma once
+
+#include <array>
+#include <deque>
+#include <vector>
+
+#include "mining/event_sets.hpp"
+#include "predict/predictor.hpp"
+
+namespace bglpred {
+
+/// Tunables for the naive-Bayes predictor.
+struct BayesOptions {
+  /// Window used to build training bags (and the test-time sliding bag).
+  Duration feature_window = 15 * kMinute;
+  /// Negative windows per fatal event in training.
+  double negative_ratio = 4.0;
+  /// Posterior threshold above which a warning is emitted.
+  double posterior_threshold = 0.6;
+  /// Laplace smoothing pseudo-count.
+  double smoothing = 1.0;
+};
+
+/// See file comment.
+class BayesPredictor final : public BasePredictor {
+ public:
+  BayesPredictor(const PredictionConfig& config,
+                 const BayesOptions& options = {});
+
+  std::string name() const override { return "bayes"; }
+  void train(const RasLog& training) override;
+  void reset() override;
+  std::optional<Warning> observe(const RasRecord& rec) override;
+
+  /// Posterior P(failure within window | bag) for a set of distinct
+  /// subcategories — exposed for tests and inspection.
+  double posterior(const std::vector<SubcategoryId>& present) const;
+
+  double prior() const { return prior_; }
+
+ private:
+  PredictionConfig config_;
+  BayesOptions options_;
+
+  double prior_ = 0.0;  ///< P(failure window) in training
+  // log P(subcat present | class) and log P(absent | class), class 0 =
+  // negative, 1 = positive (failure-preceding) windows.
+  std::array<std::vector<double>, 2> log_present_;
+  std::array<std::vector<double>, 2> log_absent_;
+
+  // Test-time sliding bag.
+  std::deque<std::pair<TimePoint, SubcategoryId>> window_;
+  TimePoint last_warning_end_ = 0;
+};
+
+}  // namespace bglpred

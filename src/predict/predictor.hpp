@@ -1,0 +1,72 @@
+// Base-predictor interface (Phase 2).
+//
+// A predictor is trained offline on a preprocessed training log and then
+// driven through the test log one event at a time, optionally emitting a
+// Warning per event. A warning claims "a fatal event will occur within
+// [issued_at + lead, issued_at + horizon]"; the evaluation layer matches
+// warnings against actual fatal events to count Tp/Fp/Fn.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "common/time.hpp"
+#include "raslog/log.hpp"
+
+namespace bglpred {
+
+/// A failure prediction with its validity interval and confidence.
+struct Warning {
+  TimePoint issued_at = 0;
+  TimePoint window_begin = 0;  ///< earliest covered failure time
+  TimePoint window_end = 0;    ///< latest covered failure time (inclusive)
+  double confidence = 0.0;
+  std::string source;  ///< emitting predictor's name
+  /// Level-triggered warnings (a persisting precursor body re-firing the
+  /// same rule) set this; the evaluator folds overlapping mergeable
+  /// warnings from one source into a single prediction episode.
+  /// Edge-triggered warnings (one per observed fatal event) leave it
+  /// false and are counted individually.
+  bool mergeable = false;
+
+  /// True if a failure at `t` is covered by this warning.
+  bool covers(TimePoint t) const {
+    return t >= window_begin && t <= window_end;
+  }
+};
+
+/// Timing parameters shared by all predictors in one experiment.
+struct PredictionConfig {
+  /// Minimum actionable lead time: a warning's interval starts this many
+  /// seconds after issuance (§3.2.1 argues < 5 min is too short to act;
+  /// the Figure 4/5 sweeps use 0 so the window parameter is the only
+  /// variable).
+  Duration lead = 0;
+  /// Prediction window: warnings cover (issue + lead, issue + window].
+  Duration window = kHour;
+};
+
+/// Abstract base predictor.
+class BasePredictor {
+ public:
+  virtual ~BasePredictor() = default;
+
+  /// Short identifier ("statistical", "rule", ...).
+  virtual std::string name() const = 0;
+
+  /// Learns from a preprocessed, time-sorted training log.
+  virtual void train(const RasLog& training) = 0;
+
+  /// Clears streaming state accumulated by observe(); call between test
+  /// passes. Learned models are retained.
+  virtual void reset() = 0;
+
+  /// Consumes the next test event (events must arrive in time order) and
+  /// possibly emits a warning.
+  virtual std::optional<Warning> observe(const RasRecord& rec) = 0;
+};
+
+using PredictorPtr = std::unique_ptr<BasePredictor>;
+
+}  // namespace bglpred

@@ -1,0 +1,79 @@
+#include "predict/rule_predictor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+RulePredictor::RulePredictor(const PredictionConfig& config,
+                             const RulePredictorOptions& options)
+    : config_(config), options_(options) {
+  BGL_REQUIRE(config.window > config.lead,
+              "prediction window must exceed the lead time");
+  BGL_REQUIRE(options.rule_generation_window > 0,
+              "rule generation window must be positive");
+}
+
+void RulePredictor::train(const RasLog& training) {
+  const TransactionDb db = extract_event_sets(
+      training, options_.rule_generation_window, &training_stats_,
+      options_.negative_ratio);
+  rules_ = mine_rules(db, options_.rules, options_.algorithm);
+  reset();
+}
+
+void RulePredictor::reset() {
+  window_.clear();
+  rule_debounce_.clear();
+}
+
+std::optional<Warning> RulePredictor::observe(const RasRecord& rec) {
+  // Evict items older than the prediction window.
+  while (!window_.empty() &&
+         window_.front().first <= rec.time - config_.window) {
+    window_.pop_front();
+  }
+  if (rec.fatal() || rec.subcategory == kUnclassified) {
+    return std::nullopt;
+  }
+  window_.emplace_back(rec.time, body_item(rec.subcategory));
+
+  // Build the sorted distinct item set of the current window.
+  Itemset observed;
+  observed.reserve(window_.size());
+  for (const auto& [t, item] : window_) {
+    observed.push_back(item);
+  }
+  std::sort(observed.begin(), observed.end());
+  observed.erase(std::unique(observed.begin(), observed.end()),
+                 observed.end());
+
+  const Rule* rule = rules_.best_match(observed);
+  if (rule == nullptr) {
+    return std::nullopt;
+  }
+  // Every match (re-)fires: rule warnings are level-triggered, and the
+  // evaluator merges overlapping same-source warnings into one episode,
+  // so a persisting precursor body is a single continuing prediction
+  // rather than a train of expiring false alarms. We only suppress exact
+  // same-second duplicates of the same rule to bound the warning volume.
+  auto [it, inserted] = rule_debounce_.try_emplace(rule, rec.time);
+  if (!inserted) {
+    if (rec.time == it->second) {
+      return std::nullopt;
+    }
+    it->second = rec.time;
+  }
+
+  Warning w;
+  w.issued_at = rec.time;
+  w.window_begin = rec.time + config_.lead + 1;
+  w.window_end = rec.time + config_.window;
+  w.confidence = rule->confidence;
+  w.source = name();
+  w.mergeable = true;
+  return w;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,63 @@
+// Rule-based base predictor (§3.2.2).
+//
+// Training extracts event-sets with the *rule generation window*, mines
+// association rules (Apriori by default; FP-Growth gives identical
+// output), merges equal-body rules, and sorts by confidence. At test
+// time a sliding window of the last `prediction window` seconds of
+// non-fatal events is matched against rule bodies; the
+// highest-confidence matching rule emits a warning. A rule is debounced
+// while its previous warning interval is still open, so a persisting
+// body does not spray duplicate warnings.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "mining/event_sets.hpp"
+#include "mining/rules.hpp"
+#include "predict/predictor.hpp"
+
+namespace bglpred {
+
+/// Tunables for the rule-based predictor.
+struct RulePredictorOptions {
+  /// Rule generation window used during training (paper: 15 min for ANL,
+  /// 25 min for SDSC, selected by sweep — see bench/ablation_rulegen_window).
+  Duration rule_generation_window = 15 * kMinute;
+  RuleOptions rules;  ///< support/confidence thresholds
+  MiningAlgorithm algorithm = MiningAlgorithm::kApriori;
+  /// Negative windows per fatal event added to the training transactions
+  /// (see extract_event_sets): calibrates rule confidences to
+  /// P(failure | body), pruning coincidental chatter bodies.
+  double negative_ratio = 4.0;
+};
+
+/// See file comment.
+class RulePredictor final : public BasePredictor {
+ public:
+  RulePredictor(const PredictionConfig& config,
+                const RulePredictorOptions& options = {});
+
+  std::string name() const override { return "rule"; }
+  void train(const RasLog& training) override;
+  void reset() override;
+  std::optional<Warning> observe(const RasRecord& rec) override;
+
+  /// The mined (combined, sorted) rules. Valid after train().
+  const RuleSet& rules() const { return rules_; }
+
+  /// Event-set statistics from the last train() call.
+  const EventSetStats& training_stats() const { return training_stats_; }
+
+ private:
+  PredictionConfig config_;
+  RulePredictorOptions options_;
+  RuleSet rules_;
+  EventSetStats training_stats_;
+
+  // Streaming test state.
+  std::deque<std::pair<TimePoint, Item>> window_;  // non-fatal items
+  std::unordered_map<const Rule*, TimePoint> rule_debounce_;
+};
+
+}  // namespace bglpred

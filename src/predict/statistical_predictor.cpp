@@ -1,0 +1,60 @@
+#include "predict/statistical_predictor.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "stats/interarrival.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+
+StatisticalPredictor::StatisticalPredictor(const PredictionConfig& config,
+                                           const StatisticalOptions& options)
+    : config_(config), options_(options) {
+  BGL_REQUIRE(config.window > config.lead,
+              "prediction window must exceed the lead time");
+}
+
+void StatisticalPredictor::train(const RasLog& training) {
+  const auto stats =
+      fatal_followup_by_category(training, config_.lead, config_.window);
+  double best = 0.0;
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    if (stats[c].triggers >= options_.min_triggers) {
+      best = std::max(best, stats[c].probability);
+    }
+  }
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    probability_[c] = stats[c].probability;
+    trigger_[c] =
+        stats[c].triggers >= options_.min_triggers &&
+        stats[c].probability >= options_.trigger_threshold &&
+        stats[c].probability >= options_.relative_trigger_factor * best;
+  }
+}
+
+void StatisticalPredictor::reset() {
+  // Stateless at test time: each trigger event emits independently, so a
+  // warning's hit rate equals the learned conditional probability — the
+  // quantity Table 5 reports as precision.
+}
+
+std::optional<Warning> StatisticalPredictor::observe(const RasRecord& rec) {
+  if (!rec.fatal() || rec.subcategory == kUnclassified) {
+    return std::nullopt;
+  }
+  const MainCategory main = catalog().info(rec.subcategory).main;
+  const std::size_t ci = static_cast<std::size_t>(main);
+  if (!trigger_[ci]) {
+    return std::nullopt;
+  }
+  Warning w;
+  w.issued_at = rec.time;
+  w.window_begin = rec.time + config_.lead + 1;  // strictly after the event
+  w.window_end = rec.time + config_.window;
+  w.confidence = probability_[ci];
+  w.source = name();
+  return w;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,63 @@
+// Statistical base predictor (§3.2.1).
+//
+// Training learns, per main category c, the probability that a fatal
+// event of category c is followed by another fatal event within the
+// prediction interval. Categories whose probability clears a trigger
+// threshold become *trigger categories* — on the paper's logs these are
+// network and iostream. At test time, a fatal event of a trigger
+// category emits a warning carrying the learned probability as
+// confidence.
+#pragma once
+
+#include <array>
+
+#include "predict/predictor.hpp"
+#include "taxonomy/category.hpp"
+
+namespace bglpred {
+
+/// Tunables for the statistical predictor.
+struct StatisticalOptions {
+  /// Minimum learned follow-up probability for a category to trigger.
+  double trigger_threshold = 0.25;
+  /// A category must also reach this fraction of the *best* category's
+  /// follow-up probability. Failure bursts lift every category's raw
+  /// follow-up rate; the relative cut isolates the genuinely correlated
+  /// classes — network and iostream on the paper's logs ("apart from I/O
+  /// stream and network failures, none of other categories of failures
+  /// has such a temporal correlation", §3.2.1).
+  double relative_trigger_factor = 0.85;
+  /// Minimum training occurrences for a category to be considered (small
+  /// categories give unreliable estimates).
+  std::size_t min_triggers = 20;
+};
+
+/// See file comment.
+class StatisticalPredictor final : public BasePredictor {
+ public:
+  StatisticalPredictor(const PredictionConfig& config,
+                       const StatisticalOptions& options = {});
+
+  std::string name() const override { return "statistical"; }
+  void train(const RasLog& training) override;
+  void reset() override;
+  std::optional<Warning> observe(const RasRecord& rec) override;
+
+  /// Learned follow-up probability per main category (post-train).
+  const std::array<double, kMainCategoryCount>& probabilities() const {
+    return probability_;
+  }
+
+  /// Whether a category triggers warnings (post-train).
+  bool is_trigger(MainCategory c) const {
+    return trigger_[static_cast<std::size_t>(c)];
+  }
+
+ private:
+  PredictionConfig config_;
+  StatisticalOptions options_;
+  std::array<double, kMainCategoryCount> probability_{};
+  std::array<bool, kMainCategoryCount> trigger_{};
+};
+
+}  // namespace bglpred

@@ -1,0 +1,111 @@
+#include "preprocess/compressors.hpp"
+
+#include <unordered_map>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+// Packs the temporal-compression key (job, location, subcategory) into a
+// single 64-bit word: 32 bits job | 16 bits subcategory | location packed
+// into 16 bits (kind:3 | rack folded | midplane:1 | node_card:4 | unit:5).
+// Rack bits are folded in via multiply-shift since single-digit rack
+// counts dominate; collisions would only ever merge records that the
+// hash map's full-key comparison separates anyway — we therefore keep an
+// explicit struct key and a hasher instead of trusting the packing.
+struct TemporalKey {
+  bgl::JobId job;
+  bgl::Location location;
+  SubcategoryId subcategory;
+
+  bool operator==(const TemporalKey&) const = default;
+};
+
+struct TemporalKeyHash {
+  std::size_t operator()(const TemporalKey& k) const {
+    std::uint64_t h = k.job;
+    h = h * 0x9e3779b97f4a7c15ULL + k.location.rack;
+    h = h * 0x9e3779b97f4a7c15ULL +
+        (static_cast<std::uint64_t>(k.location.kind) << 24 |
+         static_cast<std::uint64_t>(k.location.midplane) << 16 |
+         static_cast<std::uint64_t>(k.location.node_card) << 8 |
+         k.location.unit);
+    h = h * 0x9e3779b97f4a7c15ULL + k.subcategory;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+struct SpatialKey {
+  StringId entry_data;
+  bgl::JobId job;
+
+  bool operator==(const SpatialKey&) const = default;
+};
+
+struct SpatialKeyHash {
+  std::size_t operator()(const SpatialKey& k) const {
+    const std::uint64_t h =
+        (static_cast<std::uint64_t>(k.entry_data) << 32 | k.job) *
+        0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace
+
+CompressionResult compress_temporal(RasLog& log, Duration threshold) {
+  BGL_REQUIRE(threshold >= 0, "threshold must be non-negative");
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  CompressionResult result;
+  result.input_records = log.size();
+
+  std::unordered_map<TemporalKey, TimePoint, TemporalKeyHash> last_seen;
+  last_seen.reserve(log.size() / 4 + 16);
+
+  auto& records = log.mutable_records();
+  std::size_t out = 0;
+  for (const RasRecord& rec : records) {
+    const TemporalKey key{rec.job, rec.location, rec.subcategory};
+    auto [it, inserted] = last_seen.try_emplace(key, rec.time);
+    if (!inserted && rec.time - it->second <= threshold) {
+      it->second = rec.time;  // extend the cluster (gap-based)
+      continue;
+    }
+    it->second = rec.time;
+    records[out++] = rec;
+  }
+  records.resize(out);
+  result.output_records = out;
+  result.removed = result.input_records - out;
+  return result;
+}
+
+CompressionResult compress_spatial(RasLog& log, Duration threshold) {
+  BGL_REQUIRE(threshold >= 0, "threshold must be non-negative");
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  CompressionResult result;
+  result.input_records = log.size();
+
+  std::unordered_map<SpatialKey, TimePoint, SpatialKeyHash> last_seen;
+  last_seen.reserve(log.size() / 4 + 16);
+
+  auto& records = log.mutable_records();
+  std::size_t out = 0;
+  for (const RasRecord& rec : records) {
+    const SpatialKey key{rec.entry_data, rec.job};
+    auto [it, inserted] = last_seen.try_emplace(key, rec.time);
+    if (!inserted && rec.time - it->second <= threshold) {
+      it->second = rec.time;
+      continue;
+    }
+    it->second = rec.time;
+    records[out++] = rec;
+  }
+  records.resize(out);
+  result.output_records = out;
+  result.removed = result.input_records - out;
+  return result;
+}
+
+}  // namespace bglpred

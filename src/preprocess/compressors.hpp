@@ -1,0 +1,54 @@
+// Phase-1 duplicate removal: temporal and spatial compression.
+//
+// Raw BG/L logs contain massive duplication: every compute chip assigned
+// to a job reports the job's failure, and the polling agent re-reports a
+// persisting condition every cycle. Following the paper (and the Liang et
+// al. filtering it builds on) we apply two threshold-based passes over the
+// time-sorted, categorized log:
+//
+//  * Temporal compression (single location): records with identical
+//    (JOB_ID, LOCATION, subcategory) are coalesced into the cluster's
+//    first record while consecutive occurrences are <= threshold apart
+//    (gap-based clustering; default threshold 300 s).
+//  * Spatial compression (across locations): records with identical
+//    (ENTRY_DATA, JOB_ID) arriving within the threshold of the previous
+//    sighting are dropped even when reported from different locations —
+//    they are the same fault fanned out across the partition.
+//
+// Both passes preserve relative order and keep the earliest record of
+// each cluster.
+#pragma once
+
+#include "common/time.hpp"
+#include "raslog/log.hpp"
+
+namespace bglpred {
+
+/// Default compression threshold from the paper (§3.1).
+inline constexpr Duration kDefaultCompressionThreshold = 300;
+
+/// Outcome of one compression pass.
+struct CompressionResult {
+  std::size_t input_records = 0;
+  std::size_t output_records = 0;
+  std::size_t removed = 0;
+
+  double compression_ratio() const {
+    return input_records == 0
+               ? 1.0
+               : static_cast<double>(output_records) /
+                     static_cast<double>(input_records);
+  }
+};
+
+/// Temporal compression at a single location. `log` must be time-sorted
+/// and categorized (subcategory filled). Returns the pass statistics and
+/// rewrites the log in place.
+CompressionResult compress_temporal(
+    RasLog& log, Duration threshold = kDefaultCompressionThreshold);
+
+/// Spatial compression across locations. Same preconditions.
+CompressionResult compress_spatial(
+    RasLog& log, Duration threshold = kDefaultCompressionThreshold);
+
+}  // namespace bglpred

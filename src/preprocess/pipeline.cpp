@@ -1,0 +1,30 @@
+#include "preprocess/pipeline.hpp"
+
+namespace bglpred {
+
+PreprocessStats preprocess(RasLog& log, const PreprocessOptions& options) {
+  PreprocessStats stats;
+  stats.raw_records = log.size();
+
+  if (!log.is_time_sorted()) {
+    log.sort_by_time();
+  }
+
+  const EventClassifier classifier;
+  stats.classification = classifier.classify_all(log);
+
+  stats.temporal = compress_temporal(log, options.temporal_threshold);
+  stats.spatial = compress_spatial(log, options.spatial_threshold);
+
+  stats.unique_events = log.size();
+  for (const RasRecord& rec : log.records()) {
+    if (rec.fatal()) {
+      ++stats.unique_fatal_events;
+      const MainCategory main = catalog().info(rec.subcategory).main;
+      ++stats.fatal_per_main[static_cast<std::size_t>(main)];
+    }
+  }
+  return stats;
+}
+
+}  // namespace bglpred

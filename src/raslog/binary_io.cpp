@@ -1,0 +1,160 @@
+#include "raslog/binary_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <istream>
+#include <ostream>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+constexpr char kMagic[] = "BGLRAS1\n";
+constexpr std::size_t kMagicSize = sizeof(kMagic) - 1;
+constexpr std::size_t kRecordSize = 28;
+
+// Little-endian scalar writers (portable regardless of host endianness).
+template <typename T>
+void put(std::string& out, T value) {
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    out.push_back(static_cast<char>(
+        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+  }
+}
+
+template <typename T>
+T get(const char* data) {
+  std::uint64_t v = 0;
+  for (std::size_t i = 0; i < sizeof(T); ++i) {
+    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[i]))
+         << (8 * i);
+  }
+  return static_cast<T>(v);
+}
+
+void read_exact(std::istream& is, char* buffer, std::size_t n,
+                const char* what) {
+  is.read(buffer, static_cast<std::streamsize>(n));
+  if (static_cast<std::size_t>(is.gcount()) != n) {
+    throw ParseError(std::string("binary log truncated reading ") + what);
+  }
+}
+
+}  // namespace
+
+void write_log_binary(std::ostream& os, const RasLog& log) {
+  std::string out;
+  out.append(kMagic, kMagicSize);
+  put<std::uint64_t>(out, log.size());
+  put<std::uint32_t>(out, static_cast<std::uint32_t>(log.pool().size()));
+  for (StringId id = 0; id < log.pool().size(); ++id) {
+    const std::string& s = log.pool().str(id);
+    put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+    out += s;
+  }
+  for (const RasRecord& rec : log.records()) {
+    put<std::int64_t>(out, rec.time);
+    put<std::uint32_t>(out, rec.entry_data);
+    put<std::uint32_t>(out, rec.job);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.location.kind));
+    put<std::uint16_t>(out, rec.location.rack);
+    put<std::uint8_t>(out, rec.location.midplane);
+    put<std::uint8_t>(out, rec.location.node_card);
+    put<std::uint8_t>(out, rec.location.unit);
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.event_type));
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.facility));
+    put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.severity));
+    put<std::uint16_t>(out, rec.subcategory);
+    put<std::uint8_t>(out, 0);  // pad to 28 bytes
+  }
+  os.write(out.data(), static_cast<std::streamsize>(out.size()));
+}
+
+RasLog read_log_binary(std::istream& is) {
+  char magic[kMagicSize];
+  read_exact(is, magic, kMagicSize, "magic");
+  if (std::memcmp(magic, kMagic, kMagicSize) != 0) {
+    throw ParseError("not a BGLRAS1 binary log");
+  }
+  char header[12];
+  read_exact(is, header, sizeof(header), "header");
+  const auto record_count = get<std::uint64_t>(header);
+  const auto string_count = get<std::uint32_t>(header + 8);
+
+  RasLog log;
+  std::string scratch;
+  for (std::uint32_t i = 0; i < string_count; ++i) {
+    char len_bytes[4];
+    read_exact(is, len_bytes, 4, "string length");
+    const auto len = get<std::uint32_t>(len_bytes);
+    if (len > (1u << 20)) {
+      throw ParseError("binary log string implausibly long");
+    }
+    scratch.resize(len);
+    if (len > 0) {
+      read_exact(is, scratch.data(), len, "string bytes");
+    }
+    const StringId id = log.pool().intern(scratch);
+    if (id != i) {
+      throw ParseError("binary log contains duplicate strings");
+    }
+  }
+
+  std::vector<char> buffer(kRecordSize);
+  for (std::uint64_t r = 0; r < record_count; ++r) {
+    read_exact(is, buffer.data(), kRecordSize, "record");
+    const char* p = buffer.data();
+    RasRecord rec;
+    rec.time = get<std::int64_t>(p);
+    rec.entry_data = get<std::uint32_t>(p + 8);
+    if (rec.entry_data >= string_count) {
+      throw ParseError("binary log record references unknown string");
+    }
+    rec.job = get<std::uint32_t>(p + 12);
+    rec.location.kind = static_cast<bgl::LocationKind>(
+        get<std::uint8_t>(p + 16));
+    if (static_cast<int>(rec.location.kind) >
+        static_cast<int>(bgl::LocationKind::kServiceCard)) {
+      throw ParseError("binary log record has invalid location kind");
+    }
+    rec.location.rack = get<std::uint16_t>(p + 17);
+    rec.location.midplane = get<std::uint8_t>(p + 19);
+    rec.location.node_card = get<std::uint8_t>(p + 20);
+    rec.location.unit = get<std::uint8_t>(p + 21);
+    const auto event_type = get<std::uint8_t>(p + 22);
+    const auto facility = get<std::uint8_t>(p + 23);
+    const auto severity = get<std::uint8_t>(p + 24);
+    if (event_type > 2 || facility >= kFacilityCount ||
+        severity >= kSeverityCount) {
+      throw ParseError("binary log record has out-of-range enums");
+    }
+    rec.event_type = static_cast<EventType>(event_type);
+    rec.facility = static_cast<Facility>(facility);
+    rec.severity = static_cast<Severity>(severity);
+    rec.subcategory = get<std::uint16_t>(p + 25);
+    log.append(rec);
+  }
+  return log;
+}
+
+void save_log_binary(const std::string& path, const RasLog& log) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw Error("cannot open for writing: " + path);
+  }
+  write_log_binary(out, log);
+  if (!out) {
+    throw Error("write failed: " + path);
+  }
+}
+
+RasLog load_log_binary(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open for reading: " + path);
+  }
+  return read_log_binary(in);
+}
+
+}  // namespace bglpred

@@ -1,0 +1,32 @@
+#include "raslog/facility.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+constexpr std::array<const char*, kFacilityCount> kNames = {
+    "APP",      "CIOD",     "KERNEL",      "MEMORY",  "MIDPLANE",
+    "TORUS",    "ETHERNET", "NODECARD",    "LINKCARD", "SERVICECARD",
+    "BGLMASTER", "CMCS",    "MONITOR"};
+
+}  // namespace
+
+const char* to_string(Facility f) {
+  const auto i = static_cast<std::size_t>(f);
+  BGL_ASSERT(i < kNames.size());
+  return kNames[i];
+}
+
+Facility parse_facility(const std::string& name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (name == kNames[i]) {
+      return static_cast<Facility>(i);
+    }
+  }
+  throw ParseError("unknown facility: '" + name + "'");
+}
+
+}  // namespace bglpred

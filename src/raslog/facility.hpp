@@ -1,0 +1,38 @@
+// RAS facility codes.
+//
+// The FACILITY attribute names the hardware or software component that
+// experienced the event. The classifier (src/taxonomy) combines FACILITY
+// with LOCATION and ENTRY_DATA to assign a subcategory.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bglpred {
+
+/// Component that reported/experienced the event.
+enum class Facility : std::uint8_t {
+  kApp = 0,    ///< application runtime on compute nodes
+  kCiod,       ///< compute-node I/O daemon (socket/stream traffic)
+  kKernel,     ///< compute-node kernel
+  kMemory,     ///< memory controller / DDR / cache hierarchy
+  kMidplane,   ///< midplane switch & configuration services
+  kTorus,      ///< torus interconnect
+  kEthernet,   ///< functional (I/O) network
+  kNodeCard,   ///< node-card assembly/discovery/power
+  kLinkCard,   ///< link cards between midplanes
+  kServiceCard,///< per-midplane service card
+  kBglMaster,  ///< BGLMaster control daemon
+  kCmcs,       ///< monitoring & control system itself
+  kMonitor,    ///< environmental monitors (fans, voltages)
+};
+
+inline constexpr int kFacilityCount = 13;
+
+/// Canonical name ("APP", "CIOD", ...).
+const char* to_string(Facility f);
+
+/// Parses a canonical facility name; throws ParseError on unknown input.
+Facility parse_facility(const std::string& name);
+
+}  // namespace bglpred

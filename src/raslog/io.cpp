@@ -1,0 +1,89 @@
+#include "raslog/io.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+std::vector<std::string> split_pipes(const std::string& line, int expected) {
+  std::vector<std::string> fields;
+  std::size_t start = 0;
+  while (fields.size() + 1 < static_cast<std::size_t>(expected)) {
+    const std::size_t pos = line.find('|', start);
+    if (pos == std::string::npos) {
+      throw ParseError("log line has too few fields: '" + line + "'");
+    }
+    fields.push_back(line.substr(start, pos - start));
+    start = pos + 1;
+  }
+  fields.push_back(line.substr(start));  // entry data may contain '|'? no —
+  return fields;                         // entry data is the final field.
+}
+
+}  // namespace
+
+std::string format_record(const RasLog& log, const RasRecord& rec) {
+  std::ostringstream os;
+  os << format_time(rec.time) << '|' << to_string(rec.event_type) << '|'
+     << to_string(rec.severity) << '|' << to_string(rec.facility) << '|'
+     << rec.location.str() << '|' << rec.job << '|' << log.text_of(rec);
+  return os.str();
+}
+
+void parse_record_line(const std::string& line, RasLog& log) {
+  const auto fields = split_pipes(line, 7);
+  RasRecord rec;
+  rec.time = parse_time(fields[0]);
+  rec.event_type = parse_event_type(fields[1]);
+  rec.severity = parse_severity(fields[2]);
+  rec.facility = parse_facility(fields[3]);
+  rec.location = bgl::parse_location(fields[4]);
+  try {
+    rec.job = static_cast<bgl::JobId>(std::stoul(fields[5]));
+  } catch (const std::exception&) {
+    throw ParseError("bad job id: '" + fields[5] + "'");
+  }
+  log.append_with_text(rec, fields[6]);
+}
+
+void write_log(std::ostream& os, const RasLog& log) {
+  for (const RasRecord& rec : log.records()) {
+    os << format_record(log, rec) << '\n';
+  }
+}
+
+RasLog read_log(std::istream& is) {
+  RasLog log;
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    parse_record_line(line, log);
+  }
+  return log;
+}
+
+void save_log(const std::string& path, const RasLog& log) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    throw Error("cannot open for writing: " + path);
+  }
+  write_log(out, log);
+  if (!out) {
+    throw Error("write failed: " + path);
+  }
+}
+
+RasLog load_log(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open for reading: " + path);
+  }
+  return read_log(in);
+}
+
+}  // namespace bglpred

@@ -1,0 +1,39 @@
+// Text serialization of RAS logs.
+//
+// Line format (pipe-separated, one record per line):
+//
+//   <time>|<event-type>|<severity>|<facility>|<location>|<job>|<entry data>
+//
+// e.g.
+//
+//   2005-03-14 06:25:01|RAS|FATAL|TORUS|R00-M1-N07-C21|1182|uncorrectable torus error
+//
+// This mirrors the flat exports used by the BG/L log studies and makes
+// generated logs diffable and greppable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "raslog/log.hpp"
+
+namespace bglpred {
+
+/// Serializes one record as a log line (no trailing newline).
+std::string format_record(const RasLog& log, const RasRecord& rec);
+
+/// Parses one log line into `log` (appends). Throws ParseError on
+/// malformed input.
+void parse_record_line(const std::string& line, RasLog& log);
+
+/// Writes the whole log, one line per record.
+void write_log(std::ostream& os, const RasLog& log);
+
+/// Reads a whole log (until EOF). Blank lines and '#' comments skipped.
+RasLog read_log(std::istream& is);
+
+/// File convenience wrappers; throw Error on I/O failure.
+void save_log(const std::string& path, const RasLog& log);
+RasLog load_log(const std::string& path);
+
+}  // namespace bglpred

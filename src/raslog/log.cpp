@@ -1,0 +1,58 @@
+#include "raslog/log.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+void RasLog::append_with_text(RasRecord rec, std::string_view entry_data) {
+  rec.entry_data = pool_.intern(entry_data);
+  records_.push_back(rec);
+}
+
+void RasLog::sort_by_time() {
+  std::stable_sort(records_.begin(), records_.end(), RecordTimeOrder{});
+}
+
+bool RasLog::is_time_sorted() const {
+  return std::is_sorted(
+      records_.begin(), records_.end(),
+      [](const RasRecord& a, const RasRecord& b) { return a.time < b.time; });
+}
+
+const std::string& RasLog::text_of(const RasRecord& rec) const {
+  return pool_.str(rec.entry_data);
+}
+
+TimeSpan RasLog::span() const {
+  BGL_REQUIRE(!records_.empty(), "span() of an empty log");
+  BGL_REQUIRE(is_time_sorted(), "span() requires a time-sorted log");
+  return TimeSpan{records_.front().time, records_.back().time + 1};
+}
+
+std::size_t RasLog::fatal_count() const {
+  return static_cast<std::size_t>(
+      std::count_if(records_.begin(), records_.end(),
+                    [](const RasRecord& r) { return r.fatal(); }));
+}
+
+std::vector<std::size_t> RasLog::severity_histogram() const {
+  std::vector<std::size_t> hist(kSeverityCount, 0);
+  for (const RasRecord& r : records_) {
+    ++hist[static_cast<std::size_t>(r.severity)];
+  }
+  return hist;
+}
+
+RasLog RasLog::subset(const std::vector<RasRecord>& records) const {
+  RasLog out;
+  out.records_.reserve(records.size());
+  for (RasRecord rec : records) {
+    rec.entry_data = out.pool_.intern(pool_.str(rec.entry_data));
+    out.records_.push_back(rec);
+  }
+  return out;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,73 @@
+// RasLog — an in-memory RAS event log.
+//
+// Owns the record vector and the string pool that entry-data ids resolve
+// against. Stands in for the paper's centralized DB2 repository: the
+// prediction pipeline only ever needs a time-ordered scan.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/string_pool.hpp"
+#include "common/time.hpp"
+#include "raslog/record.hpp"
+
+namespace bglpred {
+
+/// An append-oriented log of RAS records plus their interned strings.
+class RasLog {
+ public:
+  RasLog() = default;
+
+  // Move-only: the pool's string_view index must not be shallow-copied.
+  RasLog(RasLog&&) = default;
+  RasLog& operator=(RasLog&&) = default;
+  RasLog(const RasLog&) = delete;
+  RasLog& operator=(const RasLog&) = delete;
+
+  /// Appends a record whose entry_data id is already valid for this log's
+  /// pool.
+  void append(const RasRecord& rec) { records_.push_back(rec); }
+
+  /// Interns `entry_data`, stamps the record with it, and appends.
+  void append_with_text(RasRecord rec, std::string_view entry_data);
+
+  /// Sorts records chronologically (stable tie-breaks; see RecordTimeOrder).
+  void sort_by_time();
+
+  /// True if records are in non-decreasing time order.
+  bool is_time_sorted() const;
+
+  const std::vector<RasRecord>& records() const { return records_; }
+  std::vector<RasRecord>& mutable_records() { return records_; }
+
+  StringPool& pool() { return pool_; }
+  const StringPool& pool() const { return pool_; }
+
+  /// Resolves a record's entry-data text.
+  const std::string& text_of(const RasRecord& rec) const;
+
+  std::size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+
+  /// [first record time, last record time + 1). Requires a sorted,
+  /// non-empty log.
+  TimeSpan span() const;
+
+  /// Number of FATAL/FAILURE records.
+  std::size_t fatal_count() const;
+
+  /// Per-severity record counts, indexed by Severity.
+  std::vector<std::size_t> severity_histogram() const;
+
+  /// Creates a new log containing the given records, re-interning their
+  /// entry data from this log's pool into the new log's pool.
+  RasLog subset(const std::vector<RasRecord>& records) const;
+
+ private:
+  std::vector<RasRecord> records_;
+  StringPool pool_;
+};
+
+}  // namespace bglpred

@@ -1,0 +1,30 @@
+#include "raslog/record.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+constexpr std::array<const char*, 3> kEventTypeNames = {"RAS", "MONITOR",
+                                                        "CONTROL"};
+
+}  // namespace
+
+const char* to_string(EventType t) {
+  const auto i = static_cast<std::size_t>(t);
+  BGL_ASSERT(i < kEventTypeNames.size());
+  return kEventTypeNames[i];
+}
+
+EventType parse_event_type(const std::string& name) {
+  for (std::size_t i = 0; i < kEventTypeNames.size(); ++i) {
+    if (name == kEventTypeNames[i]) {
+      return static_cast<EventType>(i);
+    }
+  }
+  throw ParseError("unknown event type: '" + name + "'");
+}
+
+}  // namespace bglpred

@@ -1,0 +1,68 @@
+// The RAS record — one row of the event log.
+//
+// Mirrors Table 2 of the paper: event type, timestamp, job id, location,
+// entry data, facility, severity. Entry data is interned (StringId into
+// the owning RasLog's pool) so multi-million-record logs stay compact and
+// the spatial-compression equality test is an integer compare.
+#pragma once
+
+#include <cstdint>
+
+#include "bgl/job.hpp"
+#include "bgl/location.hpp"
+#include "common/string_pool.hpp"
+#include "common/time.hpp"
+#include "raslog/facility.hpp"
+#include "raslog/severity.hpp"
+
+namespace bglpred {
+
+/// Mechanism through which the event was recorded (Table 2: "mostly RAS").
+enum class EventType : std::uint8_t {
+  kRas = 0,      ///< polled RAS event from a compute/I-O node
+  kMonitor,      ///< environmental monitor reading crossing a threshold
+  kControl,      ///< control-network originated (service actions)
+};
+
+const char* to_string(EventType t);
+EventType parse_event_type(const std::string& name);
+
+/// Subcategory id assigned during Phase-1 categorization. The raslog layer
+/// treats it as opaque; src/taxonomy defines the catalog. kUnclassified
+/// marks records not yet categorized.
+using SubcategoryId = std::uint16_t;
+inline constexpr SubcategoryId kUnclassified = 0xffff;
+
+/// One log row. POD-like; 32 bytes.
+struct RasRecord {
+  TimePoint time = 0;
+  StringId entry_data = kInvalidStringId;  ///< into the owning log's pool
+  bgl::JobId job = bgl::kNoJob;
+  bgl::Location location;
+  EventType event_type = EventType::kRas;
+  Facility facility = Facility::kApp;
+  Severity severity = Severity::kInfo;
+  SubcategoryId subcategory = kUnclassified;
+
+  /// True for FATAL/FAILURE records.
+  bool fatal() const { return is_fatal(severity); }
+};
+
+/// Chronological ordering with deterministic tie-breaks (location, then
+/// severity, then entry data id) so sorting a log is reproducible.
+struct RecordTimeOrder {
+  bool operator()(const RasRecord& a, const RasRecord& b) const {
+    if (a.time != b.time) {
+      return a.time < b.time;
+    }
+    if (a.location != b.location) {
+      return a.location < b.location;
+    }
+    if (a.severity != b.severity) {
+      return a.severity < b.severity;
+    }
+    return a.entry_data < b.entry_data;
+  }
+};
+
+}  // namespace bglpred

@@ -1,0 +1,30 @@
+#include "raslog/severity.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+constexpr std::array<const char*, kSeverityCount> kNames = {
+    "INFO", "WARNING", "SEVERE", "ERROR", "FATAL", "FAILURE"};
+
+}  // namespace
+
+const char* to_string(Severity s) {
+  const auto i = static_cast<std::size_t>(s);
+  BGL_ASSERT(i < kNames.size());
+  return kNames[i];
+}
+
+Severity parse_severity(const std::string& name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (name == kNames[i]) {
+      return static_cast<Severity>(i);
+    }
+  }
+  throw ParseError("unknown severity: '" + name + "'");
+}
+
+}  // namespace bglpred

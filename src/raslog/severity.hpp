@@ -1,0 +1,36 @@
+// RAS severity levels.
+//
+// The SEVERITY attribute takes one of six levels in increasing order of
+// severity. FATAL and FAILURE events ("fatal events") are the prediction
+// targets; everything below is "non-fatal" (§2.2 of the paper).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bglpred {
+
+/// Severity of a RAS record, ordered from least to most severe.
+enum class Severity : std::uint8_t {
+  kInfo = 0,
+  kWarning,
+  kSevere,
+  kError,
+  kFatal,
+  kFailure,
+};
+
+inline constexpr int kSeverityCount = 6;
+
+/// True for FATAL and FAILURE — the events the predictor targets.
+constexpr bool is_fatal(Severity s) {
+  return s == Severity::kFatal || s == Severity::kFailure;
+}
+
+/// Canonical upper-case name ("INFO", ..., "FAILURE").
+const char* to_string(Severity s);
+
+/// Parses a canonical severity name; throws ParseError on unknown input.
+Severity parse_severity(const std::string& name);
+
+}  // namespace bglpred

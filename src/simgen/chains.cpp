@@ -1,0 +1,119 @@
+#include "simgen/chains.hpp"
+
+#include <mutex>
+
+#include "common/error.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+namespace {
+
+struct NamedChain {
+  std::string_view fatal;
+  std::vector<std::string_view> precursors;
+};
+
+// Figure-3 rules first, then coverage chains so every main category has
+// fatal subcategories with plausible precursors.
+const NamedChain kNamedChains[] = {
+    // --- directly from Figure 3 -------------------------------------
+    {"nodemapCreateFailure", {"nodeMapFileError"}},
+    {"nodemapCreateFailure", {"nodeMapError"}},
+    {"nodeConnectionFailure", {"controlNetworkNMCSError"}},
+    {"socketReadFailure", {"ddrErrorCorrectionInfo", "maskInfo"}},
+    {"rtsLinkFailure",
+     {"ciodRestartInfo", "midplaneStartInfo", "controlNetworkInfo"}},
+    {"linkcardFailure",
+     {"nodecardUPDMismatch", "nodecardAssemblySevereDiscovery",
+      "nodecardFunctionalityWarning"}},
+    {"linkcardFailure",
+     {"nodecardUPDMismatch", "nodecardFunctionalityWarning",
+      "midplaneLinkcardRestartWarning"}},
+    {"loadProgramFailure", {"coredumpCreated"}},
+    {"cacheFailure",
+     {"midplaneStartInfo", "controlNetworkInfo", "BGLMasterRestartInfo"}},
+    {"linkcardFailure",
+     {"nodecardDiscoveryError", "nodecardFunctionalityWarning",
+      "endServiceWarning", "midplaneLinkcardRestartWarning"}},
+
+    // --- coverage chains ---------------------------------------------
+    {"socketWriteFailure", {"ciodIoWarning", "fileDescriptorError"}},
+    {"socketClosedFailure", {"ethernetLinkWarning", "ciodIoWarning"}},
+    {"streamReadFailure", {"ioRetryInfo", "ciodIoWarning"}},
+    {"streamWriteFailure", {"ioRetryInfo", "fileDescriptorError"}},
+    {"torusFailure", {"torusReceiverError", "torusSenderWarning"}},
+    {"rtsFailure", {"torusConnectionErrorInfo", "controlNetworkInfo"}},
+    {"ethernetFailure", {"ethernetLinkWarning"}},
+    {"kernelPanicFailure",
+     {"machineCheckError", "criticalInputInterruptError"}},
+    {"kernelAbortFailure", {"watchdogTimerWarning", "interruptError"}},
+    {"dataAddressFailure", {"systemCallError", "kernelModeWarning"}},
+    {"instructionAddressFailure", {"instructionTlbError"}},
+    {"dataTlbFailure", {"instructionTlbError", "systemCallError"}},
+    {"illegalInstructionFailure", {"privilegedInstructionError"}},
+    {"alignmentFailure", {"kernelModeWarning"}},
+    {"cachePrefetchFailure",
+     {"l2CachePrefetchWarning", "eccThresholdWarning"}},
+    {"dataReadFailure", {"ddrDoubleSymbolError", "eccThresholdWarning"}},
+    {"dataStoreFailure", {"ddrDoubleSymbolError", "busParityError"}},
+    {"parityFailure", {"l1CacheParityWarning", "addressParityError"}},
+    {"edramBankFailure",
+     {"ddrErrorCorrectionInfo", "ddrDoubleSymbolError"}},
+    {"sramUncorrectableFailure", {"memoryTestWarning"}},
+    {"ciodSignalFailure", {"midplaneServiceWarning", "midplaneStartInfo"}},
+    {"nodecardPowerFailure",
+     {"nodecardVoltageError", "nodecardTemperatureWarning"}},
+    {"nodecardClockFailure",
+     {"nodecardDiscoveryError", "nodecardStatusInfo"}},
+    {"hardwareMonitorFailure",
+     {"fanSpeedWarning", "powerSupplyVoltageWarning"}},
+    {"appSignalFailure", {"appExitWarning"}},
+    {"appAssertFailure", {"appArgumentError"}},
+    {"loginFailure", {"appEnvironmentWarning"}},
+};
+
+std::vector<CascadeTemplate> build_templates() {
+  std::vector<CascadeTemplate> out;
+  out.reserve(std::size(kNamedChains));
+  for (const NamedChain& chain : kNamedChains) {
+    CascadeTemplate t;
+    t.fatal = catalog().find(chain.fatal);
+    BGL_REQUIRE(t.fatal != kUnclassified,
+                "cascade template names unknown fatal subcategory: " +
+                    std::string(chain.fatal));
+    BGL_REQUIRE(catalog().info(t.fatal).fatal(),
+                "cascade head must be a fatal subcategory: " +
+                    std::string(chain.fatal));
+    for (std::string_view name : chain.precursors) {
+      const SubcategoryId id = catalog().find(name);
+      BGL_REQUIRE(id != kUnclassified,
+                  "cascade template names unknown precursor: " +
+                      std::string(name));
+      BGL_REQUIRE(!catalog().info(id).fatal(),
+                  "cascade precursor must be non-fatal: " +
+                      std::string(name));
+      t.precursors.push_back(id);
+    }
+    out.push_back(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace
+
+const std::vector<CascadeTemplate>& cascade_templates() {
+  static const std::vector<CascadeTemplate> templates = build_templates();
+  return templates;
+}
+
+std::vector<const CascadeTemplate*> templates_for(SubcategoryId subcat) {
+  std::vector<const CascadeTemplate*> out;
+  for (const CascadeTemplate& t : cascade_templates()) {
+    if (t.fatal == subcat) {
+      out.push_back(&t);
+    }
+  }
+  return out;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,35 @@
+// Causal cascade templates.
+//
+// Each template names a fatal subcategory and the non-fatal precursor
+// subcategories that foreshadow it. The set mirrors (and extends to full
+// category coverage) the association rules the paper actually mined from
+// the ANL log (Figure 3): nodeMapFileError ==> nodemapCreateFailure,
+// ddrErrorCorrectionInfo maskInfo ==> socketReadFailure,
+// ciodRestartInfo midplaneStartInfo controlNetworkInfo ==> rtsLinkFailure,
+// and so on. The generator instantiates a template by emitting the body
+// events shortly before the fatal event; the rule miner should then
+// rediscover these implications from the synthetic log.
+#pragma once
+
+#include <string_view>
+#include <vector>
+
+#include "raslog/record.hpp"
+
+namespace bglpred {
+
+/// One cascade template, resolved against the catalog.
+struct CascadeTemplate {
+  SubcategoryId fatal;                    ///< the failure the chain causes
+  std::vector<SubcategoryId> precursors;  ///< non-fatal body events
+};
+
+/// The resolved template library. Built once on first use; every name is
+/// validated against the catalog (a typo fails fast with InvalidArgument).
+const std::vector<CascadeTemplate>& cascade_templates();
+
+/// Templates whose fatal event is `subcat` (possibly several, as with
+/// linkcardFailure in Figure 3). Empty if the subcategory has no chain.
+std::vector<const CascadeTemplate*> templates_for(SubcategoryId subcat);
+
+}  // namespace bglpred

@@ -1,0 +1,82 @@
+// The synthetic RAS-log generator.
+//
+// Produces a raw, duplicate-laden RAS log whose statistical structure
+// matches the published marginals of the ANL / SDSC BG/L logs (see
+// SystemProfile), together with the ground truth of unique fault
+// occurrences used by the calibration tests.
+//
+// Generation model, in layers:
+//   1. Machine + job trace: topology from the profile, per-midplane job
+//      streams (JOB_ID realism for Phase-1 compression keys).
+//   2. Fatal occurrences: per-category seed processes plus a branching
+//      follow-up process concentrated in the network/iostream classes —
+//      the temporal correlation the statistical predictor learns. Counts
+//      are then adjusted to hit the profile's Table-4 targets exactly in
+//      expectation of the compressed log.
+//   3. Causal chains: a fraction of fatal occurrences are preceded by a
+//      cascade-template body anchored minutes before the failure — the
+//      causal correlation the rule-based predictor learns. "False"
+//      chains (bodies with no failure) keep rule confidence below 1.
+//   4. Background chatter: uncorrelated non-fatal events.
+//   5. Duplication: every unique event is expanded into same-location
+//      re-reports (temporal duplicates) and, for fatal compute-chip
+//      events, a fan-out of reports across the partition (spatial
+//      duplicates sharing ENTRY_DATA and JOB_ID) — what Phase 1 undoes.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "bgl/scheduler.hpp"
+#include "common/rng.hpp"
+#include "raslog/log.hpp"
+#include "simgen/profile.hpp"
+
+namespace bglpred {
+
+/// One ground-truth fatal fault occurrence.
+struct FaultOccurrence {
+  TimePoint time = 0;
+  SubcategoryId subcategory = kUnclassified;
+  bgl::Location location;
+  bgl::JobId job = bgl::kNoJob;
+  bool is_followup = false;  ///< spawned by the temporal-correlation process
+  bool has_chain = false;    ///< preceded by a cascade body
+};
+
+/// Everything the generator knows that the log does not say explicitly.
+struct GroundTruth {
+  std::vector<FaultOccurrence> fatal_occurrences;  ///< time-sorted
+  std::size_t true_chains = 0;
+  std::size_t false_chains = 0;
+  std::size_t background_events = 0;
+  std::size_t unique_events = 0;  ///< before duplication
+  std::array<std::size_t, kMainCategoryCount> fatal_per_category{};
+};
+
+/// Generator output: the raw log plus ground truth.
+struct GeneratedLog {
+  RasLog log;
+  GroundTruth truth;
+  TimeSpan span;
+};
+
+/// Deterministic generator for one profile.
+class LogGenerator {
+ public:
+  explicit LogGenerator(SystemProfile profile);
+
+  /// Generates a log. `scale` in (0, 1] shrinks the time span and all
+  /// volume targets proportionally (scale 0.1 of ANL ≈ 1.5 months);
+  /// `seed_offset` perturbs the profile seed for replicated experiments.
+  GeneratedLog generate(double scale = 1.0,
+                        std::uint64_t seed_offset = 0) const;
+
+  const SystemProfile& profile() const { return profile_; }
+
+ private:
+  SystemProfile profile_;
+};
+
+}  // namespace bglpred

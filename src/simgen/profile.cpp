@@ -1,0 +1,95 @@
+#include "simgen/profile.hpp"
+
+#include <numeric>
+
+namespace bglpred {
+
+// Table 4 row order: Application, Iostream, Kernel, Memory, Midplane,
+// Network, NodeCard, Other.
+
+SystemProfile SystemProfile::anl() {
+  SystemProfile p;
+  p.name = "ANL";
+  p.machine = bgl::MachineConfig::anl();
+  p.span = TimeSpan{make_time(2005, 1, 21), make_time(2006, 4, 28)};
+  p.fatal_per_category = {762, 1173, 224, 52, 102, 482, 20, 8};
+  p.target_raw_records = 4172359;
+
+  p.followup_spawn_prob = 0.40;
+  p.followup_litter_extra = 1.0;
+  p.other_followup_probability = 0.06;
+  p.followup_short_mean = 2.0 * kMinute;
+  p.followup_short_weight = 0.2;
+  p.followup_tail_min = 5 * kMinute;
+  p.followup_tail_max = 70 * kMinute;
+  p.followup_same_class_bias = 0.80;
+
+  p.precursor_probability = 0.55;
+  p.precursor_offset_min = 30;
+  p.anchor_short_max = 10 * kMinute;
+  p.anchor_short_weight = 0.65;
+  p.precursor_offset_max = 45 * kMinute;
+  p.chain_persistent_prob = 0.85;
+  p.chain_repeat_mean = 1.5 * kMinute;
+  p.chain_guard_min = 60;
+  p.chain_guard_max = 180;
+  p.false_chain_ratio = 0.18;
+
+  p.background_events_per_day = 80.0;
+  p.background_burst_size_mean = 12.0;
+  p.background_burst_spread = 8 * kMinute;
+  p.background_precursor_leak = 0.02;
+
+  p.temporal_duplicates_mean = 12.0;
+  p.temporal_duplicate_spread = 240;
+  p.spatial_fanout_mean = 90.0;
+  p.seed = 0xA71ULL;  // "the" ANL log
+  return p;
+}
+
+SystemProfile SystemProfile::sdsc() {
+  SystemProfile p;
+  p.name = "SDSC";
+  p.machine = bgl::MachineConfig::sdsc();
+  p.span = TimeSpan{make_time(2004, 12, 6), make_time(2006, 2, 21)};
+  p.fatal_per_category = {587, 905, 182, 25, 97, 366, 17, 3};
+  p.target_raw_records = 428953;
+
+  p.followup_spawn_prob = 0.26;
+  p.followup_litter_extra = 1.2;
+  p.other_followup_probability = 0.04;
+  p.followup_short_mean = 2.0 * kMinute;
+  p.followup_short_weight = 0.2;
+  p.followup_tail_min = 5 * kMinute;
+  p.followup_tail_max = 80 * kMinute;
+  p.followup_same_class_bias = 0.80;
+
+  p.precursor_probability = 0.45;
+  p.precursor_offset_min = 30;
+  p.anchor_short_max = 10 * kMinute;
+  p.anchor_short_weight = 0.55;
+  p.precursor_offset_max = 50 * kMinute;
+  p.chain_persistent_prob = 0.9;
+  p.chain_repeat_mean = 1.8 * kMinute;
+  p.chain_guard_min = 60;
+  p.chain_guard_max = 180;
+  p.false_chain_ratio = 0.06;
+
+  p.background_events_per_day = 90.0;
+  p.background_burst_size_mean = 8.0;
+  p.background_burst_spread = 8 * kMinute;
+  p.background_precursor_leak = 0.015;
+
+  p.temporal_duplicates_mean = 4.0;
+  p.temporal_duplicate_spread = 240;
+  p.spatial_fanout_mean = 14.0;
+  p.seed = 0x5D5CULL;  // "the" SDSC log
+  return p;
+}
+
+std::size_t SystemProfile::total_fatal_target() const {
+  return std::accumulate(fatal_per_category.begin(),
+                         fatal_per_category.end(), std::size_t{0});
+}
+
+}  // namespace bglpred

@@ -1,0 +1,168 @@
+#include "stats/correlation.hpp"
+
+#include <set>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/table.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+
+double CategoryCorrelation::lift(MainCategory i, MainCategory j) const {
+  const double base = baseline[static_cast<std::size_t>(j)];
+  return base == 0.0 ? 0.0
+                     : conditional[static_cast<std::size_t>(i)]
+                                  [static_cast<std::size_t>(j)] /
+                           base;
+}
+
+std::string CategoryCorrelation::render() const {
+  TextTable table;
+  std::vector<std::string> header{"trigger \\ follow-up"};
+  for (int c = 0; c < kMainCategoryCount; ++c) {
+    header.push_back(to_string(static_cast<MainCategory>(c)));
+  }
+  header.push_back("n");
+  table.set_header(std::move(header));
+  for (int i = 0; i < kMainCategoryCount; ++i) {
+    std::vector<std::string> row{to_string(static_cast<MainCategory>(i))};
+    for (int j = 0; j < kMainCategoryCount; ++j) {
+      row.push_back(TextTable::num(
+          conditional[static_cast<std::size_t>(i)]
+                     [static_cast<std::size_t>(j)],
+          2));
+    }
+    row.push_back(
+        std::to_string(triggers[static_cast<std::size_t>(i)]));
+    table.add_row(std::move(row));
+  }
+  return table.render();
+}
+
+CategoryCorrelation category_correlation(const RasLog& log, Duration lead,
+                                         Duration window) {
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  BGL_REQUIRE(lead >= 0 && window > lead, "need 0 <= lead < window");
+
+  // Collect fatal events (time, category).
+  std::vector<std::pair<TimePoint, std::size_t>> fatals;
+  for (const RasRecord& rec : log.records()) {
+    if (rec.fatal() && rec.subcategory != kUnclassified) {
+      fatals.emplace_back(
+          rec.time,
+          static_cast<std::size_t>(catalog().info(rec.subcategory).main));
+    }
+  }
+
+  CategoryCorrelation out;
+  // Conditional matrix: for each trigger, which categories appear in its
+  // (lead, window] horizon.
+  for (std::size_t i = 0; i < fatals.size(); ++i) {
+    const auto [t, ci] = fatals[i];
+    ++out.triggers[ci];
+    std::array<bool, kMainCategoryCount> seen{};
+    for (std::size_t j = i + 1; j < fatals.size(); ++j) {
+      const auto [tj, cj] = fatals[j];
+      if (tj > t + window) {
+        break;
+      }
+      if (tj > t + lead) {
+        seen[cj] = true;
+      }
+    }
+    for (std::size_t cj = 0; cj < kMainCategoryCount; ++cj) {
+      out.conditional[ci][cj] += seen[cj] ? 1.0 : 0.0;
+    }
+  }
+  for (std::size_t ci = 0; ci < kMainCategoryCount; ++ci) {
+    if (out.triggers[ci] == 0) {
+      continue;
+    }
+    for (std::size_t cj = 0; cj < kMainCategoryCount; ++cj) {
+      out.conditional[ci][cj] /= static_cast<double>(out.triggers[ci]);
+    }
+  }
+
+  // Baselines: probability a uniformly placed same-width horizon holds a
+  // category-j fatal event. Estimated by treating every event time as a
+  // sample window anchor (a dense, unbiased-in-time proxy).
+  if (!log.empty() && !fatals.empty()) {
+    const auto& records = log.records();
+    std::size_t anchors = 0;
+    std::array<std::size_t, kMainCategoryCount> hits{};
+    // Sample every 97th record's time as a window anchor.
+    for (std::size_t r = 0; r < records.size(); r += 97) {
+      const TimePoint t = records[r].time;
+      ++anchors;
+      std::array<bool, kMainCategoryCount> seen{};
+      // Binary search into fatals for the horizon.
+      std::size_t lo = 0;
+      std::size_t hi = fatals.size();
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (fatals[mid].first <= t + lead) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      for (std::size_t j = lo;
+           j < fatals.size() && fatals[j].first <= t + window; ++j) {
+        seen[fatals[j].second] = true;
+      }
+      for (std::size_t cj = 0; cj < kMainCategoryCount; ++cj) {
+        hits[cj] += seen[cj] ? 1 : 0;
+      }
+    }
+    for (std::size_t cj = 0; cj < kMainCategoryCount; ++cj) {
+      out.baseline[cj] = anchors == 0
+                             ? 0.0
+                             : static_cast<double>(hits[cj]) /
+                                   static_cast<double>(anchors);
+    }
+  }
+  return out;
+}
+
+SpatialLocality spatial_locality(const RasLog& log, Duration window) {
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  BGL_REQUIRE(window > 0, "window must be positive");
+  SpatialLocality out;
+  std::set<std::pair<std::uint16_t, std::uint8_t>> midplanes;
+  bool have_prev = false;
+  TimePoint prev_time = 0;
+  bgl::Location prev_loc;
+  for (const RasRecord& rec : log.records()) {
+    if (!rec.fatal()) {
+      continue;
+    }
+    if (rec.location.kind != bgl::LocationKind::kRack) {
+      midplanes.emplace(rec.location.rack, rec.location.midplane);
+    }
+    if (have_prev && rec.time - prev_time <= window &&
+        rec.location.kind != bgl::LocationKind::kRack &&
+        prev_loc.kind != bgl::LocationKind::kRack) {
+      ++out.close_pairs;
+      if (rec.location.rack == prev_loc.rack &&
+          rec.location.midplane == prev_loc.midplane) {
+        ++out.same_midplane;
+      }
+    }
+    prev_time = rec.time;
+    prev_loc = rec.location;
+    have_prev = true;
+  }
+  if (out.close_pairs > 0) {
+    out.same_midplane_fraction =
+        static_cast<double>(out.same_midplane) /
+        static_cast<double>(out.close_pairs);
+  }
+  if (!midplanes.empty()) {
+    out.uniform_expectation =
+        1.0 / static_cast<double>(midplanes.size());
+  }
+  return out;
+}
+
+}  // namespace bglpred

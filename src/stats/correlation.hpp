@@ -1,0 +1,65 @@
+// Cross-category temporal correlation.
+//
+// Generalizes the §3.2.1 analysis from "does a fatal event of category c
+// have *any* follow-up" to the full conditional matrix
+//
+//     M[i][j] = P(a fatal event of category j occurs within (lead, W]
+//               | a fatal event of category i just occurred),
+//
+// which exposes *which* classes cascade into which — e.g. on the
+// calibrated logs, network -> iostream and network -> network dominate,
+// the structure behind both the statistical predictor and Figure 2.
+#pragma once
+
+#include <array>
+#include <string>
+
+#include "raslog/log.hpp"
+#include "taxonomy/category.hpp"
+
+namespace bglpred {
+
+/// The conditional follow-up matrix plus marginals.
+struct CategoryCorrelation {
+  /// M[i][j] as documented above; rows/cols indexed by MainCategory.
+  std::array<std::array<double, kMainCategoryCount>, kMainCategoryCount>
+      conditional{};
+  /// Number of fatal trigger events per category (row support).
+  std::array<std::size_t, kMainCategoryCount> triggers{};
+  /// Unconditional probability that *some* fatal event of category j
+  /// falls in a uniformly placed window of the same width (the baseline
+  /// against which conditional lift is judged).
+  std::array<double, kMainCategoryCount> baseline{};
+
+  /// Conditional / baseline; 0 when the baseline is 0.
+  double lift(MainCategory i, MainCategory j) const;
+
+  /// Renders the matrix as an ASCII table with category labels.
+  std::string render() const;
+};
+
+/// Computes the matrix over a time-sorted, categorized log.
+CategoryCorrelation category_correlation(const RasLog& log, Duration lead,
+                                         Duration window);
+
+/// Spatial locality of failure cascades (cf. Liang et al.'s BG/L
+/// analysis): among pairs of consecutive fatal events closer than
+/// `window`, the fraction sharing a midplane, versus the fraction
+/// expected if follow-up locations were uniform over the machine's
+/// midplanes.
+struct SpatialLocality {
+  std::size_t close_pairs = 0;       ///< consecutive fatal pairs <= window
+  std::size_t same_midplane = 0;     ///< ... on the same midplane
+  double same_midplane_fraction = 0.0;
+  double uniform_expectation = 0.0;  ///< 1 / observed midplane count
+
+  double locality_lift() const {
+    return uniform_expectation == 0.0
+               ? 0.0
+               : same_midplane_fraction / uniform_expectation;
+  }
+};
+
+SpatialLocality spatial_locality(const RasLog& log, Duration window);
+
+}  // namespace bglpred

@@ -1,0 +1,32 @@
+// Empirical cumulative distribution function.
+//
+// Used for Figure 2: the CDF of inter-failure gaps, i.e. "given a failure,
+// with what probability does another failure occur within t seconds".
+#pragma once
+
+#include <vector>
+
+namespace bglpred {
+
+/// Immutable ECDF over a sample of doubles.
+class Ecdf {
+ public:
+  /// Builds from a (not necessarily sorted) sample. Empty samples are
+  /// allowed; eval() then returns 0 everywhere.
+  explicit Ecdf(std::vector<double> sample);
+
+  /// P(X <= x).
+  double eval(double x) const;
+
+  /// Smallest sample value q with P(X <= q) >= p, for p in (0, 1].
+  /// Requires a non-empty sample.
+  double quantile(double p) const;
+
+  std::size_t sample_size() const { return sorted_.size(); }
+  const std::vector<double>& sorted_sample() const { return sorted_; }
+
+ private:
+  std::vector<double> sorted_;
+};
+
+}  // namespace bglpred

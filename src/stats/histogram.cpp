@@ -1,0 +1,63 @@
+#include "stats/histogram.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), hi_(hi), counts_(bins, 0) {
+  BGL_REQUIRE(lo < hi, "histogram requires lo < hi");
+  BGL_REQUIRE(bins >= 1, "histogram requires >= 1 bin");
+}
+
+void Histogram::add(double x) {
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  auto bin = static_cast<std::ptrdiff_t>((x - lo_) / width);
+  bin = std::clamp<std::ptrdiff_t>(
+      bin, 0, static_cast<std::ptrdiff_t>(counts_.size()) - 1);
+  ++counts_[static_cast<std::size_t>(bin)];
+  ++total_;
+}
+
+std::size_t Histogram::count(std::size_t bin) const {
+  BGL_REQUIRE(bin < counts_.size(), "bin out of range");
+  return counts_[bin];
+}
+
+double Histogram::fraction(std::size_t bin) const {
+  return total_ == 0 ? 0.0
+                     : static_cast<double>(count(bin)) /
+                           static_cast<double>(total_);
+}
+
+std::pair<double, double> Histogram::bin_range(std::size_t bin) const {
+  BGL_REQUIRE(bin < counts_.size(), "bin out of range");
+  const double width = (hi_ - lo_) / static_cast<double>(counts_.size());
+  return {lo_ + width * static_cast<double>(bin),
+          lo_ + width * static_cast<double>(bin + 1)};
+}
+
+std::string Histogram::render(std::size_t max_width) const {
+  std::size_t peak = 0;
+  for (std::size_t c : counts_) {
+    peak = std::max(peak, c);
+  }
+  std::string out;
+  for (std::size_t b = 0; b < counts_.size(); ++b) {
+    const auto [lo, hi] = bin_range(b);
+    char head[64];
+    std::snprintf(head, sizeof(head), "[%10.1f, %10.1f) %8zu ", lo, hi,
+                  counts_[b]);
+    out += head;
+    const std::size_t bar =
+        peak == 0 ? 0 : counts_[b] * max_width / peak;
+    out.append(bar, '#');
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace bglpred

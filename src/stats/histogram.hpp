@@ -1,0 +1,39 @@
+// Fixed-bin histogram for distribution inspection and calibration tests.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace bglpred {
+
+/// Equal-width histogram over [lo, hi); values outside are clamped into
+/// the first/last bin so mass is never silently dropped.
+class Histogram {
+ public:
+  /// Requires lo < hi and bins >= 1.
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  std::size_t bin_count() const { return counts_.size(); }
+  std::size_t count(std::size_t bin) const;
+  std::size_t total() const { return total_; }
+
+  /// Fraction of mass in [lo of bin, hi of bin).
+  double fraction(std::size_t bin) const;
+
+  /// Inclusive-exclusive bounds of a bin.
+  std::pair<double, double> bin_range(std::size_t bin) const;
+
+  /// Simple ASCII rendering (one line per bin) for debugging output.
+  std::string render(std::size_t max_width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t total_ = 0;
+};
+
+}  // namespace bglpred

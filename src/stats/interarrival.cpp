@@ -1,0 +1,71 @@
+#include "stats/interarrival.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+std::vector<double> fatal_interarrival_gaps(const RasLog& log) {
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  std::vector<double> gaps;
+  bool have_prev = false;
+  TimePoint prev = 0;
+  for (const RasRecord& rec : log.records()) {
+    if (!rec.fatal()) {
+      continue;
+    }
+    if (have_prev) {
+      gaps.push_back(static_cast<double>(rec.time - prev));
+    }
+    prev = rec.time;
+    have_prev = true;
+  }
+  return gaps;
+}
+
+Ecdf fatal_gap_cdf(const RasLog& log) {
+  return Ecdf(fatal_interarrival_gaps(log));
+}
+
+std::vector<FollowupStat> fatal_followup_by_category(const RasLog& log,
+                                                     Duration lead,
+                                                     Duration window) {
+  BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
+  BGL_REQUIRE(lead >= 0 && window > lead,
+              "need 0 <= lead < window");
+  // Collect fatal event times + categories in order.
+  std::vector<std::pair<TimePoint, MainCategory>> fatals;
+  for (const RasRecord& rec : log.records()) {
+    if (rec.fatal()) {
+      fatals.emplace_back(rec.time,
+                          catalog().info(rec.subcategory).main);
+    }
+  }
+  std::vector<FollowupStat> out(kMainCategoryCount);
+  for (std::size_t i = 0; i < fatals.size(); ++i) {
+    const auto [t, cat] = fatals[i];
+    auto& stat = out[static_cast<std::size_t>(cat)];
+    ++stat.triggers;
+    // Scan forward for a follow-up in (t + lead, t + window].
+    for (std::size_t j = i + 1; j < fatals.size(); ++j) {
+      const TimePoint tj = fatals[j].first;
+      if (tj > t + window) {
+        break;
+      }
+      if (tj > t + lead) {
+        ++stat.followed;
+        break;
+      }
+    }
+  }
+  for (auto& stat : out) {
+    if (stat.triggers > 0) {
+      stat.probability = static_cast<double>(stat.followed) /
+                         static_cast<double>(stat.triggers);
+    }
+  }
+  return out;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,40 @@
+// Inter-arrival analysis of fatal events.
+//
+// The statistical base predictor (§3.2.1) rests on the observation that a
+// significant fraction of failures happen in close temporal proximity.
+// These helpers extract the gap sample between consecutive fatal events
+// and per-category conditional follow-up probabilities.
+#pragma once
+
+#include <vector>
+
+#include "raslog/log.hpp"
+#include "stats/ecdf.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+
+/// Gaps (seconds) between consecutive fatal events in a time-sorted log.
+/// A log with fewer than two fatal events yields an empty sample.
+std::vector<double> fatal_interarrival_gaps(const RasLog& log);
+
+/// ECDF of fatal inter-arrival gaps (Figure 2's curve).
+Ecdf fatal_gap_cdf(const RasLog& log);
+
+/// For each main category c: the fraction of fatal events of category c
+/// that are followed by another fatal event within (lead, window]
+/// seconds. This is the statistic the statistical predictor learns.
+///
+/// Returns a vector indexed by MainCategory; categories with no fatal
+/// events get probability 0 and count 0.
+struct FollowupStat {
+  std::size_t triggers = 0;   ///< fatal events of this category
+  std::size_t followed = 0;   ///< ... that had a follow-up in the window
+  double probability = 0.0;   ///< followed / triggers (0 when no triggers)
+};
+
+std::vector<FollowupStat> fatal_followup_by_category(const RasLog& log,
+                                                     Duration lead,
+                                                     Duration window);
+
+}  // namespace bglpred

@@ -1,0 +1,46 @@
+#include "stats/summary.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bglpred {
+
+SummaryStats summarize(const std::vector<double>& sample) {
+  SummaryStats s;
+  s.n = sample.size();
+  if (sample.empty()) {
+    return s;
+  }
+  RunningStats running;
+  s.min = sample.front();
+  s.max = sample.front();
+  for (double x : sample) {
+    running.add(x);
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = running.mean();
+  s.stddev = running.stddev();
+  std::vector<double> sorted = sample;
+  std::sort(sorted.begin(), sorted.end());
+  const std::size_t mid = sorted.size() / 2;
+  s.median = sorted.size() % 2 == 1
+                 ? sorted[mid]
+                 : 0.5 * (sorted[mid - 1] + sorted[mid]);
+  return s;
+}
+
+void RunningStats::add(double x) {
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+}  // namespace bglpred

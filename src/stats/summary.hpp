@@ -1,0 +1,39 @@
+// Scalar summary statistics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace bglpred {
+
+/// Basic moments and order statistics of a sample.
+struct SummaryStats {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double stddev = 0.0;  ///< sample standard deviation (n-1 denominator)
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+/// Computes summary statistics; an empty sample yields all zeros.
+SummaryStats summarize(const std::vector<double>& sample);
+
+/// Welford-style online accumulator for streaming means/variances.
+class RunningStats {
+ public:
+  void add(double x);
+
+  std::size_t n() const { return n_; }
+  double mean() const { return mean_; }
+  /// Sample variance (n-1); 0 when fewer than two observations.
+  double variance() const;
+  double stddev() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+};
+
+}  // namespace bglpred

@@ -1,0 +1,324 @@
+#include "taxonomy/catalog.hpp"
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+using bgl::LocationKind;
+
+struct Row {
+  MainCategory main;
+  std::string_view name;
+  Facility facility;
+  Severity severity;
+  LocationKind reporter;
+  std::string_view phrase;
+};
+
+constexpr Severity I = Severity::kInfo;
+constexpr Severity W = Severity::kWarning;
+constexpr Severity S = Severity::kSevere;
+constexpr Severity E = Severity::kError;
+constexpr Severity FT = Severity::kFatal;
+constexpr Severity FL = Severity::kFailure;
+
+constexpr MainCategory APP = MainCategory::kApplication;
+constexpr MainCategory IOS = MainCategory::kIostream;
+constexpr MainCategory KRN = MainCategory::kKernel;
+constexpr MainCategory MEM = MainCategory::kMemory;
+constexpr MainCategory MID = MainCategory::kMidplane;
+constexpr MainCategory NET = MainCategory::kNetwork;
+constexpr MainCategory NDC = MainCategory::kNodeCard;
+constexpr MainCategory OTH = MainCategory::kOther;
+
+constexpr LocationKind CHIP = LocationKind::kComputeChip;
+constexpr LocationKind IONODE = LocationKind::kIoNode;
+constexpr LocationKind NCARD = LocationKind::kNodeCard;
+constexpr LocationKind LCARD = LocationKind::kLinkCard;
+constexpr LocationKind SCARD = LocationKind::kServiceCard;
+constexpr LocationKind MPLANE = LocationKind::kMidplane;
+
+// The Table-3 instantiation: 12+8+20+22+6+11+10+12 = 101 subcategories.
+// Phrases are pairwise non-substring so the classifier's longest-phrase
+// match is unambiguous.
+const Row kRows[] = {
+    // ----- Application (12) ------------------------------------------
+    {APP, "nodemapCreateFailure", Facility::kApp, FT, CHIP,
+     "could not create node map"},
+    {APP, "loadProgramFailure", Facility::kApp, FT, CHIP,
+     "ciod failed to load program image"},
+    {APP, "loginFailure", Facility::kCiod, FT, IONODE,
+     "ciod login failed on node"},
+    {APP, "nodeMapFileError", Facility::kApp, E, CHIP,
+     "error reading node map file"},
+    {APP, "nodeMapError", Facility::kApp, E, CHIP,
+     "inconsistent node map entry"},
+    {APP, "appSignalFailure", Facility::kApp, FL, CHIP,
+     "application terminated by signal"},
+    {APP, "appExitWarning", Facility::kApp, W, CHIP,
+     "application exited with nonzero status"},
+    {APP, "appStartInfo", Facility::kApp, I, CHIP,
+     "application started on partition"},
+    {APP, "appArgumentError", Facility::kApp, E, CHIP,
+     "invalid argument vector for program"},
+    {APP, "appEnvironmentWarning", Facility::kApp, W, CHIP,
+     "oversized environment passed to program"},
+    {APP, "ciodRestartInfo", Facility::kCiod, I, IONODE,
+     "ciod daemon restarted on io node"},
+    {APP, "appAssertFailure", Facility::kApp, FT, CHIP,
+     "assertion failed in application"},
+
+    // ----- Iostream (8) ----------------------------------------------
+    {IOS, "socketReadFailure", Facility::kCiod, FL, IONODE,
+     "communication failure on socket read"},
+    {IOS, "socketWriteFailure", Facility::kCiod, FL, IONODE,
+     "communication failure on socket write"},
+    {IOS, "streamReadFailure", Facility::kCiod, FT, IONODE,
+     "stream read call failed"},
+    {IOS, "streamWriteFailure", Facility::kCiod, FT, IONODE,
+     "stream write call failed"},
+    {IOS, "socketClosedFailure", Facility::kCiod, FL, IONODE,
+     "communication failure socket closed"},
+    {IOS, "ciodIoWarning", Facility::kCiod, W, IONODE,
+     "slow I/O progress on descriptor"},
+    {IOS, "fileDescriptorError", Facility::kCiod, E, IONODE,
+     "bad file descriptor in I/O call"},
+    {IOS, "ioRetryInfo", Facility::kCiod, I, IONODE,
+     "retrying interrupted I/O operation"},
+
+    // ----- Kernel (20) ------------------------------------------------
+    {KRN, "alignmentFailure", Facility::kKernel, FT, CHIP,
+     "alignment exception for data access"},
+    {KRN, "dataAddressFailure", Facility::kKernel, FT, CHIP,
+     "data address exception at address"},
+    {KRN, "instructionAddressFailure", Facility::kKernel, FT, CHIP,
+     "instruction address exception at pc"},
+    {KRN, "dataTlbFailure", Facility::kKernel, FT, CHIP,
+     "data TLB miss exception unresolved"},
+    {KRN, "instructionTlbError", Facility::kKernel, E, CHIP,
+     "instruction TLB miss error"},
+    {KRN, "kernelPanicFailure", Facility::kKernel, FL, CHIP,
+     "kernel panic in supervisor mode"},
+    {KRN, "floatingPointWarning", Facility::kKernel, W, CHIP,
+     "floating point unavailable interrupt"},
+    {KRN, "illegalInstructionFailure", Facility::kKernel, FT, CHIP,
+     "illegal instruction in program"},
+    {KRN, "interruptError", Facility::kKernel, E, CHIP,
+     "unexpected external interrupt"},
+    {KRN, "systemCallError", Facility::kKernel, E, CHIP,
+     "invalid system call number"},
+    {KRN, "kernelModeWarning", Facility::kKernel, W, CHIP,
+     "user access attempted in kernel mode"},
+    {KRN, "privilegedInstructionError", Facility::kKernel, E, CHIP,
+     "privileged instruction in problem state"},
+    {KRN, "traceInterruptInfo", Facility::kKernel, I, CHIP,
+     "trace interrupt after instruction"},
+    {KRN, "watchdogTimerWarning", Facility::kKernel, W, CHIP,
+     "watchdog timer second expiration"},
+    {KRN, "contextSwitchInfo", Facility::kKernel, I, CHIP,
+     "context switched to kernel thread"},
+    {KRN, "kernelShutdownInfo", Facility::kKernel, I, CHIP,
+     "kernel shutdown requested by control"},
+    {KRN, "debugInterruptInfo", Facility::kKernel, I, CHIP,
+     "debug interrupt from console"},
+    {KRN, "machineCheckError", Facility::kKernel, E, CHIP,
+     "machine check interrupt summary"},
+    {KRN, "criticalInputInterruptError", Facility::kKernel, E, CHIP,
+     "critical input interrupt raised"},
+    {KRN, "kernelAbortFailure", Facility::kKernel, FL, CHIP,
+     "rts internal error kernel abort"},
+
+    // ----- Memory (22) -------------------------------------------------
+    {MEM, "cachePrefetchFailure", Facility::kMemory, FT, CHIP,
+     "uncorrectable error in cache prefetch unit"},
+    {MEM, "dataReadFailure", Facility::kMemory, FT, CHIP,
+     "uncorrectable error on data read"},
+    {MEM, "dataStoreFailure", Facility::kMemory, FT, CHIP,
+     "uncorrectable error on data store"},
+    {MEM, "parityFailure", Facility::kMemory, FT, CHIP,
+     "parity error beyond correction threshold"},
+    {MEM, "cacheFailure", Facility::kMemory, FL, CHIP,
+     "uncorrectable error detected in edram bank"},
+    {MEM, "ddrErrorCorrectionInfo", Facility::kMemory, I, CHIP,
+     "ddr error corrected single symbol"},
+    {MEM, "maskInfo", Facility::kMemory, I, CHIP,
+     "error mask register updated"},
+    {MEM, "edramBankFailure", Facility::kMemory, FT, CHIP,
+     "edram bank disabled after repeated errors"},
+    {MEM, "ddrSingleSymbolInfo", Facility::kMemory, I, CHIP,
+     "single symbol error count incremented"},
+    {MEM, "ddrDoubleSymbolError", Facility::kMemory, E, CHIP,
+     "double symbol error detected on ddr"},
+    {MEM, "l1CacheParityWarning", Facility::kMemory, W, CHIP,
+     "parity warning in L1 data cache"},
+    {MEM, "l2CachePrefetchWarning", Facility::kMemory, W, CHIP,
+     "prefetch depth warning in L2 buffer"},
+    {MEM, "l3CacheError", Facility::kMemory, E, CHIP,
+     "correctable error in L3 directory"},
+    {MEM, "sramUncorrectableFailure", Facility::kMemory, FT, CHIP,
+     "uncorrectable error in sram scratch"},
+    {MEM, "memoryControllerError", Facility::kMemory, E, CHIP,
+     "memory controller reported bus error"},
+    {MEM, "scrubCycleInfo", Facility::kMemory, I, CHIP,
+     "memory scrub cycle completed"},
+    {MEM, "chipkillInfo", Facility::kMemory, I, CHIP,
+     "chipkill correction engaged"},
+    {MEM, "memoryTestWarning", Facility::kMemory, W, CHIP,
+     "memory test retried marginal bit"},
+    {MEM, "addressParityError", Facility::kMemory, E, CHIP,
+     "address parity error on request"},
+    {MEM, "busParityError", Facility::kMemory, E, CHIP,
+     "bus parity error between core and L2"},
+    {MEM, "refreshRateWarning", Facility::kMemory, W, CHIP,
+     "ddr refresh rate out of range"},
+    {MEM, "eccThresholdWarning", Facility::kMemory, W, CHIP,
+     "ecc correction count above threshold"},
+
+    // ----- Midplane (6) -------------------------------------------------
+    {MID, "linkcardFailure", Facility::kLinkCard, FT, LCARD,
+     "link card power module fault"},
+    {MID, "ciodSignalFailure", Facility::kMidplane, FT, MPLANE,
+     "ciod control stream severed on midplane"},
+    {MID, "midplaneServiceWarning", Facility::kMidplane, W, MPLANE,
+     "midplane placed into service state"},
+    {MID, "midplaneStartInfo", Facility::kMidplane, I, MPLANE,
+     "midplane initialization sequence started"},
+    {MID, "midplaneLinkcardRestartWarning", Facility::kMidplane, W, MPLANE,
+     "link card restart requested by midplane"},
+    {MID, "midplaneSwitchError", Facility::kMidplane, E, MPLANE,
+     "midplane switch port training error"},
+
+    // ----- Network (11) ---------------------------------------------------
+    {NET, "nodeConnectionFailure", Facility::kTorus, FT, CHIP,
+     "lost connection to neighbor node"},
+    {NET, "ethernetFailure", Facility::kEthernet, FT, IONODE,
+     "functional ethernet interface failure"},
+    {NET, "rtsFailure", Facility::kTorus, FL, CHIP,
+     "rts tree/torus service failure"},
+    {NET, "torusFailure", Facility::kTorus, FL, CHIP,
+     "uncorrectable torus error"},
+    {NET, "torusConnectionErrorInfo", Facility::kTorus, I, CHIP,
+     "torus connection retrain completed"},
+    {NET, "controlNetworkNMCSError", Facility::kCmcs, E, SCARD,
+     "control network NMCS transaction error"},
+    {NET, "controlNetworkInfo", Facility::kCmcs, I, SCARD,
+     "control network heartbeat resumed"},
+    {NET, "rtsLinkFailure", Facility::kTorus, FT, CHIP,
+     "rts link gone down unexpectedly"},
+    {NET, "torusReceiverError", Facility::kTorus, E, CHIP,
+     "torus receiver crc error on channel"},
+    {NET, "torusSenderWarning", Facility::kTorus, W, CHIP,
+     "torus sender retransmission warning"},
+    {NET, "ethernetLinkWarning", Facility::kEthernet, W, IONODE,
+     "ethernet link flapping detected"},
+
+    // ----- NodeCard (10) --------------------------------------------------
+    {NDC, "nodecardDiscoveryError", Facility::kNodeCard, E, NCARD,
+     "node card discovery probe error"},
+    {NDC, "nodecardAssemblyWarning", Facility::kNodeCard, W, NCARD,
+     "node card assembly information incomplete"},
+    {NDC, "nodecardUPDMismatch", Facility::kNodeCard, E, NCARD,
+     "node card UPD vital data mismatch"},
+    {NDC, "nodecardAssemblySevereDiscovery", Facility::kNodeCard, S, NCARD,
+     "severe discovery fault on node card assembly"},
+    {NDC, "nodecardFunctionalityWarning", Facility::kNodeCard, W, NCARD,
+     "node card functionality degraded"},
+    {NDC, "nodecardPowerFailure", Facility::kNodeCard, FT, NCARD,
+     "node card power domain failure"},
+    {NDC, "nodecardTemperatureWarning", Facility::kNodeCard, W, NCARD,
+     "node card temperature above limit"},
+    {NDC, "nodecardVoltageError", Facility::kNodeCard, E, NCARD,
+     "node card voltage rail out of spec"},
+    {NDC, "nodecardClockFailure", Facility::kNodeCard, FT, NCARD,
+     "node card clock distribution failure"},
+    {NDC, "nodecardStatusInfo", Facility::kNodeCard, I, NCARD,
+     "node card status summary posted"},
+
+    // ----- Other (12) ------------------------------------------------------
+    {OTH, "BGLMasterRestartInfo", Facility::kBglMaster, I, SCARD,
+     "BGLMaster restarted managed process"},
+    {OTH, "CMCScontrolInfo", Facility::kCmcs, I, SCARD,
+     "CMCS control command acknowledged"},
+    {OTH, "linkcardServiceWarning", Facility::kLinkCard, W, LCARD,
+     "link card placed in service mode"},
+    {OTH, "endServiceWarning", Facility::kCmcs, W, SCARD,
+     "end service action on hardware"},
+    {OTH, "coredumpCreated", Facility::kCiod, I, IONODE,
+     "core dump image written for job"},
+    {OTH, "serviceCardError", Facility::kServiceCard, E, SCARD,
+     "service card controller error"},
+    {OTH, "fanSpeedWarning", Facility::kMonitor, W, MPLANE,
+     "fan speed below operating threshold"},
+    {OTH, "powerSupplyVoltageWarning", Facility::kMonitor, W, MPLANE,
+     "power supply voltage deviation"},
+    {OTH, "temperatureSevere", Facility::kMonitor, S, MPLANE,
+     "severe ambient temperature excursion"},
+    {OTH, "serviceActionInfo", Facility::kCmcs, I, SCARD,
+     "service action opened by operator"},
+    {OTH, "hardwareMonitorFailure", Facility::kMonitor, FT, MPLANE,
+     "hardware monitor lost device contact"},
+    {OTH, "clockCardError", Facility::kServiceCard, E, SCARD,
+     "clock card reference drift error"},
+};
+
+constexpr std::size_t kExpectedSubcategories = 101;
+static_assert(sizeof(kRows) / sizeof(kRows[0]) == kExpectedSubcategories,
+              "Table 3 requires exactly 101 subcategories");
+
+}  // namespace
+
+Catalog::Catalog()
+    : by_main_(kMainCategoryCount), fatal_by_main_(kMainCategoryCount) {
+  entries_.reserve(kExpectedSubcategories);
+  for (const Row& row : kRows) {
+    SubcategoryInfo info;
+    info.id = static_cast<SubcategoryId>(entries_.size());
+    info.main = row.main;
+    info.name = row.name;
+    info.facility = row.facility;
+    info.severity = row.severity;
+    info.reporter = row.reporter;
+    info.phrase = row.phrase;
+    entries_.push_back(info);
+
+    const auto main_index = static_cast<std::size_t>(row.main);
+    by_main_[main_index].push_back(info.id);
+    if (info.fatal()) {
+      fatal_by_main_[main_index].push_back(info.id);
+      fatal_.push_back(info.id);
+    } else {
+      non_fatal_.push_back(info.id);
+    }
+  }
+}
+
+const SubcategoryInfo& Catalog::info(SubcategoryId id) const {
+  BGL_REQUIRE(id < entries_.size(), "bad subcategory id");
+  return entries_[id];
+}
+
+const std::vector<SubcategoryId>& Catalog::by_main(MainCategory main) const {
+  return by_main_[static_cast<std::size_t>(main)];
+}
+
+const std::vector<SubcategoryId>& Catalog::fatal_by_main(
+    MainCategory main) const {
+  return fatal_by_main_[static_cast<std::size_t>(main)];
+}
+
+SubcategoryId Catalog::find(std::string_view name) const {
+  for (const SubcategoryInfo& info : entries_) {
+    if (info.name == name) {
+      return info.id;
+    }
+  }
+  return kUnclassified;
+}
+
+const Catalog& Catalog::get() {
+  static const Catalog instance;
+  return instance;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,87 @@
+// The subcategory catalog — the library's instantiation of Table 3.
+//
+// 101 subcategories across 8 main categories (Application 12, Iostream 8,
+// Kernel 20, Memory 22, Midplane 6, Network 11, NodeCard 10, Other 12),
+// embedding every event name the paper cites (loadProgramFailure,
+// socketReadFailure, torusFailure, nodecardDiscoveryError, ...).
+//
+// Each subcategory records:
+//   * its main category and canonical camelCase name;
+//   * the FACILITY that reports it and the LOCATION kind it reports from;
+//   * its severity (names ending in Failure are FATAL/FAILURE — the
+//     prediction targets; Error/Warning/Info names are non-fatal);
+//   * a characteristic message phrase. Generated ENTRY_DATA always
+//     contains the phrase; the classifier keys on it, so classification
+//     genuinely derives from the text + facility, not from generator ids.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "bgl/location.hpp"
+#include "raslog/facility.hpp"
+#include "raslog/record.hpp"
+#include "raslog/severity.hpp"
+#include "taxonomy/category.hpp"
+
+namespace bglpred {
+
+/// Static description of one subcategory.
+struct SubcategoryInfo {
+  SubcategoryId id = kUnclassified;
+  MainCategory main = MainCategory::kOther;
+  std::string_view name;    ///< canonical camelCase name, e.g. "torusFailure"
+  Facility facility = Facility::kApp;
+  Severity severity = Severity::kInfo;
+  bgl::LocationKind reporter = bgl::LocationKind::kComputeChip;
+  std::string_view phrase;  ///< characteristic ENTRY_DATA phrase
+
+  bool fatal() const { return is_fatal(severity); }
+};
+
+/// Immutable catalog of all subcategories. Access through catalog().
+class Catalog {
+ public:
+  /// Total number of subcategories (101).
+  std::size_t size() const { return entries_.size(); }
+
+  /// Subcategory by id. Requires id < size().
+  const SubcategoryInfo& info(SubcategoryId id) const;
+
+  /// All subcategories.
+  const std::vector<SubcategoryInfo>& entries() const { return entries_; }
+
+  /// Subcategory ids belonging to a main category.
+  const std::vector<SubcategoryId>& by_main(MainCategory main) const;
+
+  /// Fatal subcategory ids belonging to a main category.
+  const std::vector<SubcategoryId>& fatal_by_main(MainCategory main) const;
+
+  /// All fatal subcategory ids.
+  const std::vector<SubcategoryId>& fatal() const { return fatal_; }
+
+  /// All non-fatal subcategory ids.
+  const std::vector<SubcategoryId>& non_fatal() const { return non_fatal_; }
+
+  /// Finds a subcategory by canonical name; returns kUnclassified if
+  /// unknown.
+  SubcategoryId find(std::string_view name) const;
+
+  /// The singleton instance.
+  static const Catalog& get();
+
+ private:
+  Catalog();
+
+  std::vector<SubcategoryInfo> entries_;
+  std::vector<std::vector<SubcategoryId>> by_main_;
+  std::vector<std::vector<SubcategoryId>> fatal_by_main_;
+  std::vector<SubcategoryId> fatal_;
+  std::vector<SubcategoryId> non_fatal_;
+};
+
+/// Shorthand for Catalog::get().
+inline const Catalog& catalog() { return Catalog::get(); }
+
+}  // namespace bglpred

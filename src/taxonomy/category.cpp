@@ -1,0 +1,31 @@
+#include "taxonomy/category.hpp"
+
+#include <array>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+constexpr std::array<const char*, kMainCategoryCount> kNames = {
+    "Application", "Iostream", "Kernel",   "Memory",
+    "Midplane",    "Network",  "NodeCard", "Other"};
+
+}  // namespace
+
+const char* to_string(MainCategory c) {
+  const auto i = static_cast<std::size_t>(c);
+  BGL_ASSERT(i < kNames.size());
+  return kNames[i];
+}
+
+MainCategory parse_main_category(const std::string& name) {
+  for (std::size_t i = 0; i < kNames.size(); ++i) {
+    if (name == kNames[i]) {
+      return static_cast<MainCategory>(i);
+    }
+  }
+  throw ParseError("unknown main category: '" + name + "'");
+}
+
+}  // namespace bglpred

@@ -1,0 +1,33 @@
+// Main event categories (Table 3 of the paper).
+//
+// Phase-1 categorization first buckets every event into one of eight
+// high-level categories based on the subsystem in which it occurred, then
+// refines into one of 101 subcategories (see catalog.hpp).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace bglpred {
+
+/// High-level event category.
+enum class MainCategory : std::uint8_t {
+  kApplication = 0,  ///< application instruction failures
+  kIostream,         ///< socket read/write and I/O procedure calls
+  kKernel,           ///< instructions and alignment of data
+  kMemory,           ///< memory hierarchy
+  kMidplane,         ///< midplane configuration and switches
+  kNetwork,          ///< torus message exchange
+  kNodeCard,         ///< node-card operation and configuration
+  kOther,            ///< everything else (control daemons, environment)
+};
+
+inline constexpr int kMainCategoryCount = 8;
+
+/// Display name ("Application", "Iostream", ...).
+const char* to_string(MainCategory c);
+
+/// Parses a display name; throws ParseError on unknown input.
+MainCategory parse_main_category(const std::string& name);
+
+}  // namespace bglpred

@@ -1,0 +1,53 @@
+// Hierarchical event categorization (Phase 1, step 1).
+//
+// Assigns each record a subcategory from the catalog by combining the
+// FACILITY field with a phrase match against ENTRY_DATA, falling back to
+// facility- and severity-based heuristics when the text matches no known
+// phrase — mirroring the paper's use of LOCATION, FACILITY, and ENTRY_DATA
+// for categorization.
+#pragma once
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "raslog/log.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+
+/// Statistics from a classification pass.
+struct ClassificationStats {
+  std::size_t classified_by_phrase = 0;  ///< matched a catalog phrase
+  std::size_t classified_by_fallback = 0;  ///< facility/severity heuristic
+  std::size_t total = 0;
+
+  /// Per-main-category record counts, indexed by MainCategory.
+  std::vector<std::size_t> per_main =
+      std::vector<std::size_t>(kMainCategoryCount, 0);
+};
+
+/// Stateless (after construction) classifier over the global catalog.
+class EventClassifier {
+ public:
+  EventClassifier();
+
+  /// Classifies a single entry-data text + facility pair; returns the
+  /// subcategory id, or the facility fallback if no phrase matches.
+  SubcategoryId classify(std::string_view entry_data, Facility facility,
+                         Severity severity) const;
+
+  /// Classifies every record in the log in place (fills
+  /// RasRecord::subcategory) and returns statistics.
+  ClassificationStats classify_all(RasLog& log) const;
+
+ private:
+  SubcategoryId fallback(Facility facility, Severity severity) const;
+
+  // Phrase index: per facility, the (phrase, id) list to scan. Facility
+  // narrows candidates so the text scan is short.
+  std::vector<std::vector<std::pair<std::string_view, SubcategoryId>>>
+      by_facility_;
+};
+
+}  // namespace bglpred

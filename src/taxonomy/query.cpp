@@ -1,0 +1,95 @@
+#include "taxonomy/query.hpp"
+
+namespace bglpred {
+
+LogQuery& LogQuery::between(TimePoint begin, TimePoint end) {
+  filters_.push_back([begin, end](const RasRecord& rec) {
+    return rec.time >= begin && rec.time < end;
+  });
+  return *this;
+}
+
+LogQuery& LogQuery::min_severity(Severity floor) {
+  filters_.push_back([floor](const RasRecord& rec) {
+    return static_cast<int>(rec.severity) >= static_cast<int>(floor);
+  });
+  return *this;
+}
+
+LogQuery& LogQuery::fatal_only() {
+  filters_.push_back([](const RasRecord& rec) { return rec.fatal(); });
+  return *this;
+}
+
+LogQuery& LogQuery::in_main_category(MainCategory main) {
+  filters_.push_back([main](const RasRecord& rec) {
+    return rec.subcategory != kUnclassified &&
+           catalog().info(rec.subcategory).main == main;
+  });
+  return *this;
+}
+
+LogQuery& LogQuery::of_subcategory(SubcategoryId subcat) {
+  filters_.push_back([subcat](const RasRecord& rec) {
+    return rec.subcategory == subcat;
+  });
+  return *this;
+}
+
+LogQuery& LogQuery::under(const bgl::Location& subtree) {
+  filters_.push_back([subtree](const RasRecord& rec) {
+    return subtree.contains(rec.location);
+  });
+  return *this;
+}
+
+LogQuery& LogQuery::of_job(bgl::JobId job) {
+  filters_.push_back(
+      [job](const RasRecord& rec) { return rec.job == job; });
+  return *this;
+}
+
+LogQuery& LogQuery::where(std::function<bool(const RasRecord&)> predicate) {
+  filters_.push_back(std::move(predicate));
+  return *this;
+}
+
+bool LogQuery::matches(const RasRecord& rec) const {
+  for (const auto& filter : filters_) {
+    if (!filter(rec)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+std::size_t LogQuery::count() const {
+  std::size_t n = 0;
+  for (const RasRecord& rec : log_->records()) {
+    n += matches(rec);
+  }
+  return n;
+}
+
+std::vector<RasRecord> LogQuery::records() const {
+  std::vector<RasRecord> out;
+  for (const RasRecord& rec : log_->records()) {
+    if (matches(rec)) {
+      out.push_back(rec);
+    }
+  }
+  return out;
+}
+
+RasLog LogQuery::materialize() const { return log_->subset(records()); }
+
+std::optional<RasRecord> LogQuery::first() const {
+  for (const RasRecord& rec : log_->records()) {
+    if (matches(rec)) {
+      return rec;
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace bglpred

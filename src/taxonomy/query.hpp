@@ -1,0 +1,73 @@
+// Log querying.
+//
+// Administrators (and several benches) slice logs by time, severity,
+// category, and hardware subtree. LogQuery is a small composable filter
+// builder over a RasLog; filters AND together.
+//
+//   auto fatal_net_week = LogQuery(log)
+//       .between(t0, t0 + 7 * kDay)
+//       .min_severity(Severity::kFatal)
+//       .in_main_category(MainCategory::kNetwork)
+//       .records();
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "raslog/log.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+
+/// Composable conjunctive filter over a log (non-owning view).
+class LogQuery {
+ public:
+  explicit LogQuery(const RasLog& log) : log_(&log) {}
+
+  /// Keep records with time in [begin, end).
+  LogQuery& between(TimePoint begin, TimePoint end);
+
+  /// Keep records with severity >= floor.
+  LogQuery& min_severity(Severity floor);
+
+  /// Keep only FATAL/FAILURE records.
+  LogQuery& fatal_only();
+
+  /// Keep records whose subcategory belongs to `main` (requires the log
+  /// to be categorized; unclassified records never match).
+  LogQuery& in_main_category(MainCategory main);
+
+  /// Keep records of one subcategory.
+  LogQuery& of_subcategory(SubcategoryId subcat);
+
+  /// Keep records whose LOCATION is contained in `subtree`
+  /// (e.g. a midplane keeps all its chips' records).
+  LogQuery& under(const bgl::Location& subtree);
+
+  /// Keep records of one job.
+  LogQuery& of_job(bgl::JobId job);
+
+  /// Keep records matching an arbitrary predicate.
+  LogQuery& where(std::function<bool(const RasRecord&)> predicate);
+
+  /// Number of matching records.
+  std::size_t count() const;
+
+  /// Matching records, in log order.
+  std::vector<RasRecord> records() const;
+
+  /// A new log holding the matching records (re-interned).
+  RasLog materialize() const;
+
+  /// First matching record, if any.
+  std::optional<RasRecord> first() const;
+
+ private:
+  bool matches(const RasRecord& rec) const;
+
+  const RasLog* log_;
+  std::vector<std::function<bool(const RasRecord&)>> filters_;
+};
+
+}  // namespace bglpred

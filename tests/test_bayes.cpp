@@ -1,0 +1,139 @@
+// Tests for the naive-Bayes base predictor.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "predict/bayes_predictor.hpp"
+#include "eval/cross_validation.hpp"
+#include "preprocess/pipeline.hpp"
+#include "simgen/generator.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+namespace {
+
+RasRecord event(TimePoint t, const char* name) {
+  const SubcategoryId id = catalog().find(name);
+  EXPECT_NE(id, kUnclassified) << name;
+  const SubcategoryInfo& info = catalog().info(id);
+  RasRecord rec;
+  rec.time = t;
+  rec.subcategory = id;
+  rec.severity = info.severity;
+  rec.facility = info.facility;
+  rec.location = bgl::Location::make_compute_chip(0, 0, 0, 0);
+  return rec;
+}
+
+// A training log where nodeMapFileError deterministically precedes
+// nodemapCreateFailure, and maskInfo occurs everywhere (uninformative).
+RasLog cascade_log(int cascades) {
+  RasLog log;
+  TimePoint t = 0;
+  for (int i = 0; i < cascades; ++i) {
+    t += 2 * kHour;
+    log.append_with_text(event(t, "maskInfo"), "m1");
+    log.append_with_text(event(t + 60, "nodeMapFileError"), "p");
+    log.append_with_text(event(t + 5 * kMinute, "nodemapCreateFailure"),
+                         "f");
+    // Uninformative chatter far from any failure.
+    log.append_with_text(event(t + kHour, "maskInfo"), "m2");
+  }
+  log.sort_by_time();
+  return log;
+}
+
+PredictionConfig config30() {
+  PredictionConfig c;
+  c.window = 30 * kMinute;
+  return c;
+}
+
+TEST(BayesPredictorTest, LearnsDiscriminativeFeature) {
+  BayesPredictor bayes(config30());
+  bayes.train(cascade_log(60));
+  const SubcategoryId precursor = catalog().find("nodeMapFileError");
+  const SubcategoryId noise = catalog().find("maskInfo");
+  // Bags are evaluated jointly: the realistic pre-failure bag (precursor
+  // plus the accompanying chatter) must score far above chatter alone.
+  EXPECT_GT(bayes.posterior({precursor, noise}),
+            bayes.posterior({noise}));
+  EXPECT_GT(bayes.posterior({precursor, noise}), 0.6);
+  EXPECT_LT(bayes.posterior({noise}), 0.5);
+}
+
+TEST(BayesPredictorTest, PriorReflectsClassBalance) {
+  BayesOptions options;
+  options.negative_ratio = 4.0;
+  BayesPredictor bayes(config30(), options);
+  bayes.train(cascade_log(60));
+  // 1 positive per ~4 negatives (up to rejection-sampling shortfall).
+  EXPECT_GT(bayes.prior(), 0.1);
+  EXPECT_LT(bayes.prior(), 0.4);
+}
+
+TEST(BayesPredictorTest, WarnsOnPrecursorNotOnNoise) {
+  BayesPredictor bayes(config30());
+  bayes.train(cascade_log(60));
+  bayes.reset();
+  EXPECT_FALSE(bayes.observe(event(10000000, "maskInfo")).has_value());
+  const auto w = bayes.observe(event(10000100, "nodeMapFileError"));
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->source, "bayes");
+  EXPECT_TRUE(w->mergeable);
+  EXPECT_GE(w->confidence, 0.6);
+}
+
+TEST(BayesPredictorTest, FatalEventsAreNotFeatures) {
+  BayesPredictor bayes(config30());
+  bayes.train(cascade_log(60));
+  bayes.reset();
+  EXPECT_FALSE(
+      bayes.observe(event(10000000, "nodemapCreateFailure")).has_value());
+}
+
+TEST(BayesPredictorTest, WindowEvictionLowersPosterior) {
+  BayesPredictor bayes(config30());
+  bayes.train(cascade_log(60));
+  bayes.reset();
+  bayes.observe(event(20000000, "maskInfo"));
+  ASSERT_TRUE(bayes.observe(event(20000060, "nodeMapFileError")));
+  // 20 minutes later (beyond the 15-minute feature window) the precursor
+  // is forgotten; noise alone does not warn.
+  EXPECT_FALSE(
+      bayes.observe(event(20000060 + 20 * kMinute, "maskInfo")));
+}
+
+TEST(BayesPredictorTest, UntrainedIsSilent) {
+  BayesPredictor bayes(config30());
+  EXPECT_DOUBLE_EQ(bayes.posterior({1, 2}), 0.0);
+  EXPECT_FALSE(bayes.observe(event(100, "maskInfo")).has_value());
+}
+
+TEST(BayesPredictorTest, RejectsBadOptions) {
+  BayesOptions bad;
+  bad.posterior_threshold = 1.5;
+  EXPECT_THROW(BayesPredictor(config30(), bad), InvalidArgument);
+  bad.posterior_threshold = 0.5;
+  bad.smoothing = 0.0;
+  EXPECT_THROW(BayesPredictor(config30(), bad), InvalidArgument);
+}
+
+TEST(BayesPredictorTest, ReasonableOnCalibratedLog) {
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.08);
+  PreprocessOptions popt;
+  preprocess(g.log, popt);
+  const auto& records = g.log.records();
+  const std::size_t cut = records.size() * 8 / 10;
+  const RasLog train = g.log.subset(
+      {records.begin(), records.begin() + static_cast<std::ptrdiff_t>(cut)});
+  const RasLog test = g.log.subset(
+      {records.begin() + static_cast<std::ptrdiff_t>(cut), records.end()});
+  BayesPredictor bayes(config30());
+  const FoldResult r = evaluate_split(train, test, bayes);
+  // Not asserting paper-level accuracy — just that it finds real signal.
+  EXPECT_GT(r.confusion.recall(), 0.1);
+  EXPECT_GT(r.confusion.precision(), 0.3);
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -1,0 +1,131 @@
+// Tests for the ThreePhasePredictor facade and the online engine.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "core/online.hpp"
+#include "core/three_phase.hpp"
+#include "simgen/generator.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+namespace {
+
+TEST(ThreePhaseTest, MethodNames) {
+  EXPECT_STREQ(to_string(Method::kStatistical), "statistical");
+  EXPECT_STREQ(to_string(Method::kRule), "rule");
+  EXPECT_STREQ(to_string(Method::kMeta), "meta");
+  EXPECT_STREQ(to_string(Method::kPeriodic), "periodic");
+  EXPECT_STREQ(to_string(Method::kEveryFailure), "every-failure");
+}
+
+TEST(ThreePhaseTest, MakePredictorBuildsEveryMethod) {
+  const ThreePhasePredictor tpp;
+  for (const Method m : {Method::kStatistical, Method::kRule, Method::kMeta,
+                         Method::kPeriodic, Method::kEveryFailure}) {
+    const PredictorPtr p = tpp.make_predictor(m);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(p->name(), to_string(m));
+  }
+}
+
+TEST(ThreePhaseTest, RejectsTooFewFolds) {
+  ThreePhaseOptions opt;
+  opt.cv_folds = 1;
+  EXPECT_THROW(ThreePhasePredictor{opt}, InvalidArgument);
+}
+
+TEST(ThreePhaseTest, EndToEndOnGeneratedLog) {
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.04);
+  ThreePhaseOptions opt;
+  opt.prediction.window = 30 * kMinute;
+  opt.cv_folds = 5;
+  const ThreePhasePredictor tpp(opt);
+  const PreprocessStats p1 = tpp.run_phase1(g.log);
+  EXPECT_GT(p1.unique_fatal_events, 50u);
+  EXPECT_LT(p1.unique_events, p1.raw_records);
+
+  const CvResult rule = tpp.evaluate(g.log, Method::kRule);
+  const CvResult meta = tpp.evaluate(g.log, Method::kMeta);
+  // Core qualitative claims of the paper on any calibrated log:
+  // the meta-learner's recall beats the rule base's, and everything is a
+  // valid probability.
+  EXPECT_GE(meta.macro_recall, rule.macro_recall);
+  for (const CvResult* r : {&rule, &meta}) {
+    EXPECT_GE(r->macro_precision, 0.0);
+    EXPECT_LE(r->macro_precision, 1.0);
+    EXPECT_GE(r->macro_recall, 0.0);
+    EXPECT_LE(r->macro_recall, 1.0);
+  }
+}
+
+TEST(OnlineEngineTest, DeduplicatesAndForwards) {
+  ThreePhaseOptions opt;
+  opt.prediction.window = 30 * kMinute;
+  const ThreePhasePredictor tpp(opt);
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure));
+
+  const SubcategoryInfo& torus =
+      catalog().info(catalog().find("torusFailure"));
+  RasRecord rec;
+  rec.time = 1000;
+  rec.job = 5;
+  rec.location = bgl::Location::make_compute_chip(0, 0, 0, 0);
+  rec.facility = torus.facility;
+  rec.severity = torus.severity;
+
+  // First sighting passes through and (every-failure) warns.
+  auto w1 = engine.feed(rec, std::string(torus.phrase) + " seq=1");
+  EXPECT_TRUE(w1.has_value());
+  // Duplicate within the threshold is swallowed.
+  rec.time = 1100;
+  auto w2 = engine.feed(rec, std::string(torus.phrase) + " seq=1");
+  EXPECT_FALSE(w2.has_value());
+  EXPECT_EQ(engine.stats().deduplicated, 1u);
+  // Beyond the threshold it is a fresh event again.
+  rec.time = 1100 + 400;
+  auto w3 = engine.feed(rec, std::string(torus.phrase) + " seq=2");
+  EXPECT_TRUE(w3.has_value());
+  EXPECT_EQ(engine.stats().raw_records, 3u);
+  EXPECT_EQ(engine.stats().forwarded, 2u);
+  EXPECT_EQ(engine.stats().warnings, 2u);
+}
+
+TEST(OnlineEngineTest, ClassifiesFromEntryText) {
+  ThreePhaseOptions opt;
+  const ThreePhasePredictor tpp(opt);
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure));
+  const SubcategoryInfo& cache =
+      catalog().info(catalog().find("cacheFailure"));
+  RasRecord rec;
+  rec.time = 2000;
+  rec.location = bgl::Location::make_compute_chip(0, 1, 2, 3);
+  rec.facility = cache.facility;
+  rec.severity = cache.severity;
+  auto w = engine.feed(rec, std::string(cache.phrase) + " bank 3");
+  EXPECT_TRUE(w.has_value());  // classified fatal -> every-failure warns
+}
+
+TEST(OnlineEngineTest, MatchesOfflinePhase1OnReplay) {
+  // Streaming dedup must agree with the offline temporal compressor on a
+  // spatially-unique stream (one location).
+  GeneratedLog g = LogGenerator(SystemProfile::sdsc()).generate(0.01);
+  ThreePhaseOptions opt;
+  const ThreePhasePredictor tpp(opt);
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure));
+  for (const RasRecord& rec : g.log.records()) {
+    engine.feed(rec, g.log.text_of(rec));
+  }
+  // Offline: classify + temporal compression only.
+  RasLog offline = std::move(g.log);
+  const EventClassifier classifier;
+  classifier.classify_all(offline);
+  const CompressionResult r = compress_temporal(offline);
+  EXPECT_EQ(engine.stats().forwarded, r.output_records);
+}
+
+TEST(OnlineEngineTest, RejectsNullPredictor) {
+  EXPECT_THROW(OnlineEngine(nullptr), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -1,0 +1,302 @@
+// Tests for confusion metrics, warning matching, episode merging, and
+// cross-validation.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "eval/cross_validation.hpp"
+#include "eval/matcher.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+namespace {
+
+Warning make_warning(TimePoint begin, TimePoint end, const char* source,
+                     bool mergeable = false, double confidence = 0.5) {
+  Warning w;
+  w.issued_at = begin - 1;
+  w.window_begin = begin;
+  w.window_end = end;
+  w.confidence = confidence;
+  w.source = source;
+  w.mergeable = mergeable;
+  return w;
+}
+
+// ---- Confusion ----------------------------------------------------------
+
+TEST(ConfusionTest, Metrics) {
+  Confusion c;
+  c.covered_failures = 3;
+  c.missed_failures = 1;
+  c.true_warnings = 3;
+  c.false_warnings = 2;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.6);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.75);
+  EXPECT_NEAR(c.f1(), 2 * 0.6 * 0.75 / 1.35, 1e-12);
+}
+
+TEST(ConfusionTest, EmptyIsZeroNotNan) {
+  const Confusion c;
+  EXPECT_DOUBLE_EQ(c.precision(), 0.0);
+  EXPECT_DOUBLE_EQ(c.recall(), 0.0);
+  EXPECT_DOUBLE_EQ(c.f1(), 0.0);
+}
+
+TEST(ConfusionTest, Accumulation) {
+  Confusion a;
+  a.covered_failures = 1;
+  a.false_warnings = 2;
+  Confusion b;
+  b.covered_failures = 2;
+  b.true_warnings = 3;
+  const Confusion sum = a + b;
+  EXPECT_EQ(sum.covered_failures, 3u);
+  EXPECT_EQ(sum.true_warnings, 3u);
+  EXPECT_EQ(sum.false_warnings, 2u);
+}
+
+// ---- matching ------------------------------------------------------------
+
+TEST(MatcherTest, CoversFailuresInsideWindows) {
+  const std::vector<Warning> warnings{make_warning(100, 200, "s"),
+                                      make_warning(500, 600, "s")};
+  const std::vector<TimePoint> failures{150, 550, 900};
+  const Confusion c = match_warnings(warnings, failures);
+  EXPECT_EQ(c.covered_failures, 2u);
+  EXPECT_EQ(c.missed_failures, 1u);
+  EXPECT_EQ(c.true_warnings, 2u);
+  EXPECT_EQ(c.false_warnings, 0u);
+}
+
+TEST(MatcherTest, OneWarningCoversMultipleFailures) {
+  const std::vector<Warning> warnings{make_warning(100, 1000, "s")};
+  const std::vector<TimePoint> failures{200, 300, 400};
+  const Confusion c = match_warnings(warnings, failures);
+  EXPECT_EQ(c.covered_failures, 3u);
+  EXPECT_EQ(c.true_warnings, 1u);
+  EXPECT_EQ(c.false_warnings, 0u);
+}
+
+TEST(MatcherTest, MultipleWarningsCoverOneFailure) {
+  const std::vector<Warning> warnings{make_warning(100, 300, "s"),
+                                      make_warning(150, 350, "s")};
+  const std::vector<TimePoint> failures{250};
+  const Confusion c = match_warnings(warnings, failures);
+  EXPECT_EQ(c.covered_failures, 1u);
+  EXPECT_EQ(c.true_warnings, 2u);  // both saw the failure
+}
+
+TEST(MatcherTest, BoundariesAreInclusive) {
+  const std::vector<Warning> warnings{make_warning(100, 200, "s")};
+  EXPECT_EQ(match_warnings(warnings, {100}).covered_failures, 1u);
+  EXPECT_EQ(match_warnings(warnings, {200}).covered_failures, 1u);
+  EXPECT_EQ(match_warnings(warnings, {99}).covered_failures, 0u);
+  EXPECT_EQ(match_warnings(warnings, {201}).covered_failures, 0u);
+}
+
+TEST(MatcherTest, EmptyInputs) {
+  EXPECT_EQ(match_warnings({}, {100}).missed_failures, 1u);
+  const std::vector<Warning> warnings{make_warning(1, 2, "s")};
+  const Confusion c = match_warnings(warnings, {});
+  EXPECT_EQ(c.false_warnings, 1u);
+  EXPECT_EQ(c.failures(), 0u);
+}
+
+TEST(MatcherTest, RequiresSortedInputs) {
+  const std::vector<Warning> unsorted{make_warning(500, 600, "s"),
+                                      make_warning(100, 200, "s")};
+  EXPECT_THROW(match_warnings(unsorted, {}), InvalidArgument);
+  const std::vector<Warning> ok{make_warning(100, 200, "s")};
+  EXPECT_THROW(match_warnings(ok, {300, 100}), InvalidArgument);
+}
+
+// ---- episode merging ---------------------------------------------------------
+
+TEST(MergeEpisodesTest, MergesOverlappingSameSourceMergeable) {
+  auto merged = merge_episodes({make_warning(100, 300, "rule", true, 0.5),
+                                make_warning(200, 400, "rule", true, 0.8)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].window_begin, 100);
+  EXPECT_EQ(merged[0].window_end, 400);
+  EXPECT_DOUBLE_EQ(merged[0].confidence, 0.8);  // max
+}
+
+TEST(MergeEpisodesTest, AdjacentIntervalsMerge) {
+  auto merged = merge_episodes({make_warning(100, 200, "rule", true),
+                                make_warning(201, 300, "rule", true)});
+  EXPECT_EQ(merged.size(), 1u);
+}
+
+TEST(MergeEpisodesTest, GapsStaySeparate) {
+  auto merged = merge_episodes({make_warning(100, 200, "rule", true),
+                                make_warning(250, 300, "rule", true)});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeEpisodesTest, DifferentSourcesDoNotMerge) {
+  auto merged = merge_episodes({make_warning(100, 300, "rule", true),
+                                make_warning(150, 400, "other", true)});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeEpisodesTest, NonMergeableWarningsPassThrough) {
+  auto merged = merge_episodes({make_warning(100, 300, "stat", false),
+                                make_warning(150, 400, "stat", false)});
+  EXPECT_EQ(merged.size(), 2u);
+}
+
+TEST(MergeEpisodesTest, SortsUnsortedInput) {
+  auto merged = merge_episodes({make_warning(500, 600, "r", true),
+                                make_warning(100, 550, "r", true)});
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].window_begin, 100);
+  EXPECT_EQ(merged[0].window_end, 600);
+}
+
+TEST(MergeEpisodesTest, ChainOfOverlapsCollapses) {
+  std::vector<Warning> warnings;
+  for (int i = 0; i < 10; ++i) {
+    warnings.push_back(make_warning(100 + i * 50, 100 + i * 50 + 80,
+                                    "rule", true));
+  }
+  const auto merged = merge_episodes(std::move(warnings));
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].window_begin, 100);
+  EXPECT_EQ(merged[0].window_end, 100 + 9 * 50 + 80);
+}
+
+// ---- cross-validation -----------------------------------------------------------
+
+RasRecord event(TimePoint t, const char* name) {
+  const SubcategoryId id = catalog().find(name);
+  const SubcategoryInfo& info = catalog().info(id);
+  RasRecord rec;
+  rec.time = t;
+  rec.subcategory = id;
+  rec.severity = info.severity;
+  rec.facility = info.facility;
+  rec.location = bgl::Location::make_compute_chip(0, 0, 0, 0);
+  return rec;
+}
+
+// A predictor that warns right after every "nodeMapFileError" — the
+// synthetic log pairs each with a failure 60 s later, so it is perfect.
+class OracleBase final : public BasePredictor {
+ public:
+  std::string name() const override { return "oracle"; }
+  void train(const RasLog& training) override { (void)training; }
+  void reset() override {}
+  std::optional<Warning> observe(const RasRecord& rec) override {
+    if (rec.subcategory != catalog().find("nodeMapFileError")) {
+      return std::nullopt;
+    }
+    Warning w;
+    w.issued_at = rec.time;
+    w.window_begin = rec.time + 1;
+    w.window_end = rec.time + 10 * kMinute;
+    w.confidence = 1.0;
+    w.source = name();
+    return w;
+  }
+};
+
+RasLog paired_log(int pairs) {
+  RasLog log;
+  for (int i = 0; i < pairs; ++i) {
+    const TimePoint t = i * kHour;
+    log.append_with_text(event(t, "nodeMapFileError"), "p");
+    log.append_with_text(event(t + 60, "nodemapCreateFailure"), "f");
+  }
+  return log;
+}
+
+TEST(CrossValidationTest, PerfectPredictorScoresPerfectly) {
+  const RasLog log = paired_log(50);
+  const CvResult result = cross_validate(
+      log, 10, [] { return std::make_unique<OracleBase>(); });
+  EXPECT_DOUBLE_EQ(result.macro_precision, 1.0);
+  EXPECT_DOUBLE_EQ(result.macro_recall, 1.0);
+  EXPECT_EQ(result.pooled.covered_failures, 50u);
+  EXPECT_EQ(result.pooled.false_warnings, 0u);
+  EXPECT_EQ(result.folds.size(), 10u);
+}
+
+TEST(CrossValidationTest, FoldsPartitionTheLog) {
+  const RasLog log = paired_log(50);
+  const CvResult result = cross_validate(
+      log, 10, [] { return std::make_unique<OracleBase>(); });
+  std::size_t total_records = 0;
+  std::size_t total_failures = 0;
+  for (const FoldResult& fold : result.folds) {
+    total_records += fold.test_records;
+    total_failures += fold.test_failures;
+  }
+  EXPECT_EQ(total_records, log.size());
+  EXPECT_EQ(total_failures, 50u);
+}
+
+TEST(CrossValidationTest, NeverPredictorHasZeroRecall) {
+  class Silent final : public BasePredictor {
+   public:
+    std::string name() const override { return "silent"; }
+    void train(const RasLog&) override {}
+    void reset() override {}
+    std::optional<Warning> observe(const RasRecord&) override {
+      return std::nullopt;
+    }
+  };
+  const RasLog log = paired_log(30);
+  const CvResult result =
+      cross_validate(log, 5, [] { return std::make_unique<Silent>(); });
+  EXPECT_DOUBLE_EQ(result.macro_recall, 0.0);
+  EXPECT_EQ(result.pooled.missed_failures, 30u);
+}
+
+TEST(CrossValidationTest, RejectsBadArguments) {
+  const RasLog log = paired_log(5);
+  const auto factory = [] { return std::make_unique<OracleBase>(); };
+  EXPECT_THROW(cross_validate(log, 1, factory), InvalidArgument);
+  RasLog tiny;
+  tiny.append_with_text(event(0, "torusFailure"), "x");
+  EXPECT_THROW(cross_validate(tiny, 5, factory), InvalidArgument);
+}
+
+TEST(EvaluateSplitTest, MergesRuleEpisodesBeforeCounting) {
+  // A base that fires a mergeable warning on every non-fatal event.
+  class Chatty final : public BasePredictor {
+   public:
+    std::string name() const override { return "chatty"; }
+    void train(const RasLog&) override {}
+    void reset() override {}
+    std::optional<Warning> observe(const RasRecord& rec) override {
+      if (rec.fatal()) {
+        return std::nullopt;
+      }
+      Warning w;
+      w.issued_at = rec.time;
+      w.window_begin = rec.time + 1;
+      w.window_end = rec.time + 10 * kMinute;
+      w.confidence = 0.9;
+      w.source = name();
+      w.mergeable = true;
+      return w;
+    }
+  };
+  RasLog test;
+  // Five chatty triggers one minute apart, one failure at the end.
+  for (int i = 0; i < 5; ++i) {
+    test.append_with_text(event(i * kMinute, "maskInfo"), "m");
+  }
+  test.append_with_text(event(5 * kMinute, "cacheFailure"), "f");
+  RasLog train = paired_log(2);
+  Chatty predictor;
+  const FoldResult result = evaluate_split(train, test, predictor);
+  // All five warnings merge into one episode that covers the failure.
+  EXPECT_EQ(result.warnings, 1u);
+  EXPECT_EQ(result.confusion.true_warnings, 1u);
+  EXPECT_EQ(result.confusion.false_warnings, 0u);
+  EXPECT_EQ(result.confusion.covered_failures, 1u);
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -1,0 +1,94 @@
+// Tests for the job-impact filter and spatial-locality analysis.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "eval/job_impact.hpp"
+#include "preprocess/pipeline.hpp"
+#include "simgen/generator.hpp"
+#include "stats/correlation.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+namespace {
+
+RasRecord event(TimePoint t, const char* name, bgl::JobId job,
+                bgl::Location loc =
+                    bgl::Location::make_compute_chip(0, 0, 0, 0)) {
+  const SubcategoryId id = catalog().find(name);
+  EXPECT_NE(id, kUnclassified) << name;
+  const SubcategoryInfo& info = catalog().info(id);
+  RasRecord rec;
+  rec.time = t;
+  rec.subcategory = id;
+  rec.severity = info.severity;
+  rec.facility = info.facility;
+  rec.location = loc;
+  rec.job = job;
+  return rec;
+}
+
+TEST(JobImpactTest, ClassifiesByJobPresence) {
+  EXPECT_TRUE(is_job_impacting(event(1, "torusFailure", 42)));
+  EXPECT_FALSE(is_job_impacting(event(1, "torusFailure", bgl::kNoJob)));
+  // Non-fatal events never count, job or not.
+  EXPECT_FALSE(is_job_impacting(event(1, "maskInfo", 42)));
+}
+
+TEST(JobImpactTest, StatsAndTimes) {
+  RasLog log;
+  log.append_with_text(event(100, "torusFailure", 5), "a");
+  log.append_with_text(event(200, "maskInfo", 5), "b");
+  log.append_with_text(event(300, "cacheFailure", bgl::kNoJob), "c");
+  log.append_with_text(event(400, "socketReadFailure", 6), "d");
+  const JobImpactStats stats = job_impact_stats(log);
+  EXPECT_EQ(stats.fatal_events, 3u);
+  EXPECT_EQ(stats.job_impacting, 2u);
+  EXPECT_NEAR(stats.impacting_fraction(), 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(job_impacting_fatal_times(log),
+            (std::vector<TimePoint>{100, 400}));
+}
+
+TEST(JobImpactTest, GeneratedLogHasBothKinds) {
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.05);
+  preprocess(g.log);
+  const JobImpactStats stats = job_impact_stats(g.log);
+  // Jobs don't run wall-to-wall, so both classes must appear.
+  EXPECT_GT(stats.job_impacting, 0u);
+  EXPECT_LT(stats.job_impacting, stats.fatal_events);
+  EXPECT_GT(stats.impacting_fraction(), 0.3);
+}
+
+TEST(SpatialLocalityTest, DetectsColocatedCascades) {
+  RasLog log;
+  const auto mid0 = bgl::Location::make_compute_chip(0, 0, 1, 1);
+  const auto mid0b = bgl::Location::make_compute_chip(0, 0, 7, 3);
+  const auto mid1 = bgl::Location::make_compute_chip(0, 1, 2, 2);
+  // Three close pairs: two co-located on midplane 0, one crossing.
+  log.append_with_text(event(1000, "torusFailure", 1, mid0), "a");
+  log.append_with_text(event(1100, "torusFailure", 1, mid0b), "b");
+  log.append_with_text(event(1200, "cacheFailure", 1, mid1), "c");
+  log.append_with_text(event(1300, "rtsFailure", 1, mid1), "d");
+  const SpatialLocality locality = spatial_locality(log, kHour);
+  EXPECT_EQ(locality.close_pairs, 3u);
+  EXPECT_EQ(locality.same_midplane, 2u);
+  EXPECT_NEAR(locality.same_midplane_fraction, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(locality.uniform_expectation, 0.5, 1e-12);  // 2 midplanes
+  EXPECT_GT(locality.locality_lift(), 1.0);
+}
+
+TEST(SpatialLocalityTest, FarApartPairsIgnored) {
+  RasLog log;
+  log.append_with_text(event(0, "torusFailure", 1), "a");
+  log.append_with_text(event(10 * kHour, "torusFailure", 1), "b");
+  const SpatialLocality locality = spatial_locality(log, kHour);
+  EXPECT_EQ(locality.close_pairs, 0u);
+  EXPECT_DOUBLE_EQ(locality.locality_lift(), 0.0);
+}
+
+TEST(SpatialLocalityTest, RejectsBadWindow) {
+  RasLog log;
+  EXPECT_THROW(spatial_locality(log, 0), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -1,0 +1,96 @@
+// Tests for the thread pool and parallel_for helpers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "common/error.hpp"
+#include "parallel/parallel_for.hpp"
+#include "parallel/thread_pool.hpp"
+
+namespace bglpred {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesSubmittedTasks) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 21 * 2; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPoolTest, DrainsQueueOnDestruction) {
+  std::atomic<int> done{0};
+  {
+    ThreadPool pool(1);
+    for (int i = 0; i < 50; ++i) {
+      pool.submit([&done] { ++done; });
+    }
+  }  // destructor must run all 50
+  EXPECT_EQ(done.load(), 50);
+}
+
+TEST(ThreadPoolTest, PropagatesExceptions) {
+  ThreadPool pool(1);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ZeroMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.thread_count(), 1u);
+}
+
+TEST(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(
+      0, hits.size(), [&](std::size_t i) { ++hits[i]; }, pool);
+  for (const auto& h : hits) {
+    EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  int calls = 0;
+  parallel_for(
+      5, 5, [&](std::size_t) { ++calls; }, pool);
+  parallel_for(
+      7, 3, [&](std::size_t) { ++calls; }, pool);
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ParallelForTest, RethrowsBodyException) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(
+                   0, 100,
+                   [](std::size_t i) {
+                     if (i == 57) {
+                       throw std::logic_error("bad index");
+                     }
+                   },
+                   pool),
+               std::logic_error);
+}
+
+TEST(ParallelMapTest, PreservesOrder) {
+  ThreadPool pool(4);
+  const auto out = parallel_map(
+      100, [](std::size_t i) { return i * i; }, pool);
+  ASSERT_EQ(out.size(), 100u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelForTest, SumMatchesSerial) {
+  ThreadPool pool(3);
+  std::vector<int> data(10000);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<long long> total{0};
+  parallel_for(
+      0, data.size(), [&](std::size_t i) { total += data[i]; }, pool);
+  EXPECT_EQ(total.load(), 10000LL * 9999 / 2);
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -1,0 +1,200 @@
+// Tests for Phase-1 temporal/spatial compression and the pipeline.
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "preprocess/pipeline.hpp"
+#include "raslog/log.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+namespace {
+
+RasRecord make(TimePoint t, bgl::JobId job, const bgl::Location& loc,
+               SubcategoryId subcat) {
+  RasRecord rec;
+  rec.time = t;
+  rec.job = job;
+  rec.location = loc;
+  rec.subcategory = subcat;
+  const SubcategoryInfo& info = catalog().info(subcat);
+  rec.severity = info.severity;
+  rec.facility = info.facility;
+  return rec;
+}
+
+const bgl::Location kChipA = bgl::Location::make_compute_chip(0, 0, 0, 0);
+const bgl::Location kChipB = bgl::Location::make_compute_chip(0, 0, 0, 1);
+
+class CompressorTest : public ::testing::Test {
+ protected:
+  SubcategoryId torus_ = catalog().find("torusFailure");
+  SubcategoryId socket_ = catalog().find("socketReadFailure");
+};
+
+TEST_F(CompressorTest, TemporalCoalescesWithinThreshold) {
+  RasLog log;
+  log.append_with_text(make(100, 1, kChipA, torus_), "e1");
+  log.append_with_text(make(300, 1, kChipA, torus_), "e2");  // gap 200 <=300
+  log.append_with_text(make(500, 1, kChipA, torus_), "e3");  // gap 200
+  const CompressionResult r = compress_temporal(log, 300);
+  EXPECT_EQ(r.input_records, 3u);
+  EXPECT_EQ(r.output_records, 1u);  // gap-based: one cluster
+  EXPECT_EQ(log.size(), 1u);
+  EXPECT_EQ(log.records()[0].time, 100);  // first survives
+}
+
+TEST_F(CompressorTest, TemporalKeepsBeyondThreshold) {
+  RasLog log;
+  log.append_with_text(make(100, 1, kChipA, torus_), "e1");
+  log.append_with_text(make(500, 1, kChipA, torus_), "e2");  // gap 400 > 300
+  const CompressionResult r = compress_temporal(log, 300);
+  EXPECT_EQ(r.output_records, 2u);
+}
+
+TEST_F(CompressorTest, TemporalKeysOnJobLocationSubcategory) {
+  RasLog log;
+  log.append_with_text(make(100, 1, kChipA, torus_), "e1");
+  log.append_with_text(make(110, 2, kChipA, torus_), "different job");
+  log.append_with_text(make(120, 1, kChipB, torus_), "different location");
+  log.append_with_text(make(130, 1, kChipA, socket_), "different subcat");
+  const CompressionResult r = compress_temporal(log, 300);
+  EXPECT_EQ(r.output_records, 4u);  // nothing coalesces
+}
+
+TEST_F(CompressorTest, TemporalGapBasedSlidingCluster) {
+  // Events 250 s apart: each within threshold of the previous -> one
+  // cluster even though first-to-last exceeds the threshold.
+  RasLog log;
+  for (int i = 0; i < 5; ++i) {
+    log.append_with_text(make(100 + 250 * i, 1, kChipA, torus_), "e");
+  }
+  const CompressionResult r = compress_temporal(log, 300);
+  EXPECT_EQ(r.output_records, 1u);
+}
+
+TEST_F(CompressorTest, SpatialDropsCrossLocationDuplicates) {
+  RasLog log;
+  // Same ENTRY_DATA + JOB_ID from different locations within 300 s.
+  log.append_with_text(make(100, 7, kChipA, torus_), "same fault text");
+  log.append_with_text(make(150, 7, kChipB, torus_), "same fault text");
+  const CompressionResult r = compress_spatial(log, 300);
+  EXPECT_EQ(r.output_records, 1u);
+  EXPECT_EQ(log.records()[0].location, kChipA);
+}
+
+TEST_F(CompressorTest, SpatialKeepsDifferentJobOrText) {
+  RasLog log;
+  log.append_with_text(make(100, 7, kChipA, torus_), "text one");
+  log.append_with_text(make(120, 8, kChipB, torus_), "text one");  // job
+  log.append_with_text(make(140, 7, kChipB, torus_), "text two");  // text
+  const CompressionResult r = compress_spatial(log, 300);
+  EXPECT_EQ(r.output_records, 3u);
+}
+
+TEST_F(CompressorTest, CompressionIsIdempotent) {
+  RasLog log;
+  for (int i = 0; i < 50; ++i) {
+    log.append_with_text(
+        make(100 + i * 37, (i % 3 == 0) ? 1u : 2u,
+             i % 2 == 0 ? kChipA : kChipB, i % 5 == 0 ? socket_ : torus_),
+        "text " + std::to_string(i % 7));
+  }
+  log.sort_by_time();
+  compress_temporal(log, 300);
+  compress_spatial(log, 300);
+  const std::size_t once = log.size();
+  const CompressionResult t2 = compress_temporal(log, 300);
+  const CompressionResult s2 = compress_spatial(log, 300);
+  EXPECT_EQ(t2.removed, 0u);
+  EXPECT_EQ(s2.removed, 0u);
+  EXPECT_EQ(log.size(), once);
+}
+
+TEST_F(CompressorTest, RequiresSortedLog) {
+  RasLog log;
+  log.append_with_text(make(500, 1, kChipA, torus_), "a");
+  log.append_with_text(make(100, 1, kChipA, torus_), "b");
+  EXPECT_THROW(compress_temporal(log, 300), InvalidArgument);
+  EXPECT_THROW(compress_spatial(log, 300), InvalidArgument);
+}
+
+TEST_F(CompressorTest, ZeroThresholdOnlyMergesSameSecond) {
+  RasLog log;
+  log.append_with_text(make(100, 1, kChipA, torus_), "e");
+  log.append_with_text(make(100, 1, kChipA, torus_), "e");
+  log.append_with_text(make(101, 1, kChipA, torus_), "e");
+  const CompressionResult r = compress_temporal(log, 0);
+  // Same-second duplicate merges (gap 0 <= 0); the 101 s record survives.
+  EXPECT_EQ(r.output_records, 2u);
+}
+
+TEST_F(CompressorTest, CompressionRatio) {
+  CompressionResult r;
+  r.input_records = 100;
+  r.output_records = 25;
+  EXPECT_DOUBLE_EQ(r.compression_ratio(), 0.25);
+  CompressionResult empty;
+  EXPECT_DOUBLE_EQ(empty.compression_ratio(), 1.0);
+}
+
+// ---- pipeline ---------------------------------------------------------------
+
+TEST(PipelineTest, EndToEndClassifiesAndCompresses) {
+  RasLog log;
+  const SubcategoryInfo& torus = catalog().info(catalog().find("torusFailure"));
+  // Three duplicate raw reports of one fault + one distinct event.
+  for (TimePoint t : {100, 150, 200}) {
+    RasRecord rec;
+    rec.time = t;
+    rec.job = 5;
+    rec.location = kChipA;
+    rec.facility = torus.facility;
+    rec.severity = torus.severity;
+    log.append_with_text(rec, std::string(torus.phrase) + " seq=1");
+  }
+  RasRecord other;
+  other.time = 5000;
+  other.job = 5;
+  other.location = kChipA;
+  other.facility = torus.facility;
+  other.severity = torus.severity;
+  log.append_with_text(other, std::string(torus.phrase) + " seq=2");
+
+  const PreprocessStats stats = preprocess(log);
+  EXPECT_EQ(stats.raw_records, 4u);
+  EXPECT_EQ(stats.unique_events, 2u);
+  EXPECT_EQ(stats.unique_fatal_events, 2u);
+  EXPECT_EQ(stats.fatal_per_main[static_cast<std::size_t>(
+                MainCategory::kNetwork)],
+            2u);
+  for (const RasRecord& rec : log.records()) {
+    EXPECT_NE(rec.subcategory, kUnclassified);
+  }
+}
+
+TEST(PipelineTest, SortsUnsortedInput) {
+  RasLog log;
+  const SubcategoryInfo& torus = catalog().info(catalog().find("torusFailure"));
+  for (TimePoint t : {900, 100, 500}) {
+    RasRecord rec;
+    rec.time = t;
+    rec.job = 1;
+    rec.location = kChipA;
+    rec.facility = torus.facility;
+    rec.severity = torus.severity;
+    log.append_with_text(rec, std::string(torus.phrase) + " s=" +
+                                  std::to_string(t));
+  }
+  preprocess(log);
+  EXPECT_TRUE(log.is_time_sorted());
+}
+
+TEST(PipelineTest, EmptyLogIsFine) {
+  RasLog log;
+  const PreprocessStats stats = preprocess(log);
+  EXPECT_EQ(stats.raw_records, 0u);
+  EXPECT_EQ(stats.unique_events, 0u);
+}
+
+}  // namespace
+}  // namespace bglpred

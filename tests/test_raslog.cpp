@@ -1,0 +1,194 @@
+// Tests for RAS records, the log container, and serialization.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "raslog/io.hpp"
+#include "raslog/log.hpp"
+
+namespace bglpred {
+namespace {
+
+RasRecord sample_record(TimePoint t = 1000) {
+  RasRecord rec;
+  rec.time = t;
+  rec.job = 42;
+  rec.location = bgl::Location::make_compute_chip(0, 1, 7, 21);
+  rec.event_type = EventType::kRas;
+  rec.facility = Facility::kTorus;
+  rec.severity = Severity::kFatal;
+  return rec;
+}
+
+// ---- severity / facility / event type ----------------------------------
+
+TEST(SeverityTest, NamesRoundTrip) {
+  for (int i = 0; i < kSeverityCount; ++i) {
+    const auto s = static_cast<Severity>(i);
+    EXPECT_EQ(parse_severity(to_string(s)), s);
+  }
+  EXPECT_THROW(parse_severity("CRITICAL"), ParseError);
+}
+
+TEST(SeverityTest, FatalClassification) {
+  EXPECT_TRUE(is_fatal(Severity::kFatal));
+  EXPECT_TRUE(is_fatal(Severity::kFailure));
+  EXPECT_FALSE(is_fatal(Severity::kInfo));
+  EXPECT_FALSE(is_fatal(Severity::kWarning));
+  EXPECT_FALSE(is_fatal(Severity::kSevere));
+  EXPECT_FALSE(is_fatal(Severity::kError));
+}
+
+TEST(FacilityTest, NamesRoundTrip) {
+  for (int i = 0; i < kFacilityCount; ++i) {
+    const auto f = static_cast<Facility>(i);
+    EXPECT_EQ(parse_facility(to_string(f)), f);
+  }
+  EXPECT_THROW(parse_facility("NOPE"), ParseError);
+}
+
+TEST(EventTypeTest, NamesRoundTrip) {
+  for (const EventType t :
+       {EventType::kRas, EventType::kMonitor, EventType::kControl}) {
+    EXPECT_EQ(parse_event_type(to_string(t)), t);
+  }
+  EXPECT_THROW(parse_event_type("OTHER"), ParseError);
+}
+
+// ---- RasLog ----------------------------------------------------------------
+
+TEST(RasLogTest, AppendWithTextInterns) {
+  RasLog log;
+  log.append_with_text(sample_record(), "uncorrectable torus error");
+  log.append_with_text(sample_record(2000), "uncorrectable torus error");
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(log.records()[0].entry_data, log.records()[1].entry_data);
+  EXPECT_EQ(log.text_of(log.records()[0]), "uncorrectable torus error");
+}
+
+TEST(RasLogTest, SortByTimeIsStableAndDeterministic) {
+  RasLog log;
+  log.append_with_text(sample_record(300), "c");
+  log.append_with_text(sample_record(100), "a");
+  log.append_with_text(sample_record(200), "b");
+  EXPECT_FALSE(log.is_time_sorted());
+  log.sort_by_time();
+  EXPECT_TRUE(log.is_time_sorted());
+  EXPECT_EQ(log.text_of(log.records()[0]), "a");
+  EXPECT_EQ(log.text_of(log.records()[2]), "c");
+}
+
+TEST(RasLogTest, SpanRequiresSortedNonEmpty) {
+  RasLog log;
+  EXPECT_THROW(log.span(), InvalidArgument);
+  log.append_with_text(sample_record(100), "x");
+  log.append_with_text(sample_record(500), "y");
+  const TimeSpan span = log.span();
+  EXPECT_EQ(span.begin, 100);
+  EXPECT_EQ(span.end, 501);
+}
+
+TEST(RasLogTest, FatalCountAndHistogram) {
+  RasLog log;
+  RasRecord info = sample_record(1);
+  info.severity = Severity::kInfo;
+  log.append_with_text(info, "i");
+  log.append_with_text(sample_record(2), "f");  // kFatal
+  RasRecord failure = sample_record(3);
+  failure.severity = Severity::kFailure;
+  log.append_with_text(failure, "g");
+  EXPECT_EQ(log.fatal_count(), 2u);
+  const auto hist = log.severity_histogram();
+  EXPECT_EQ(hist[static_cast<std::size_t>(Severity::kInfo)], 1u);
+  EXPECT_EQ(hist[static_cast<std::size_t>(Severity::kFatal)], 1u);
+  EXPECT_EQ(hist[static_cast<std::size_t>(Severity::kFailure)], 1u);
+}
+
+TEST(RasLogTest, SubsetReinternsText) {
+  RasLog log;
+  log.append_with_text(sample_record(1), "alpha");
+  log.append_with_text(sample_record(2), "beta");
+  const RasLog sub = log.subset({log.records()[1]});
+  ASSERT_EQ(sub.size(), 1u);
+  EXPECT_EQ(sub.text_of(sub.records()[0]), "beta");
+  // The subset owns an independent pool.
+  EXPECT_EQ(sub.pool().size(), 1u);
+}
+
+// ---- serialization ----------------------------------------------------------
+
+TEST(RasIoTest, FormatMatchesDocumentedLayout) {
+  RasLog log;
+  RasRecord rec = sample_record(make_time(2005, 3, 14, 6, 25, 1));
+  rec.job = 1182;
+  log.append_with_text(rec, "uncorrectable torus error");
+  EXPECT_EQ(format_record(log, log.records()[0]),
+            "2005-03-14 06:25:01|RAS|FATAL|TORUS|R00-M1-N07-C21|1182|"
+            "uncorrectable torus error");
+}
+
+TEST(RasIoTest, WriteReadRoundTrip) {
+  RasLog log;
+  for (int i = 0; i < 20; ++i) {
+    RasRecord rec = sample_record(1000 + i * 10);
+    rec.severity = i % 2 == 0 ? Severity::kInfo : Severity::kFailure;
+    rec.facility = i % 3 == 0 ? Facility::kCiod : Facility::kMemory;
+    log.append_with_text(rec, "event number " + std::to_string(i));
+  }
+  std::stringstream buffer;
+  write_log(buffer, log);
+  const RasLog restored = read_log(buffer);
+  ASSERT_EQ(restored.size(), log.size());
+  for (std::size_t i = 0; i < log.size(); ++i) {
+    const RasRecord& a = log.records()[i];
+    const RasRecord& b = restored.records()[i];
+    EXPECT_EQ(a.time, b.time);
+    EXPECT_EQ(a.job, b.job);
+    EXPECT_EQ(a.location, b.location);
+    EXPECT_EQ(a.severity, b.severity);
+    EXPECT_EQ(a.facility, b.facility);
+    EXPECT_EQ(log.text_of(a), restored.text_of(b));
+  }
+}
+
+TEST(RasIoTest, ReaderSkipsCommentsAndBlankLines) {
+  std::stringstream in(
+      "# comment\n"
+      "\n"
+      "2005-03-14 06:25:01|RAS|FATAL|TORUS|R00-M1-N07-C21|1182|x\n");
+  const RasLog log = read_log(in);
+  EXPECT_EQ(log.size(), 1u);
+}
+
+TEST(RasIoTest, MalformedLinesThrow) {
+  RasLog log;
+  EXPECT_THROW(parse_record_line("only|three|fields", log), ParseError);
+  EXPECT_THROW(
+      parse_record_line(
+          "bad-time|RAS|FATAL|TORUS|R00-M1-N07-C21|1182|x", log),
+      ParseError);
+  EXPECT_THROW(
+      parse_record_line(
+          "2005-03-14 06:25:01|RAS|WHAT|TORUS|R00-M1-N07-C21|1182|x", log),
+      ParseError);
+  EXPECT_THROW(
+      parse_record_line(
+          "2005-03-14 06:25:01|RAS|FATAL|TORUS|R00-M1-N07-C21|notnum|x",
+          log),
+      ParseError);
+}
+
+TEST(RasIoTest, SaveLoadFileRoundTrip) {
+  RasLog log;
+  log.append_with_text(sample_record(123456789), "file round trip");
+  const std::string path = testing::TempDir() + "/bglpred_io_test.log";
+  save_log(path, log);
+  const RasLog restored = load_log(path);
+  ASSERT_EQ(restored.size(), 1u);
+  EXPECT_EQ(restored.records()[0].time, 123456789);
+  EXPECT_THROW(load_log("/nonexistent/dir/foo.log"), Error);
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -1,0 +1,210 @@
+// Tests for ECDF, histogram, summary stats, and inter-arrival analysis.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "stats/ecdf.hpp"
+#include "stats/histogram.hpp"
+#include "stats/interarrival.hpp"
+#include "stats/summary.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+namespace {
+
+// ---- ECDF --------------------------------------------------------------
+
+TEST(EcdfTest, EvaluatesStepFunction) {
+  const Ecdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cdf.eval(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.eval(1.0), 0.25);
+  EXPECT_DOUBLE_EQ(cdf.eval(2.5), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.eval(4.0), 1.0);
+  EXPECT_DOUBLE_EQ(cdf.eval(100.0), 1.0);
+}
+
+TEST(EcdfTest, HandlesDuplicates) {
+  const Ecdf cdf({2.0, 2.0, 2.0, 5.0});
+  EXPECT_DOUBLE_EQ(cdf.eval(2.0), 0.75);
+  EXPECT_DOUBLE_EQ(cdf.eval(1.9), 0.0);
+}
+
+TEST(EcdfTest, EmptySampleIsZero) {
+  const Ecdf cdf({});
+  EXPECT_DOUBLE_EQ(cdf.eval(123.0), 0.0);
+  EXPECT_EQ(cdf.sample_size(), 0u);
+  EXPECT_THROW(cdf.quantile(0.5), InvalidArgument);
+}
+
+TEST(EcdfTest, QuantileInvertsEval) {
+  const Ecdf cdf({10.0, 20.0, 30.0, 40.0, 50.0});
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.2), 10.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(0.5), 30.0);
+  EXPECT_DOUBLE_EQ(cdf.quantile(1.0), 50.0);
+  EXPECT_THROW(cdf.quantile(0.0), InvalidArgument);
+  EXPECT_THROW(cdf.quantile(1.5), InvalidArgument);
+}
+
+TEST(EcdfTest, MonotoneNonDecreasing) {
+  Rng rng(5);
+  std::vector<double> sample;
+  for (int i = 0; i < 500; ++i) {
+    sample.push_back(rng.exponential(100.0));
+  }
+  const Ecdf cdf(sample);
+  double prev = -1.0;
+  for (double x = 0; x < 1000; x += 25) {
+    const double v = cdf.eval(x);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+// ---- Histogram -----------------------------------------------------------
+
+TEST(HistogramTest, BinsAndClamping) {
+  Histogram h(0.0, 10.0, 5);
+  h.add(0.5);   // bin 0
+  h.add(9.9);   // bin 4
+  h.add(-3.0);  // clamped to bin 0
+  h.add(42.0);  // clamped to bin 4
+  EXPECT_EQ(h.count(0), 2u);
+  EXPECT_EQ(h.count(4), 2u);
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_DOUBLE_EQ(h.fraction(0), 0.5);
+}
+
+TEST(HistogramTest, BinRanges) {
+  Histogram h(0.0, 10.0, 5);
+  const auto [lo, hi] = h.bin_range(2);
+  EXPECT_DOUBLE_EQ(lo, 4.0);
+  EXPECT_DOUBLE_EQ(hi, 6.0);
+  EXPECT_THROW(h.bin_range(5), InvalidArgument);
+}
+
+TEST(HistogramTest, RejectsBadConstruction) {
+  EXPECT_THROW(Histogram(5.0, 5.0, 3), InvalidArgument);
+  EXPECT_THROW(Histogram(0.0, 1.0, 0), InvalidArgument);
+}
+
+TEST(HistogramTest, RenderProducesOneLinePerBin) {
+  Histogram h(0.0, 4.0, 4);
+  h.add(1.0);
+  const std::string out = h.render();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+// ---- summary ---------------------------------------------------------------
+
+TEST(SummaryTest, BasicMoments) {
+  const SummaryStats s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_EQ(s.n, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_NEAR(s.stddev, 1.5811, 1e-4);
+}
+
+TEST(SummaryTest, EvenCountMedianAverages) {
+  const SummaryStats s = summarize({1.0, 2.0, 3.0, 10.0});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(SummaryTest, EmptySampleAllZero) {
+  const SummaryStats s = summarize({});
+  EXPECT_EQ(s.n, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(RunningStatsTest, MatchesBatchComputation) {
+  Rng rng(9);
+  std::vector<double> sample;
+  RunningStats running;
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.normal(10.0, 3.0);
+    sample.push_back(x);
+    running.add(x);
+  }
+  const SummaryStats batch = summarize(sample);
+  EXPECT_NEAR(running.mean(), batch.mean, 1e-9);
+  EXPECT_NEAR(running.stddev(), batch.stddev, 1e-9);
+}
+
+TEST(RunningStatsTest, SingleObservationHasZeroVariance) {
+  RunningStats r;
+  r.add(5.0);
+  EXPECT_DOUBLE_EQ(r.variance(), 0.0);
+}
+
+// ---- inter-arrival ------------------------------------------------------------
+
+RasLog fatal_log(const std::vector<std::pair<TimePoint, const char*>>& events) {
+  RasLog log;
+  for (const auto& [t, name] : events) {
+    const SubcategoryId id = catalog().find(name);
+    EXPECT_NE(id, kUnclassified) << name;
+    const SubcategoryInfo& info = catalog().info(id);
+    RasRecord rec;
+    rec.time = t;
+    rec.subcategory = id;
+    rec.severity = info.severity;
+    rec.facility = info.facility;
+    rec.location = bgl::Location::make_compute_chip(0, 0, 0, 0);
+    log.append_with_text(rec, std::string(info.phrase));
+  }
+  log.sort_by_time();
+  return log;
+}
+
+TEST(InterarrivalTest, GapsBetweenFatalEventsOnly) {
+  const RasLog log = fatal_log({{100, "torusFailure"},
+                                {200, "maskInfo"},  // non-fatal, skipped
+                                {400, "socketReadFailure"},
+                                {1000, "torusFailure"}});
+  const auto gaps = fatal_interarrival_gaps(log);
+  ASSERT_EQ(gaps.size(), 2u);
+  EXPECT_DOUBLE_EQ(gaps[0], 300.0);
+  EXPECT_DOUBLE_EQ(gaps[1], 600.0);
+}
+
+TEST(InterarrivalTest, FewerThanTwoFatalsEmptyGaps) {
+  EXPECT_TRUE(fatal_interarrival_gaps(fatal_log({{100, "maskInfo"}})).empty());
+  EXPECT_TRUE(
+      fatal_interarrival_gaps(fatal_log({{100, "torusFailure"}})).empty());
+}
+
+TEST(InterarrivalTest, FollowupProbabilityByCategory) {
+  // Two network failures 100 s apart, then an isolated iostream failure.
+  const RasLog log = fatal_log({{1000, "torusFailure"},
+                                {1100, "torusFailure"},
+                                {50000, "socketReadFailure"}});
+  const auto stats = fatal_followup_by_category(log, 0, 3600);
+  const auto& net = stats[static_cast<std::size_t>(MainCategory::kNetwork)];
+  EXPECT_EQ(net.triggers, 2u);
+  EXPECT_EQ(net.followed, 1u);  // first followed by second; second is not
+  EXPECT_DOUBLE_EQ(net.probability, 0.5);
+  const auto& ios = stats[static_cast<std::size_t>(MainCategory::kIostream)];
+  EXPECT_EQ(ios.triggers, 1u);
+  EXPECT_EQ(ios.followed, 0u);
+}
+
+TEST(InterarrivalTest, LeadExcludesImmediateFollowups) {
+  const RasLog log =
+      fatal_log({{1000, "torusFailure"}, {1030, "torusFailure"}});
+  // With a 60 s lead the 30 s follow-up does not count.
+  const auto stats = fatal_followup_by_category(log, 60, 3600);
+  EXPECT_EQ(stats[static_cast<std::size_t>(MainCategory::kNetwork)].followed,
+            0u);
+}
+
+TEST(InterarrivalTest, RejectsBadWindow) {
+  const RasLog log = fatal_log({{100, "torusFailure"}});
+  EXPECT_THROW(fatal_followup_by_category(log, 100, 100), InvalidArgument);
+  EXPECT_THROW(fatal_followup_by_category(log, -1, 100), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -1,0 +1,85 @@
+// Tests for common/time: calendar conversion, formatting, parsing.
+#include "common/time.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+TEST(TimeTest, EpochIsZero) {
+  EXPECT_EQ(make_time(1970, 1, 1), 0);
+}
+
+TEST(TimeTest, KnownDates) {
+  EXPECT_EQ(make_time(1970, 1, 2), kDay);
+  EXPECT_EQ(make_time(2000, 1, 1), 946684800);
+  EXPECT_EQ(make_time(2005, 1, 21), 1106265600);
+  EXPECT_EQ(make_time(2006, 4, 28), 1146182400);
+}
+
+TEST(TimeTest, ComponentsRoundTrip) {
+  const TimePoint t = make_time(2005, 3, 14, 6, 25, 1);
+  EXPECT_EQ(format_time(t), "2005-03-14 06:25:01");
+  EXPECT_EQ(parse_time("2005-03-14 06:25:01"), t);
+}
+
+TEST(TimeTest, LeapYearFebruary29Valid) {
+  EXPECT_NO_THROW(make_time(2004, 2, 29));
+  EXPECT_NO_THROW(make_time(2000, 2, 29));  // divisible by 400
+}
+
+TEST(TimeTest, NonLeapFebruary29Throws) {
+  EXPECT_THROW(make_time(2005, 2, 29), InvalidArgument);
+  EXPECT_THROW(make_time(1900, 2, 29), InvalidArgument);  // century rule
+}
+
+TEST(TimeTest, OutOfRangeComponentsThrow) {
+  EXPECT_THROW(make_time(2005, 0, 1), InvalidArgument);
+  EXPECT_THROW(make_time(2005, 13, 1), InvalidArgument);
+  EXPECT_THROW(make_time(2005, 4, 31), InvalidArgument);
+  EXPECT_THROW(make_time(2005, 1, 1, 24), InvalidArgument);
+  EXPECT_THROW(make_time(2005, 1, 1, 0, 60), InvalidArgument);
+  EXPECT_THROW(make_time(2005, 1, 1, 0, 0, 60), InvalidArgument);
+}
+
+TEST(TimeTest, ParseRejectsGarbage) {
+  EXPECT_THROW(parse_time("not a date"), ParseError);
+  EXPECT_THROW(parse_time("2005-13-01 00:00:00"), ParseError);
+  EXPECT_THROW(parse_time(""), ParseError);
+}
+
+TEST(TimeTest, FormatParseRoundTripSweep) {
+  // Sweep across month boundaries, leap days, and year ends.
+  for (const TimePoint t :
+       {make_time(2004, 2, 28, 23, 59, 59), make_time(2004, 2, 29),
+        make_time(2004, 12, 31, 23, 59, 59), make_time(2005, 1, 1),
+        make_time(2038, 1, 19, 3, 14, 7), make_time(1999, 12, 31)}) {
+    EXPECT_EQ(parse_time(format_time(t)), t);
+  }
+}
+
+TEST(TimeTest, FormatDuration) {
+  EXPECT_EQ(format_duration(0), "0s");
+  EXPECT_EQ(format_duration(45), "45s");
+  EXPECT_EQ(format_duration(5 * kMinute), "5m");
+  EXPECT_EQ(format_duration(kHour + 30 * kMinute), "1h30m");
+  EXPECT_EQ(format_duration(2 * kDay + 4 * kHour), "2d4h");
+  EXPECT_EQ(format_duration(-90), "-1m30s");
+}
+
+TEST(TimeTest, TimeSpanBasics) {
+  const TimeSpan span{100, 200};
+  EXPECT_EQ(span.length(), 100);
+  EXPECT_TRUE(span.contains(100));
+  EXPECT_TRUE(span.contains(199));
+  EXPECT_FALSE(span.contains(200));
+  EXPECT_FALSE(span.contains(99));
+  EXPECT_FALSE(span.empty());
+  EXPECT_TRUE((TimeSpan{5, 5}).empty());
+  EXPECT_TRUE((TimeSpan{7, 3}).empty());
+}
+
+}  // namespace
+}  // namespace bglpred
