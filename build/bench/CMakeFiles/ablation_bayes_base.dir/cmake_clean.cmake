@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_bayes_base.dir/ablation_bayes_base.cpp.o"
+  "CMakeFiles/ablation_bayes_base.dir/ablation_bayes_base.cpp.o.d"
+  "ablation_bayes_base"
+  "ablation_bayes_base.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_bayes_base.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_compression_threshold.dir/ablation_compression_threshold.cpp.o"
+  "CMakeFiles/ablation_compression_threshold.dir/ablation_compression_threshold.cpp.o.d"
+  "ablation_compression_threshold"
+  "ablation_compression_threshold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_compression_threshold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_job_impact.dir/ablation_job_impact.cpp.o"
+  "CMakeFiles/ablation_job_impact.dir/ablation_job_impact.cpp.o.d"
+  "ablation_job_impact"
+  "ablation_job_impact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_job_impact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

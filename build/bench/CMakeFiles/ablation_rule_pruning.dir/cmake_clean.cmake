@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rule_pruning.dir/ablation_rule_pruning.cpp.o"
+  "CMakeFiles/ablation_rule_pruning.dir/ablation_rule_pruning.cpp.o.d"
+  "ablation_rule_pruning"
+  "ablation_rule_pruning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rule_pruning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rulegen_window.dir/ablation_rulegen_window.cpp.o"
+  "CMakeFiles/ablation_rulegen_window.dir/ablation_rulegen_window.cpp.o.d"
+  "ablation_rulegen_window"
+  "ablation_rulegen_window.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rulegen_window.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_support_confidence.dir/ablation_support_confidence.cpp.o"
+  "CMakeFiles/ablation_support_confidence.dir/ablation_support_confidence.cpp.o.d"
+  "ablation_support_confidence"
+  "ablation_support_confidence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_support_confidence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_rule_based.dir/fig4_rule_based.cpp.o"
+  "CMakeFiles/fig4_rule_based.dir/fig4_rule_based.cpp.o.d"
+  "fig4_rule_based"
+  "fig4_rule_based.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_rule_based.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_meta_learning.dir/fig5_meta_learning.cpp.o"
+  "CMakeFiles/fig5_meta_learning.dir/fig5_meta_learning.cpp.o.d"
+  "fig5_meta_learning"
+  "fig5_meta_learning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_meta_learning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

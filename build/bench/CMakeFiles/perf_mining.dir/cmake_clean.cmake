@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_mining.dir/perf_mining.cpp.o"
+  "CMakeFiles/perf_mining.dir/perf_mining.cpp.o.d"
+  "perf_mining"
+  "perf_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

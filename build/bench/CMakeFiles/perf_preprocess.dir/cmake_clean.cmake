@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_preprocess.dir/perf_preprocess.cpp.o"
+  "CMakeFiles/perf_preprocess.dir/perf_preprocess.cpp.o.d"
+  "perf_preprocess"
+  "perf_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_rule_generation.dir/perf_rule_generation.cpp.o"
+  "CMakeFiles/perf_rule_generation.dir/perf_rule_generation.cpp.o.d"
+  "perf_rule_generation"
+  "perf_rule_generation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_rule_generation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/report_lead_time.dir/report_lead_time.cpp.o"
+  "CMakeFiles/report_lead_time.dir/report_lead_time.cpp.o.d"
+  "report_lead_time"
+  "report_lead_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/report_lead_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_taxonomy.dir/table3_taxonomy.cpp.o"
+  "CMakeFiles/table3_taxonomy.dir/table3_taxonomy.cpp.o.d"
+  "table3_taxonomy"
+  "table3_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_fatal_distribution.dir/table4_fatal_distribution.cpp.o"
+  "CMakeFiles/table4_fatal_distribution.dir/table4_fatal_distribution.cpp.o.d"
+  "table4_fatal_distribution"
+  "table4_fatal_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_fatal_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

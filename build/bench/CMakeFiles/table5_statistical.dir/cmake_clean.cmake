@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_statistical.dir/table5_statistical.cpp.o"
+  "CMakeFiles/table5_statistical.dir/table5_statistical.cpp.o.d"
+  "table5_statistical"
+  "table5_statistical.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_statistical.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

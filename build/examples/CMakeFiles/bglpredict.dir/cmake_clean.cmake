@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bglpredict.dir/bglpredict_cli.cpp.o"
+  "CMakeFiles/bglpredict.dir/bglpredict_cli.cpp.o.d"
+  "bglpredict"
+  "bglpredict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bglpredict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/online_prediction.dir/online_prediction.cpp.o"
+  "CMakeFiles/online_prediction.dir/online_prediction.cpp.o.d"
+  "online_prediction"
+  "online_prediction.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/online_prediction.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/bgl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bgl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/bgl_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bgl_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/bgl_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bgl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/bgl_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/bgl_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/bgl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/bgl_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgl/CMakeFiles/bgl_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

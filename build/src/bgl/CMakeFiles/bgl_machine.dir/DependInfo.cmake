@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/bgl/location.cpp" "src/bgl/CMakeFiles/bgl_machine.dir/location.cpp.o" "gcc" "src/bgl/CMakeFiles/bgl_machine.dir/location.cpp.o.d"
+  "/root/repo/src/bgl/scheduler.cpp" "src/bgl/CMakeFiles/bgl_machine.dir/scheduler.cpp.o" "gcc" "src/bgl/CMakeFiles/bgl_machine.dir/scheduler.cpp.o.d"
+  "/root/repo/src/bgl/topology.cpp" "src/bgl/CMakeFiles/bgl_machine.dir/topology.cpp.o" "gcc" "src/bgl/CMakeFiles/bgl_machine.dir/topology.cpp.o.d"
+  "/root/repo/src/bgl/torus.cpp" "src/bgl/CMakeFiles/bgl_machine.dir/torus.cpp.o" "gcc" "src/bgl/CMakeFiles/bgl_machine.dir/torus.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

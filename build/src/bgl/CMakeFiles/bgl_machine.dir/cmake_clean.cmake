@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_machine.dir/location.cpp.o"
+  "CMakeFiles/bgl_machine.dir/location.cpp.o.d"
+  "CMakeFiles/bgl_machine.dir/scheduler.cpp.o"
+  "CMakeFiles/bgl_machine.dir/scheduler.cpp.o.d"
+  "CMakeFiles/bgl_machine.dir/topology.cpp.o"
+  "CMakeFiles/bgl_machine.dir/topology.cpp.o.d"
+  "CMakeFiles/bgl_machine.dir/torus.cpp.o"
+  "CMakeFiles/bgl_machine.dir/torus.cpp.o.d"
+  "libbgl_machine.a"
+  "libbgl_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_common.dir/cli.cpp.o"
+  "CMakeFiles/bgl_common.dir/cli.cpp.o.d"
+  "CMakeFiles/bgl_common.dir/csv.cpp.o"
+  "CMakeFiles/bgl_common.dir/csv.cpp.o.d"
+  "CMakeFiles/bgl_common.dir/rng.cpp.o"
+  "CMakeFiles/bgl_common.dir/rng.cpp.o.d"
+  "CMakeFiles/bgl_common.dir/string_pool.cpp.o"
+  "CMakeFiles/bgl_common.dir/string_pool.cpp.o.d"
+  "CMakeFiles/bgl_common.dir/table.cpp.o"
+  "CMakeFiles/bgl_common.dir/table.cpp.o.d"
+  "CMakeFiles/bgl_common.dir/time.cpp.o"
+  "CMakeFiles/bgl_common.dir/time.cpp.o.d"
+  "libbgl_common.a"
+  "libbgl_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

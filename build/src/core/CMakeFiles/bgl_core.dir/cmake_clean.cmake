@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_core.dir/online.cpp.o"
+  "CMakeFiles/bgl_core.dir/online.cpp.o.d"
+  "CMakeFiles/bgl_core.dir/three_phase.cpp.o"
+  "CMakeFiles/bgl_core.dir/three_phase.cpp.o.d"
+  "libbgl_core.a"
+  "libbgl_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

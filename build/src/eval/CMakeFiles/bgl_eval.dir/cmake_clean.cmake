@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_eval.dir/cross_validation.cpp.o"
+  "CMakeFiles/bgl_eval.dir/cross_validation.cpp.o.d"
+  "CMakeFiles/bgl_eval.dir/job_impact.cpp.o"
+  "CMakeFiles/bgl_eval.dir/job_impact.cpp.o.d"
+  "CMakeFiles/bgl_eval.dir/lead_time.cpp.o"
+  "CMakeFiles/bgl_eval.dir/lead_time.cpp.o.d"
+  "CMakeFiles/bgl_eval.dir/matcher.cpp.o"
+  "CMakeFiles/bgl_eval.dir/matcher.cpp.o.d"
+  "libbgl_eval.a"
+  "libbgl_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_meta.dir/meta_learner.cpp.o"
+  "CMakeFiles/bgl_meta.dir/meta_learner.cpp.o.d"
+  "libbgl_meta.a"
+  "libbgl_meta.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_meta.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mining/apriori.cpp" "src/mining/CMakeFiles/bgl_mining.dir/apriori.cpp.o" "gcc" "src/mining/CMakeFiles/bgl_mining.dir/apriori.cpp.o.d"
+  "/root/repo/src/mining/event_sets.cpp" "src/mining/CMakeFiles/bgl_mining.dir/event_sets.cpp.o" "gcc" "src/mining/CMakeFiles/bgl_mining.dir/event_sets.cpp.o.d"
+  "/root/repo/src/mining/fpgrowth.cpp" "src/mining/CMakeFiles/bgl_mining.dir/fpgrowth.cpp.o" "gcc" "src/mining/CMakeFiles/bgl_mining.dir/fpgrowth.cpp.o.d"
+  "/root/repo/src/mining/frequent.cpp" "src/mining/CMakeFiles/bgl_mining.dir/frequent.cpp.o" "gcc" "src/mining/CMakeFiles/bgl_mining.dir/frequent.cpp.o.d"
+  "/root/repo/src/mining/items.cpp" "src/mining/CMakeFiles/bgl_mining.dir/items.cpp.o" "gcc" "src/mining/CMakeFiles/bgl_mining.dir/items.cpp.o.d"
+  "/root/repo/src/mining/pruning.cpp" "src/mining/CMakeFiles/bgl_mining.dir/pruning.cpp.o" "gcc" "src/mining/CMakeFiles/bgl_mining.dir/pruning.cpp.o.d"
+  "/root/repo/src/mining/rules.cpp" "src/mining/CMakeFiles/bgl_mining.dir/rules.cpp.o" "gcc" "src/mining/CMakeFiles/bgl_mining.dir/rules.cpp.o.d"
+  "/root/repo/src/mining/transaction.cpp" "src/mining/CMakeFiles/bgl_mining.dir/transaction.cpp.o" "gcc" "src/mining/CMakeFiles/bgl_mining.dir/transaction.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raslog/CMakeFiles/bgl_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/bgl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgl/CMakeFiles/bgl_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_mining.dir/apriori.cpp.o"
+  "CMakeFiles/bgl_mining.dir/apriori.cpp.o.d"
+  "CMakeFiles/bgl_mining.dir/event_sets.cpp.o"
+  "CMakeFiles/bgl_mining.dir/event_sets.cpp.o.d"
+  "CMakeFiles/bgl_mining.dir/fpgrowth.cpp.o"
+  "CMakeFiles/bgl_mining.dir/fpgrowth.cpp.o.d"
+  "CMakeFiles/bgl_mining.dir/frequent.cpp.o"
+  "CMakeFiles/bgl_mining.dir/frequent.cpp.o.d"
+  "CMakeFiles/bgl_mining.dir/items.cpp.o"
+  "CMakeFiles/bgl_mining.dir/items.cpp.o.d"
+  "CMakeFiles/bgl_mining.dir/pruning.cpp.o"
+  "CMakeFiles/bgl_mining.dir/pruning.cpp.o.d"
+  "CMakeFiles/bgl_mining.dir/rules.cpp.o"
+  "CMakeFiles/bgl_mining.dir/rules.cpp.o.d"
+  "CMakeFiles/bgl_mining.dir/transaction.cpp.o"
+  "CMakeFiles/bgl_mining.dir/transaction.cpp.o.d"
+  "libbgl_mining.a"
+  "libbgl_mining.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_mining.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_parallel.dir/thread_pool.cpp.o"
+  "CMakeFiles/bgl_parallel.dir/thread_pool.cpp.o.d"
+  "libbgl_parallel.a"
+  "libbgl_parallel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_parallel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/predict/baselines.cpp" "src/predict/CMakeFiles/bgl_predict.dir/baselines.cpp.o" "gcc" "src/predict/CMakeFiles/bgl_predict.dir/baselines.cpp.o.d"
+  "/root/repo/src/predict/bayes_predictor.cpp" "src/predict/CMakeFiles/bgl_predict.dir/bayes_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/bgl_predict.dir/bayes_predictor.cpp.o.d"
+  "/root/repo/src/predict/rule_predictor.cpp" "src/predict/CMakeFiles/bgl_predict.dir/rule_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/bgl_predict.dir/rule_predictor.cpp.o.d"
+  "/root/repo/src/predict/statistical_predictor.cpp" "src/predict/CMakeFiles/bgl_predict.dir/statistical_predictor.cpp.o" "gcc" "src/predict/CMakeFiles/bgl_predict.dir/statistical_predictor.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/mining/CMakeFiles/bgl_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bgl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/bgl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/bgl_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgl/CMakeFiles/bgl_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

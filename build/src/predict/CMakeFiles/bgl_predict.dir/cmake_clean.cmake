@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_predict.dir/baselines.cpp.o"
+  "CMakeFiles/bgl_predict.dir/baselines.cpp.o.d"
+  "CMakeFiles/bgl_predict.dir/bayes_predictor.cpp.o"
+  "CMakeFiles/bgl_predict.dir/bayes_predictor.cpp.o.d"
+  "CMakeFiles/bgl_predict.dir/rule_predictor.cpp.o"
+  "CMakeFiles/bgl_predict.dir/rule_predictor.cpp.o.d"
+  "CMakeFiles/bgl_predict.dir/statistical_predictor.cpp.o"
+  "CMakeFiles/bgl_predict.dir/statistical_predictor.cpp.o.d"
+  "libbgl_predict.a"
+  "libbgl_predict.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_predict.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_preprocess.dir/compressors.cpp.o"
+  "CMakeFiles/bgl_preprocess.dir/compressors.cpp.o.d"
+  "CMakeFiles/bgl_preprocess.dir/pipeline.cpp.o"
+  "CMakeFiles/bgl_preprocess.dir/pipeline.cpp.o.d"
+  "libbgl_preprocess.a"
+  "libbgl_preprocess.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_preprocess.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

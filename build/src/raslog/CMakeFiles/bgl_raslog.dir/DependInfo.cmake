@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/raslog/binary_io.cpp" "src/raslog/CMakeFiles/bgl_raslog.dir/binary_io.cpp.o" "gcc" "src/raslog/CMakeFiles/bgl_raslog.dir/binary_io.cpp.o.d"
+  "/root/repo/src/raslog/facility.cpp" "src/raslog/CMakeFiles/bgl_raslog.dir/facility.cpp.o" "gcc" "src/raslog/CMakeFiles/bgl_raslog.dir/facility.cpp.o.d"
+  "/root/repo/src/raslog/io.cpp" "src/raslog/CMakeFiles/bgl_raslog.dir/io.cpp.o" "gcc" "src/raslog/CMakeFiles/bgl_raslog.dir/io.cpp.o.d"
+  "/root/repo/src/raslog/log.cpp" "src/raslog/CMakeFiles/bgl_raslog.dir/log.cpp.o" "gcc" "src/raslog/CMakeFiles/bgl_raslog.dir/log.cpp.o.d"
+  "/root/repo/src/raslog/record.cpp" "src/raslog/CMakeFiles/bgl_raslog.dir/record.cpp.o" "gcc" "src/raslog/CMakeFiles/bgl_raslog.dir/record.cpp.o.d"
+  "/root/repo/src/raslog/severity.cpp" "src/raslog/CMakeFiles/bgl_raslog.dir/severity.cpp.o" "gcc" "src/raslog/CMakeFiles/bgl_raslog.dir/severity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgl/CMakeFiles/bgl_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_raslog.dir/binary_io.cpp.o"
+  "CMakeFiles/bgl_raslog.dir/binary_io.cpp.o.d"
+  "CMakeFiles/bgl_raslog.dir/facility.cpp.o"
+  "CMakeFiles/bgl_raslog.dir/facility.cpp.o.d"
+  "CMakeFiles/bgl_raslog.dir/io.cpp.o"
+  "CMakeFiles/bgl_raslog.dir/io.cpp.o.d"
+  "CMakeFiles/bgl_raslog.dir/log.cpp.o"
+  "CMakeFiles/bgl_raslog.dir/log.cpp.o.d"
+  "CMakeFiles/bgl_raslog.dir/record.cpp.o"
+  "CMakeFiles/bgl_raslog.dir/record.cpp.o.d"
+  "CMakeFiles/bgl_raslog.dir/severity.cpp.o"
+  "CMakeFiles/bgl_raslog.dir/severity.cpp.o.d"
+  "libbgl_raslog.a"
+  "libbgl_raslog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_raslog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

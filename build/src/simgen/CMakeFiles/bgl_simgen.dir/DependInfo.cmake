@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simgen/chains.cpp" "src/simgen/CMakeFiles/bgl_simgen.dir/chains.cpp.o" "gcc" "src/simgen/CMakeFiles/bgl_simgen.dir/chains.cpp.o.d"
+  "/root/repo/src/simgen/generator.cpp" "src/simgen/CMakeFiles/bgl_simgen.dir/generator.cpp.o" "gcc" "src/simgen/CMakeFiles/bgl_simgen.dir/generator.cpp.o.d"
+  "/root/repo/src/simgen/profile.cpp" "src/simgen/CMakeFiles/bgl_simgen.dir/profile.cpp.o" "gcc" "src/simgen/CMakeFiles/bgl_simgen.dir/profile.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bgl/CMakeFiles/bgl_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/bgl_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/bgl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_simgen.dir/chains.cpp.o"
+  "CMakeFiles/bgl_simgen.dir/chains.cpp.o.d"
+  "CMakeFiles/bgl_simgen.dir/generator.cpp.o"
+  "CMakeFiles/bgl_simgen.dir/generator.cpp.o.d"
+  "CMakeFiles/bgl_simgen.dir/profile.cpp.o"
+  "CMakeFiles/bgl_simgen.dir/profile.cpp.o.d"
+  "libbgl_simgen.a"
+  "libbgl_simgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_simgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stats/correlation.cpp" "src/stats/CMakeFiles/bgl_stats.dir/correlation.cpp.o" "gcc" "src/stats/CMakeFiles/bgl_stats.dir/correlation.cpp.o.d"
+  "/root/repo/src/stats/ecdf.cpp" "src/stats/CMakeFiles/bgl_stats.dir/ecdf.cpp.o" "gcc" "src/stats/CMakeFiles/bgl_stats.dir/ecdf.cpp.o.d"
+  "/root/repo/src/stats/histogram.cpp" "src/stats/CMakeFiles/bgl_stats.dir/histogram.cpp.o" "gcc" "src/stats/CMakeFiles/bgl_stats.dir/histogram.cpp.o.d"
+  "/root/repo/src/stats/interarrival.cpp" "src/stats/CMakeFiles/bgl_stats.dir/interarrival.cpp.o" "gcc" "src/stats/CMakeFiles/bgl_stats.dir/interarrival.cpp.o.d"
+  "/root/repo/src/stats/summary.cpp" "src/stats/CMakeFiles/bgl_stats.dir/summary.cpp.o" "gcc" "src/stats/CMakeFiles/bgl_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/raslog/CMakeFiles/bgl_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/bgl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgl/CMakeFiles/bgl_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_stats.dir/correlation.cpp.o"
+  "CMakeFiles/bgl_stats.dir/correlation.cpp.o.d"
+  "CMakeFiles/bgl_stats.dir/ecdf.cpp.o"
+  "CMakeFiles/bgl_stats.dir/ecdf.cpp.o.d"
+  "CMakeFiles/bgl_stats.dir/histogram.cpp.o"
+  "CMakeFiles/bgl_stats.dir/histogram.cpp.o.d"
+  "CMakeFiles/bgl_stats.dir/interarrival.cpp.o"
+  "CMakeFiles/bgl_stats.dir/interarrival.cpp.o.d"
+  "CMakeFiles/bgl_stats.dir/summary.cpp.o"
+  "CMakeFiles/bgl_stats.dir/summary.cpp.o.d"
+  "libbgl_stats.a"
+  "libbgl_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/taxonomy/catalog.cpp" "src/taxonomy/CMakeFiles/bgl_taxonomy.dir/catalog.cpp.o" "gcc" "src/taxonomy/CMakeFiles/bgl_taxonomy.dir/catalog.cpp.o.d"
+  "/root/repo/src/taxonomy/category.cpp" "src/taxonomy/CMakeFiles/bgl_taxonomy.dir/category.cpp.o" "gcc" "src/taxonomy/CMakeFiles/bgl_taxonomy.dir/category.cpp.o.d"
+  "/root/repo/src/taxonomy/classifier.cpp" "src/taxonomy/CMakeFiles/bgl_taxonomy.dir/classifier.cpp.o" "gcc" "src/taxonomy/CMakeFiles/bgl_taxonomy.dir/classifier.cpp.o.d"
+  "/root/repo/src/taxonomy/query.cpp" "src/taxonomy/CMakeFiles/bgl_taxonomy.dir/query.cpp.o" "gcc" "src/taxonomy/CMakeFiles/bgl_taxonomy.dir/query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/bgl_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgl/CMakeFiles/bgl_machine.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bgl_taxonomy.dir/catalog.cpp.o"
+  "CMakeFiles/bgl_taxonomy.dir/catalog.cpp.o.d"
+  "CMakeFiles/bgl_taxonomy.dir/category.cpp.o"
+  "CMakeFiles/bgl_taxonomy.dir/category.cpp.o.d"
+  "CMakeFiles/bgl_taxonomy.dir/classifier.cpp.o"
+  "CMakeFiles/bgl_taxonomy.dir/classifier.cpp.o.d"
+  "CMakeFiles/bgl_taxonomy.dir/query.cpp.o"
+  "CMakeFiles/bgl_taxonomy.dir/query.cpp.o.d"
+  "libbgl_taxonomy.a"
+  "libbgl_taxonomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bgl_taxonomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

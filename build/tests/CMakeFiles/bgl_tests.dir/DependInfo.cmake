@@ -1,0 +1,51 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_bayes.cpp" "tests/CMakeFiles/bgl_tests.dir/test_bayes.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_bayes.cpp.o.d"
+  "/root/repo/tests/test_bgl.cpp" "tests/CMakeFiles/bgl_tests.dir/test_bgl.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_bgl.cpp.o.d"
+  "/root/repo/tests/test_common_util.cpp" "tests/CMakeFiles/bgl_tests.dir/test_common_util.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_common_util.cpp.o.d"
+  "/root/repo/tests/test_core.cpp" "tests/CMakeFiles/bgl_tests.dir/test_core.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_core.cpp.o.d"
+  "/root/repo/tests/test_eval.cpp" "tests/CMakeFiles/bgl_tests.dir/test_eval.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_eval.cpp.o.d"
+  "/root/repo/tests/test_extensions.cpp" "tests/CMakeFiles/bgl_tests.dir/test_extensions.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_extensions.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/bgl_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_job_impact.cpp" "tests/CMakeFiles/bgl_tests.dir/test_job_impact.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_job_impact.cpp.o.d"
+  "/root/repo/tests/test_meta.cpp" "tests/CMakeFiles/bgl_tests.dir/test_meta.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_meta.cpp.o.d"
+  "/root/repo/tests/test_mining.cpp" "tests/CMakeFiles/bgl_tests.dir/test_mining.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_mining.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/bgl_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_predictors.cpp" "tests/CMakeFiles/bgl_tests.dir/test_predictors.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_predictors.cpp.o.d"
+  "/root/repo/tests/test_preprocess.cpp" "tests/CMakeFiles/bgl_tests.dir/test_preprocess.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_preprocess.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/bgl_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_raslog.cpp" "tests/CMakeFiles/bgl_tests.dir/test_raslog.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_raslog.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/bgl_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_simgen.cpp" "tests/CMakeFiles/bgl_tests.dir/test_simgen.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_simgen.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/bgl_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_taxonomy.cpp" "tests/CMakeFiles/bgl_tests.dir/test_taxonomy.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_taxonomy.cpp.o.d"
+  "/root/repo/tests/test_time.cpp" "tests/CMakeFiles/bgl_tests.dir/test_time.cpp.o" "gcc" "tests/CMakeFiles/bgl_tests.dir/test_time.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/bgl_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/bgl_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/parallel/CMakeFiles/bgl_parallel.dir/DependInfo.cmake"
+  "/root/repo/build/src/meta/CMakeFiles/bgl_meta.dir/DependInfo.cmake"
+  "/root/repo/build/src/predict/CMakeFiles/bgl_predict.dir/DependInfo.cmake"
+  "/root/repo/build/src/mining/CMakeFiles/bgl_mining.dir/DependInfo.cmake"
+  "/root/repo/build/src/stats/CMakeFiles/bgl_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/preprocess/CMakeFiles/bgl_preprocess.dir/DependInfo.cmake"
+  "/root/repo/build/src/simgen/CMakeFiles/bgl_simgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/taxonomy/CMakeFiles/bgl_taxonomy.dir/DependInfo.cmake"
+  "/root/repo/build/src/raslog/CMakeFiles/bgl_raslog.dir/DependInfo.cmake"
+  "/root/repo/build/src/bgl/CMakeFiles/bgl_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/bgl_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
