@@ -1,0 +1,29 @@
+# Sanitizer presets for the whole tree.
+#
+# BGL_SANITIZE is a semicolon-separated list of sanitizers, e.g.
+#   -DBGL_SANITIZE=address;undefined   (memory errors + UB, combinable)
+#   -DBGL_SANITIZE=thread              (data races; NOT combinable with asan)
+# Flags are applied globally so every target — library, tests, benches,
+# examples — runs under the same instrumentation.
+
+set(BGL_SANITIZE "" CACHE STRING
+    "Semicolon list of sanitizers to enable (address;undefined or thread)")
+
+if(BGL_SANITIZE)
+  if("thread" IN_LIST BGL_SANITIZE AND "address" IN_LIST BGL_SANITIZE)
+    message(FATAL_ERROR "BGL_SANITIZE: thread and address are mutually exclusive")
+  endif()
+  set(_bgl_san_flags "")
+  foreach(_san IN LISTS BGL_SANITIZE)
+    if(NOT _san MATCHES "^(address|undefined|thread|leak)$")
+      message(FATAL_ERROR "BGL_SANITIZE: unknown sanitizer '${_san}'")
+    endif()
+    list(APPEND _bgl_san_flags "-fsanitize=${_san}")
+  endforeach()
+  add_compile_options(${_bgl_san_flags} -fno-omit-frame-pointer -g)
+  add_link_options(${_bgl_san_flags})
+  # Sanitized builds are for finding bugs: keep the debug-only contract
+  # checks (BGL_DCHECK / BGL_ASSERT) alive even in optimized configs.
+  add_compile_definitions(BGL_ENABLE_ASSERTS)
+  message(STATUS "Sanitizers enabled: ${BGL_SANITIZE}")
+endif()

@@ -1,0 +1,89 @@
+// Runtime contract checks for internal invariants.
+//
+// BGL_REQUIRE (common/error.hpp) guards *caller-facing* contracts — bad
+// arguments throw InvalidArgument. The macros here guard the library's
+// *own* invariants at the seams where silent corruption would skew the
+// paper's precision/recall numbers (compressor key maps, miner counts,
+// fold bounds, predictor windows, pool drain state):
+//
+//   BGL_CHECK(expr, msg)        always on; cheap O(1) predicates only.
+//   BGL_CHECK_RANGE(i, n)       always on; bounds check with values.
+//   BGL_DCHECK(expr, msg)       debug / BGL_ENABLE_ASSERTS builds only;
+//                               for heavier predicates (O(n) scans).
+//
+// Failures throw ContractViolation. The failure path is out-of-line and
+// cold so the always-on checks cost one predictable branch in hot loops.
+#pragma once
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+/// Thrown when an internal invariant (not a caller contract) is broken.
+/// Indicates a library bug, never bad user input.
+class ContractViolation : public Error {
+ public:
+  explicit ContractViolation(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_contract_violation(const char* expr,
+                                                  const char* file, int line,
+                                                  const char* msg) {
+  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                          ": invariant `" + expr + "` violated: " + msg);
+}
+
+[[noreturn]] inline void throw_range_violation(const char* expr,
+                                               const char* file, int line,
+                                               std::size_t index,
+                                               std::size_t size) {
+  throw ContractViolation(std::string(file) + ":" + std::to_string(line) +
+                          ": index check `" + expr + "` failed: index " +
+                          std::to_string(index) + " >= size " +
+                          std::to_string(size));
+}
+
+}  // namespace detail
+}  // namespace bglpred
+
+/// Always-on invariant check. Keep `expr` O(1); failures throw
+/// ContractViolation with file:line context.
+#define BGL_CHECK(expr, msg)                                               \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::bglpred::detail::throw_contract_violation(#expr, __FILE__,         \
+                                                  __LINE__, (msg));        \
+    }                                                                      \
+  } while (false)
+
+/// Always-on bounds check: requires `index < size`, reporting both values
+/// on failure.
+#define BGL_CHECK_RANGE(index, size)                                       \
+  do {                                                                     \
+    const std::size_t bgl_check_index_ =                                   \
+        static_cast<std::size_t>((index));                                 \
+    const std::size_t bgl_check_size_ = static_cast<std::size_t>((size));  \
+    if (bgl_check_index_ >= bgl_check_size_) {                             \
+      ::bglpred::detail::throw_range_violation(#index " < " #size,         \
+                                               __FILE__, __LINE__,         \
+                                               bgl_check_index_,           \
+                                               bgl_check_size_);           \
+    }                                                                      \
+  } while (false)
+
+/// Debug-only invariant check for heavier predicates; compiled away in
+/// release builds unless BGL_ENABLE_ASSERTS is defined (sanitizer builds
+/// define it).
+#if !defined(NDEBUG) || defined(BGL_ENABLE_ASSERTS)
+#define BGL_DCHECK(expr, msg) BGL_CHECK(expr, msg)
+#else
+#define BGL_DCHECK(expr, msg) \
+  do {                        \
+  } while (false)
+#endif

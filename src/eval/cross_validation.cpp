@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
 
@@ -40,11 +41,19 @@ CvResult cross_validate(const RasLog& log, std::size_t folds,
   for (std::size_t i = 0; i <= folds; ++i) {
     bounds[i] = i * n / folds;
   }
+  // Fold bounds must tile [0, n) exactly: a gap would drop test records,
+  // an overlap would double-count them — either corrupts the confusion
+  // totals the paper's precision/recall tables are built from.
+  BGL_CHECK(bounds.front() == 0 && bounds.back() == n,
+            "fold bounds must span the whole log");
+  BGL_DCHECK(std::is_sorted(bounds.begin(), bounds.end()),
+             "fold bounds must be monotonic");
 
   CvResult result;
   result.folds = parallel_map(
       folds,
       [&](std::size_t i) {
+        BGL_CHECK_RANGE(i + 1, bounds.size());
         std::vector<RasRecord> train_records;
         train_records.reserve(n - (bounds[i + 1] - bounds[i]));
         train_records.insert(train_records.end(), records.begin(),

@@ -4,6 +4,7 @@
 #include <map>
 #include <unordered_map>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace bglpred {
@@ -28,6 +29,10 @@ using CandidateCounts = std::unordered_map<Itemset, std::size_t, ItemsetHash>;
 // prefix join, pruning candidates with an infrequent k-subset.
 std::vector<Itemset> generate_candidates(
     const std::vector<Itemset>& frequent_k) {
+  // The prefix join and the binary_search prune below both assume
+  // lexicographic order; an unsorted input silently drops candidates.
+  BGL_DCHECK(std::is_sorted(frequent_k.begin(), frequent_k.end()),
+             "prefix join requires lexicographically sorted itemsets");
   std::vector<Itemset> candidates;
   // frequent_k is sorted lexicographically; itemsets sharing a (k-1)
   // prefix are adjacent.
@@ -160,6 +165,8 @@ FrequentSet apriori(const TransactionDb& db, const MiningOptions& options) {
     frequent_k.clear();
     for (const Itemset& c : candidates) {
       const std::size_t count = counts.at(c);
+      BGL_CHECK(count <= db.size(),
+                "candidate counted more often than there are transactions");
       if (count >= min_count) {
         result.push_back({c, count});
         frequent_k.push_back(c);

@@ -5,6 +5,7 @@
 #include <memory>
 #include <unordered_map>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace bglpred {
@@ -37,6 +38,8 @@ class FpTree {
 
   // Inserts a frequency-ordered transaction with multiplicity `count`.
   void insert(const std::vector<Item>& ordered, std::size_t count) {
+    BGL_CHECK(!ordered.empty() && count >= 1,
+              "FP-tree insertion needs a non-empty weighted path");
     FpNode* cur = root_;
     for (Item item : ordered) {
       auto it = cur->children.find(item);
@@ -99,7 +102,8 @@ void mine(const FpTree& tree, std::size_t min_count,
     // Build the conditional tree on `item`'s prefix paths.
     FpTree conditional;
     const auto head_it = tree.header().find(item);
-    BGL_ASSERT(head_it != tree.header().end());
+    BGL_CHECK(head_it != tree.header().end(),
+              "header table lost a frequent item's chain");
     for (const FpNode* n = head_it->second; n != nullptr;
          n = n->next_same_item) {
       // Collect the prefix path root->..->parent(n).

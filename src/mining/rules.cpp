@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
 #include "mining/apriori.hpp"
@@ -72,7 +73,11 @@ std::vector<Rule> generate_rules(const FrequentSet& frequent,
       continue;  // rule form is body -> single label at this stage
     }
     const std::size_t body_count = frequent.count_of(body);
-    BGL_ASSERT(body_count >= f.count);
+    // Support monotonicity: a superset can never be more frequent than its
+    // body. A violation here would emit confidence > 1 and silently skew
+    // every downstream precision number, so it stays on in release.
+    BGL_CHECK(body_count >= f.count,
+              "itemset support exceeds its body's support");
     const double confidence =
         static_cast<double>(f.count) / static_cast<double>(body_count);
     if (confidence + 1e-12 < min_confidence) {
@@ -99,7 +104,8 @@ std::vector<Rule> combine_rules(std::vector<Rule> rules) {
       continue;
     }
     Rule& merged = it->second;
-    BGL_ASSERT(merged.body_count == rule.body_count);
+    BGL_CHECK(merged.body_count == rule.body_count,
+              "rules with identical bodies disagree on body support");
     merged.heads.insert(merged.heads.end(), rule.heads.begin(),
                         rule.heads.end());
     merged.hit_count += rule.hit_count;
@@ -170,7 +176,8 @@ std::vector<Rule> mine_rules_per_label(const TransactionDb& db,
         continue;
       }
       const std::size_t body_count = db.absolute_support(f.items);
-      BGL_ASSERT(body_count >= f.count);
+      BGL_CHECK(body_count >= f.count,
+                "class-conditional support exceeds global body support");
       const double confidence = static_cast<double>(f.count) /
                                 static_cast<double>(body_count);
       if (confidence + 1e-12 < options.min_confidence) {

@@ -7,6 +7,7 @@
 #include <future>
 #include <vector>
 
+#include "common/check.hpp"
 #include "parallel/thread_pool.hpp"
 
 namespace bglpred {
@@ -21,6 +22,7 @@ template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, const Body& body,
                   ThreadPool& pool = ThreadPool::global(),
                   std::size_t grain = 1) {
+  BGL_CHECK(grain >= 1, "grain of 0 would divide by zero in partitioning");
   if (begin >= end) {
     return;
   }
@@ -34,6 +36,8 @@ void parallel_for(std::size_t begin, std::size_t end, const Body& body,
   }
   const std::size_t blocks = std::min(workers, (n + grain - 1) / grain);
   const std::size_t block_size = (n + blocks - 1) / blocks;
+  BGL_DCHECK(blocks >= 1 && blocks * block_size >= n,
+             "block partition must cover the whole range");
   std::vector<std::future<void>> futures;
   futures.reserve(blocks);
   for (std::size_t b = 0; b < blocks; ++b) {

@@ -12,6 +12,7 @@ ThreadPool::ThreadPool(std::size_t threads) {
   for (std::size_t i = 0; i < threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
+  BGL_CHECK(!workers_.empty(), "pool must own at least one worker");
 }
 
 ThreadPool::~ThreadPool() {
@@ -23,6 +24,9 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) {
     w.join();
   }
+  // Drain semantics: workers only exit once the queue is empty, so after
+  // the last join every submitted task has run.
+  BGL_CHECK(queue_.empty(), "pool destroyed with undrained tasks");
 }
 
 void ThreadPool::worker_loop() {

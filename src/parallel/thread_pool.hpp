@@ -17,6 +17,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/check.hpp"
+
 namespace bglpred {
 
 /// A fixed-size thread pool. Threads are joined in the destructor; tasks
@@ -41,6 +43,7 @@ class ThreadPool {
     std::future<R> result = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      BGL_CHECK(!stopping_, "submit on a pool that is shutting down");
       queue_.emplace_back([task] { (*task)(); });
     }
     cv_.notify_one();

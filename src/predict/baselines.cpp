@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "stats/interarrival.hpp"
 #include "stats/summary.hpp"
 
@@ -47,6 +48,9 @@ void PeriodicPredictor::train(const RasLog& training) {
                 ? kHour
                 : std::max<Duration>(kMinute,
                                      static_cast<Duration>(stats.mean));
+  // A non-positive period would make observe() fire a warning on every
+  // record without ever advancing next_due_.
+  BGL_CHECK(period_ > 0, "periodic baseline learned a non-positive period");
 }
 
 void PeriodicPredictor::reset() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "taxonomy/catalog.hpp"
 
@@ -37,6 +38,7 @@ void BayesPredictor::train(const RasLog& training) {
     class_counts[cls] += 1.0;
     for (const Item item : t) {
       if (!is_label(item)) {
+        BGL_CHECK_RANGE(subcat_of(item), vocab);
         present_counts[cls][subcat_of(item)] += 1.0;
       }
     }
@@ -75,6 +77,10 @@ double BayesPredictor::posterior(
     return 1.0;
   }
   std::vector<bool> mask(catalog().size(), false);
+  // If the catalog grew between train() and predict time, the likelihood
+  // loop below would read past the learned tables.
+  BGL_CHECK(mask.size() == log_present_[0].size(),
+            "taxonomy catalog changed size since training");
   for (const SubcategoryId s : present) {
     if (s < mask.size()) {
       mask[s] = true;

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace bglpred {
@@ -53,6 +54,10 @@ std::optional<Warning> RulePredictor::observe(const RasRecord& rec) {
   if (rule == nullptr) {
     return std::nullopt;
   }
+  // A confidence outside [0, 1] means the miner's support bookkeeping
+  // broke; issuing such a warning would poison the evaluator's averages.
+  BGL_CHECK(rule->confidence >= 0.0 && rule->confidence <= 1.0,
+            "matched rule carries an out-of-range confidence");
   // Every match (re-)fires: rule warnings are level-triggered, and the
   // evaluator merges overlapping same-source warnings into one episode,
   // so a persisting precursor body is a single continuing prediction

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "stats/interarrival.hpp"
 #include "taxonomy/catalog.hpp"
@@ -45,6 +46,7 @@ std::optional<Warning> StatisticalPredictor::observe(const RasRecord& rec) {
   }
   const MainCategory main = catalog().info(rec.subcategory).main;
   const std::size_t ci = static_cast<std::size_t>(main);
+  BGL_CHECK_RANGE(ci, kMainCategoryCount);
   if (!trigger_[ci]) {
     return std::nullopt;
   }

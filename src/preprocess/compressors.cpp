@@ -2,6 +2,7 @@
 
 #include <unordered_map>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 
 namespace bglpred {
@@ -75,6 +76,8 @@ CompressionResult compress_temporal(RasLog& log, Duration threshold) {
     it->second = rec.time;
     records[out++] = rec;
   }
+  BGL_CHECK(out <= result.input_records,
+            "compressor emitted more records than it read");
   records.resize(out);
   result.output_records = out;
   result.removed = result.input_records - out;
@@ -102,6 +105,8 @@ CompressionResult compress_spatial(RasLog& log, Duration threshold) {
     it->second = rec.time;
     records[out++] = rec;
   }
+  BGL_CHECK(out <= result.input_records,
+            "compressor emitted more records than it read");
   records.resize(out);
   result.output_records = out;
   result.removed = result.input_records - out;

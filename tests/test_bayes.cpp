@@ -2,8 +2,8 @@
 #include <gtest/gtest.h>
 
 #include "common/error.hpp"
-#include "predict/bayes_predictor.hpp"
 #include "eval/cross_validation.hpp"
+#include "predict/bayes_predictor.hpp"
 #include "preprocess/pipeline.hpp"
 #include "simgen/generator.hpp"
 #include "taxonomy/catalog.hpp"

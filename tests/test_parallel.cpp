@@ -3,7 +3,11 @@
 
 #include <atomic>
 #include <numeric>
+#include <optional>
+#include <string>
+#include <thread>
 
+#include "common/check.hpp"
 #include "common/error.hpp"
 #include "parallel/parallel_for.hpp"
 #include "parallel/thread_pool.hpp"
@@ -72,6 +76,55 @@ TEST(ParallelForTest, RethrowsBodyException) {
                std::logic_error);
 }
 
+TEST(ParallelForTest, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(4);
+  std::vector<int> hits(10, 0);
+  // grain > n forces the inline path even with workers available; plain
+  // non-atomic increments prove single-threaded execution under TSan.
+  parallel_for(
+      0, hits.size(), [&](std::size_t i) { ++hits[i]; }, pool,
+      /*grain=*/64);
+  for (int h : hits) {
+    EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelForTest, SingleWorkerRunsInline) {
+  ThreadPool pool(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> seen(16);
+  parallel_for(
+      0, seen.size(),
+      [&](std::size_t i) { seen[i] = std::this_thread::get_id(); }, pool);
+  for (const auto& id : seen) {
+    EXPECT_EQ(id, caller);
+  }
+}
+
+TEST(ParallelForTest, InlinePathRethrowsImmediately) {
+  ThreadPool pool(1);  // single worker -> inline execution
+  int reached = 0;
+  EXPECT_THROW(parallel_for(
+                   0, 10,
+                   [&](std::size_t i) {
+                     if (i == 3) {
+                       throw std::runtime_error("inline boom");
+                     }
+                     ++reached;
+                   },
+                   pool),
+               std::runtime_error);
+  // Inline execution is sequential, so nothing past the throwing index ran.
+  EXPECT_EQ(reached, 3);
+}
+
+TEST(ParallelForTest, ZeroGrainViolatesContract) {
+  ThreadPool pool(2);
+  EXPECT_THROW(parallel_for(
+                   0, 10, [](std::size_t) {}, pool, /*grain=*/0),
+               ContractViolation);
+}
+
 TEST(ParallelMapTest, PreservesOrder) {
   ThreadPool pool(4);
   const auto out = parallel_map(
@@ -79,6 +132,26 @@ TEST(ParallelMapTest, PreservesOrder) {
   ASSERT_EQ(out.size(), 100u);
   for (std::size_t i = 0; i < out.size(); ++i) {
     EXPECT_EQ(out[i], i * i);
+  }
+}
+
+TEST(ParallelMapTest, OrderingVisibleThroughSentinelResults) {
+  // The result slots start in a distinguishable default state
+  // (std::nullopt), so a skipped or misrouted index shows up as a hole
+  // rather than aliasing a legitimate zero value.
+  ThreadPool pool(4);
+  // Plain to_string (no char*-plus-string concat) sidesteps gcc-12's
+  // -Wrestrict false positive (GCC PR105329).
+  const auto out = parallel_map(
+      257,
+      [](std::size_t i) {
+        return std::optional<std::string>(std::to_string(i * 7 + 1));
+      },
+      pool);
+  ASSERT_EQ(out.size(), 257u);
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    ASSERT_TRUE(out[i].has_value()) << "hole at " << i;
+    EXPECT_EQ(*out[i], std::to_string(i * 7 + 1));
   }
 }
 

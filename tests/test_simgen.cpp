@@ -8,8 +8,8 @@
 #include "preprocess/pipeline.hpp"
 #include "simgen/chains.hpp"
 #include "simgen/generator.hpp"
-#include "taxonomy/classifier.hpp"
 #include "taxonomy/catalog.hpp"
+#include "taxonomy/classifier.hpp"
 
 namespace bglpred {
 namespace {
