@@ -3,7 +3,9 @@
 // Every driver reproduces one published artifact. The helpers here
 // standardize: profile selection, scaled log generation + Phase-1
 // preprocessing (cached per process), the paper-vs-measured table
-// footer, and CSV export for external plotting.
+// footer, and CSV export for external plotting. (The JSON-emitting
+// google-benchmark main lives in bench_json.hpp — it must not be pulled
+// into drivers that do not link google-benchmark.)
 #pragma once
 
 #include <cstdio>

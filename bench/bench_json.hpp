@@ -1,0 +1,55 @@
+// JSON-emitting main() for the google-benchmark perf_* drivers.
+//
+// Kept out of bench_common.hpp on purpose: <benchmark/benchmark.h>
+// registers static initializers, so merely including it links the
+// benchmark library — and most bench drivers are plain CLI tools that
+// do not (and must not) link it. Include this header only from targets
+// in the BGL_BENCH_PERF list.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace bglpred::bench {
+
+/// Runs the registered benchmarks with machine-readable results on by
+/// default: unless the caller already passed --benchmark_out, the run is
+/// mirrored to BENCH_<name>.json (google-benchmark's JSON schema) in the
+/// working directory, on top of the usual console table. Explicit
+/// --benchmark_out / --benchmark_out_format flags win.
+inline int run_benchmark_driver(const char* name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_";
+  out_flag += name;
+  out_flag += ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool caller_chose_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string_view(argv[i]).rfind("--benchmark_out", 0) == 0) {
+      caller_chose_out = true;
+    }
+  }
+  if (!caller_chose_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int count = static_cast<int>(args.size());
+  benchmark::Initialize(&count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace bglpred::bench
+
+/// BENCHMARK_MAIN() with BENCH_<name>.json output by default.
+#define BGL_BENCH_MAIN(name)                                       \
+  int main(int argc, char** argv) {                                \
+    return bglpred::bench::run_benchmark_driver(name, argc, argv); \
+  }

@@ -5,6 +5,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "preprocess/pipeline.hpp"
 #include "simgen/generator.hpp"
 
@@ -60,4 +61,4 @@ BENCHMARK(BM_Phase1Pipeline)->Arg(2)->Arg(5)->Arg(10)
     ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_TemporalCompressionOnly)->Unit(benchmark::kMillisecond);
 
-BENCHMARK_MAIN();
+BGL_BENCH_MAIN("perf_preprocess")

@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include "bench_common.hpp"
+#include "bench_json.hpp"
 #include "mining/event_sets.hpp"
 #include "predict/rule_predictor.hpp"
 
@@ -36,6 +37,21 @@ void BM_RuleGeneration(benchmark::State& state) {
     benchmark::DoNotOptimize(rules);
   }
   state.counters["rules"] = static_cast<double>(rules);
+}
+
+// Extraction alone, to attribute the end-to-end split between event-set
+// construction and mining.
+void BM_EventSetExtraction(benchmark::State& state) {
+  const Duration window = state.range(0) * kMinute;
+  const PreparedLog& prepared = prepared_log("ANL", kScale);
+  std::size_t sets = 0;
+  for (auto _ : state) {
+    const TransactionDb db =
+        extract_event_sets(prepared.log, window, nullptr);
+    sets = db.size();
+    benchmark::DoNotOptimize(sets);
+  }
+  state.counters["event_sets"] = static_cast<double>(sets);
 }
 
 void BM_RuleMatching(benchmark::State& state) {
@@ -67,6 +83,11 @@ BENCHMARK(BM_RuleGeneration)
     ->Arg(45)
     ->Arg(60)
     ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_EventSetExtraction)
+    ->Arg(5)
+    ->Arg(30)
+    ->Arg(60)
+    ->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RuleMatching)->Unit(benchmark::kMicrosecond);
 
-BENCHMARK_MAIN();
+BGL_BENCH_MAIN("perf_rule_generation")

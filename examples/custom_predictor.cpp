@@ -37,14 +37,14 @@ class MidplaneHazardPredictor final : public BasePredictor {
 
   std::string name() const override { return "midplane-hazard"; }
 
-  void train(const RasLog& training) override {
+  void train(const LogView& training) override {
     // Learn the typical per-midplane event density: sample the stream
     // with the same sliding-window mechanics used at test time.
     std::map<bgl::Location, std::deque<TimePoint>> windows;
     double sum = 0.0;
     double sq = 0.0;
     std::size_t n = 0;
-    for (const RasRecord& rec : training.records()) {
+    for (const RasRecord& rec : training) {
       if (rec.fatal() || rec.location.kind == bgl::LocationKind::kRack) {
         continue;
       }

@@ -1,0 +1,19 @@
+#include "common/bitset.hpp"
+
+namespace bglpred {
+
+std::string to_string(const ItemBitset& bits) {
+  std::string out = "{";
+  bool first = true;
+  bits.for_each_set([&](std::size_t bit) {
+    if (!first) {
+      out += ", ";
+    }
+    first = false;
+    out += std::to_string(bit);
+  });
+  out += "}";
+  return out;
+}
+
+}  // namespace bglpred

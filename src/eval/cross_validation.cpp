@@ -8,12 +8,12 @@
 
 namespace bglpred {
 
-FoldResult evaluate_split(const RasLog& training, const RasLog& test,
+FoldResult evaluate_split(const LogView& training, const LogView& test,
                           BasePredictor& predictor) {
   predictor.train(training);
   predictor.reset();
   std::vector<Warning> warnings;
-  for (const RasRecord& rec : test.records()) {
+  for (const RasRecord& rec : test) {
     if (auto w = predictor.observe(rec)) {
       warnings.push_back(std::move(*w));
     }
@@ -35,7 +35,6 @@ CvResult cross_validate(const RasLog& log, std::size_t folds,
   BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
 
   const std::size_t n = log.size();
-  const auto& records = log.records();
   // Fold i covers [bounds[i], bounds[i+1]).
   std::vector<std::size_t> bounds(folds + 1);
   for (std::size_t i = 0; i <= folds; ++i) {
@@ -54,20 +53,11 @@ CvResult cross_validate(const RasLog& log, std::size_t folds,
       folds,
       [&](std::size_t i) {
         BGL_CHECK_RANGE(i + 1, bounds.size());
-        std::vector<RasRecord> train_records;
-        train_records.reserve(n - (bounds[i + 1] - bounds[i]));
-        train_records.insert(train_records.end(), records.begin(),
-                             records.begin() +
-                                 static_cast<std::ptrdiff_t>(bounds[i]));
-        train_records.insert(
-            train_records.end(),
-            records.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]),
-            records.end());
-        std::vector<RasRecord> test_records(
-            records.begin() + static_cast<std::ptrdiff_t>(bounds[i]),
-            records.begin() + static_cast<std::ptrdiff_t>(bounds[i + 1]));
-        const RasLog training = log.subset(train_records);
-        const RasLog test = log.subset(test_records);
+        // Zero-copy split: train on the records around the test fold,
+        // test on the fold itself — both are views into `log`.
+        const LogView training =
+            LogView::excluding(log, bounds[i], bounds[i + 1]);
+        const LogView test(log, bounds[i], bounds[i + 1]);
         PredictorPtr predictor = factory();
         BGL_REQUIRE(predictor != nullptr, "factory returned null");
         return evaluate_split(training, test, *predictor);

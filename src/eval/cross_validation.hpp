@@ -48,13 +48,17 @@ struct CvResult {
 
 /// Runs n-fold cross-validation of `factory`'s predictor over a
 /// preprocessed, time-sorted log. Requires folds >= 2 and enough records.
+/// Folds are zero-copy: each trains on a prefix+suffix LogView of `log`
+/// and replays the test fold through another view, so the log is never
+/// duplicated per fold.
 CvResult cross_validate(const RasLog& log, std::size_t folds,
                         const PredictorFactory& factory,
                         ThreadPool& pool = ThreadPool::global());
 
 /// Trains on `training` and evaluates on `test` (single split); the
-/// building block cross_validate composes.
-FoldResult evaluate_split(const RasLog& training, const RasLog& test,
+/// building block cross_validate composes. Accepts whole logs via
+/// LogView's implicit conversion.
+FoldResult evaluate_split(const LogView& training, const LogView& test,
                           BasePredictor& predictor);
 
 }  // namespace bglpred

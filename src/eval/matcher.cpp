@@ -90,10 +90,10 @@ std::vector<Warning> merge_episodes(std::vector<Warning> warnings) {
   return out;
 }
 
-std::vector<TimePoint> fatal_times(const RasLog& log) {
+std::vector<TimePoint> fatal_times(const LogView& log) {
   BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
   std::vector<TimePoint> out;
-  for (const RasRecord& rec : log.records()) {
+  for (const RasRecord& rec : log) {
     if (rec.fatal()) {
       out.push_back(rec.time);
     }

@@ -29,6 +29,6 @@ Confusion match_warnings(const std::vector<Warning>& warnings,
 std::vector<Warning> merge_episodes(std::vector<Warning> warnings);
 
 /// Extracts the fatal-event times from a time-sorted log.
-std::vector<TimePoint> fatal_times(const RasLog& log);
+std::vector<TimePoint> fatal_times(const LogView& log);
 
 }  // namespace bglpred

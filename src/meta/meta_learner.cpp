@@ -16,7 +16,7 @@ void MetaLearner::add_base(PredictorPtr base, bool treat_as_rule_like) {
   bases_.push_back(BaseSlot{std::move(base), treat_as_rule_like});
 }
 
-void MetaLearner::train(const RasLog& training) {
+void MetaLearner::train(const LogView& training) {
   BGL_REQUIRE(!bases_.empty(), "meta-learner needs at least one base");
   for (BaseSlot& slot : bases_) {
     slot.predictor->train(training);

@@ -61,7 +61,7 @@ class MetaLearner final : public BasePredictor {
   void add_base(PredictorPtr base, bool treat_as_rule_like);
 
   std::string name() const override { return "meta"; }
-  void train(const RasLog& training) override;
+  void train(const LogView& training) override;
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 

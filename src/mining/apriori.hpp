@@ -2,16 +2,29 @@
 // algorithm the paper cites for Step 2 of the rule-based method.
 //
 // Level-wise search: frequent k-itemsets are joined into (k+1)-candidates
-// sharing a k-1 prefix, candidates with any infrequent k-subset are pruned
-// (the apriori property), and support is counted by enumerating k-subsets
-// of each transaction's frequent items against a candidate hash set.
+// sharing a k-1 prefix, and candidates with any infrequent k-subset are
+// pruned (the apriori property). Candidate support is counted vertically:
+// each frequent itemset carries its transaction bitset (tid-list), and a
+// candidate's bitset is the word-wise AND of its two join parents'
+// bitsets, so counting is a popcount instead of a subset enumeration over
+// every transaction (Eclat-style counting on Apriori's level-wise
+// lattice). apriori_reference() keeps the original horizontal counting as
+// the differential-test oracle; both produce bit-identical FrequentSets.
 #pragma once
 
 #include "mining/frequent.hpp"
 
 namespace bglpred {
 
-/// Mines all frequent itemsets of `db` under `options`.
+/// Mines all frequent itemsets of `db` under `options` using vertical
+/// (transaction-bitset) candidate counting.
 FrequentSet apriori(const TransactionDb& db, const MiningOptions& options);
+
+/// Reference implementation with horizontal counting (k-subset
+/// enumeration per transaction). Same output as apriori(); kept as the
+/// oracle for differential tests and as the readable statement of the
+/// textbook algorithm.
+FrequentSet apriori_reference(const TransactionDb& db,
+                              const MiningOptions& options);
 
 }  // namespace bglpred

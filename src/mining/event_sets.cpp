@@ -7,7 +7,7 @@
 
 namespace bglpred {
 
-TransactionDb extract_event_sets(const RasLog& log, Duration window,
+TransactionDb extract_event_sets(const LogView& log, Duration window,
                                  EventSetStats* stats,
                                  double negative_ratio,
                                  std::uint64_t seed) {
@@ -16,21 +16,21 @@ TransactionDb extract_event_sets(const RasLog& log, Duration window,
   EventSetStats local;
   TransactionDb db;
 
-  const auto& records = log.records();
+  const std::size_t n = log.size();
   std::size_t window_start = 0;  // first index with time > t - window
-  for (std::size_t i = 0; i < records.size(); ++i) {
-    const RasRecord& rec = records[i];
+  for (std::size_t i = 0; i < n; ++i) {
+    const RasRecord& rec = log[i];
     if (!rec.fatal()) {
       continue;
     }
     ++local.fatal_events;
     while (window_start < i &&
-           records[window_start].time <= rec.time - window) {
+           log[window_start].time <= rec.time - window) {
       ++window_start;
     }
     Transaction t;
     for (std::size_t j = window_start; j < i; ++j) {
-      const RasRecord& prior = records[j];
+      const RasRecord& prior = log[j];
       if (!prior.fatal() && prior.subcategory != kUnclassified) {
         t.push_back(body_item(prior.subcategory));
       }
@@ -47,17 +47,17 @@ TransactionDb extract_event_sets(const RasLog& log, Duration window,
   }
   // Negative windows: instants with no fatal event in the following
   // `window` seconds; their transactions are label-free.
-  if (negative_ratio > 0.0 && !records.empty()) {
+  if (negative_ratio > 0.0 && n > 0) {
     std::vector<TimePoint> fatal_times;
-    for (const RasRecord& rec : records) {
+    for (const RasRecord& rec : log) {
       if (rec.fatal()) {
         fatal_times.push_back(rec.time);
       }
     }
-    const TimeSpan span{records.front().time, records.back().time + 1};
+    const TimeSpan span{log.front().time, log.back().time + 1};
     const auto wanted = static_cast<std::size_t>(
         negative_ratio * static_cast<double>(local.fatal_events));
-    Rng rng(seed ^ (records.size() * 0x9e3779b97f4a7c15ULL));
+    Rng rng(seed ^ (n * 0x9e3779b97f4a7c15ULL));
     std::size_t made = 0;
     for (std::size_t attempt = 0; attempt < wanted * 8 && made < wanted;
          ++attempt) {
@@ -71,12 +71,12 @@ TransactionDb extract_event_sets(const RasLog& log, Duration window,
       }
       // Collect non-fatal subcategories in (t - window, t].
       const auto lo = std::lower_bound(
-          records.begin(), records.end(), t - window + 1,
+          log.begin(), log.end(), t - window + 1,
           [](const RasRecord& rec, TimePoint time) {
             return rec.time < time;
           });
       const auto hi = std::upper_bound(
-          records.begin(), records.end(), t,
+          log.begin(), log.end(), t,
           [](TimePoint time, const RasRecord& rec) {
             return time < rec.time;
           });

@@ -31,7 +31,8 @@ struct EventSetStats {
 };
 
 /// Builds the event-set transaction database from a time-sorted,
-/// categorized log using rule generation window `window` (seconds).
+/// categorized log (or view) using rule generation window `window`
+/// (seconds).
 ///
 /// `negative_ratio` adds that many label-free *negative* windows per
 /// fatal event, sampled (deterministically from `seed`) at instants not
@@ -39,7 +40,7 @@ struct EventSetStats {
 /// support count reflect how often it occurs when nothing fails, so rule
 /// confidence estimates P(failure | body) instead of the
 /// conditioned-on-failure quantity mined from positive windows alone.
-TransactionDb extract_event_sets(const RasLog& log, Duration window,
+TransactionDb extract_event_sets(const LogView& log, Duration window,
                                  EventSetStats* stats = nullptr,
                                  double negative_ratio = 0.0,
                                  std::uint64_t seed = 0x5eed);

@@ -1,19 +1,36 @@
 #include "mining/frequent.hpp"
 
 #include <algorithm>
+#include <utility>
 
 namespace bglpred {
 
-FrequentSet::FrequentSet(std::vector<FrequentItemset> itemsets)
-    : itemsets_(std::move(itemsets)) {
-  for (const FrequentItemset& f : itemsets_) {
-    index_.emplace(f.items, f.count);
+FrequentSet& FrequentSet::operator=(const FrequentSet& other) {
+  if (this != &other) {
+    itemsets_ = other.itemsets_;
+    index_.reset();
   }
+  return *this;
+}
+
+FrequentSet& FrequentSet::operator=(FrequentSet&& other) noexcept {
+  if (this != &other) {
+    itemsets_ = std::move(other.itemsets_);
+    index_.reset();
+  }
+  return *this;
 }
 
 std::size_t FrequentSet::count_of(const Itemset& items) const {
-  const auto it = index_.find(items);
-  return it == index_.end() ? 0 : it->second;
+  const std::scoped_lock lock(index_mutex_);
+  if (index_ == nullptr) {
+    index_ = std::make_unique<std::map<Itemset, std::size_t>>();
+    for (const FrequentItemset& f : itemsets_) {
+      index_->emplace(f.items, f.count);
+    }
+  }
+  const auto it = index_->find(items);
+  return it == index_->end() ? 0 : it->second;
 }
 
 std::vector<FrequentItemset> sorted_by_itemset(

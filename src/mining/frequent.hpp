@@ -3,6 +3,8 @@
 
 #include <cstddef>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <vector>
 
 #include "mining/transaction.hpp"
@@ -28,18 +30,30 @@ struct MiningOptions {
 /// support lookup (used by rule generation for confidence computation).
 class FrequentSet {
  public:
-  explicit FrequentSet(std::vector<FrequentItemset> itemsets);
+  explicit FrequentSet(std::vector<FrequentItemset> itemsets)
+      : itemsets_(std::move(itemsets)) {}
+
+  FrequentSet(const FrequentSet& other) : itemsets_(other.itemsets_) {}
+  FrequentSet& operator=(const FrequentSet& other);
+  FrequentSet(FrequentSet&& other) noexcept
+      : itemsets_(std::move(other.itemsets_)) {}
+  FrequentSet& operator=(FrequentSet&& other) noexcept;
 
   const std::vector<FrequentItemset>& itemsets() const { return itemsets_; }
   std::size_t size() const { return itemsets_.size(); }
 
   /// Support count of a frequent itemset; 0 if the itemset is not
-  /// frequent (or larger than max_itemset_size).
+  /// frequent (or larger than max_itemset_size). Thread-safe; the lookup
+  /// index is built lazily on first call — the per-label mining path
+  /// never asks, and at low support the eager index used to cost more
+  /// than the counting itself.
   std::size_t count_of(const Itemset& items) const;
 
  private:
   std::vector<FrequentItemset> itemsets_;
-  std::map<Itemset, std::size_t> index_;
+  // Lazy count_of index; copies/moves deliberately drop it.
+  mutable std::mutex index_mutex_;
+  mutable std::unique_ptr<std::map<Itemset, std::size_t>> index_;
 };
 
 /// Canonicalizes results for comparison in tests (sorted by itemset).

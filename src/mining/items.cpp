@@ -18,6 +18,26 @@ bool is_subset(const Itemset& needle, const Itemset& haystack) {
   return true;
 }
 
+// The whole point of the fixed width is that the catalog fits: growing
+// Table 3 past the body slot must be a build error, not a silent hash of
+// colliding bits.
+static_assert(kExpectedSubcategories <= kItemBodyBits,
+              "taxonomy catalog exceeds the ItemBitset body slot; widen "
+              "ItemBitset::kBits in common/bitset.hpp");
+
+bool try_encode_bitset(const Itemset& items, ItemBitset* out) {
+  ItemBitset bits;
+  for (const Item item : items) {
+    const std::size_t bit = item_bit(item);
+    if (bit == kNoItemBit) {
+      return false;
+    }
+    bits.set(bit);
+  }
+  *out = bits;
+  return true;
+}
+
 std::string itemset_to_string(const Itemset& items) {
   std::string out;
   for (std::size_t i = 0; i < items.size(); ++i) {

@@ -13,6 +13,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "raslog/record.hpp"
 
 namespace bglpred {
@@ -41,5 +42,33 @@ bool is_subset(const Itemset& needle, const Itemset& haystack);
 
 /// Renders an itemset using catalog names, labels suffixed with '!'.
 std::string itemset_to_string(const Itemset& items);
+
+// ---- dense bitset encoding (the mining fast paths) ----------------------
+//
+// ItemBitset (common/bitset.hpp) splits its 256 bits into two slots:
+// body items occupy bits [0, kItemBodyBits), label items bits
+// [kItemBodyBits, 2 * kItemBodyBits). The taxonomy catalog (101
+// subcategories) fits with headroom; items.cpp static_asserts that the
+// catalog can never outgrow the slot, so a Table-3 extension that crosses
+// the width fails the build instead of silently corrupting supports.
+// Items outside the universe (possible in synthetic tests) map to
+// kNoItemBit and the callers fall back to the naive sorted-vector paths.
+
+inline constexpr std::size_t kItemBodyBits = ItemBitset::kBits / 2;
+inline constexpr std::size_t kNoItemBit = ~std::size_t{0};
+
+/// Dense bit index of an item, or kNoItemBit if it falls outside the
+/// fixed universe.
+constexpr std::size_t item_bit(Item item) {
+  const SubcategoryId subcat = subcat_of(item);
+  if (subcat >= kItemBodyBits) {
+    return kNoItemBit;
+  }
+  return is_label(item) ? kItemBodyBits + subcat : subcat;
+}
+
+/// Encodes a (sorted, distinct) itemset. Returns false — leaving `out`
+/// unspecified — if any item falls outside the fixed universe.
+bool try_encode_bitset(const Itemset& items, ItemBitset* out);
 
 }  // namespace bglpred

@@ -41,9 +41,70 @@ RuleSet::RuleSet(std::vector<Rule> rules) : rules_(std::move(rules)) {
     }
     return a.body < b.body;
   });
+  // Matching index over the confidence order. Bodies that cannot be
+  // encoded (items outside the fixed universe) and empty bodies (match
+  // everything) go to the always-checked mask instead.
+  bodies_.resize(rules_.size());
+  rules_by_item_.resize(ItemBitset::kBits);
+  for (std::size_t r = 0; r < rules_.size(); ++r) {
+    ItemBitset bits;
+    if (rules_[r].body.empty() ||
+        !try_encode_bitset(rules_[r].body, &bits)) {
+      always_check_.set(r);
+      continue;
+    }
+    bodies_[r] = bits;
+    bits.for_each_set(
+        [&](std::size_t bit) { rules_by_item_[bit].set(r); });
+  }
+}
+
+const Rule* RuleSet::match_candidates(const ItemBitset& observed,
+                                      const Itemset* observed_items) const {
+  // Candidates: rules sharing at least one item with the observed set
+  // (any matching non-empty body must), plus the always-checked rules.
+  DynamicBitset candidates = always_check_;
+  observed.for_each_set([&](std::size_t bit) {
+    candidates.or_with(rules_by_item_[bit]);
+  });
+  // Rule indices ascend in confidence order, so the first subset hit is
+  // the best match.
+  const Rule* found = nullptr;
+  candidates.for_each_set([&](std::size_t r) {
+    if (always_check_.test(r)) {
+      const bool hit = observed_items != nullptr
+                           ? is_subset(rules_[r].body, *observed_items)
+                           : rules_[r].body.empty();
+      if (!hit) {
+        return false;
+      }
+    } else if (!bodies_[r].is_subset_of(observed)) {
+      return false;
+    }
+    found = &rules_[r];
+    return true;
+  });
+  return found;
 }
 
 const Rule* RuleSet::best_match(const Itemset& observed) const {
+  ItemBitset bits;
+  for (const Item item : observed) {
+    const std::size_t bit = item_bit(item);
+    if (bit != kNoItemBit) {
+      bits.set(bit);
+    }
+  }
+  // Unencodable observed items only matter to always-checked rules, which
+  // get the full itemset for their naive subset test.
+  return match_candidates(bits, &observed);
+}
+
+const Rule* RuleSet::best_match(const ItemBitset& observed) const {
+  return match_candidates(observed, nullptr);
+}
+
+const Rule* RuleSet::best_match_naive(const Itemset& observed) const {
   for (const Rule& rule : rules_) {
     if (is_subset(rule.body, observed)) {
       return &rule;  // rules are confidence-sorted; first match wins
@@ -167,7 +228,8 @@ std::vector<Rule> mine_rules_per_label(const TransactionDb& db,
     }
     TransactionDb class_db{std::vector<Transaction>(bodies)};
     MiningOptions mining = options.mining;
-    // Reserve one slot of the itemset budget for the label.
+    // Reserve one slot of the itemset budget for the label. mine_rules
+    // rejects max_itemset_size == 0, so the subtract cannot wrap.
     mining.max_itemset_size =
         std::max<std::size_t>(1, mining.max_itemset_size - 1);
     const FrequentSet frequent = run_miner(class_db, mining, algorithm);
@@ -201,6 +263,11 @@ std::vector<Rule> mine_rules_per_label(const TransactionDb& db,
 
 RuleSet mine_rules(const TransactionDb& db, const RuleOptions& options,
                    MiningAlgorithm algorithm) {
+  // Guard the per-label "reserve one slot for the label" subtract below
+  // against a std::size_t wrap (0 - 1 would turn the itemset budget into
+  // SIZE_MAX and make low-support sweeps explode).
+  BGL_REQUIRE(options.mining.max_itemset_size >= 1,
+              "max itemset size must be >= 1");
   if (db.empty()) {
     return RuleSet{};
   }

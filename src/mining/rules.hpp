@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "common/bitset.hpp"
 #include "mining/frequent.hpp"
 
 namespace bglpred {
@@ -60,11 +61,21 @@ struct RuleOptions {
 };
 
 /// An ordered rule collection with matching support.
+///
+/// Construction precomputes a matching index over the confidence order:
+/// each body as an ItemBitset plus an inverted item -> rule-indices map
+/// (bitsets over rule indices). best_match ORs the observed items' rule
+/// masks into a candidate set and subset-tests candidates in confidence
+/// order with word ops — O(|observed| + candidates) instead of a linear
+/// scan over every rule body. Bodies containing items outside the fixed
+/// bitset universe (synthetic tests only; the catalog always fits) are
+/// kept on an always-checked naive path so results stay identical.
 class RuleSet {
  public:
   RuleSet() = default;
   /// Sorts rules in descending confidence (Step 4), ties broken by higher
-  /// support then lexicographic body for determinism.
+  /// support then lexicographic body for determinism, and builds the
+  /// matching index.
   explicit RuleSet(std::vector<Rule> rules);
 
   const std::vector<Rule>& rules() const { return rules_; }
@@ -76,8 +87,24 @@ class RuleSet {
   /// none matches (Step 6: "select the rule with the highest confidence").
   const Rule* best_match(const Itemset& observed) const;
 
+  /// Bitset fast path for callers that maintain the observed set
+  /// incrementally (RulePredictor). Only valid when every observed item
+  /// is inside the fixed bitset universe.
+  const Rule* best_match(const ItemBitset& observed) const;
+
+  /// Reference implementation: linear scan in confidence order. Kept as
+  /// the differential-test oracle for the indexed matcher.
+  const Rule* best_match_naive(const Itemset& observed) const;
+
  private:
+  const Rule* match_candidates(const ItemBitset& observed,
+                               const Itemset* observed_items) const;
+
   std::vector<Rule> rules_;
+  // Matching index, parallel to rules_ (confidence order).
+  std::vector<ItemBitset> bodies_;        ///< encoded rule bodies
+  std::vector<DynamicBitset> rules_by_item_;  ///< item bit -> rule indices
+  DynamicBitset always_check_;  ///< rules needing the naive subset test
 };
 
 /// Generates single-head rules body->label from a frequent set: for every

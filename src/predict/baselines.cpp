@@ -11,7 +11,7 @@ namespace bglpred {
 NeverPredictor::NeverPredictor(const PredictionConfig& config)
     : config_(config) {}
 
-void NeverPredictor::train(const RasLog& training) { (void)training; }
+void NeverPredictor::train(const LogView& training) { (void)training; }
 
 std::optional<Warning> NeverPredictor::observe(const RasRecord& rec) {
   (void)rec;
@@ -21,7 +21,7 @@ std::optional<Warning> NeverPredictor::observe(const RasRecord& rec) {
 EveryFailurePredictor::EveryFailurePredictor(const PredictionConfig& config)
     : config_(config) {}
 
-void EveryFailurePredictor::train(const RasLog& training) {
+void EveryFailurePredictor::train(const LogView& training) {
   (void)training;  // nothing to learn
 }
 
@@ -41,7 +41,7 @@ std::optional<Warning> EveryFailurePredictor::observe(const RasRecord& rec) {
 PeriodicPredictor::PeriodicPredictor(const PredictionConfig& config)
     : config_(config) {}
 
-void PeriodicPredictor::train(const RasLog& training) {
+void PeriodicPredictor::train(const LogView& training) {
   const auto gaps = fatal_interarrival_gaps(training);
   const SummaryStats stats = summarize(gaps);
   period_ = stats.n == 0

@@ -11,7 +11,7 @@ class NeverPredictor final : public BasePredictor {
  public:
   explicit NeverPredictor(const PredictionConfig& config);
   std::string name() const override { return "never"; }
-  void train(const RasLog& training) override;
+  void train(const LogView& training) override;
   void reset() override {}
   std::optional<Warning> observe(const RasRecord& rec) override;
 
@@ -26,7 +26,7 @@ class EveryFailurePredictor final : public BasePredictor {
  public:
   explicit EveryFailurePredictor(const PredictionConfig& config);
   std::string name() const override { return "every-failure"; }
-  void train(const RasLog& training) override;
+  void train(const LogView& training) override;
   void reset() override {}
   std::optional<Warning> observe(const RasRecord& rec) override;
 
@@ -40,7 +40,7 @@ class PeriodicPredictor final : public BasePredictor {
  public:
   explicit PeriodicPredictor(const PredictionConfig& config);
   std::string name() const override { return "periodic"; }
-  void train(const RasLog& training) override;
+  void train(const LogView& training) override;
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 

@@ -20,7 +20,7 @@ BayesPredictor::BayesPredictor(const PredictionConfig& config,
   BGL_REQUIRE(options.smoothing > 0.0, "smoothing must be positive");
 }
 
-void BayesPredictor::train(const RasLog& training) {
+void BayesPredictor::train(const LogView& training) {
   // Reuse the rule miner's window extraction: transactions with a label
   // item are positive windows, label-free ones negative.
   const TransactionDb db =

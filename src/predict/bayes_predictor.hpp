@@ -44,7 +44,7 @@ class BayesPredictor final : public BasePredictor {
                  const BayesOptions& options = {});
 
   std::string name() const override { return "bayes"; }
-  void train(const RasLog& training) override;
+  void train(const LogView& training) override;
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 

@@ -55,8 +55,10 @@ class BasePredictor {
   /// Short identifier ("statistical", "rule", ...).
   virtual std::string name() const = 0;
 
-  /// Learns from a preprocessed, time-sorted training log.
-  virtual void train(const RasLog& training) = 0;
+  /// Learns from a preprocessed, time-sorted training log (or a
+  /// zero-copy view of one — cross-validation trains on the prefix +
+  /// suffix around the test fold without materializing a log).
+  virtual void train(const LogView& training) = 0;
 
   /// Clears streaming state accumulated by observe(); call between test
   /// passes. Learned models are retained.

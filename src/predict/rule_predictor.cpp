@@ -16,7 +16,7 @@ RulePredictor::RulePredictor(const PredictionConfig& config,
               "rule generation window must be positive");
 }
 
-void RulePredictor::train(const RasLog& training) {
+void RulePredictor::train(const LogView& training) {
   const TransactionDb db = extract_event_sets(
       training, options_.rule_generation_window, &training_stats_,
       options_.negative_ratio);
@@ -26,31 +26,71 @@ void RulePredictor::train(const RasLog& training) {
 
 void RulePredictor::reset() {
   window_.clear();
+  item_counts_.assign(ItemBitset::kBits, 0);
+  live_items_.reset();
+  overflow_counts_.clear();
   rule_debounce_.clear();
+}
+
+void RulePredictor::add_item(Item item) {
+  const std::size_t bit = item_bit(item);
+  if (bit == kNoItemBit) {
+    ++overflow_counts_[item];
+    return;
+  }
+  if (item_counts_[bit]++ == 0) {
+    live_items_.set(bit);
+  }
+}
+
+void RulePredictor::remove_item(Item item) {
+  const std::size_t bit = item_bit(item);
+  if (bit == kNoItemBit) {
+    const auto it = overflow_counts_.find(item);
+    BGL_CHECK(it != overflow_counts_.end(),
+              "evicting an item the window never counted");
+    if (--it->second == 0) {
+      overflow_counts_.erase(it);
+    }
+    return;
+  }
+  BGL_CHECK(item_counts_[bit] > 0,
+            "evicting an item the window never counted");
+  if (--item_counts_[bit] == 0) {
+    live_items_.clear(bit);
+  }
 }
 
 std::optional<Warning> RulePredictor::observe(const RasRecord& rec) {
   // Evict items older than the prediction window.
   while (!window_.empty() &&
          window_.front().first <= rec.time - config_.window) {
+    remove_item(window_.front().second);
     window_.pop_front();
   }
   if (rec.fatal() || rec.subcategory == kUnclassified) {
     return std::nullopt;
   }
   window_.emplace_back(rec.time, body_item(rec.subcategory));
+  add_item(window_.back().second);
 
-  // Build the sorted distinct item set of the current window.
-  Itemset observed;
-  observed.reserve(window_.size());
-  for (const auto& [t, item] : window_) {
-    observed.push_back(item);
+  const Rule* rule = nullptr;
+  if (overflow_counts_.empty()) {
+    // Fast path: the live bitset is the window's distinct item set.
+    rule = rules_.best_match(live_items_);
+  } else {
+    // Items outside the bitset universe are present (synthetic inputs):
+    // fall back to the full sorted-itemset match for exact semantics.
+    Itemset observed;
+    observed.reserve(window_.size());
+    for (const auto& [t, item] : window_) {
+      observed.push_back(item);
+    }
+    std::sort(observed.begin(), observed.end());
+    observed.erase(std::unique(observed.begin(), observed.end()),
+                   observed.end());
+    rule = rules_.best_match(observed);
   }
-  std::sort(observed.begin(), observed.end());
-  observed.erase(std::unique(observed.begin(), observed.end()),
-                 observed.end());
-
-  const Rule* rule = rules_.best_match(observed);
   if (rule == nullptr) {
     return std::nullopt;
   }

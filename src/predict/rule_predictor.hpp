@@ -11,8 +11,11 @@
 #pragma once
 
 #include <deque>
+#include <map>
 #include <unordered_map>
+#include <vector>
 
+#include "common/bitset.hpp"
 #include "mining/event_sets.hpp"
 #include "mining/rules.hpp"
 #include "predict/predictor.hpp"
@@ -39,7 +42,7 @@ class RulePredictor final : public BasePredictor {
                 const RulePredictorOptions& options = {});
 
   std::string name() const override { return "rule"; }
-  void train(const RasLog& training) override;
+  void train(const LogView& training) override;
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 
@@ -55,9 +58,21 @@ class RulePredictor final : public BasePredictor {
   RuleSet rules_;
   EventSetStats training_stats_;
 
-  // Streaming test state.
+  // Streaming test state. The window's distinct-item set is maintained
+  // incrementally: per-item occurrence counts plus a live ItemBitset
+  // updated on insert/evict, so each observe() is a handful of word ops
+  // instead of a rebuild + sort of the window's itemset. Items outside
+  // the fixed bitset universe (synthetic tests only) spill into
+  // overflow_counts_ and force the equivalent naive rebuild path.
   std::deque<std::pair<TimePoint, Item>> window_;  // non-fatal items
+  std::vector<std::uint32_t> item_counts_ =
+      std::vector<std::uint32_t>(ItemBitset::kBits, 0);  // by dense item bit
+  ItemBitset live_items_;                          // bits with count > 0
+  std::map<Item, std::uint32_t> overflow_counts_;  // unencodable items
   std::unordered_map<const Rule*, TimePoint> rule_debounce_;
+
+  void add_item(Item item);
+  void remove_item(Item item);
 };
 
 }  // namespace bglpred

@@ -16,7 +16,7 @@ StatisticalPredictor::StatisticalPredictor(const PredictionConfig& config,
               "prediction window must exceed the lead time");
 }
 
-void StatisticalPredictor::train(const RasLog& training) {
+void StatisticalPredictor::train(const LogView& training) {
   const auto stats =
       fatal_followup_by_category(training, config_.lead, config_.window);
   double best = 0.0;

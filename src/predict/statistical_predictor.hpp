@@ -39,7 +39,7 @@ class StatisticalPredictor final : public BasePredictor {
                        const StatisticalOptions& options = {});
 
   std::string name() const override { return "statistical"; }
-  void train(const RasLog& training) override;
+  void train(const LogView& training) override;
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 

@@ -55,4 +55,46 @@ RasLog RasLog::subset(const std::vector<RasRecord>& records) const {
   return out;
 }
 
+LogView::LogView(const RasLog& log, std::size_t first, std::size_t last)
+    : log_(&log) {
+  BGL_REQUIRE(first <= last && last <= log.size(),
+              "log view range out of bounds");
+  seg_a_ = log.records().data() + first;
+  size_a_ = last - first;
+}
+
+LogView LogView::excluding(const RasLog& log, std::size_t first,
+                           std::size_t last) {
+  BGL_REQUIRE(first <= last && last <= log.size(),
+              "log view range out of bounds");
+  const RasRecord* data = log.records().data();
+  return LogView(log, data, first, data + last, log.size() - last);
+}
+
+const StringPool& LogView::pool() const {
+  BGL_REQUIRE(log_ != nullptr, "pool() of a default-constructed view");
+  return log_->pool();
+}
+
+const std::string& LogView::text_of(const RasRecord& rec) const {
+  return pool().str(rec.entry_data);
+}
+
+bool LogView::is_time_sorted() const {
+  return std::is_sorted(
+      begin(), end(),
+      [](const RasRecord& a, const RasRecord& b) { return a.time < b.time; });
+}
+
+TimeSpan LogView::span() const {
+  BGL_REQUIRE(!empty(), "span() of an empty view");
+  BGL_REQUIRE(is_time_sorted(), "span() requires a time-sorted view");
+  return TimeSpan{front().time, back().time + 1};
+}
+
+std::size_t LogView::fatal_count() const {
+  return static_cast<std::size_t>(std::count_if(
+      begin(), end(), [](const RasRecord& r) { return r.fatal(); }));
+}
+
 }  // namespace bglpred

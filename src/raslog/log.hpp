@@ -1,10 +1,19 @@
-// RasLog — an in-memory RAS event log.
+// RasLog — an in-memory RAS event log, plus LogView, a non-owning
+// window onto one.
 //
-// Owns the record vector and the string pool that entry-data ids resolve
-// against. Stands in for the paper's centralized DB2 repository: the
-// prediction pipeline only ever needs a time-ordered scan.
+// RasLog owns the record vector and the string pool that entry-data ids
+// resolve against. Stands in for the paper's centralized DB2 repository:
+// the prediction pipeline only ever needs a time-ordered scan.
+//
+// LogView is what training/evaluation code consumes: up to two
+// contiguous, chronologically ordered segments of a parent log (a
+// cross-validation training split is the prefix + suffix around the test
+// fold). Constructing one is O(1) — no record copies, no pool
+// re-interning — which is what makes 10-fold CV copy-free.
 #pragma once
 
+#include <cstddef>
+#include <iterator>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -62,12 +71,141 @@ class RasLog {
   std::vector<std::size_t> severity_histogram() const;
 
   /// Creates a new log containing the given records, re-interning their
-  /// entry data from this log's pool into the new log's pool.
+  /// entry data from this log's pool into the new log's pool. Prefer
+  /// LogView when the consumer only needs to read: subset() copies.
   RasLog subset(const std::vector<RasRecord>& records) const;
 
  private:
   std::vector<RasRecord> records_;
   StringPool pool_;
+};
+
+/// A non-owning, read-only view of up to two contiguous segments of a
+/// RasLog (see file comment). The parent log must outlive the view and
+/// stay unmodified while the view is in use.
+class LogView {
+ public:
+  LogView() = default;
+
+  /// The whole log. Intentionally implicit: every training/evaluation
+  /// entry point takes a LogView, and a RasLog is the common "all of it"
+  /// case.
+  LogView(const RasLog& log)  // NOLINT(google-explicit-constructor)
+      : LogView(log, 0, log.size()) {}
+
+  /// Records [first, last) of `log`.
+  LogView(const RasLog& log, std::size_t first, std::size_t last);
+
+  /// Records [0, first) and [last, size) of `log` — the training side of
+  /// a cross-validation split around test fold [first, last).
+  static LogView excluding(const RasLog& log, std::size_t first,
+                           std::size_t last);
+
+  std::size_t size() const { return size_a_ + size_b_; }
+  bool empty() const { return size() == 0; }
+
+  const RasRecord& operator[](std::size_t i) const {
+    return i < size_a_ ? seg_a_[i] : seg_b_[i - size_a_];
+  }
+  const RasRecord& front() const { return (*this)[0]; }
+  const RasRecord& back() const { return (*this)[size() - 1]; }
+
+  /// Random-access iterator over the concatenated segments.
+  class const_iterator {
+   public:
+    using iterator_category = std::random_access_iterator_tag;
+    using value_type = RasRecord;
+    using difference_type = std::ptrdiff_t;
+    using pointer = const RasRecord*;
+    using reference = const RasRecord&;
+
+    const_iterator() = default;
+
+    reference operator*() const { return (*view_)[pos_]; }
+    pointer operator->() const { return &(*view_)[pos_]; }
+    reference operator[](difference_type n) const {
+      return (*view_)[static_cast<std::size_t>(
+          static_cast<difference_type>(pos_) + n)];
+    }
+
+    const_iterator& operator++() { ++pos_; return *this; }
+    const_iterator operator++(int) { auto t = *this; ++pos_; return t; }
+    const_iterator& operator--() { --pos_; return *this; }
+    const_iterator operator--(int) { auto t = *this; --pos_; return t; }
+    const_iterator& operator+=(difference_type n) {
+      pos_ = static_cast<std::size_t>(static_cast<difference_type>(pos_) + n);
+      return *this;
+    }
+    const_iterator& operator-=(difference_type n) { return *this += -n; }
+    friend const_iterator operator+(const_iterator it, difference_type n) {
+      return it += n;
+    }
+    friend const_iterator operator+(difference_type n, const_iterator it) {
+      return it += n;
+    }
+    friend const_iterator operator-(const_iterator it, difference_type n) {
+      return it -= n;
+    }
+    friend difference_type operator-(const const_iterator& a,
+                                     const const_iterator& b) {
+      return static_cast<difference_type>(a.pos_) -
+             static_cast<difference_type>(b.pos_);
+    }
+    friend bool operator==(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ == b.pos_;
+    }
+    friend bool operator!=(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ != b.pos_;
+    }
+    friend bool operator<(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ < b.pos_;
+    }
+    friend bool operator<=(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ <= b.pos_;
+    }
+    friend bool operator>(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ > b.pos_;
+    }
+    friend bool operator>=(const const_iterator& a, const const_iterator& b) {
+      return a.pos_ >= b.pos_;
+    }
+
+   private:
+    friend class LogView;
+    const_iterator(const LogView* view, std::size_t pos)
+        : view_(view), pos_(pos) {}
+    const LogView* view_ = nullptr;
+    std::size_t pos_ = 0;
+  };
+
+  const_iterator begin() const { return const_iterator(this, 0); }
+  const_iterator end() const { return const_iterator(this, size()); }
+
+  /// The parent log's pool (resolves the viewed records' entry data).
+  const StringPool& pool() const;
+  const std::string& text_of(const RasRecord& rec) const;
+
+  /// True if records are in non-decreasing time order.
+  bool is_time_sorted() const;
+
+  /// [first record time, last record time + 1). Requires a sorted,
+  /// non-empty view.
+  TimeSpan span() const;
+
+  /// Number of FATAL/FAILURE records.
+  std::size_t fatal_count() const;
+
+ private:
+  LogView(const RasLog& log, const RasRecord* seg_a, std::size_t size_a,
+          const RasRecord* seg_b, std::size_t size_b)
+      : log_(&log), seg_a_(seg_a), size_a_(size_a), seg_b_(seg_b),
+        size_b_(size_b) {}
+
+  const RasLog* log_ = nullptr;
+  const RasRecord* seg_a_ = nullptr;
+  std::size_t size_a_ = 0;
+  const RasRecord* seg_b_ = nullptr;
+  std::size_t size_b_ = 0;
 };
 
 }  // namespace bglpred

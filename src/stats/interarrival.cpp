@@ -6,12 +6,12 @@
 
 namespace bglpred {
 
-std::vector<double> fatal_interarrival_gaps(const RasLog& log) {
+std::vector<double> fatal_interarrival_gaps(const LogView& log) {
   BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
   std::vector<double> gaps;
   bool have_prev = false;
   TimePoint prev = 0;
-  for (const RasRecord& rec : log.records()) {
+  for (const RasRecord& rec : log) {
     if (!rec.fatal()) {
       continue;
     }
@@ -24,11 +24,11 @@ std::vector<double> fatal_interarrival_gaps(const RasLog& log) {
   return gaps;
 }
 
-Ecdf fatal_gap_cdf(const RasLog& log) {
+Ecdf fatal_gap_cdf(const LogView& log) {
   return Ecdf(fatal_interarrival_gaps(log));
 }
 
-std::vector<FollowupStat> fatal_followup_by_category(const RasLog& log,
+std::vector<FollowupStat> fatal_followup_by_category(const LogView& log,
                                                      Duration lead,
                                                      Duration window) {
   BGL_REQUIRE(log.is_time_sorted(), "log must be time-sorted");
@@ -36,7 +36,7 @@ std::vector<FollowupStat> fatal_followup_by_category(const RasLog& log,
               "need 0 <= lead < window");
   // Collect fatal event times + categories in order.
   std::vector<std::pair<TimePoint, MainCategory>> fatals;
-  for (const RasRecord& rec : log.records()) {
+  for (const RasRecord& rec : log) {
     if (rec.fatal()) {
       fatals.emplace_back(rec.time,
                           catalog().info(rec.subcategory).main);

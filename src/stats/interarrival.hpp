@@ -16,10 +16,10 @@ namespace bglpred {
 
 /// Gaps (seconds) between consecutive fatal events in a time-sorted log.
 /// A log with fewer than two fatal events yields an empty sample.
-std::vector<double> fatal_interarrival_gaps(const RasLog& log);
+std::vector<double> fatal_interarrival_gaps(const LogView& log);
 
 /// ECDF of fatal inter-arrival gaps (Figure 2's curve).
-Ecdf fatal_gap_cdf(const RasLog& log);
+Ecdf fatal_gap_cdf(const LogView& log);
 
 /// For each main category c: the fraction of fatal events of category c
 /// that are followed by another fatal event within (lead, window]
@@ -33,7 +33,7 @@ struct FollowupStat {
   double probability = 0.0;   ///< followed / triggers (0 when no triggers)
 };
 
-std::vector<FollowupStat> fatal_followup_by_category(const RasLog& log,
+std::vector<FollowupStat> fatal_followup_by_category(const LogView& log,
                                                      Duration lead,
                                                      Duration window);
 

@@ -262,7 +262,6 @@ const Row kRows[] = {
      "clock card reference drift error"},
 };
 
-constexpr std::size_t kExpectedSubcategories = 101;
 static_assert(sizeof(kRows) / sizeof(kRows[0]) == kExpectedSubcategories,
               "Table 3 requires exactly 101 subcategories");
 

@@ -27,6 +27,11 @@
 
 namespace bglpred {
 
+/// The catalog's size, fixed by Table 3. Exported so fixed-width data
+/// structures keyed by subcategory (mining's ItemBitset) can verify at
+/// compile time that the catalog fits.
+inline constexpr std::size_t kExpectedSubcategories = 101;
+
 /// Static description of one subcategory.
 struct SubcategoryInfo {
   SubcategoryId id = kUnclassified;

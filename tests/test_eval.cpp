@@ -184,7 +184,7 @@ RasRecord event(TimePoint t, const char* name) {
 class OracleBase final : public BasePredictor {
  public:
   std::string name() const override { return "oracle"; }
-  void train(const RasLog& training) override { (void)training; }
+  void train(const LogView& training) override { (void)training; }
   void reset() override {}
   std::optional<Warning> observe(const RasRecord& rec) override {
     if (rec.subcategory != catalog().find("nodeMapFileError")) {
@@ -239,7 +239,7 @@ TEST(CrossValidationTest, NeverPredictorHasZeroRecall) {
   class Silent final : public BasePredictor {
    public:
     std::string name() const override { return "silent"; }
-    void train(const RasLog&) override {}
+    void train(const LogView&) override {}
     void reset() override {}
     std::optional<Warning> observe(const RasRecord&) override {
       return std::nullopt;
@@ -266,7 +266,7 @@ TEST(EvaluateSplitTest, MergesRuleEpisodesBeforeCounting) {
   class Chatty final : public BasePredictor {
    public:
     std::string name() const override { return "chatty"; }
-    void train(const RasLog&) override {}
+    void train(const LogView&) override {}
     void reset() override {}
     std::optional<Warning> observe(const RasRecord& rec) override {
       if (rec.fatal()) {

@@ -31,7 +31,7 @@ class ScriptedBase final : public BasePredictor {
         confidence_(confidence) {}
 
   std::string name() const override { return name_; }
-  void train(const RasLog& training) override { trained_ = training.size(); }
+  void train(const LogView& training) override { trained_ = training.size(); }
   void reset() override { observed_ = 0; }
   std::optional<Warning> observe(const RasRecord& rec) override {
     ++observed_;
@@ -172,7 +172,7 @@ TEST(MetaLearnerTest, PreservesBaseMergeability) {
   class MergeableBase final : public BasePredictor {
    public:
     std::string name() const override { return "m"; }
-    void train(const RasLog&) override {}
+    void train(const LogView&) override {}
     void reset() override {}
     std::optional<Warning> observe(const RasRecord& rec) override {
       Warning w;

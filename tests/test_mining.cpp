@@ -361,6 +361,21 @@ TEST(MineRulesTest, ApioriAndFpGrowthProduceIdenticalRuleSets) {
   }
 }
 
+TEST(MineRulesTest, ZeroMaxItemsetSizeIsRejected) {
+  // Regression: max_itemset_size == 0 used to wrap the per-label
+  // "leave room for the label" subtraction around std::size_t and mine
+  // with an effectively unbounded cardinality. It is a contract error.
+  TransactionDb db;
+  db.add({body_item(1), label_item(2)});
+  RuleOptions opt;
+  opt.mining.max_itemset_size = 0;
+  for (const SupportBase base :
+       {SupportBase::kPerLabel, SupportBase::kAllTransactions}) {
+    opt.support_base = base;
+    EXPECT_THROW(mine_rules(db, opt), InvalidArgument);
+  }
+}
+
 // ---- event-set extraction ------------------------------------------------------
 
 RasRecord event(TimePoint t, const char* name) {
