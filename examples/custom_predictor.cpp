@@ -16,6 +16,7 @@
 #include <map>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/three_phase.hpp"
 #include "eval/cross_validation.hpp"
@@ -109,7 +110,9 @@ class MidplaneHazardPredictor final : public BasePredictor {
 
 }  // namespace
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const double scale = args.get_double("scale", 0.1);
 
@@ -160,4 +163,15 @@ int main(int argc, char** argv) {
   std::printf("\nAny BasePredictor can be stacked this way; the coverage\n"
               "dispatch and confidence arbitration come for free.\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "custom_predictor: %s\n", e.what());
+    return 1;
+  }
 }

@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/three_phase.hpp"
 #include "mining/event_sets.hpp"
@@ -23,7 +24,9 @@
 
 using namespace bglpred;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
 
   // 1. Load or generate a raw log.
@@ -90,4 +93,15 @@ int main(int argc, char** argv) {
                 100.0 * es.no_precursor_fraction());
   }
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "log_analysis: %s\n", e.what());
+    return 1;
+  }
 }

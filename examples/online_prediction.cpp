@@ -11,13 +11,16 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "core/online.hpp"
 #include "core/three_phase.hpp"
 #include "simgen/generator.hpp"
 
 using namespace bglpred;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const double scale = args.get_double("scale", 0.1);
   const Duration window = args.get_int("window-minutes", 30) * kMinute;
@@ -49,9 +52,12 @@ int main(int argc, char** argv) {
   std::vector<TimePoint> failures;  // ground truth, for scoring afterwards
   for (std::size_t i = cut; i < raw.size(); ++i) {
     const RasRecord& rec = raw.records()[i];
-    if (auto w = engine.feed(rec, raw.text_of(rec))) {
-      warnings.push_back(std::move(*w));
+    for (Warning& w : engine.feed(rec, raw.text_of(rec))) {
+      warnings.push_back(std::move(w));
     }
+  }
+  for (Warning& w : engine.flush()) {
+    warnings.push_back(std::move(w));
   }
   // Score against the *unique* fatal occurrences in the replayed slice.
   const TimePoint split_time = raw.records()[cut].time;
@@ -109,4 +115,15 @@ int main(int argc, char** argv) {
                                : 100.0 * static_cast<double>(covered) /
                                      static_cast<double>(failures.size()));
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "online_prediction: %s\n", e.what());
+    return 1;
+  }
 }

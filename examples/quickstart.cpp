@@ -9,13 +9,16 @@
 #include <cstdio>
 
 #include "common/cli.hpp"
+#include "common/error.hpp"
 #include "common/table.hpp"
 #include "core/three_phase.hpp"
 #include "simgen/generator.hpp"
 
 using namespace bglpred;
 
-int main(int argc, char** argv) {
+namespace {
+
+int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
   const double scale = args.get_double("scale", 0.07);  // ~1 month
   const Duration window = args.get_int("window-minutes", 30) * kMinute;
@@ -52,4 +55,15 @@ int main(int argc, char** argv) {
   std::printf("\nThe meta-learner combines both bases: its recall should "
               "dominate either one (the paper's headline result).\n");
   return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const Error& e) {
+    std::fprintf(stderr, "quickstart: %s\n", e.what());
+    return 1;
+  }
 }

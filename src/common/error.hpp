@@ -6,6 +6,7 @@
 // unless BGL_ENABLE_ASSERTS is defined.
 #pragma once
 
+#include <cstddef>
 #include <stdexcept>
 #include <string>
 
@@ -24,9 +25,20 @@ class InvalidArgument : public Error {
 };
 
 /// Thrown when textual input (log lines, config files) cannot be parsed.
+/// Errors raised while reading a multi-line source carry the 1-based
+/// input line number (0 = unknown/not line-oriented) both as a field and
+/// as a "line N: " message prefix.
 class ParseError : public Error {
  public:
   explicit ParseError(const std::string& what) : Error(what) {}
+  ParseError(const std::string& what, std::size_t line)
+      : Error("line " + std::to_string(line) + ": " + what), line_(line) {}
+
+  /// 1-based line number of the offending input line, 0 when unknown.
+  std::size_t line() const { return line_; }
+
+ private:
+  std::size_t line_ = 0;
 };
 
 namespace detail {

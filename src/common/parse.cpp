@@ -1,0 +1,47 @@
+#include "common/parse.hpp"
+
+#include <charconv>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+template <typename T>
+T parse_unsigned(std::string_view text, const char* what) {
+  // from_chars with an unsigned type already rejects '-', but make the
+  // contract explicit (and catch '+', which from_chars also rejects) so
+  // the error message says *why* instead of a generic failure.
+  if (text.empty()) {
+    throw ParseError(std::string("empty ") + what);
+  }
+  if (text.front() == '-' || text.front() == '+') {
+    throw ParseError(std::string(what) + " must be an unsigned integer: '" +
+                     std::string(text) + "'");
+  }
+  T value{};
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, value, 10);
+  if (ec == std::errc::result_out_of_range) {
+    throw ParseError(std::string(what) + " out of range: '" +
+                     std::string(text) + "'");
+  }
+  if (ec != std::errc{} || ptr != end) {
+    throw ParseError(std::string("bad ") + what + ": '" + std::string(text) +
+                     "'");
+  }
+  return value;
+}
+
+}  // namespace
+
+std::uint32_t parse_u32(std::string_view text, const char* what) {
+  return parse_unsigned<std::uint32_t>(text, what);
+}
+
+std::uint64_t parse_u64(std::string_view text, const char* what) {
+  return parse_unsigned<std::uint64_t>(text, what);
+}
+
+}  // namespace bglpred

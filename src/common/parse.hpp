@@ -1,0 +1,24 @@
+// Checked numeric parsing.
+//
+// std::stoul and friends are trapdoors for log ingest: they accept a
+// leading '-' (the value wraps modulo 2^N), accept trailing garbage, and
+// throw unnamed std:: exceptions. All field-level numeric parsing goes
+// through these helpers, which reject signs, partial parses, and
+// overflow with a ParseError naming the field. tools/repo_lint.py
+// forbids naked std::sto* calls outside this file.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace bglpred {
+
+/// Parses a non-negative decimal integer; throws ParseError (naming
+/// `what` and quoting the text) on empty input, any sign, non-digit
+/// characters, or overflow past u32.
+std::uint32_t parse_u32(std::string_view text, const char* what);
+
+/// Same, with a u64 range.
+std::uint64_t parse_u64(std::string_view text, const char* what);
+
+}  // namespace bglpred

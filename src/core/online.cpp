@@ -1,6 +1,11 @@
 #include "core/online.hpp"
 
+#include <algorithm>
+#include <tuple>
+
+#include "common/binary.hpp"
 #include "common/error.hpp"
+#include "taxonomy/catalog.hpp"
 
 namespace bglpred {
 
@@ -16,33 +21,281 @@ std::size_t OnlineEngine::KeyHash::operator()(const Key& k) const {
   return static_cast<std::size_t>(h ^ (h >> 32));
 }
 
-OnlineEngine::OnlineEngine(PredictorPtr predictor, Duration dedup_threshold)
-    : predictor_(std::move(predictor)), threshold_(dedup_threshold) {
-  BGL_REQUIRE(predictor_ != nullptr, "online engine needs a predictor");
-  BGL_REQUIRE(threshold_ >= 0, "threshold must be non-negative");
+bool OnlineEngine::BufferedLater::operator()(const Buffered& a,
+                                             const Buffered& b) const {
+  // Inverted RecordTimeOrder (std::push_heap builds a max-heap, we pop
+  // the earliest) extended to *every* record field plus the arrival
+  // sequence, so the release order is a total order: an engine fed a
+  // skewed stream and one fed the sorted stream release identically.
+  const auto key = [](const Buffered& x) {
+    return std::tuple(x.rec.time, x.rec.location, x.rec.severity,
+                      x.rec.entry_data, x.rec.job, x.rec.facility,
+                      x.rec.event_type, x.seq);
+  };
+  return key(b) < key(a);
 }
 
-std::optional<Warning> OnlineEngine::feed(const RasRecord& record,
-                                          std::string_view entry_data) {
-  ++stats_.raw_records;
-  RasRecord rec = record;
-  rec.subcategory =
-      classifier_.classify(entry_data, rec.facility, rec.severity);
+OnlineEngine::OnlineEngine(PredictorPtr predictor, Duration dedup_threshold)
+    : OnlineEngine(std::move(predictor),
+                   OnlineOptions{dedup_threshold, /*reorder_horizon=*/0}) {}
 
+OnlineEngine::OnlineEngine(PredictorPtr predictor,
+                           const OnlineOptions& options)
+    : predictor_(std::move(predictor)), options_(options) {
+  BGL_REQUIRE(predictor_ != nullptr, "online engine needs a predictor");
+  BGL_REQUIRE(options_.dedup_threshold >= 0,
+              "threshold must be non-negative");
+  BGL_REQUIRE(options_.reorder_horizon >= 0,
+              "reorder horizon must be non-negative");
+}
+
+bool OnlineEngine::validate(const RasRecord& record) const {
+  // Enum fields straight off the wire index fixed tables downstream
+  // (the classifier's by-facility phrase index, the catalog); reject
+  // anything outside the enum ranges instead of risking OOB access.
+  if (static_cast<std::uint8_t>(record.event_type) >
+      static_cast<std::uint8_t>(EventType::kControl)) {
+    return false;
+  }
+  if (static_cast<std::uint8_t>(record.facility) >=
+      static_cast<std::uint8_t>(kFacilityCount)) {
+    return false;
+  }
+  if (static_cast<std::uint8_t>(record.severity) >=
+      static_cast<std::uint8_t>(kSeverityCount)) {
+    return false;
+  }
+  if (static_cast<std::uint8_t>(record.location.kind) >
+      static_cast<std::uint8_t>(bgl::LocationKind::kServiceCard)) {
+    return false;
+  }
+  return true;
+}
+
+void OnlineEngine::deliver(const RasRecord& rec, std::vector<Warning>& out) {
   const Key key{rec.job, rec.location, rec.subcategory};
   auto [it, inserted] = last_seen_.try_emplace(key, rec.time);
-  if (!inserted && rec.time - it->second <= threshold_) {
+  if (!inserted && rec.time - it->second <= options_.dedup_threshold) {
     it->second = rec.time;
     ++stats_.deduplicated;
-    return std::nullopt;
+    return;
   }
   it->second = rec.time;
   ++stats_.forwarded;
-  auto warning = predictor_->observe(rec);
-  if (warning) {
+  if (auto warning = predictor_->observe(rec)) {
     ++stats_.warnings;
+    out.push_back(std::move(*warning));
   }
-  return warning;
+}
+
+void OnlineEngine::release_until(TimePoint limit, std::vector<Warning>& out) {
+  while (!buffer_.empty() && buffer_.front().rec.time <= limit) {
+    std::pop_heap(buffer_.begin(), buffer_.end(), BufferedLater{});
+    const RasRecord rec = buffer_.back().rec;
+    buffer_.pop_back();
+    deliver(rec, out);
+  }
+}
+
+std::vector<Warning> OnlineEngine::feed(const RasRecord& record,
+                                        std::string_view entry_data) {
+  std::vector<Warning> out;
+  ++stats_.raw_records;
+  if (!validate(record)) {
+    ++stats_.degraded;
+    return out;
+  }
+  RasRecord rec = record;
+  rec.subcategory =
+      classifier_.classify(entry_data, rec.facility, rec.severity);
+  if (rec.subcategory != kUnclassified &&
+      rec.subcategory >= catalog().size()) {
+    // The classifier fell through every table — a record the taxonomy
+    // cannot place. Count it and keep the stream alive.
+    ++stats_.degraded;
+    return out;
+  }
+
+  if (rec.time < high_water_) {
+    ++stats_.reordered;
+    if (options_.reorder_horizon == 0) {
+      // No buffer to repair the order with: clamp so predictors (whose
+      // sliding windows assume monotone time) never see time reverse.
+      rec.time = high_water_;
+      ++stats_.clamped;
+    }
+  } else {
+    high_water_ = rec.time;
+  }
+
+  if (options_.reorder_horizon == 0) {
+    deliver(rec, out);
+    return out;
+  }
+  buffer_.push_back(Buffered{rec, seq_++});
+  std::push_heap(buffer_.begin(), buffer_.end(), BufferedLater{});
+  // Release everything the horizon proves settled: no record older than
+  // high_water - horizon can still legally arrive.
+  if (high_water_ >= kMinTime + options_.reorder_horizon) {
+    release_until(high_water_ - options_.reorder_horizon, out);
+  }
+  return out;
+}
+
+std::vector<Warning> OnlineEngine::flush() {
+  std::vector<Warning> out;
+  release_until(INT64_MAX, out);
+  return out;
+}
+
+namespace {
+constexpr std::string_view kEngineTag = "BGLCKPT1";
+
+void write_location(std::ostream& os, const bgl::Location& loc) {
+  wire::write<std::uint8_t>(os, static_cast<std::uint8_t>(loc.kind));
+  wire::write<std::uint16_t>(os, loc.rack);
+  wire::write<std::uint8_t>(os, loc.midplane);
+  wire::write<std::uint8_t>(os, loc.node_card);
+  wire::write<std::uint8_t>(os, loc.unit);
+}
+
+bgl::Location read_location(std::istream& is) {
+  bgl::Location loc;
+  const auto kind = wire::read<std::uint8_t>(is, "location kind");
+  if (kind > static_cast<std::uint8_t>(bgl::LocationKind::kServiceCard)) {
+    throw ParseError("checkpoint location kind out of range");
+  }
+  loc.kind = static_cast<bgl::LocationKind>(kind);
+  loc.rack = wire::read<std::uint16_t>(is, "location rack");
+  loc.midplane = wire::read<std::uint8_t>(is, "location midplane");
+  loc.node_card = wire::read<std::uint8_t>(is, "location node card");
+  loc.unit = wire::read<std::uint8_t>(is, "location unit");
+  return loc;
+}
+
+void write_record(std::ostream& os, const RasRecord& rec) {
+  wire::write<std::int64_t>(os, rec.time);
+  wire::write<std::uint32_t>(os, rec.entry_data);
+  wire::write<std::uint32_t>(os, rec.job);
+  write_location(os, rec.location);
+  wire::write<std::uint8_t>(os, static_cast<std::uint8_t>(rec.event_type));
+  wire::write<std::uint8_t>(os, static_cast<std::uint8_t>(rec.facility));
+  wire::write<std::uint8_t>(os, static_cast<std::uint8_t>(rec.severity));
+  wire::write<std::uint16_t>(os, rec.subcategory);
+}
+
+RasRecord read_record(std::istream& is) {
+  RasRecord rec;
+  rec.time = wire::read<std::int64_t>(is, "record time");
+  rec.entry_data = wire::read<std::uint32_t>(is, "record entry data");
+  rec.job = wire::read<std::uint32_t>(is, "record job");
+  rec.location = read_location(is);
+  const auto event_type = wire::read<std::uint8_t>(is, "record event type");
+  const auto facility = wire::read<std::uint8_t>(is, "record facility");
+  const auto severity = wire::read<std::uint8_t>(is, "record severity");
+  if (event_type > static_cast<std::uint8_t>(EventType::kControl) ||
+      facility >= static_cast<std::uint8_t>(kFacilityCount) ||
+      severity >= static_cast<std::uint8_t>(kSeverityCount)) {
+    throw ParseError("checkpoint record enum field out of range");
+  }
+  rec.event_type = static_cast<EventType>(event_type);
+  rec.facility = static_cast<Facility>(facility);
+  rec.severity = static_cast<Severity>(severity);
+  rec.subcategory = wire::read<std::uint16_t>(is, "record subcategory");
+  return rec;
+}
+}  // namespace
+
+void OnlineEngine::save(std::ostream& os) const {
+  BGL_REQUIRE(predictor_->checkpointable(),
+              "online engine's predictor does not support checkpointing");
+  wire::write_tag(os, kEngineTag);
+  wire::write<std::int64_t>(os, options_.dedup_threshold);
+  wire::write<std::int64_t>(os, options_.reorder_horizon);
+  wire::write<std::uint64_t>(os, stats_.raw_records);
+  wire::write<std::uint64_t>(os, stats_.deduplicated);
+  wire::write<std::uint64_t>(os, stats_.forwarded);
+  wire::write<std::uint64_t>(os, stats_.warnings);
+  wire::write<std::uint64_t>(os, stats_.degraded);
+  wire::write<std::uint64_t>(os, stats_.reordered);
+  wire::write<std::uint64_t>(os, stats_.clamped);
+  wire::write<std::int64_t>(os, high_water_);
+  wire::write<std::uint64_t>(os, seq_);
+  wire::write<std::uint64_t>(os, buffer_.size());
+  for (const Buffered& b : buffer_) {
+    write_record(os, b.rec);
+    wire::write<std::uint64_t>(os, b.seq);
+  }
+  // The dedup map in sorted key order, for deterministic checkpoint
+  // bytes regardless of hash-table iteration order.
+  std::vector<std::pair<Key, TimePoint>> entries(last_seen_.begin(),
+                                                 last_seen_.end());
+  std::sort(entries.begin(), entries.end(),
+            [](const auto& a, const auto& b) {
+              return std::tuple(a.first.job, a.first.location,
+                                a.first.subcategory) <
+                     std::tuple(b.first.job, b.first.location,
+                                b.first.subcategory);
+            });
+  wire::write<std::uint64_t>(os, entries.size());
+  for (const auto& [key, time] : entries) {
+    wire::write<std::uint32_t>(os, key.job);
+    write_location(os, key.location);
+    wire::write<std::uint16_t>(os, key.subcategory);
+    wire::write<std::int64_t>(os, time);
+  }
+  wire::write_string(os, predictor_->name());
+  predictor_->save_state(os);
+}
+
+OnlineEngine OnlineEngine::restore(std::istream& is, PredictorPtr fresh) {
+  BGL_REQUIRE(fresh != nullptr, "restore needs a predictor instance");
+  wire::expect_tag(is, kEngineTag);
+  OnlineOptions options;
+  options.dedup_threshold =
+      wire::read<std::int64_t>(is, "dedup threshold");
+  options.reorder_horizon =
+      wire::read<std::int64_t>(is, "reorder horizon");
+  OnlineEngine engine(std::move(fresh), options);
+  engine.stats_.raw_records = wire::read<std::uint64_t>(is, "raw records");
+  engine.stats_.deduplicated = wire::read<std::uint64_t>(is, "deduplicated");
+  engine.stats_.forwarded = wire::read<std::uint64_t>(is, "forwarded");
+  engine.stats_.warnings = wire::read<std::uint64_t>(is, "warnings");
+  engine.stats_.degraded = wire::read<std::uint64_t>(is, "degraded");
+  engine.stats_.reordered = wire::read<std::uint64_t>(is, "reordered");
+  engine.stats_.clamped = wire::read<std::uint64_t>(is, "clamped");
+  engine.high_water_ = wire::read<std::int64_t>(is, "high water");
+  engine.seq_ = wire::read<std::uint64_t>(is, "sequence counter");
+  const auto buffered = wire::read<std::uint64_t>(is, "buffer size");
+  engine.buffer_.reserve(buffered);
+  for (std::uint64_t i = 0; i < buffered; ++i) {
+    Buffered b;
+    b.rec = read_record(is);
+    b.seq = wire::read<std::uint64_t>(is, "buffered sequence");
+    engine.buffer_.push_back(b);
+  }
+  // save() wrote the heap's underlying vector; the heap property is a
+  // function of the contents, so re-heapify rather than trust the bytes.
+  std::make_heap(engine.buffer_.begin(), engine.buffer_.end(),
+                 BufferedLater{});
+  const auto dedup_entries = wire::read<std::uint64_t>(is, "dedup map size");
+  engine.last_seen_.reserve(dedup_entries);
+  for (std::uint64_t i = 0; i < dedup_entries; ++i) {
+    Key key;
+    key.job = wire::read<std::uint32_t>(is, "dedup key job");
+    key.location = read_location(is);
+    key.subcategory = wire::read<std::uint16_t>(is, "dedup key subcategory");
+    const auto time = wire::read<std::int64_t>(is, "dedup key time");
+    engine.last_seen_.emplace(key, static_cast<TimePoint>(time));
+  }
+  const std::string stored_name = wire::read_string(is, "predictor name");
+  if (stored_name != engine.predictor_->name()) {
+    throw ParseError("checkpoint predictor '" + stored_name +
+                     "' does not match supplied predictor '" +
+                     engine.predictor_->name() + "'");
+  }
+  engine.predictor_->load_state(is);
+  return engine;
 }
 
 }  // namespace bglpred

@@ -8,10 +8,24 @@
 // as Phase 1, evaluated incrementally), and forwards surviving events to
 // the predictor. examples/online_prediction.cpp drives it against a live
 // replay of a generated log.
+//
+// Robustness (DESIGN.md §7): real RAS streams are neither clean nor
+// ordered, so the engine
+//   * validates every raw record's enum fields before classification and
+//     routes malformed ones to a degraded-mode counter instead of
+//     undefined behavior;
+//   * tolerates bounded out-of-order arrival via a reorder buffer
+//     (`reorder_horizon` seconds); with horizon 0 it falls back to
+//     clamping late timestamps to the high-water mark so predictors
+//     never see time running backwards;
+//   * checkpoints: save() serializes the full engine state (dedup map,
+//     reorder buffer, stats, predictor blob) and restore() resumes a
+//     stream byte-identically to an uninterrupted engine.
 #pragma once
 
-#include <optional>
+#include <iosfwd>
 #include <unordered_map>
+#include <vector>
 
 #include "predict/predictor.hpp"
 #include "preprocess/compressors.hpp"
@@ -25,6 +39,22 @@ struct OnlineStats {
   std::size_t deduplicated = 0;   ///< dropped as duplicates
   std::size_t forwarded = 0;      ///< events handed to the predictor
   std::size_t warnings = 0;
+  std::size_t degraded = 0;       ///< malformed records counted, not fed
+  std::size_t reordered = 0;      ///< records that arrived out of order
+  std::size_t clamped = 0;        ///< late timestamps clamped (horizon 0)
+};
+
+/// Engine tunables.
+struct OnlineOptions {
+  /// Streaming temporal-compression threshold (Phase-1 rule).
+  Duration dedup_threshold = kDefaultCompressionThreshold;
+  /// Out-of-order tolerance in seconds. Records are held in a reorder
+  /// buffer and released once the stream's high-water mark has advanced
+  /// past their time by this horizon; any skew ≤ horizon is fully
+  /// repaired (the predictor sees the canonically sorted stream). 0
+  /// disables buffering: late records are clamped to the high-water
+  /// mark instead.
+  Duration reorder_horizon = 0;
 };
 
 /// See file comment. The engine owns the (already trained) predictor.
@@ -32,14 +62,31 @@ class OnlineEngine {
  public:
   OnlineEngine(PredictorPtr predictor,
                Duration dedup_threshold = kDefaultCompressionThreshold);
+  OnlineEngine(PredictorPtr predictor, const OnlineOptions& options);
 
-  /// Feeds one raw record (records must arrive in time order; entry text
-  /// is the raw ENTRY_DATA). Returns a warning when the predictor emits
-  /// one.
-  std::optional<Warning> feed(const RasRecord& record,
-                              std::string_view entry_data);
+  /// Feeds one raw record (entry text is the raw ENTRY_DATA). Under a
+  /// reorder horizon, one feed can release zero or several buffered
+  /// records, so it returns every warning emitted by the predictor.
+  std::vector<Warning> feed(const RasRecord& record,
+                            std::string_view entry_data);
+
+  /// Drains the reorder buffer at end-of-stream and returns any warnings
+  /// the released records produce. A no-op when the horizon is 0.
+  std::vector<Warning> flush();
+
+  /// Serializes the complete engine state — options, stats, reorder
+  /// buffer, dedup map, and the predictor's checkpoint blob — so a
+  /// restored engine resumes the stream byte-identically. Requires the
+  /// predictor to be checkpointable.
+  void save(std::ostream& os) const;
+
+  /// Rebuilds an engine from a save() stream. `fresh` must be a
+  /// same-type, same-configuration predictor (its name is verified
+  /// against the checkpoint; its state is then overwritten).
+  static OnlineEngine restore(std::istream& is, PredictorPtr fresh);
 
   const OnlineStats& stats() const { return stats_; }
+  const OnlineOptions& options() const { return options_; }
   BasePredictor& predictor() { return *predictor_; }
 
  private:
@@ -52,12 +99,37 @@ class OnlineEngine {
   struct KeyHash {
     std::size_t operator()(const Key& k) const;
   };
+  /// A classified record parked in the reorder buffer. `seq` is the
+  /// arrival index — the final comparator tie-break, so the release
+  /// order is deterministic even for fully identical records.
+  struct Buffered {
+    RasRecord rec;
+    std::uint64_t seq = 0;
+  };
+  struct BufferedLater {
+    bool operator()(const Buffered& a, const Buffered& b) const;
+  };
+
+  /// Validates the raw enum fields; malformed records are counted as
+  /// degraded and dropped.
+  bool validate(const RasRecord& record) const;
+  /// Dedups and forwards one canonically-ordered record.
+  void deliver(const RasRecord& rec, std::vector<Warning>& out);
+  /// Releases every buffered record at or below the release time.
+  void release_until(TimePoint limit, std::vector<Warning>& out);
 
   PredictorPtr predictor_;
-  Duration threshold_;
+  OnlineOptions options_;
   EventClassifier classifier_;
   std::unordered_map<Key, TimePoint, KeyHash> last_seen_;
   OnlineStats stats_;
+  // Min-heap (via std::push_heap with the inverted comparator) of parked
+  // records, plus the stream's high-water mark and arrival counter.
+  std::vector<Buffered> buffer_;
+  TimePoint high_water_ = kMinTime;
+  std::uint64_t seq_ = 0;
+
+  static constexpr TimePoint kMinTime = INT64_MIN;
 };
 
 }  // namespace bglpred

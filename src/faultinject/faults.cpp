@@ -1,0 +1,210 @@
+#include "faultinject/faults.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace bglpred {
+
+namespace {
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    const std::size_t end = text.find('\n', start);
+    if (end == std::string::npos) {
+      if (start < text.size()) {
+        lines.push_back(text.substr(start));
+      }
+      break;
+    }
+    lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::string join_lines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// Replacement pool exercising distinct parser failure paths: empty
+// field, negative number, overflow, wrong vocabulary, binary noise, and
+// a stray separator (which also breaks the field count).
+std::string garbage_field(Rng& rng) {
+  switch (rng.uniform_int(0, 5)) {
+    case 0:
+      return std::string();
+    case 1:
+      return std::string("-1");
+    case 2:
+      return std::string("99999999999999999999");
+    case 3:
+      return std::string("WOMBAT");
+    case 4:
+      return std::string("\x01\x7f\x02");
+    default:
+      return std::string("a|b");
+  }
+}
+
+}  // namespace
+
+std::string inject_text_faults(const std::string& text,
+                               const TextFaultOptions& options, Rng& rng,
+                               InjectionStats* stats) {
+  BGL_REQUIRE(options.field_corruption_rate >= 0.0 &&
+                  options.field_corruption_rate <= 1.0,
+              "field corruption rate must be a probability");
+  BGL_REQUIRE(options.line_truncation_rate >= 0.0 &&
+                  options.line_truncation_rate <= 1.0,
+              "line truncation rate must be a probability");
+  std::vector<std::string> lines = split_lines(text);
+  InjectionStats local;
+  local.lines_in = lines.size();
+  for (std::string& line : lines) {
+    if (line.empty() || line[0] == '#') {
+      continue;  // keep structure lines intact
+    }
+    if (rng.bernoulli(options.field_corruption_rate)) {
+      // Replace one '|'-separated field with garbage.
+      std::vector<std::size_t> seps;
+      for (std::size_t i = 0; i < line.size(); ++i) {
+        if (line[i] == '|') {
+          seps.push_back(i);
+        }
+      }
+      const std::size_t fields = seps.size() + 1;
+      const auto target =
+          static_cast<std::size_t>(rng.uniform_int(
+              0, static_cast<std::int64_t>(fields) - 1));
+      const std::size_t begin = target == 0 ? 0 : seps[target - 1] + 1;
+      const std::size_t end =
+          target == seps.size() ? line.size() : seps[target];
+      line = line.substr(0, begin) + garbage_field(rng) + line.substr(end);
+      ++local.corrupted_fields;
+    }
+    if (!line.empty() && rng.bernoulli(options.line_truncation_rate)) {
+      line.resize(static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(line.size()) - 1)));
+      ++local.truncated_lines;
+    }
+  }
+  local.lines_out = lines.size();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return join_lines(lines);
+}
+
+std::string inject_duplicate_storm(const std::string& text,
+                                   const DuplicateStormOptions& options,
+                                   Rng& rng, InjectionStats* stats) {
+  BGL_REQUIRE(options.duplicate_rate >= 0.0 && options.duplicate_rate <= 1.0,
+              "duplicate rate must be a probability");
+  const std::vector<std::string> lines = split_lines(text);
+  InjectionStats local;
+  local.lines_in = lines.size();
+  std::vector<std::string> out;
+  out.reserve(lines.size());
+  for (const std::string& line : lines) {
+    out.push_back(line);
+    if (line.empty() || line[0] == '#') {
+      continue;
+    }
+    if (rng.bernoulli(options.duplicate_rate)) {
+      for (std::size_t i = 0; i < options.burst; ++i) {
+        out.push_back(line);
+      }
+      local.duplicated_lines += options.burst;
+    }
+  }
+  local.lines_out = out.size();
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return join_lines(out);
+}
+
+std::vector<RasRecord> inject_timestamp_skew(
+    const std::vector<RasRecord>& records, const SkewOptions& options,
+    Rng& rng, InjectionStats* stats) {
+  BGL_REQUIRE(options.max_skew >= 0, "max skew must be non-negative");
+  BGL_REQUIRE(options.skew_probability >= 0.0 &&
+                  options.skew_probability <= 1.0,
+              "skew probability must be a probability");
+  // Arrival key = true time + per-record jitter in [0, max_skew]; the
+  // stable sort on keys is then exactly a delivery delayed by at most
+  // max_skew seconds per record.
+  std::vector<Duration> jitter(records.size(), 0);
+  for (Duration& j : jitter) {
+    if (rng.bernoulli(options.skew_probability)) {
+      j = rng.uniform_int(0, options.max_skew);
+    }
+  }
+  std::vector<std::size_t> order(records.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return records[a].time + jitter[a] <
+                            records[b].time + jitter[b];
+                   });
+  std::vector<RasRecord> out;
+  out.reserve(records.size());
+  InjectionStats local;
+  local.lines_in = records.size();
+  local.lines_out = records.size();
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    out.push_back(records[order[i]]);
+    if (order[i] != i) {
+      ++local.skewed_records;
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return out;
+}
+
+std::string truncate_blob(const std::string& blob, Rng& rng,
+                          double min_keep_fraction, InjectionStats* stats) {
+  BGL_REQUIRE(min_keep_fraction >= 0.0 && min_keep_fraction <= 1.0,
+              "keep fraction must be in [0, 1]");
+  const auto floor_bytes = static_cast<std::int64_t>(
+      min_keep_fraction * static_cast<double>(blob.size()));
+  const auto keep = static_cast<std::size_t>(
+      rng.uniform_int(floor_bytes, static_cast<std::int64_t>(blob.size())));
+  if (stats != nullptr) {
+    InjectionStats local;
+    local.removed_bytes = blob.size() - keep;
+    *stats = local;
+  }
+  return blob.substr(0, keep);
+}
+
+std::string corrupt_blob(std::string blob, double byte_corruption_rate,
+                         Rng& rng, std::size_t preserve_prefix,
+                         InjectionStats* stats) {
+  BGL_REQUIRE(byte_corruption_rate >= 0.0 && byte_corruption_rate <= 1.0,
+              "byte corruption rate must be a probability");
+  InjectionStats local;
+  for (std::size_t i = preserve_prefix; i < blob.size(); ++i) {
+    if (rng.bernoulli(byte_corruption_rate)) {
+      blob[i] = static_cast<char>(rng.uniform_int(0, 255));
+      ++local.corrupted_bytes;
+    }
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return blob;
+}
+
+}  // namespace bglpred

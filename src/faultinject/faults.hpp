@@ -1,0 +1,97 @@
+// Deterministic fault injection for robustness testing (DESIGN.md §7).
+//
+// Production RAS streams fail in a handful of recurring ways: corrupted
+// fields (collector bugs, encoding mishaps), truncated lines and files
+// (crashed writers, full disks), duplicate storms (retransmitting
+// collectors), and out-of-order delivery (multi-source merges). This
+// subsystem reproduces each fault class on demand, seeded through
+// bglpred::Rng so every injected stream is byte-reproducible — the
+// harness that proves the lenient readers and the hardened OnlineEngine
+// actually survive what they claim to survive (tests/test_faultinject,
+// bench/faultinject_smoke).
+//
+// Text faults operate on serialized log text (write_log output); stream
+// faults operate on record vectors; blob faults operate on binary-format
+// bytes (write_log_binary output).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "raslog/record.hpp"
+
+namespace bglpred {
+
+/// What an injection pass actually did (all counters are exact).
+struct InjectionStats {
+  std::size_t lines_in = 0;
+  std::size_t lines_out = 0;
+  std::size_t corrupted_fields = 0;   ///< lines with a mangled field
+  std::size_t truncated_lines = 0;    ///< lines cut mid-byte
+  std::size_t duplicated_lines = 0;   ///< extra copies emitted
+  std::size_t skewed_records = 0;     ///< records moved out of order
+  std::size_t corrupted_bytes = 0;    ///< blob bytes overwritten
+  std::size_t removed_bytes = 0;      ///< blob bytes cut off the tail
+};
+
+/// Per-line fault rates for text logs.
+struct TextFaultOptions {
+  /// Probability a line gets one field replaced with garbage (drawn from
+  /// a pool of realistic corruptions: empty, negative, overflow, wrong
+  /// vocabulary, binary noise).
+  double field_corruption_rate = 0.0;
+  /// Probability a line is cut at a random byte offset.
+  double line_truncation_rate = 0.0;
+};
+
+/// Duplicate-storm shape: each selected line is repeated `burst` extra
+/// times immediately after itself (a retransmitting collector).
+struct DuplicateStormOptions {
+  double duplicate_rate = 0.0;
+  std::size_t burst = 5;
+};
+
+/// Bounded arrival skew: each record's *arrival* position is perturbed by
+/// a jitter drawn from [0, max_skew] seconds; timestamps are untouched.
+/// The result is exactly the bounded out-of-orderness the OnlineEngine's
+/// reorder horizon repairs (any horizon > max_skew restores the
+/// canonical order).
+struct SkewOptions {
+  double skew_probability = 0.5;
+  Duration max_skew = 60;
+};
+
+/// Applies field corruption and line truncation to serialized log text.
+/// Lines are '\n'-separated; the line count is preserved.
+std::string inject_text_faults(const std::string& text,
+                               const TextFaultOptions& options, Rng& rng,
+                               InjectionStats* stats = nullptr);
+
+/// Repeats randomly selected lines in bursts.
+std::string inject_duplicate_storm(const std::string& text,
+                                   const DuplicateStormOptions& options,
+                                   Rng& rng,
+                                   InjectionStats* stats = nullptr);
+
+/// Returns the records in a perturbed arrival order (see SkewOptions).
+/// The input must be sorted by time; contents are unchanged.
+std::vector<RasRecord> inject_timestamp_skew(
+    const std::vector<RasRecord>& records, const SkewOptions& options,
+    Rng& rng, InjectionStats* stats = nullptr);
+
+/// Cuts a binary blob at a uniform point in [min_keep_fraction, 1] of its
+/// length (a writer that died mid-flush).
+std::string truncate_blob(const std::string& blob, Rng& rng,
+                          double min_keep_fraction = 0.0,
+                          InjectionStats* stats = nullptr);
+
+/// Overwrites random bytes of a binary blob with random values. The
+/// first `preserve_prefix` bytes (default: the 8-byte magic) are left
+/// intact so the reader exercises its record-level recovery rather than
+/// the wrong-file rejection path.
+std::string corrupt_blob(std::string blob, double byte_corruption_rate,
+                         Rng& rng, std::size_t preserve_prefix = 8,
+                         InjectionStats* stats = nullptr);
+
+}  // namespace bglpred

@@ -1,6 +1,9 @@
 #include "meta/meta_learner.hpp"
 
+#include <algorithm>
+
 #include "common/error.hpp"
+#include "predict/checkpoint.hpp"
 
 namespace bglpred {
 
@@ -31,6 +34,81 @@ void MetaLearner::reset() {
   recent_fatal_.clear();
   recent_nonfatal_.clear();
   dispatch_ = MetaDispatchStats{};
+}
+
+bool MetaLearner::checkpointable() const {
+  return !bases_.empty() &&
+         std::all_of(bases_.begin(), bases_.end(), [](const BaseSlot& slot) {
+           return slot.predictor->checkpointable();
+         });
+}
+
+namespace {
+
+void save_time_deque(std::ostream& os, const std::deque<TimePoint>& times) {
+  wire::write<std::uint64_t>(os, times.size());
+  for (const TimePoint t : times) {
+    wire::write<std::int64_t>(os, t);
+  }
+}
+
+void load_time_deque(std::istream& is, std::deque<TimePoint>& times,
+                     const char* what) {
+  times.clear();
+  const auto count = wire::read<std::uint64_t>(is, what);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    times.push_back(static_cast<TimePoint>(wire::read<std::int64_t>(is, what)));
+  }
+}
+
+}  // namespace
+
+void MetaLearner::save_state(std::ostream& os) const {
+  detail::write_checkpoint_header(os, "META", config_);
+  wire::write<std::uint32_t>(os, static_cast<std::uint32_t>(bases_.size()));
+  for (const BaseSlot& slot : bases_) {
+    wire::write_string(os, slot.predictor->name());
+    wire::write<std::uint8_t>(os, slot.rule_like ? 1 : 0);
+    slot.predictor->save_state(os);
+  }
+  wire::write<std::uint64_t>(os, dispatch_.to_rule_only);
+  wire::write<std::uint64_t>(os, dispatch_.to_statistical_only);
+  wire::write<std::uint64_t>(os, dispatch_.by_confidence);
+  wire::write<std::uint64_t>(os, dispatch_.suppressed);
+  save_time_deque(os, recent_fatal_);
+  save_time_deque(os, recent_nonfatal_);
+}
+
+void MetaLearner::load_state(std::istream& is) {
+  detail::read_checkpoint_header(is, "META", config_);
+  const auto base_count = wire::read<std::uint32_t>(is, "base count");
+  if (base_count != bases_.size()) {
+    throw ParseError("checkpoint base count (" + std::to_string(base_count) +
+                     ") does not match this meta-learner's (" +
+                     std::to_string(bases_.size()) + ")");
+  }
+  for (BaseSlot& slot : bases_) {
+    const std::string stored_name = wire::read_string(is, "base name");
+    if (stored_name != slot.predictor->name()) {
+      throw ParseError("checkpoint base '" + stored_name +
+                       "' does not match registered base '" +
+                       slot.predictor->name() + "'");
+    }
+    const bool stored_rule_like =
+        wire::read<std::uint8_t>(is, "rule-like flag") != 0;
+    if (stored_rule_like != slot.rule_like) {
+      throw ParseError("checkpoint base '" + stored_name +
+                       "' disagrees on rule-like dispatch");
+    }
+    slot.predictor->load_state(is);
+  }
+  dispatch_.to_rule_only = wire::read<std::uint64_t>(is, "dispatch counter");
+  dispatch_.to_statistical_only =
+      wire::read<std::uint64_t>(is, "dispatch counter");
+  dispatch_.by_confidence = wire::read<std::uint64_t>(is, "dispatch counter");
+  dispatch_.suppressed = wire::read<std::uint64_t>(is, "dispatch counter");
+  load_time_deque(is, recent_fatal_, "recent fatal times");
+  load_time_deque(is, recent_nonfatal_, "recent non-fatal times");
 }
 
 std::optional<Warning> MetaLearner::observe(const RasRecord& rec) {

@@ -65,6 +65,13 @@ class MetaLearner final : public BasePredictor {
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 
+  /// Checkpointable iff every registered base is. Restoring requires a
+  /// MetaLearner built with the same bases in the same order (names and
+  /// rule-like flags are verified; base state is restored in place).
+  bool checkpointable() const override;
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
   const MetaDispatchStats& dispatch_stats() const { return dispatch_; }
   std::size_t base_count() const { return bases_.size(); }
 

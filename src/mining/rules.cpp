@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "common/binary.hpp"
 #include "common/check.hpp"
 #include "common/error.hpp"
 #include "common/table.hpp"
@@ -279,6 +280,64 @@ RuleSet mine_rules(const TransactionDb& db, const RuleOptions& options,
     rules = generate_rules(frequent, db.size(), options.min_confidence);
   }
   return RuleSet(combine_rules(std::move(rules)));
+}
+
+void save_rules(std::ostream& os, const RuleSet& rules) {
+  wire::write_tag(os, "BGLRULE1");
+  wire::write<std::uint64_t>(os, rules.size());
+  for (const Rule& rule : rules.rules()) {
+    wire::write<std::uint32_t>(os,
+                               static_cast<std::uint32_t>(rule.body.size()));
+    for (const Item item : rule.body) {
+      wire::write<std::uint32_t>(os, item);
+    }
+    wire::write<std::uint32_t>(os,
+                               static_cast<std::uint32_t>(rule.heads.size()));
+    for (const SubcategoryId head : rule.heads) {
+      wire::write<std::uint16_t>(os, head);
+    }
+    wire::write_double(os, rule.support);
+    wire::write_double(os, rule.confidence);
+    wire::write<std::uint64_t>(os, rule.body_count);
+    wire::write<std::uint64_t>(os, rule.hit_count);
+  }
+}
+
+RuleSet load_rules(std::istream& is) {
+  wire::expect_tag(is, "BGLRULE1");
+  const auto count = wire::read<std::uint64_t>(is, "rule count");
+  // A rule body/head is bounded by the item universe; anything larger
+  // means a corrupt stream, not a big model.
+  constexpr std::uint32_t kMaxRuleItems = 1u << 16;
+  std::vector<Rule> rules;
+  rules.reserve(count);
+  for (std::uint64_t i = 0; i < count; ++i) {
+    Rule rule;
+    const auto body_size = wire::read<std::uint32_t>(is, "rule body size");
+    if (body_size > kMaxRuleItems) {
+      throw ParseError("rule body implausibly large");
+    }
+    rule.body.reserve(body_size);
+    for (std::uint32_t b = 0; b < body_size; ++b) {
+      rule.body.push_back(wire::read<Item>(is, "rule body item"));
+    }
+    const auto head_size = wire::read<std::uint32_t>(is, "rule head size");
+    if (head_size > kMaxRuleItems) {
+      throw ParseError("rule head implausibly large");
+    }
+    rule.heads.reserve(head_size);
+    for (std::uint32_t h = 0; h < head_size; ++h) {
+      rule.heads.push_back(wire::read<SubcategoryId>(is, "rule head"));
+    }
+    rule.support = wire::read_double(is, "rule support");
+    rule.confidence = wire::read_double(is, "rule confidence");
+    rule.body_count = wire::read<std::uint64_t>(is, "rule body count");
+    rule.hit_count = wire::read<std::uint64_t>(is, "rule hit count");
+    rules.push_back(std::move(rule));
+  }
+  // The constructor re-sorts (stable on an already-sorted list) and
+  // rebuilds the matching index.
+  return RuleSet(std::move(rules));
 }
 
 }  // namespace bglpred

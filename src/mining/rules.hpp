@@ -11,6 +11,7 @@
 // the member confidences.
 #pragma once
 
+#include <iosfwd>
 #include <string>
 #include <vector>
 
@@ -123,5 +124,13 @@ enum class MiningAlgorithm { kApriori, kFpGrowth };
 
 RuleSet mine_rules(const TransactionDb& db, const RuleOptions& options,
                    MiningAlgorithm algorithm = MiningAlgorithm::kApriori);
+
+/// Binary serialization of a mined rule set ("BGLRULE1" section;
+/// common/binary.hpp wire format). Only the rule list travels — the
+/// matching index is deterministically rebuilt on load, and the
+/// confidence order is preserved, so a loaded set matches (and
+/// best_match-es) byte-identically to the saved one.
+void save_rules(std::ostream& os, const RuleSet& rules);
+RuleSet load_rules(std::istream& is);
 
 }  // namespace bglpred

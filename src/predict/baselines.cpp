@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.hpp"
+#include "predict/checkpoint.hpp"
 #include "stats/interarrival.hpp"
 #include "stats/summary.hpp"
 
@@ -16,6 +17,14 @@ void NeverPredictor::train(const LogView& training) { (void)training; }
 std::optional<Warning> NeverPredictor::observe(const RasRecord& rec) {
   (void)rec;
   return std::nullopt;
+}
+
+void NeverPredictor::save_state(std::ostream& os) const {
+  detail::write_checkpoint_header(os, "NEVR", config_);
+}
+
+void NeverPredictor::load_state(std::istream& is) {
+  detail::read_checkpoint_header(is, "NEVR", config_);
 }
 
 EveryFailurePredictor::EveryFailurePredictor(const PredictionConfig& config)
@@ -38,6 +47,14 @@ std::optional<Warning> EveryFailurePredictor::observe(const RasRecord& rec) {
   return w;
 }
 
+void EveryFailurePredictor::save_state(std::ostream& os) const {
+  detail::write_checkpoint_header(os, "EVRY", config_);
+}
+
+void EveryFailurePredictor::load_state(std::istream& is) {
+  detail::read_checkpoint_header(is, "EVRY", config_);
+}
+
 PeriodicPredictor::PeriodicPredictor(const PredictionConfig& config)
     : config_(config) {}
 
@@ -56,6 +73,24 @@ void PeriodicPredictor::train(const LogView& training) {
 void PeriodicPredictor::reset() {
   armed_ = false;
   next_due_ = 0;
+}
+
+void PeriodicPredictor::save_state(std::ostream& os) const {
+  detail::write_checkpoint_header(os, "PERI", config_);
+  wire::write<std::int64_t>(os, period_);
+  wire::write<std::int64_t>(os, next_due_);
+  wire::write<std::uint8_t>(os, armed_ ? 1 : 0);
+}
+
+void PeriodicPredictor::load_state(std::istream& is) {
+  detail::read_checkpoint_header(is, "PERI", config_);
+  period_ = static_cast<Duration>(wire::read<std::int64_t>(is, "period"));
+  next_due_ =
+      static_cast<TimePoint>(wire::read<std::int64_t>(is, "next due time"));
+  armed_ = wire::read<std::uint8_t>(is, "armed flag") != 0;
+  if (period_ <= 0) {
+    throw ParseError("checkpoint carries a non-positive period");
+  }
 }
 
 std::optional<Warning> PeriodicPredictor::observe(const RasRecord& rec) {

@@ -15,6 +15,10 @@ class NeverPredictor final : public BasePredictor {
   void reset() override {}
   std::optional<Warning> observe(const RasRecord& rec) override;
 
+  bool checkpointable() const override { return true; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
  private:
   PredictionConfig config_;
 };
@@ -30,6 +34,10 @@ class EveryFailurePredictor final : public BasePredictor {
   void reset() override {}
   std::optional<Warning> observe(const RasRecord& rec) override;
 
+  bool checkpointable() const override { return true; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
  private:
   PredictionConfig config_;
 };
@@ -43,6 +51,10 @@ class PeriodicPredictor final : public BasePredictor {
   void train(const LogView& training) override;
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
+
+  bool checkpointable() const override { return true; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
 
   Duration period() const { return period_; }
 

@@ -5,6 +5,7 @@
 
 #include "common/check.hpp"
 #include "common/error.hpp"
+#include "predict/checkpoint.hpp"
 #include "taxonomy/catalog.hpp"
 
 namespace bglpred {
@@ -63,6 +64,58 @@ void BayesPredictor::train(const LogView& training) {
 void BayesPredictor::reset() {
   window_.clear();
   last_warning_end_ = 0;
+}
+
+void BayesPredictor::save_state(std::ostream& os) const {
+  detail::write_checkpoint_header(os, "BAYS", config_);
+  wire::write_double(os, prior_);
+  // Both tables share one vocabulary size (0 when untrained).
+  wire::write<std::uint64_t>(os, log_present_[0].size());
+  for (std::size_t cls = 0; cls < 2; ++cls) {
+    for (const double v : log_present_[cls]) {
+      wire::write_double(os, v);
+    }
+    for (const double v : log_absent_[cls]) {
+      wire::write_double(os, v);
+    }
+  }
+  wire::write<std::uint64_t>(os, window_.size());
+  for (const auto& [time, subcat] : window_) {
+    wire::write<std::int64_t>(os, time);
+    wire::write<std::uint16_t>(os, subcat);
+  }
+  wire::write<std::int64_t>(os, last_warning_end_);
+}
+
+void BayesPredictor::load_state(std::istream& is) {
+  detail::read_checkpoint_header(is, "BAYS", config_);
+  prior_ = wire::read_double(is, "bayes prior");
+  const auto vocab = wire::read<std::uint64_t>(is, "bayes vocabulary size");
+  // The likelihood tables must line up with the live catalog, or
+  // posterior() would index past them.
+  if (vocab != 0 && vocab != catalog().size()) {
+    throw ParseError("checkpoint vocabulary size does not match catalog");
+  }
+  for (std::size_t cls = 0; cls < 2; ++cls) {
+    log_present_[cls].resize(vocab);
+    for (double& v : log_present_[cls]) {
+      v = wire::read_double(is, "log-likelihood");
+    }
+    log_absent_[cls].resize(vocab);
+    for (double& v : log_absent_[cls]) {
+      v = wire::read_double(is, "log-likelihood");
+    }
+  }
+  window_.clear();
+  const auto window_size = wire::read<std::uint64_t>(is, "window size");
+  for (std::uint64_t i = 0; i < window_size; ++i) {
+    const auto time = wire::read<std::int64_t>(is, "window entry time");
+    const auto subcat = wire::read<std::uint16_t>(is, "window entry subcat");
+    window_.emplace_back(static_cast<TimePoint>(time),
+                         static_cast<SubcategoryId>(subcat));
+  }
+  last_warning_end_ = static_cast<TimePoint>(
+      wire::read<std::int64_t>(is, "last warning end"));
 }
 
 double BayesPredictor::posterior(

@@ -48,6 +48,10 @@ class BayesPredictor final : public BasePredictor {
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 
+  bool checkpointable() const override { return true; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
   /// Posterior P(failure within window | bag) for a set of distinct
   /// subcategories — exposed for tests and inspection.
   double posterior(const std::vector<SubcategoryId>& present) const;

@@ -1,0 +1,41 @@
+// Internal helpers shared by the predictors' save_state/load_state
+// implementations (see BasePredictor's checkpointing contract).
+//
+// Every predictor blob starts with a 4-byte kind tag plus the serialized
+// PredictionConfig; load_state verifies both against the receiving
+// instance, so restoring a checkpoint into a predictor of the wrong type
+// or configuration fails loudly instead of silently skewing warnings.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string_view>
+
+#include "common/binary.hpp"
+#include "predict/predictor.hpp"
+
+namespace bglpred::detail {
+
+inline void write_checkpoint_header(std::ostream& os, std::string_view tag,
+                                    const PredictionConfig& config) {
+  wire::write_tag(os, tag);
+  wire::write<std::int64_t>(os, config.lead);
+  wire::write<std::int64_t>(os, config.window);
+}
+
+inline void read_checkpoint_header(std::istream& is, std::string_view tag,
+                                   const PredictionConfig& config) {
+  wire::expect_tag(is, tag);
+  const auto lead = wire::read<std::int64_t>(is, "config lead");
+  const auto window = wire::read<std::int64_t>(is, "config window");
+  if (lead != config.lead || window != config.window) {
+    throw ParseError("checkpoint prediction config (lead " +
+                     std::to_string(lead) + ", window " +
+                     std::to_string(window) +
+                     ") does not match this predictor's (lead " +
+                     std::to_string(config.lead) + ", window " +
+                     std::to_string(config.window) + ")");
+  }
+}
+
+}  // namespace bglpred::detail

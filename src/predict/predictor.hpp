@@ -7,10 +7,12 @@
 // warnings against actual fatal events to count Tp/Fp/Fn.
 #pragma once
 
+#include <iosfwd>
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "common/error.hpp"
 #include "common/time.hpp"
 #include "raslog/log.hpp"
 
@@ -67,6 +69,34 @@ class BasePredictor {
   /// Consumes the next test event (events must arrive in time order) and
   /// possibly emits a warning.
   virtual std::optional<Warning> observe(const RasRecord& rec) = 0;
+
+  // ---- checkpointing (DESIGN §7) ----------------------------------------
+  //
+  // A checkpointable predictor serializes its *entire* post-train state —
+  // learned model plus streaming observe() state — such that
+  //
+  //   save_state(a); load_state into a same-config instance; replay tail
+  //
+  // produces byte-identical warnings to the uninterrupted original. The
+  // binary layout uses common/binary.hpp primitives and is validated with
+  // section tags + the serialized PredictionConfig on load.
+
+  /// Whether save_state/load_state are implemented.
+  virtual bool checkpointable() const { return false; }
+
+  /// Serializes model + streaming state. Throws Error if unsupported.
+  virtual void save_state(std::ostream& os) const {
+    (void)os;
+    throw Error("predictor '" + name() + "' does not support checkpointing");
+  }
+
+  /// Restores state saved by save_state on an instance constructed with
+  /// the same configuration; throws ParseError on a malformed or
+  /// mismatched blob. Throws Error if unsupported.
+  virtual void load_state(std::istream& is) {
+    (void)is;
+    throw Error("predictor '" + name() + "' does not support checkpointing");
+  }
 };
 
 using PredictorPtr = std::unique_ptr<BasePredictor>;

@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/error.hpp"
+#include "predict/checkpoint.hpp"
 
 namespace bglpred {
 
@@ -58,6 +59,66 @@ void RulePredictor::remove_item(Item item) {
             "evicting an item the window never counted");
   if (--item_counts_[bit] == 0) {
     live_items_.clear(bit);
+  }
+}
+
+void RulePredictor::save_state(std::ostream& os) const {
+  detail::write_checkpoint_header(os, "RULE", config_);
+  save_rules(os, rules_);
+  wire::write<std::uint64_t>(os, training_stats_.fatal_events);
+  wire::write<std::uint64_t>(os, training_stats_.with_precursors);
+  wire::write<std::uint64_t>(os, training_stats_.without_precursors);
+  wire::write<std::uint64_t>(os, window_.size());
+  for (const auto& [time, item] : window_) {
+    wire::write<std::int64_t>(os, time);
+    wire::write<std::uint32_t>(os, item);
+  }
+  // Debounce entries key on rule pointers; serialize as indices into the
+  // confidence order (stable across save/load), sorted for deterministic
+  // bytes regardless of hash-map iteration order.
+  std::vector<std::pair<std::uint64_t, TimePoint>> debounce;
+  debounce.reserve(rule_debounce_.size());
+  const Rule* base = rules_.rules().data();
+  for (const auto& [rule, time] : rule_debounce_) {
+    debounce.emplace_back(static_cast<std::uint64_t>(rule - base), time);
+  }
+  std::sort(debounce.begin(), debounce.end());
+  wire::write<std::uint64_t>(os, debounce.size());
+  for (const auto& [index, time] : debounce) {
+    wire::write<std::uint64_t>(os, index);
+    wire::write<std::int64_t>(os, time);
+  }
+}
+
+void RulePredictor::load_state(std::istream& is) {
+  detail::read_checkpoint_header(is, "RULE", config_);
+  rules_ = load_rules(is);
+  training_stats_.fatal_events =
+      wire::read<std::uint64_t>(is, "fatal event count");
+  training_stats_.with_precursors =
+      wire::read<std::uint64_t>(is, "precursor count");
+  training_stats_.without_precursors =
+      wire::read<std::uint64_t>(is, "no-precursor count");
+  reset();
+  const auto window_size = wire::read<std::uint64_t>(is, "window size");
+  for (std::uint64_t i = 0; i < window_size; ++i) {
+    const auto time = wire::read<std::int64_t>(is, "window entry time");
+    const auto item = wire::read<std::uint32_t>(is, "window entry item");
+    window_.emplace_back(static_cast<TimePoint>(time),
+                         static_cast<Item>(item));
+    // Replaying the inserts rebuilds item_counts_/live_items_/
+    // overflow_counts_ exactly as the live engine maintained them.
+    add_item(window_.back().second);
+  }
+  const auto debounce_size = wire::read<std::uint64_t>(is, "debounce size");
+  for (std::uint64_t i = 0; i < debounce_size; ++i) {
+    const auto index = wire::read<std::uint64_t>(is, "debounce rule index");
+    const auto time = wire::read<std::int64_t>(is, "debounce time");
+    if (index >= rules_.size()) {
+      throw ParseError("debounce entry references a rule out of range");
+    }
+    rule_debounce_.emplace(&rules_.rules()[index],
+                           static_cast<TimePoint>(time));
   }
 }
 

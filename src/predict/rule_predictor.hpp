@@ -46,6 +46,10 @@ class RulePredictor final : public BasePredictor {
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 
+  bool checkpointable() const override { return true; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
   /// The mined (combined, sorted) rules. Valid after train().
   const RuleSet& rules() const { return rules_; }
 

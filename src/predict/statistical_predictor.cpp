@@ -4,6 +4,7 @@
 
 #include "common/check.hpp"
 #include "common/error.hpp"
+#include "predict/checkpoint.hpp"
 #include "stats/interarrival.hpp"
 #include "taxonomy/catalog.hpp"
 
@@ -38,6 +39,22 @@ void StatisticalPredictor::reset() {
   // Stateless at test time: each trigger event emits independently, so a
   // warning's hit rate equals the learned conditional probability — the
   // quantity Table 5 reports as precision.
+}
+
+void StatisticalPredictor::save_state(std::ostream& os) const {
+  detail::write_checkpoint_header(os, "STAT", config_);
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    wire::write_double(os, probability_[c]);
+    wire::write<std::uint8_t>(os, trigger_[c] ? 1 : 0);
+  }
+}
+
+void StatisticalPredictor::load_state(std::istream& is) {
+  detail::read_checkpoint_header(is, "STAT", config_);
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    probability_[c] = wire::read_double(is, "category probability");
+    trigger_[c] = wire::read<std::uint8_t>(is, "category trigger") != 0;
+  }
 }
 
 std::optional<Warning> StatisticalPredictor::observe(const RasRecord& rec) {

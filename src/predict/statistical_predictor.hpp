@@ -43,6 +43,10 @@ class StatisticalPredictor final : public BasePredictor {
   void reset() override;
   std::optional<Warning> observe(const RasRecord& rec) override;
 
+  bool checkpointable() const override { return true; }
+  void save_state(std::ostream& os) const override;
+  void load_state(std::istream& is) override;
+
   /// Learned follow-up probability per main category (post-train).
   const std::array<double, kMainCategoryCount>& probabilities() const {
     return probability_;

@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/binary.hpp"
 #include "common/error.hpp"
 
 namespace bglpred {
@@ -14,31 +15,38 @@ constexpr char kMagic[] = "BGLRAS1\n";
 constexpr std::size_t kMagicSize = sizeof(kMagic) - 1;
 constexpr std::size_t kRecordSize = 28;
 
-// Little-endian scalar writers (portable regardless of host endianness).
-template <typename T>
-void put(std::string& out, T value) {
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    out.push_back(static_cast<char>(
-        (static_cast<std::uint64_t>(value) >> (8 * i)) & 0xff));
+/// Decodes and validates one fixed-size record tuple. Throws ParseError
+/// on out-of-range enum or string-table values.
+RasRecord decode_record(const char* p, std::uint32_t string_count) {
+  RasRecord rec;
+  rec.time = wire::decode<std::int64_t>(p);
+  rec.entry_data = wire::decode<std::uint32_t>(p + 8);
+  if (rec.entry_data >= string_count) {
+    throw ParseError("binary log record references unknown string");
   }
-}
-
-template <typename T>
-T get(const char* data) {
-  std::uint64_t v = 0;
-  for (std::size_t i = 0; i < sizeof(T); ++i) {
-    v |= static_cast<std::uint64_t>(static_cast<unsigned char>(data[i]))
-         << (8 * i);
+  rec.job = wire::decode<std::uint32_t>(p + 12);
+  rec.location.kind =
+      static_cast<bgl::LocationKind>(wire::decode<std::uint8_t>(p + 16));
+  if (static_cast<int>(rec.location.kind) >
+      static_cast<int>(bgl::LocationKind::kServiceCard)) {
+    throw ParseError("binary log record has invalid location kind");
   }
-  return static_cast<T>(v);
-}
-
-void read_exact(std::istream& is, char* buffer, std::size_t n,
-                const char* what) {
-  is.read(buffer, static_cast<std::streamsize>(n));
-  if (static_cast<std::size_t>(is.gcount()) != n) {
-    throw ParseError(std::string("binary log truncated reading ") + what);
+  rec.location.rack = wire::decode<std::uint16_t>(p + 17);
+  rec.location.midplane = wire::decode<std::uint8_t>(p + 19);
+  rec.location.node_card = wire::decode<std::uint8_t>(p + 20);
+  rec.location.unit = wire::decode<std::uint8_t>(p + 21);
+  const auto event_type = wire::decode<std::uint8_t>(p + 22);
+  const auto facility = wire::decode<std::uint8_t>(p + 23);
+  const auto severity = wire::decode<std::uint8_t>(p + 24);
+  if (event_type > 2 || facility >= kFacilityCount ||
+      severity >= kSeverityCount) {
+    throw ParseError("binary log record has out-of-range enums");
   }
+  rec.event_type = static_cast<EventType>(event_type);
+  rec.facility = static_cast<Facility>(facility);
+  rec.severity = static_cast<Severity>(severity);
+  rec.subcategory = wire::decode<std::uint16_t>(p + 25);
+  return rec;
 }
 
 }  // namespace
@@ -46,94 +54,129 @@ void read_exact(std::istream& is, char* buffer, std::size_t n,
 void write_log_binary(std::ostream& os, const RasLog& log) {
   std::string out;
   out.append(kMagic, kMagicSize);
-  put<std::uint64_t>(out, log.size());
-  put<std::uint32_t>(out, static_cast<std::uint32_t>(log.pool().size()));
+  wire::append<std::uint64_t>(out, log.size());
+  wire::append<std::uint32_t>(out, static_cast<std::uint32_t>(
+                                       log.pool().size()));
   for (StringId id = 0; id < log.pool().size(); ++id) {
     const std::string& s = log.pool().str(id);
-    put<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
+    wire::append<std::uint32_t>(out, static_cast<std::uint32_t>(s.size()));
     out += s;
   }
   for (const RasRecord& rec : log.records()) {
-    put<std::int64_t>(out, rec.time);
-    put<std::uint32_t>(out, rec.entry_data);
-    put<std::uint32_t>(out, rec.job);
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.location.kind));
-    put<std::uint16_t>(out, rec.location.rack);
-    put<std::uint8_t>(out, rec.location.midplane);
-    put<std::uint8_t>(out, rec.location.node_card);
-    put<std::uint8_t>(out, rec.location.unit);
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.event_type));
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.facility));
-    put<std::uint8_t>(out, static_cast<std::uint8_t>(rec.severity));
-    put<std::uint16_t>(out, rec.subcategory);
-    put<std::uint8_t>(out, 0);  // pad to 28 bytes
+    wire::append<std::int64_t>(out, rec.time);
+    wire::append<std::uint32_t>(out, rec.entry_data);
+    wire::append<std::uint32_t>(out, rec.job);
+    wire::append<std::uint8_t>(out,
+                               static_cast<std::uint8_t>(rec.location.kind));
+    wire::append<std::uint16_t>(out, rec.location.rack);
+    wire::append<std::uint8_t>(out, rec.location.midplane);
+    wire::append<std::uint8_t>(out, rec.location.node_card);
+    wire::append<std::uint8_t>(out, rec.location.unit);
+    wire::append<std::uint8_t>(out,
+                               static_cast<std::uint8_t>(rec.event_type));
+    wire::append<std::uint8_t>(out, static_cast<std::uint8_t>(rec.facility));
+    wire::append<std::uint8_t>(out, static_cast<std::uint8_t>(rec.severity));
+    wire::append<std::uint16_t>(out, rec.subcategory);
+    wire::append<std::uint8_t>(out, 0);  // pad to 28 bytes
   }
   os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
 RasLog read_log_binary(std::istream& is) {
+  return read_log_binary(is, ReadOptions::strict());
+}
+
+RasLog read_log_binary(std::istream& is, const ReadOptions& options,
+                       IngestReport* report) {
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  rep = IngestReport{};
+  const bool lenient = options.mode == IngestMode::kLenient;
+
+  // A malformed magic means "wrong file", not "damaged file": reject it
+  // even in lenient mode rather than salvage zero records silently.
   char magic[kMagicSize];
-  read_exact(is, magic, kMagicSize, "magic");
+  wire::read_exact(is, magic, kMagicSize, "magic");
   if (std::memcmp(magic, kMagic, kMagicSize) != 0) {
     throw ParseError("not a BGLRAS1 binary log");
   }
-  char header[12];
-  read_exact(is, header, sizeof(header), "header");
-  const auto record_count = get<std::uint64_t>(header);
-  const auto string_count = get<std::uint32_t>(header + 8);
 
   RasLog log;
-  std::string scratch;
-  for (std::uint32_t i = 0; i < string_count; ++i) {
-    char len_bytes[4];
-    read_exact(is, len_bytes, 4, "string length");
-    const auto len = get<std::uint32_t>(len_bytes);
-    if (len > (1u << 20)) {
-      throw ParseError("binary log string implausibly long");
+  std::uint64_t record_count = 0;
+  try {
+    char header[12];
+    wire::read_exact(is, header, sizeof(header), "header");
+    record_count = wire::decode<std::uint64_t>(header);
+    const auto string_count = wire::decode<std::uint32_t>(header + 8);
+    rep.records_attempted = record_count;
+
+    std::string scratch;
+    for (std::uint32_t i = 0; i < string_count; ++i) {
+      char len_bytes[4];
+      wire::read_exact(is, len_bytes, 4, "string length");
+      const auto len = wire::decode<std::uint32_t>(len_bytes);
+      if (len > (1u << 20)) {
+        throw ParseError("binary log string implausibly long");
+      }
+      scratch.resize(len);
+      if (len > 0) {
+        wire::read_exact(is, scratch.data(), len, "string bytes");
+      }
+      const StringId id = log.pool().intern(scratch);
+      if (id != i) {
+        throw ParseError("binary log contains duplicate strings");
+      }
     }
-    scratch.resize(len);
-    if (len > 0) {
-      read_exact(is, scratch.data(), len, "string bytes");
+
+    std::vector<char> buffer(kRecordSize);
+    for (std::uint64_t r = 0; r < record_count; ++r) {
+      wire::read_exact(is, buffer.data(), kRecordSize, "record");
+      try {
+        log.append(decode_record(buffer.data(), string_count));
+        ++rep.records_kept;
+      } catch (const ParseError&) {
+        // A record that decodes but fails validation occupies its full
+        // 28 bytes, so lenient mode can skip it and stay in sync.
+        if (!lenient) {
+          throw;
+        }
+        ++rep.records_dropped;
+        ++rep.by_class[static_cast<std::size_t>(IngestError::kCorruptRecord)];
+        if (rep.samples.size() < options.max_samples) {
+          rep.samples.push_back("record " + std::to_string(r) +
+                                ": failed validation, skipped");
+        }
+      }
     }
-    const StringId id = log.pool().intern(scratch);
-    if (id != i) {
-      throw ParseError("binary log contains duplicate strings");
+  } catch (const ParseError&) {
+    if (!lenient) {
+      throw;
+    }
+    // Truncation mid-structure: keep every fully-read record, charge the
+    // missing remainder to the truncated class.
+    rep.truncated = true;
+    const std::size_t missing =
+        rep.records_attempted - rep.records_kept - rep.records_dropped;
+    rep.records_dropped += missing;
+    rep.by_class[static_cast<std::size_t>(IngestError::kTruncated)] +=
+        missing;
+    if (rep.samples.size() < options.max_samples) {
+      rep.samples.push_back(
+          "binary input truncated after " +
+          std::to_string(rep.records_kept) + " of " +
+          std::to_string(rep.records_attempted) + " records");
     }
   }
-
-  std::vector<char> buffer(kRecordSize);
-  for (std::uint64_t r = 0; r < record_count; ++r) {
-    read_exact(is, buffer.data(), kRecordSize, "record");
-    const char* p = buffer.data();
-    RasRecord rec;
-    rec.time = get<std::int64_t>(p);
-    rec.entry_data = get<std::uint32_t>(p + 8);
-    if (rec.entry_data >= string_count) {
-      throw ParseError("binary log record references unknown string");
+  if (lenient && record_count > 0) {
+    const double fraction = static_cast<double>(rep.records_dropped) /
+                            static_cast<double>(record_count);
+    if (fraction > options.max_error_fraction) {
+      throw ParseError("lenient binary ingest gave up: " +
+                       std::to_string(rep.records_dropped) + " of " +
+                       std::to_string(record_count) +
+                       " records unusable (max_error_fraction " +
+                       std::to_string(options.max_error_fraction) + ")");
     }
-    rec.job = get<std::uint32_t>(p + 12);
-    rec.location.kind = static_cast<bgl::LocationKind>(
-        get<std::uint8_t>(p + 16));
-    if (static_cast<int>(rec.location.kind) >
-        static_cast<int>(bgl::LocationKind::kServiceCard)) {
-      throw ParseError("binary log record has invalid location kind");
-    }
-    rec.location.rack = get<std::uint16_t>(p + 17);
-    rec.location.midplane = get<std::uint8_t>(p + 19);
-    rec.location.node_card = get<std::uint8_t>(p + 20);
-    rec.location.unit = get<std::uint8_t>(p + 21);
-    const auto event_type = get<std::uint8_t>(p + 22);
-    const auto facility = get<std::uint8_t>(p + 23);
-    const auto severity = get<std::uint8_t>(p + 24);
-    if (event_type > 2 || facility >= kFacilityCount ||
-        severity >= kSeverityCount) {
-      throw ParseError("binary log record has out-of-range enums");
-    }
-    rec.event_type = static_cast<EventType>(event_type);
-    rec.facility = static_cast<Facility>(facility);
-    rec.severity = static_cast<Severity>(severity);
-    rec.subcategory = get<std::uint16_t>(p + 25);
-    log.append(rec);
   }
   return log;
 }
@@ -150,11 +193,16 @@ void save_log_binary(const std::string& path, const RasLog& log) {
 }
 
 RasLog load_log_binary(const std::string& path) {
+  return load_log_binary(path, ReadOptions::strict());
+}
+
+RasLog load_log_binary(const std::string& path, const ReadOptions& options,
+                       IngestReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw Error("cannot open for reading: " + path);
   }
-  return read_log_binary(in);
+  return read_log_binary(in, options, report);
 }
 
 }  // namespace bglpred

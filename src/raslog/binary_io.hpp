@@ -16,11 +16,18 @@
 //           u16 subcategory (0xffff = unclassified), u8 pad
 //
 // The format is versioned by the magic; readers reject anything else.
+//
+// Lenient reads (ReadOptions::lenient) tolerate damage short of a bad
+// magic: records failing validation are skipped (the tuples are fixed
+// size, so the reader stays in sync), and a stream truncated
+// mid-structure yields every fully-read record with the missing tail
+// tallied as IngestError::kTruncated.
 #pragma once
 
 #include <iosfwd>
 #include <string>
 
+#include "raslog/io.hpp"
 #include "raslog/log.hpp"
 
 namespace bglpred {
@@ -28,11 +35,16 @@ namespace bglpred {
 /// Writes the whole log in binary form.
 void write_log_binary(std::ostream& os, const RasLog& log);
 
-/// Reads a binary log (throws ParseError on malformed input).
+/// Reads a binary log. Strict mode throws ParseError on any malformed
+/// input; lenient mode salvages what it can (see file comment).
 RasLog read_log_binary(std::istream& is);
+RasLog read_log_binary(std::istream& is, const ReadOptions& options,
+                       IngestReport* report = nullptr);
 
 /// File convenience wrappers; throw Error on I/O failure.
 void save_log_binary(const std::string& path, const RasLog& log);
 RasLog load_log_binary(const std::string& path);
+RasLog load_log_binary(const std::string& path, const ReadOptions& options,
+                       IngestReport* report = nullptr);
 
 }  // namespace bglpred

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "common/parse.hpp"
 
 namespace bglpred {
 namespace {
@@ -23,7 +24,61 @@ std::vector<std::string> split_pipes(const std::string& line, int expected) {
   return fields;                         // entry data is the final field.
 }
 
+/// Parses one line, reporting which field failed via `*failed` (set
+/// before each parsing stage, so it names the stage in flight when a
+/// ParseError escapes). The log is only modified on full success.
+void parse_record_line_classified(const std::string& line, RasLog& log,
+                                  IngestError* failed) {
+  *failed = IngestError::kFieldCount;
+  const auto fields = split_pipes(line, 7);
+  RasRecord rec;
+  *failed = IngestError::kBadTime;
+  rec.time = parse_time(fields[0]);
+  *failed = IngestError::kBadEventType;
+  rec.event_type = parse_event_type(fields[1]);
+  *failed = IngestError::kBadSeverity;
+  rec.severity = parse_severity(fields[2]);
+  *failed = IngestError::kBadFacility;
+  rec.facility = parse_facility(fields[3]);
+  *failed = IngestError::kBadLocation;
+  rec.location = bgl::parse_location(fields[4]);
+  *failed = IngestError::kBadJob;
+  rec.job = static_cast<bgl::JobId>(parse_u32(fields[5], "job id"));
+  log.append_with_text(rec, fields[6]);
+}
+
+/// Field name used to annotate strict-mode errors.
+const char* field_context(IngestError e) {
+  switch (e) {
+    case IngestError::kFieldCount: return "line structure";
+    case IngestError::kBadTime: return "time field";
+    case IngestError::kBadEventType: return "event-type field";
+    case IngestError::kBadSeverity: return "severity field";
+    case IngestError::kBadFacility: return "facility field";
+    case IngestError::kBadLocation: return "location field";
+    case IngestError::kBadJob: return "job field";
+    case IngestError::kTruncated: return "binary stream";
+    case IngestError::kCorruptRecord: return "binary record";
+  }
+  return "input";
+}
+
 }  // namespace
+
+const char* to_string(IngestError e) {
+  switch (e) {
+    case IngestError::kFieldCount: return "field-count";
+    case IngestError::kBadTime: return "bad-time";
+    case IngestError::kBadEventType: return "bad-event-type";
+    case IngestError::kBadSeverity: return "bad-severity";
+    case IngestError::kBadFacility: return "bad-facility";
+    case IngestError::kBadLocation: return "bad-location";
+    case IngestError::kBadJob: return "bad-job";
+    case IngestError::kTruncated: return "truncated";
+    case IngestError::kCorruptRecord: return "corrupt-record";
+  }
+  return "unknown";
+}
 
 std::string format_record(const RasLog& log, const RasRecord& rec) {
   std::ostringstream os;
@@ -34,19 +89,12 @@ std::string format_record(const RasLog& log, const RasRecord& rec) {
 }
 
 void parse_record_line(const std::string& line, RasLog& log) {
-  const auto fields = split_pipes(line, 7);
-  RasRecord rec;
-  rec.time = parse_time(fields[0]);
-  rec.event_type = parse_event_type(fields[1]);
-  rec.severity = parse_severity(fields[2]);
-  rec.facility = parse_facility(fields[3]);
-  rec.location = bgl::parse_location(fields[4]);
+  IngestError failed;
   try {
-    rec.job = static_cast<bgl::JobId>(std::stoul(fields[5]));
-  } catch (const std::exception&) {
-    throw ParseError("bad job id: '" + fields[5] + "'");
+    parse_record_line_classified(line, log, &failed);
+  } catch (const ParseError& e) {
+    throw ParseError(std::string(field_context(failed)) + ": " + e.what());
   }
-  log.append_with_text(rec, fields[6]);
 }
 
 void write_log(std::ostream& os, const RasLog& log) {
@@ -56,13 +104,69 @@ void write_log(std::ostream& os, const RasLog& log) {
 }
 
 RasLog read_log(std::istream& is) {
+  return read_log(is, ReadOptions::strict());
+}
+
+RasLog read_log(std::istream& is, const ReadOptions& options,
+                IngestReport* report) {
+  BGL_REQUIRE(options.max_error_fraction >= 0.0 &&
+                  options.max_error_fraction <= 1.0,
+              "max_error_fraction must be within [0, 1]");
   RasLog log;
+  IngestReport local;
+  IngestReport& rep = report != nullptr ? *report : local;
+  rep = IngestReport{};
+
+  // Lines dropped before aborting on the error-fraction guard; 20 gives
+  // a lone corrupt header line no power over a long clean file.
+  constexpr std::size_t kGraceRecords = 20;
+  const auto over_budget = [&] {
+    return static_cast<double>(rep.records_dropped) >
+           options.max_error_fraction *
+               static_cast<double>(rep.records_attempted);
+  };
+
   std::string line;
+  std::size_t line_no = 0;
   while (std::getline(is, line)) {
+    ++line_no;
     if (line.empty() || line[0] == '#') {
       continue;
     }
-    parse_record_line(line, log);
+    ++rep.records_attempted;
+    IngestError failed;
+    try {
+      parse_record_line_classified(line, log, &failed);
+      ++rep.records_kept;
+    } catch (const ParseError& e) {
+      const std::string diagnostic =
+          std::string(field_context(failed)) + ": " + e.what();
+      if (options.mode == IngestMode::kStrict) {
+        throw ParseError(diagnostic, line_no);
+      }
+      ++rep.records_dropped;
+      ++rep.by_class[static_cast<std::size_t>(failed)];
+      if (rep.samples.size() < options.max_samples) {
+        rep.samples.push_back("line " + std::to_string(line_no) + ": " +
+                              diagnostic);
+      }
+      if (rep.records_attempted >= kGraceRecords && over_budget()) {
+        throw ParseError(
+            "lenient ingest gave up: " +
+                std::to_string(rep.records_dropped) + " of " +
+                std::to_string(rep.records_attempted) +
+                " records malformed (max_error_fraction " +
+                std::to_string(options.max_error_fraction) + ")",
+            line_no);
+      }
+    }
+  }
+  if (rep.records_dropped > 0 && over_budget()) {
+    throw ParseError("lenient ingest gave up: " +
+                     std::to_string(rep.records_dropped) + " of " +
+                     std::to_string(rep.records_attempted) +
+                     " records malformed (max_error_fraction " +
+                     std::to_string(options.max_error_fraction) + ")");
   }
   return log;
 }
@@ -79,11 +183,16 @@ void save_log(const std::string& path, const RasLog& log) {
 }
 
 RasLog load_log(const std::string& path) {
+  return load_log(path, ReadOptions::strict());
+}
+
+RasLog load_log(const std::string& path, const ReadOptions& options,
+                IngestReport* report) {
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     throw Error("cannot open for reading: " + path);
   }
-  return read_log(in);
+  return read_log(in, options, report);
 }
 
 }  // namespace bglpred

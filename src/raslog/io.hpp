@@ -10,30 +10,113 @@
 //
 // This mirrors the flat exports used by the BG/L log studies and makes
 // generated logs diffable and greppable.
+//
+// Ingest policy: production RAS streams contain corrupt fields, truncated
+// lines, and duplicate storms, so every reader takes a ReadOptions with
+// two modes (DESIGN §7):
+//
+//   * strict  (default) — the first malformed line aborts the read with a
+//     ParseError carrying the 1-based line number and the offending
+//     field; byte-for-byte the historical behaviour.
+//   * lenient — malformed lines are skipped and tallied per error class
+//     in an IngestReport; the read only aborts once the running error
+//     fraction exceeds ReadOptions::max_error_fraction. On clean input,
+//     lenient and strict produce identical logs.
 #pragma once
 
+#include <array>
+#include <cstddef>
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "raslog/log.hpp"
 
 namespace bglpred {
 
+/// How a reader treats malformed input (see file comment).
+enum class IngestMode { kStrict, kLenient };
+
+/// Failure classes tallied by lenient ingest. Each maps to the field (or
+/// structural property) that failed to parse.
+enum class IngestError : std::uint8_t {
+  kFieldCount = 0,    ///< wrong number of '|'-separated fields
+  kBadTime,           ///< unparsable TIMESTAMP
+  kBadEventType,      ///< unparsable EVENT_TYPE
+  kBadSeverity,       ///< unparsable SEVERITY
+  kBadFacility,       ///< unparsable FACILITY
+  kBadLocation,       ///< unparsable LOCATION
+  kBadJob,            ///< unparsable JOB_ID (including negative values)
+  kTruncated,         ///< binary input ended mid-structure
+  kCorruptRecord,     ///< binary record failed validation
+};
+inline constexpr std::size_t kIngestErrorClassCount = 9;
+
+/// Short identifier for an error class ("bad-time", "truncated", ...).
+const char* to_string(IngestError e);
+
+/// Reader configuration shared by the text and binary paths.
+struct ReadOptions {
+  IngestMode mode = IngestMode::kStrict;
+  /// Lenient mode gives up (throws ParseError) once
+  /// dropped / attempted > max_error_fraction. Checked after a grace
+  /// period of 20 records so one bad leading line cannot abort a long
+  /// file, and re-checked at EOF. 1.0 disables the guard.
+  double max_error_fraction = 1.0;
+  /// How many per-line sample diagnostics IngestReport retains.
+  std::size_t max_samples = 8;
+
+  static ReadOptions strict() { return ReadOptions{}; }
+  static ReadOptions lenient(double max_error_fraction = 1.0) {
+    ReadOptions o;
+    o.mode = IngestMode::kLenient;
+    o.max_error_fraction = max_error_fraction;
+    return o;
+  }
+};
+
+/// What a (lenient) read saw. `records_attempted` counts non-blank,
+/// non-comment lines (text) or declared records (binary); every attempt
+/// is either kept or dropped, so the totals always reconcile.
+struct IngestReport {
+  std::size_t records_attempted = 0;
+  std::size_t records_kept = 0;
+  std::size_t records_dropped = 0;
+  std::array<std::size_t, kIngestErrorClassCount> by_class{};
+  /// First ReadOptions::max_samples diagnostics, e.g.
+  /// "line 17: job id must be an unsigned integer: '-1'".
+  std::vector<std::string> samples;
+  /// Binary input ended before the declared record count was read.
+  bool truncated = false;
+
+  /// kept + dropped == attempted — the lenient reader's core invariant.
+  bool reconciles() const {
+    return records_kept + records_dropped == records_attempted;
+  }
+};
+
 /// Serializes one record as a log line (no trailing newline).
 std::string format_record(const RasLog& log, const RasRecord& rec);
 
-/// Parses one log line into `log` (appends). Throws ParseError on
-/// malformed input.
+/// Parses one log line into `log` (appends). Throws ParseError naming the
+/// offending field on malformed input; the log is not modified on error.
 void parse_record_line(const std::string& line, RasLog& log);
 
 /// Writes the whole log, one line per record.
 void write_log(std::ostream& os, const RasLog& log);
 
 /// Reads a whole log (until EOF). Blank lines and '#' comments skipped.
+/// Strict mode throws ParseError (with line number) on the first
+/// malformed line; lenient mode skips and tallies into `report`
+/// (optional, may be null).
 RasLog read_log(std::istream& is);
+RasLog read_log(std::istream& is, const ReadOptions& options,
+                IngestReport* report = nullptr);
 
 /// File convenience wrappers; throw Error on I/O failure.
 void save_log(const std::string& path, const RasLog& log);
 RasLog load_log(const std::string& path);
+RasLog load_log(const std::string& path, const ReadOptions& options,
+                IngestReport* report = nullptr);
 
 }  // namespace bglpred

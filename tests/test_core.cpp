@@ -1,6 +1,9 @@
 // Tests for the ThreePhasePredictor facade and the online engine.
 #include <gtest/gtest.h>
 
+#include <sstream>
+#include <vector>
+
 #include "common/error.hpp"
 #include "core/online.hpp"
 #include "core/three_phase.hpp"
@@ -75,16 +78,16 @@ TEST(OnlineEngineTest, DeduplicatesAndForwards) {
 
   // First sighting passes through and (every-failure) warns.
   auto w1 = engine.feed(rec, std::string(torus.phrase) + " seq=1");
-  EXPECT_TRUE(w1.has_value());
+  EXPECT_EQ(w1.size(), 1u);
   // Duplicate within the threshold is swallowed.
   rec.time = 1100;
   auto w2 = engine.feed(rec, std::string(torus.phrase) + " seq=1");
-  EXPECT_FALSE(w2.has_value());
+  EXPECT_TRUE(w2.empty());
   EXPECT_EQ(engine.stats().deduplicated, 1u);
   // Beyond the threshold it is a fresh event again.
   rec.time = 1100 + 400;
   auto w3 = engine.feed(rec, std::string(torus.phrase) + " seq=2");
-  EXPECT_TRUE(w3.has_value());
+  EXPECT_EQ(w3.size(), 1u);
   EXPECT_EQ(engine.stats().raw_records, 3u);
   EXPECT_EQ(engine.stats().forwarded, 2u);
   EXPECT_EQ(engine.stats().warnings, 2u);
@@ -102,7 +105,7 @@ TEST(OnlineEngineTest, ClassifiesFromEntryText) {
   rec.facility = cache.facility;
   rec.severity = cache.severity;
   auto w = engine.feed(rec, std::string(cache.phrase) + " bank 3");
-  EXPECT_TRUE(w.has_value());  // classified fatal -> every-failure warns
+  EXPECT_EQ(w.size(), 1u);  // classified fatal -> every-failure warns
 }
 
 TEST(OnlineEngineTest, MatchesOfflinePhase1OnReplay) {
@@ -125,6 +128,116 @@ TEST(OnlineEngineTest, MatchesOfflinePhase1OnReplay) {
 
 TEST(OnlineEngineTest, RejectsNullPredictor) {
   EXPECT_THROW(OnlineEngine(nullptr), InvalidArgument);
+}
+
+TEST(OnlineEngineTest, MalformedRecordsCountedAsDegraded) {
+  const ThreePhasePredictor tpp;
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure));
+  RasRecord rec;
+  rec.time = 1000;
+  rec.facility = static_cast<Facility>(200);  // out of enum range
+  rec.severity = Severity::kFatal;
+  auto w = engine.feed(rec, "mystery event");
+  EXPECT_TRUE(w.empty());
+  EXPECT_EQ(engine.stats().degraded, 1u);
+  EXPECT_EQ(engine.stats().forwarded, 0u);
+
+  rec.facility = Facility::kKernel;
+  rec.severity = static_cast<Severity>(99);
+  engine.feed(rec, "mystery event");
+  EXPECT_EQ(engine.stats().degraded, 2u);
+
+  // A healthy record after the junk still flows normally.
+  rec.severity = Severity::kFatal;
+  auto ok = engine.feed(rec, "kernel panic");
+  EXPECT_EQ(ok.size(), 1u);
+  EXPECT_EQ(engine.stats().forwarded, 1u);
+  EXPECT_EQ(engine.stats().raw_records, 3u);
+}
+
+TEST(OnlineEngineTest, HorizonZeroClampsLateTimestamps) {
+  const ThreePhasePredictor tpp;
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure));
+  RasRecord rec;
+  rec.facility = Facility::kKernel;
+  rec.severity = Severity::kFatal;
+  rec.location = bgl::Location::make_compute_chip(0, 0, 0, 0);
+
+  rec.time = 2000;
+  auto w1 = engine.feed(rec, "kernel panic a");
+  EXPECT_EQ(w1.size(), 1u);
+  // A record from the past: clamped to the high-water mark, counted,
+  // and the emitted warning anchors at the clamped time.
+  rec.time = 1000;
+  rec.location = bgl::Location::make_compute_chip(1, 0, 0, 0);
+  auto w2 = engine.feed(rec, "kernel panic b");
+  ASSERT_EQ(w2.size(), 1u);
+  EXPECT_EQ(w2[0].issued_at, 2000);
+  EXPECT_EQ(engine.stats().reordered, 1u);
+  EXPECT_EQ(engine.stats().clamped, 1u);
+}
+
+TEST(OnlineEngineTest, ReorderBufferRestoresOrder) {
+  OnlineOptions opts;
+  opts.reorder_horizon = 100;
+  const ThreePhasePredictor tpp;
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure), opts);
+  RasRecord rec;
+  rec.facility = Facility::kKernel;
+  rec.severity = Severity::kFatal;
+
+  std::vector<Warning> all;
+  const auto feed_at = [&](TimePoint t, std::uint16_t rack) {
+    rec.time = t;
+    rec.location = bgl::Location::make_compute_chip(rack, 0, 0, 0);
+    for (Warning& w : engine.feed(rec, "kernel panic")) {
+      all.push_back(std::move(w));
+    }
+  };
+  feed_at(1000, 0);
+  feed_at(1050, 1);  // skew: arrives before the 1010 record
+  feed_at(1010, 2);
+  feed_at(1300, 3);  // advances the watermark, releasing 1000..1050
+  for (Warning& w : engine.flush()) {
+    all.push_back(std::move(w));
+  }
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].issued_at, 1000);
+  EXPECT_EQ(all[1].issued_at, 1010);  // repaired order
+  EXPECT_EQ(all[2].issued_at, 1050);
+  EXPECT_EQ(all[3].issued_at, 1300);
+  EXPECT_EQ(engine.stats().reordered, 1u);
+  EXPECT_EQ(engine.stats().clamped, 0u);
+}
+
+TEST(OnlineEngineTest, CheckpointRoundTripPreservesDedupState) {
+  const ThreePhasePredictor tpp;
+  const SubcategoryInfo& torus =
+      catalog().info(catalog().find("torusFailure"));
+  RasRecord rec;
+  rec.time = 1000;
+  rec.job = 5;
+  rec.location = bgl::Location::make_compute_chip(0, 0, 0, 0);
+  rec.facility = torus.facility;
+  rec.severity = torus.severity;
+
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure));
+  engine.feed(rec, std::string(torus.phrase) + " x");
+
+  std::stringstream blob;
+  engine.save(blob);
+  OnlineEngine restored = OnlineEngine::restore(
+      blob, tpp.make_predictor(Method::kEveryFailure));
+
+  // The restored engine remembers the dedup entry: a near-duplicate is
+  // swallowed exactly as the original would swallow it.
+  rec.time = 1100;
+  auto w_restored = restored.feed(rec, std::string(torus.phrase) + " x");
+  auto w_original = engine.feed(rec, std::string(torus.phrase) + " x");
+  EXPECT_TRUE(w_restored.empty());
+  EXPECT_TRUE(w_original.empty());
+  EXPECT_EQ(restored.stats().deduplicated, engine.stats().deduplicated);
+  EXPECT_EQ(restored.stats().raw_records, engine.stats().raw_records);
 }
 
 }  // namespace

@@ -1,0 +1,293 @@
+// Property tests for the fault-injection harness (DESIGN.md §7): lenient
+// ingest must survive every injected fault class with a reconciling
+// report, and the hardened OnlineEngine must match its in-order /
+// uninterrupted oracle under reordering and checkpoint/restore.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "core/online.hpp"
+#include "core/three_phase.hpp"
+#include "faultinject/faults.hpp"
+#include "raslog/binary_io.hpp"
+#include "raslog/io.hpp"
+#include "simgen/generator.hpp"
+
+namespace bglpred {
+namespace {
+
+std::string generated_log_text(double scale = 0.01) {
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(scale);
+  std::stringstream buffer;
+  write_log(buffer, g.log);
+  return buffer.str();
+}
+
+void expect_same_warnings(const std::vector<Warning>& a,
+                          const std::vector<Warning>& b) {
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].issued_at, b[i].issued_at) << "warning " << i;
+    EXPECT_EQ(a[i].window_begin, b[i].window_begin) << "warning " << i;
+    EXPECT_EQ(a[i].window_end, b[i].window_end) << "warning " << i;
+    EXPECT_EQ(a[i].confidence, b[i].confidence) << "warning " << i;
+    EXPECT_EQ(a[i].source, b[i].source) << "warning " << i;
+    EXPECT_EQ(a[i].mergeable, b[i].mergeable) << "warning " << i;
+  }
+}
+
+// ---- lenient text ingest under injected faults -------------------------
+
+TEST(FaultInjectTest, LenientSurvivesFieldCorruption) {
+  const std::string clean = generated_log_text();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    TextFaultOptions opts;
+    opts.field_corruption_rate = 0.2;
+    InjectionStats stats;
+    const std::string dirty = inject_text_faults(clean, opts, rng, &stats);
+    EXPECT_GT(stats.corrupted_fields, 0u);
+    std::stringstream in(dirty);
+    IngestReport report;
+    RasLog log;
+    EXPECT_NO_THROW(log = read_log(in, ReadOptions::lenient(), &report))
+        << "seed " << seed;
+    EXPECT_TRUE(report.reconciles());
+    EXPECT_GT(report.records_kept, 0u);
+  }
+}
+
+TEST(FaultInjectTest, LenientSurvivesLineTruncation) {
+  const std::string clean = generated_log_text();
+  for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+    Rng rng(seed);
+    TextFaultOptions opts;
+    opts.line_truncation_rate = 0.2;
+    InjectionStats stats;
+    const std::string dirty = inject_text_faults(clean, opts, rng, &stats);
+    EXPECT_GT(stats.truncated_lines, 0u);
+    std::stringstream in(dirty);
+    IngestReport report;
+    EXPECT_NO_THROW(read_log(in, ReadOptions::lenient(), &report))
+        << "seed " << seed;
+    EXPECT_TRUE(report.reconciles());
+  }
+}
+
+TEST(FaultInjectTest, LenientSurvivesCombinedTextFaults) {
+  const std::string clean = generated_log_text();
+  Rng rng(99);
+  TextFaultOptions opts;
+  opts.field_corruption_rate = 0.3;
+  opts.line_truncation_rate = 0.3;
+  const std::string dirty = inject_text_faults(clean, opts, rng);
+  std::stringstream in(dirty);
+  IngestReport report;
+  EXPECT_NO_THROW(read_log(in, ReadOptions::lenient(), &report));
+  EXPECT_TRUE(report.reconciles());
+  EXPECT_EQ(report.records_kept + report.records_dropped,
+            report.records_attempted);
+}
+
+TEST(FaultInjectTest, DuplicateStormLinesAllParse) {
+  const std::string clean = generated_log_text();
+  Rng rng(7);
+  DuplicateStormOptions opts;
+  opts.duplicate_rate = 0.1;
+  opts.burst = 4;
+  InjectionStats stats;
+  const std::string stormy =
+      inject_duplicate_storm(clean, opts, rng, &stats);
+  EXPECT_GT(stats.duplicated_lines, 0u);
+  EXPECT_EQ(stats.lines_out, stats.lines_in + stats.duplicated_lines);
+  std::stringstream in(stormy);
+  IngestReport report;
+  RasLog log;
+  EXPECT_NO_THROW(log = read_log(in, ReadOptions::lenient(), &report));
+  // Duplicates are well-formed lines: nothing is dropped, and the log
+  // grows by exactly the injected copies.
+  EXPECT_EQ(report.records_dropped, 0u);
+  EXPECT_EQ(log.size(), report.records_attempted);
+  EXPECT_TRUE(report.reconciles());
+}
+
+// ---- lenient binary ingest under injected faults -----------------------
+
+TEST(FaultInjectTest, BinaryTruncationSalvagesPrefix) {
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  std::stringstream buffer;
+  write_log_binary(buffer, g.log);
+  const std::string blob = buffer.str();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    InjectionStats stats;
+    const std::string cut = truncate_blob(blob, rng, 0.0, &stats);
+    EXPECT_EQ(cut.size() + stats.removed_bytes, blob.size());
+    std::stringstream in(cut);
+    IngestReport report;
+    if (cut.size() < 8) {
+      // Not even a full magic: indistinguishable from a wrong file.
+      EXPECT_THROW(read_log_binary(in, ReadOptions::lenient(), &report),
+                   ParseError);
+      continue;
+    }
+    RasLog log;
+    EXPECT_NO_THROW(
+        log = read_log_binary(in, ReadOptions::lenient(), &report))
+        << "seed " << seed << " size " << cut.size();
+    EXPECT_TRUE(report.reconciles());
+    EXPECT_EQ(log.size(), report.records_kept);
+  }
+}
+
+TEST(FaultInjectTest, BinaryCorruptionNeverThrowsLenient) {
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  std::stringstream buffer;
+  write_log_binary(buffer, g.log);
+  const std::string blob = buffer.str();
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rng rng(seed);
+    InjectionStats stats;
+    const std::string dirty = corrupt_blob(blob, 0.001, rng, 8, &stats);
+    ASSERT_EQ(dirty.size(), blob.size());
+    std::stringstream in(dirty);
+    IngestReport report;
+    EXPECT_NO_THROW(read_log_binary(in, ReadOptions::lenient(), &report))
+        << "seed " << seed;
+    EXPECT_TRUE(report.reconciles());
+  }
+}
+
+// ---- reorder tolerance -------------------------------------------------
+
+TEST(FaultInjectTest, ReorderedStreamMatchesInOrderOracle) {
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  const EventClassifier classifier;
+  const std::vector<RasRecord>& sorted = g.log.records();
+  ASSERT_TRUE(g.log.is_time_sorted());
+
+  SkewOptions skew;
+  skew.skew_probability = 0.5;
+  skew.max_skew = 120;
+  Rng rng(11);
+  InjectionStats stats;
+  const std::vector<RasRecord> skewed =
+      inject_timestamp_skew({sorted.begin(), sorted.end()}, skew, rng,
+                            &stats);
+  ASSERT_EQ(skewed.size(), sorted.size());
+  EXPECT_GT(stats.skewed_records, 0u);
+
+  const ThreePhasePredictor tpp;
+  OnlineOptions engine_opts;
+  engine_opts.reorder_horizon = skew.max_skew + 1;
+  OnlineEngine oracle(tpp.make_predictor(Method::kEveryFailure),
+                      engine_opts);
+  OnlineEngine hardened(tpp.make_predictor(Method::kEveryFailure),
+                        engine_opts);
+
+  std::vector<Warning> oracle_warnings;
+  for (const RasRecord& rec : sorted) {
+    for (Warning& w : oracle.feed(rec, g.log.text_of(rec))) {
+      oracle_warnings.push_back(std::move(w));
+    }
+  }
+  for (Warning& w : oracle.flush()) {
+    oracle_warnings.push_back(std::move(w));
+  }
+
+  std::vector<Warning> skewed_warnings;
+  for (const RasRecord& rec : skewed) {
+    for (Warning& w : hardened.feed(rec, g.log.text_of(rec))) {
+      skewed_warnings.push_back(std::move(w));
+    }
+  }
+  for (Warning& w : hardened.flush()) {
+    skewed_warnings.push_back(std::move(w));
+  }
+
+  // Skew ≤ horizon: the reorder buffer fully repairs the stream, so the
+  // warning sequences are byte-identical and nothing was clamped.
+  expect_same_warnings(oracle_warnings, skewed_warnings);
+  EXPECT_EQ(hardened.stats().forwarded, oracle.stats().forwarded);
+  EXPECT_EQ(hardened.stats().clamped, 0u);
+  EXPECT_GT(hardened.stats().reordered, 0u);
+}
+
+// ---- checkpoint/restore ------------------------------------------------
+
+TEST(FaultInjectTest, CheckpointedEngineMatchesUninterrupted) {
+  // The ISSUE's acceptance property: train a meta predictor, stream half
+  // the tail through an engine, checkpoint it, restore into a fresh
+  // engine, and verify the restored engine finishes the stream with
+  // byte-identical warnings to an engine that never stopped.
+  GeneratedLog generated =
+      LogGenerator(SystemProfile::anl()).generate(0.02);
+  const RasLog& raw = generated.log;
+  const std::size_t cut = raw.size() * 8 / 10;
+  RasLog training = raw.subset(
+      {raw.records().begin(),
+       raw.records().begin() + static_cast<std::ptrdiff_t>(cut)});
+  ThreePhasePredictor pipeline;
+  pipeline.run_phase1(training);
+
+  const auto make_trained = [&]() {
+    PredictorPtr p = pipeline.make_predictor(Method::kMeta);
+    p->train(training);
+    p->reset();
+    return p;
+  };
+
+  PredictorPtr continuous_meta = make_trained();
+  OnlineEngine continuous(std::move(continuous_meta));
+  OnlineEngine interrupted(make_trained());
+  ASSERT_TRUE(interrupted.predictor().checkpointable());
+
+  const std::size_t mid = cut + (raw.size() - cut) / 2;
+  std::vector<Warning> continuous_w;
+  std::vector<Warning> interrupted_w;
+  const auto drain = [](std::vector<Warning>& into,
+                        std::vector<Warning>&& out) {
+    for (Warning& w : out) {
+      into.push_back(std::move(w));
+    }
+  };
+  for (std::size_t i = cut; i < mid; ++i) {
+    const RasRecord& rec = raw.records()[i];
+    drain(continuous_w, continuous.feed(rec, raw.text_of(rec)));
+    drain(interrupted_w, interrupted.feed(rec, raw.text_of(rec)));
+  }
+
+  // Snapshot mid-stream and restore into a fresh engine + predictor.
+  std::stringstream blob;
+  interrupted.save(blob);
+  OnlineEngine restored = OnlineEngine::restore(blob, make_trained());
+  EXPECT_EQ(restored.stats().raw_records,
+            interrupted.stats().raw_records);
+
+  for (std::size_t i = mid; i < raw.size(); ++i) {
+    const RasRecord& rec = raw.records()[i];
+    drain(continuous_w, continuous.feed(rec, raw.text_of(rec)));
+    drain(interrupted_w, restored.feed(rec, raw.text_of(rec)));
+  }
+  drain(continuous_w, continuous.flush());
+  drain(interrupted_w, restored.flush());
+
+  expect_same_warnings(continuous_w, interrupted_w);
+  EXPECT_EQ(restored.stats().raw_records, continuous.stats().raw_records);
+  EXPECT_EQ(restored.stats().forwarded, continuous.stats().forwarded);
+  EXPECT_EQ(restored.stats().warnings, continuous.stats().warnings);
+}
+
+TEST(FaultInjectTest, RestoreRejectsWrongPredictor) {
+  const ThreePhasePredictor tpp;
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure));
+  std::stringstream blob;
+  engine.save(blob);
+  EXPECT_THROW(
+      OnlineEngine::restore(blob, tpp.make_predictor(Method::kPeriodic)),
+      ParseError);
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.hpp"
+#include "raslog/binary_io.hpp"
 #include "raslog/io.hpp"
 #include "raslog/log.hpp"
 
@@ -177,6 +178,137 @@ TEST(RasIoTest, MalformedLinesThrow) {
           "2005-03-14 06:25:01|RAS|FATAL|TORUS|R00-M1-N07-C21|notnum|x",
           log),
       ParseError);
+  EXPECT_EQ(log.size(), 0u);  // never mutated on error
+}
+
+TEST(RasIoTest, ParseErrorsNameTheOffendingField) {
+  RasLog log;
+  try {
+    parse_record_line(
+        "2005-03-14 06:25:01|RAS|WHAT|TORUS|R00-M1-N07-C21|1182|x", log);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("severity field"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RasIoTest, StrictReadReportsLineNumber) {
+  std::stringstream in(
+      "# comment\n"
+      "2005-03-14 06:25:01|RAS|FATAL|TORUS|R00-M1-N07-C21|1182|ok\n"
+      "broken line\n");
+  try {
+    read_log(in);
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_EQ(e.line(), 3u);
+    EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(RasIoTest, NegativeJobIdRejected) {
+  // std::stoul would silently wrap "-1" to 4294967295; the checked
+  // parser must reject it instead.
+  RasLog log;
+  EXPECT_THROW(
+      parse_record_line(
+          "2005-03-14 06:25:01|RAS|FATAL|TORUS|R00-M1-N07-C21|-1|x", log),
+      ParseError);
+  EXPECT_EQ(log.size(), 0u);
+}
+
+TEST(RasIoTest, LenientSkipsAndTallies) {
+  std::stringstream in(
+      "2005-03-14 06:25:01|RAS|FATAL|TORUS|R00-M1-N07-C21|1182|ok\n"
+      "not|enough|fields\n"
+      "2005-03-14 06:25:02|RAS|FATAL|TORUS|R00-M1-N07-C21|-1|neg job\n"
+      "2005-03-14 06:25:03|RAS|FATAL|TORUS|R00-M1-N07-C21|1182|ok too\n");
+  IngestReport report;
+  const RasLog log = read_log(in, ReadOptions::lenient(), &report);
+  EXPECT_EQ(log.size(), 2u);
+  EXPECT_EQ(report.records_attempted, 4u);
+  EXPECT_EQ(report.records_kept, 2u);
+  EXPECT_EQ(report.records_dropped, 2u);
+  EXPECT_TRUE(report.reconciles());
+  EXPECT_EQ(report.by_class[static_cast<std::size_t>(
+                IngestError::kFieldCount)],
+            1u);
+  EXPECT_EQ(report.by_class[static_cast<std::size_t>(IngestError::kBadJob)],
+            1u);
+  ASSERT_EQ(report.samples.size(), 2u);
+  EXPECT_NE(report.samples[0].find("line 2"), std::string::npos);
+}
+
+TEST(RasIoTest, LenientMatchesStrictOnCleanInput) {
+  RasLog log;
+  for (int i = 0; i < 30; ++i) {
+    log.append_with_text(sample_record(1000 + i), "evt " + std::to_string(i));
+  }
+  std::stringstream buffer;
+  write_log(buffer, log);
+  const std::string text = buffer.str();
+
+  std::stringstream strict_in(text);
+  std::stringstream lenient_in(text);
+  const RasLog strict = read_log(strict_in);
+  IngestReport report;
+  const RasLog lenient =
+      read_log(lenient_in, ReadOptions::lenient(0.0), &report);
+  ASSERT_EQ(strict.size(), lenient.size());
+  EXPECT_EQ(report.records_dropped, 0u);
+  std::stringstream a, b;
+  write_log(a, strict);
+  write_log(b, lenient);
+  EXPECT_EQ(a.str(), b.str());  // byte-identical re-serialization
+}
+
+TEST(RasIoTest, LenientAbortsPastErrorBudget) {
+  // 30 lines, all broken: after the 20-record grace period the 0.25
+  // budget is blown and the reader must give up rather than grind on.
+  std::stringstream in;
+  for (int i = 0; i < 30; ++i) {
+    in << "garbage line " << i << "\n";
+  }
+  IngestReport report;
+  EXPECT_THROW(read_log(in, ReadOptions::lenient(0.25), &report),
+               ParseError);
+}
+
+TEST(RasIoTest, BinaryLenientSurvivesTruncation) {
+  RasLog log;
+  for (int i = 0; i < 10; ++i) {
+    log.append_with_text(sample_record(1000 + i), "bin " + std::to_string(i));
+  }
+  std::stringstream buffer;
+  write_log_binary(buffer, log);
+  const std::string blob = buffer.str();
+
+  // Cut the last record's tuple in half.
+  std::stringstream cut(blob.substr(0, blob.size() - 14));
+  IngestReport report;
+  const RasLog salvaged =
+      read_log_binary(cut, ReadOptions::lenient(), &report);
+  EXPECT_EQ(salvaged.size(), 9u);
+  EXPECT_TRUE(report.truncated);
+  EXPECT_TRUE(report.reconciles());
+  EXPECT_EQ(report.by_class[static_cast<std::size_t>(
+                IngestError::kTruncated)],
+            1u);
+
+  // Strict mode still refuses the same stream.
+  std::stringstream cut_again(blob.substr(0, blob.size() - 14));
+  EXPECT_THROW(read_log_binary(cut_again), ParseError);
+
+  // A wrong magic is a wrong *file*, not a damaged one: even lenient
+  // reads reject it.
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  std::stringstream wrong(bad_magic);
+  EXPECT_THROW(read_log_binary(wrong, ReadOptions::lenient(), &report),
+               ParseError);
 }
 
 TEST(RasIoTest, SaveLoadFileRoundTrip) {

@@ -18,6 +18,12 @@ Rules (C++ sources under src/, tests/, bench/, examples/):
   submit-ref-capture    ThreadPool::submit with a `[&]` capture-default.
                         Type-erased tasks outlive scopes; capture what you
                         need explicitly so reviewers can audit lifetimes.
+  naked-sto             std::stoul / std::stoi and friends outside
+                        common/parse. They accept a leading '-' (the value
+                        wraps modulo 2^N), ignore trailing garbage, and
+                        throw unnamed std:: exceptions; field parsing must
+                        go through parse_u32/parse_u64, which reject all
+                        three with a ParseError naming the field.
 
 Suppress a finding on one line with `// repo-lint: allow(<rule>)`, or add
 a (path, rule) pair to ALLOWLIST below with a justification.
@@ -48,6 +54,9 @@ ALLOWLIST: dict[tuple[str, str], str] = {
 # sanctioned wrappers.
 RAND_EXEMPT = re.compile(r"^src/common/(rng|time)\.(cpp|hpp)$")
 
+# The checked-parse helpers are the one sanctioned home for std::sto*.
+STO_EXEMPT = re.compile(r"^src/common/parse\.(cpp|hpp)$")
+
 RE_ALLOW = re.compile(r"//\s*repo-lint:\s*allow\(([a-z-]+)\)")
 RE_RAND = re.compile(
     r"\bstd::rand\b|(?<![_\w:])rand\s*\(|\bsrand\s*\(|"
@@ -57,6 +66,7 @@ RE_PLACEMENT_NEW = re.compile(r"new\s*\(")
 RE_INCLUDE = re.compile(r'^\s*#\s*include\s+(["<][^">]+[">])')
 RE_PREPROC = re.compile(r"^\s*#\s*(\w+)")
 RE_SUBMIT_REF = re.compile(r"\bsubmit\s*\(\s*\[\s*&\s*[\],]")
+RE_STO = re.compile(r"\bstd\s*::\s*sto[a-z]+\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -125,6 +135,7 @@ class Linter:
     def check_line_rules(self, path: str, raw_lines: list[str],
                          code_lines: list[str]) -> None:
         rand_exempt = bool(RAND_EXEMPT.match(path))
+        sto_exempt = bool(STO_EXEMPT.match(path))
         for idx, code in enumerate(code_lines):
             raw = raw_lines[idx]
             no = idx + 1
@@ -132,6 +143,11 @@ class Linter:
                 self.report(path, no, "forbidden-rand",
                             "use bglpred::Rng / common/time instead of the "
                             "C PRNG or wall clock", raw)
+            if not sto_exempt and RE_STO.search(code):
+                self.report(path, no, "naked-sto",
+                            "use parse_u32/parse_u64 from common/parse: "
+                            "std::sto* wraps negative input and ignores "
+                            "trailing garbage", raw)
             if RE_NEW.search(code) and not RE_PLACEMENT_NEW.search(code):
                 self.report(path, no, "naked-new",
                             "allocate via std::make_unique or a container",
