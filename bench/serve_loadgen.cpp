@@ -1,0 +1,181 @@
+// Deterministic load generator for the sharded prediction service
+// (EXPERIMENTS.md X9).
+//
+// Replays simgen logs as interleaved client streams through a real
+// loopback server — client -> socket -> session -> shards -> engines —
+// and reports end-to-end records/s plus the p50/p99 warning age (the
+// time a warning sits between the engine emitting it and a poll
+// delivering it, read from the server's own histogram; server and
+// generator share the process, so no cross-process clock games).
+//
+//   $ ./serve_loadgen                  # full google-benchmark sweep
+//   $ ./serve_loadgen --smoke          # CI smoke: one tiny config, with
+//                                      # result sanity checks, still
+//                                      # emitting BENCH_serve.json
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "core/three_phase.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "simgen/generator.hpp"
+
+using namespace bglpred;
+using namespace bglpred::serve;
+
+namespace {
+
+/// --smoke shrinks the workload; set in main() before benchmarks run.
+bool g_smoke = false;
+
+struct Workload {
+  std::vector<std::vector<WireRecord>> streams;
+  std::size_t total_records = 0;
+};
+
+/// Generated once per process: `streams` interleaved record sequences
+/// with their raw entry text, byte-reproducible across runs.
+const Workload& workload() {
+  static const Workload w = [] {
+    Workload out;
+    const double scale = g_smoke ? 0.01 : 0.05;
+    const std::size_t streams = g_smoke ? 2 : 8;
+    GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(scale);
+    out.streams.resize(streams);
+    for (std::size_t i = 0; i < g.log.records().size(); ++i) {
+      const RasRecord& rec = g.log.records()[i];
+      out.streams[i % streams].push_back(WireRecord{rec, g.log.text_of(rec)});
+      ++out.total_records;
+    }
+    return out;
+  }();
+  return w;
+}
+
+void BM_ServeLoadgen(benchmark::State& state) {
+  const auto shard_count = static_cast<std::size_t>(state.range(0));
+  const auto worker_threads = static_cast<std::size_t>(state.range(1));
+  const ThreePhasePredictor tpp;
+  const Workload& load = workload();
+
+  std::size_t warnings = 0;
+  std::size_t busy_rounds = 0;
+  std::uint64_t p50 = 0;
+  std::uint64_t p99 = 0;
+  for (auto _ : state) {
+    ServerOptions options;
+    options.shards.shard_count = shard_count;
+    options.shards.worker_threads = worker_threads;
+    options.shards.queue_capacity = 2048;
+    options.shards.predictor_factory = [&tpp] {
+      return tpp.make_predictor(Method::kEveryFailure);
+    };
+    Server server(options);
+    server.start();
+    Client client = Client::connect(server.port());
+    warnings = 0;
+    busy_rounds = 0;
+    for (std::size_t s = 0; s < load.streams.size(); ++s) {
+      busy_rounds += client.submit_all(s, load.streams[s]);
+    }
+    for (std::size_t s = 0; s < load.streams.size(); ++s) {
+      warnings += client.poll_warnings(s).size();
+    }
+    // Same process as the server: read the latency distribution straight
+    // from its registry (lookup by name returns the live instrument).
+    Histogram& age = server.metrics().histogram("serve.warning_age_micros");
+    p50 = age.quantile(0.5);
+    p99 = age.quantile(0.99);
+    client.shutdown_server();
+    server.stop();
+    benchmark::DoNotOptimize(warnings);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(load.total_records));
+  state.counters["records"] = static_cast<double>(load.total_records);
+  state.counters["streams"] = static_cast<double>(load.streams.size());
+  state.counters["warnings"] = static_cast<double>(warnings);
+  state.counters["busy_rounds"] = static_cast<double>(busy_rounds);
+  state.counters["p50_warning_age_us"] = static_cast<double>(p50);
+  state.counters["p99_warning_age_us"] = static_cast<double>(p99);
+}
+
+/// One end-to-end pass with correctness checks — the CI smoke gate.
+int run_smoke() {
+  const ThreePhasePredictor tpp;
+  const Workload& load = workload();
+  ServerOptions options;
+  options.shards.shard_count = 2;
+  options.shards.queue_capacity = 512;
+  options.shards.predictor_factory = [&tpp] {
+    return tpp.make_predictor(Method::kEveryFailure);
+  };
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+  std::size_t warnings = 0;
+  for (std::size_t s = 0; s < load.streams.size(); ++s) {
+    client.submit_all(s, load.streams[s]);
+    warnings += client.poll_warnings(s).size();
+  }
+  const std::string stats = client.stats_json();
+  client.shutdown_server();
+  server.stop();
+  if (warnings == 0) {
+    std::fprintf(stderr, "smoke: no warnings delivered\n");
+    return 1;
+  }
+  const std::string want =
+      "\"serve.records_in\":" + std::to_string(load.total_records);
+  if (stats.find(want) == std::string::npos) {
+    std::fprintf(stderr, "smoke: records_in mismatch (wanted %s) in %s\n",
+                 want.c_str(), stats.c_str());
+    return 1;
+  }
+  std::printf("smoke: %zu records, %zu warnings served OK\n",
+              load.total_records, warnings);
+  return 0;
+}
+
+}  // namespace
+
+// Args: {shard_count, worker_threads}. The 1-shard/0-worker row is the
+// single-threaded floor; extra shards measure routing overhead and, with
+// workers, shard-parallel drains.
+BENCHMARK(BM_ServeLoadgen)
+    ->Args({1, 0})
+    ->Args({4, 0})
+    ->Args({4, 2})
+    ->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  // Old google-benchmark wants a plain double for min_time.
+  static char min_time[] = "--benchmark_min_time=0.05";
+  static char filter[] = "--benchmark_filter=BM_ServeLoadgen/1/0$";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (g_smoke) {
+    const int rc = run_smoke();
+    if (rc != 0) {
+      return rc;
+    }
+    // Still emit BENCH_serve.json, from the cheapest config only.
+    args.push_back(min_time);
+    args.push_back(filter);
+  }
+  return bglpred::bench::run_benchmark_driver(
+      "serve", static_cast<int>(args.size()), args.data());
+}

@@ -68,9 +68,11 @@ int run(int argc, char** argv) {
   }
 
   std::printf("engine stats: %zu raw fed, %zu deduplicated, %zu forwarded, "
-              "%zu warnings\n\n",
+              "%zu warnings, %zu degraded, %zu reordered, %zu clamped\n\n",
               engine.stats().raw_records, engine.stats().deduplicated,
-              engine.stats().forwarded, engine.stats().warnings);
+              engine.stats().forwarded, engine.stats().warnings,
+              engine.stats().degraded, engine.stats().reordered,
+              engine.stats().clamped);
 
   // Print the first warnings with their outcome.
   std::size_t printed = 0;

@@ -1,0 +1,41 @@
+// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) over byte
+// ranges. Used by the serve wire protocol to detect corrupted frame
+// payloads before any payload decoding runs, so a flipped bit on the
+// wire surfaces as a typed BAD_CRC error instead of garbage records.
+// Header-only: the lookup table is built at compile time.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+namespace bglpred {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t n = 0; n < 256; ++n) {
+    std::uint32_t c = n;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? (0xedb88320u ^ (c >> 1)) : (c >> 1);
+    }
+    table[n] = c;
+  }
+  return table;
+}
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table =
+    make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `data`. `seed` chains multi-part computations: pass the
+/// previous call's result to continue a running checksum.
+inline std::uint32_t crc32(std::string_view data, std::uint32_t seed = 0) {
+  std::uint32_t c = seed ^ 0xffffffffu;
+  for (const char ch : data) {
+    c = detail::kCrc32Table[(c ^ static_cast<unsigned char>(ch)) & 0xffu] ^
+        (c >> 8);
+  }
+  return c ^ 0xffffffffu;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,133 @@
+#include "common/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+
+void Histogram::record(std::uint64_t sample) {
+  // Bucket index = number of significant bits, so 0 lands in bucket 0,
+  // 1 in bucket 1, 2..3 in bucket 2, 4..7 in bucket 3, ...
+  const std::size_t bucket =
+      std::min<std::size_t>(std::bit_width(sample), kBuckets - 1);
+  buckets_[bucket].fetch_add(1, relaxed);
+  count_.fetch_add(1, relaxed);
+  sum_.fetch_add(sample, relaxed);
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  const std::uint64_t total = count();
+  if (total == 0) {
+    return 0;
+  }
+  if (q < 0.0) {
+    q = 0.0;
+  }
+  if (q > 1.0) {
+    q = 1.0;
+  }
+  // Rank of the q-quantile sample, 1-based; walk the buckets until the
+  // cumulative count reaches it.
+  const auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i].load(relaxed);
+    if (seen > rank || (seen == total && seen >= rank)) {
+      // Upper bound of bucket i: 2^i - 1 samples need <= i bits.
+      return i >= 63 ? UINT64_MAX : (std::uint64_t{1} << i) - 1;
+    }
+  }
+  return UINT64_MAX;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BGL_REQUIRE(!gauge_names_.contains(name) && !histogram_names_.contains(name),
+              "metric '" + name + "' already registered as another kind");
+  auto [it, inserted] = counter_names_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = &counters_.emplace_back();
+  }
+  return *it->second;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BGL_REQUIRE(
+      !counter_names_.contains(name) && !histogram_names_.contains(name),
+      "metric '" + name + "' already registered as another kind");
+  auto [it, inserted] = gauge_names_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = &gauges_.emplace_back();
+  }
+  return *it->second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  BGL_REQUIRE(!counter_names_.contains(name) && !gauge_names_.contains(name),
+              "metric '" + name + "' already registered as another kind");
+  auto [it, inserted] = histogram_names_.try_emplace(name, nullptr);
+  if (inserted) {
+    it->second = &histograms_.emplace_back();
+  }
+  return *it->second;
+}
+
+namespace {
+void append_json_string(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+    }
+    out.push_back(c);
+  }
+  out.push_back('"');
+}
+}  // namespace
+
+std::string MetricsRegistry::dump_json() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counter_names_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : gauge_names_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, name);
+    out.push_back(':');
+    out += std::to_string(g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : histogram_names_) {
+    if (!first) {
+      out.push_back(',');
+    }
+    first = false;
+    append_json_string(out, name);
+    out += std::string(":{\"count\":") + std::to_string(h->count()) +
+           ",\"sum\":" + std::to_string(h->sum()) +
+           ",\"p50\":" + std::to_string(h->quantile(0.5)) +
+           ",\"p99\":" + std::to_string(h->quantile(0.99)) + "}";
+  }
+  out += "}}";
+  return out;
+}
+
+}  // namespace bglpred

@@ -1,0 +1,99 @@
+// Lock-cheap metrics registry: named counters, gauges, and histograms.
+//
+// Lives in common/ (not serve/) because producers span layers: the
+// OnlineEngine binds its per-stream counters here (core), the shard
+// manager its queue gauges, the session layer its frame counters
+// (serve). Registration takes a mutex once per name; the hot path is a
+// single relaxed atomic RMW on a stable reference, so instruments can be
+// bumped from the event loop and shard worker threads concurrently
+// without coordination. dump_json() renders the whole registry with
+// sorted keys, so two dumps of identical state are byte-identical — the
+// STATS admin response and test assertions rely on that.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+
+namespace bglpred {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_.fetch_add(n, relaxed); }
+  std::uint64_t value() const { return value_.load(relaxed); }
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Instantaneous signed level (queue depth, open connections).
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, relaxed); }
+  void add(std::int64_t n) { value_.fetch_add(n, relaxed); }
+  std::int64_t value() const { return value_.load(relaxed); }
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Power-of-two-bucketed histogram of non-negative samples (bucket i
+/// counts samples whose value needs i significant bits, so boundaries
+/// run 0, 1, 2, 4, 8, ... 2^62; good enough for latency distributions
+/// where only the order of magnitude matters).
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t sample);
+
+  std::uint64_t count() const { return count_.load(relaxed); }
+  std::uint64_t sum() const { return sum_.load(relaxed); }
+
+  /// Upper bound of the bucket holding the q-quantile sample (q in
+  /// [0, 1]); 0 when empty. An estimate with power-of-two resolution.
+  std::uint64_t quantile(double q) const;
+
+ private:
+  static constexpr auto relaxed = std::memory_order_relaxed;
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+/// Owns every instrument; hands out stable references. Requesting the
+/// same name twice returns the same instrument (that is how per-shard
+/// aggregation across many engines works), but a name can hold only one
+/// instrument kind — re-registering it as another kind throws
+/// InvalidArgument.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// {"counters":{...},"gauges":{...},"histograms":{name:{"count":..,
+  /// "sum":..,"p50":..,"p99":..}}} with keys sorted for reproducible
+  /// bytes.
+  std::string dump_json() const;
+
+ private:
+  // std::deque: grows without moving elements, keeping handed-out
+  // references valid for the registry's lifetime.
+  mutable std::mutex mutex_;
+  std::deque<Counter> counters_;
+  std::deque<Gauge> gauges_;
+  std::deque<Histogram> histograms_;
+  std::map<std::string, Counter*> counter_names_;
+  std::map<std::string, Gauge*> gauge_names_;
+  std::map<std::string, Histogram*> histogram_names_;
+};
+
+}  // namespace bglpred

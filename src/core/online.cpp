@@ -77,13 +77,13 @@ void OnlineEngine::deliver(const RasRecord& rec, std::vector<Warning>& out) {
   auto [it, inserted] = last_seen_.try_emplace(key, rec.time);
   if (!inserted && rec.time - it->second <= options_.dedup_threshold) {
     it->second = rec.time;
-    ++stats_.deduplicated;
+    bump(stats_.deduplicated, counters_.deduplicated);
     return;
   }
   it->second = rec.time;
-  ++stats_.forwarded;
+  bump(stats_.forwarded, counters_.forwarded);
   if (auto warning = predictor_->observe(rec)) {
-    ++stats_.warnings;
+    bump(stats_.warnings, counters_.warnings);
     out.push_back(std::move(*warning));
   }
 }
@@ -100,9 +100,9 @@ void OnlineEngine::release_until(TimePoint limit, std::vector<Warning>& out) {
 std::vector<Warning> OnlineEngine::feed(const RasRecord& record,
                                         std::string_view entry_data) {
   std::vector<Warning> out;
-  ++stats_.raw_records;
+  bump(stats_.raw_records, counters_.raw_records);
   if (!validate(record)) {
-    ++stats_.degraded;
+    bump(stats_.degraded, counters_.degraded);
     return out;
   }
   RasRecord rec = record;
@@ -112,17 +112,17 @@ std::vector<Warning> OnlineEngine::feed(const RasRecord& record,
       rec.subcategory >= catalog().size()) {
     // The classifier fell through every table — a record the taxonomy
     // cannot place. Count it and keep the stream alive.
-    ++stats_.degraded;
+    bump(stats_.degraded, counters_.degraded);
     return out;
   }
 
   if (rec.time < high_water_) {
-    ++stats_.reordered;
+    bump(stats_.reordered, counters_.reordered);
     if (options_.reorder_horizon == 0) {
       // No buffer to repair the order with: clamp so predictors (whose
       // sliding windows assume monotone time) never see time reverse.
       rec.time = high_water_;
-      ++stats_.clamped;
+      bump(stats_.clamped, counters_.clamped);
     }
   } else {
     high_water_ = rec.time;
@@ -146,6 +146,23 @@ std::vector<Warning> OnlineEngine::flush() {
   std::vector<Warning> out;
   release_until(INT64_MAX, out);
   return out;
+}
+
+void OnlineEngine::attach_metrics(MetricsRegistry& registry,
+                                  const std::string& prefix) {
+  const auto bind = [&registry, &prefix](std::size_t current,
+                                         const char* name) {
+    Counter& c = registry.counter(prefix + name);
+    c.inc(current);
+    return &c;
+  };
+  counters_.raw_records = bind(stats_.raw_records, "raw_records");
+  counters_.deduplicated = bind(stats_.deduplicated, "deduplicated");
+  counters_.forwarded = bind(stats_.forwarded, "forwarded");
+  counters_.warnings = bind(stats_.warnings, "warnings");
+  counters_.degraded = bind(stats_.degraded, "degraded");
+  counters_.reordered = bind(stats_.reordered, "reordered");
+  counters_.clamped = bind(stats_.clamped, "clamped");
 }
 
 namespace {

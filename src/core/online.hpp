@@ -24,9 +24,11 @@
 #pragma once
 
 #include <iosfwd>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
+#include "common/metrics.hpp"
 #include "predict/predictor.hpp"
 #include "preprocess/compressors.hpp"
 #include "taxonomy/classifier.hpp"
@@ -89,6 +91,15 @@ class OnlineEngine {
   const OnlineOptions& options() const { return options_; }
   BasePredictor& predictor() { return *predictor_; }
 
+  /// Binds every OnlineStats counter into `registry` under `prefix`
+  /// (e.g. "shard3.engine."), so consumers read live metrics instead of
+  /// polling stats() members. Counters are shared by name: engines
+  /// attached under the same prefix aggregate into the same instruments
+  /// (that is how a shard sums over its streams). The engine's current
+  /// totals are added on attach, so a checkpoint-restored engine reports
+  /// lifetime counts, not post-restore deltas.
+  void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
+
  private:
   struct Key {
     bgl::JobId job;
@@ -110,6 +121,27 @@ class OnlineEngine {
     bool operator()(const Buffered& a, const Buffered& b) const;
   };
 
+  /// Mirrors of the stats counters inside an attached MetricsRegistry;
+  /// all null until attach_metrics is called.
+  struct BoundCounters {
+    Counter* raw_records = nullptr;
+    Counter* deduplicated = nullptr;
+    Counter* forwarded = nullptr;
+    Counter* warnings = nullptr;
+    Counter* degraded = nullptr;
+    Counter* reordered = nullptr;
+    Counter* clamped = nullptr;
+  };
+
+  /// Bumps a stats member and its bound registry counter together —
+  /// the single mutation point for every OnlineStats field.
+  static void bump(std::size_t& stat, Counter* counter) {
+    ++stat;
+    if (counter != nullptr) {
+      counter->inc();
+    }
+  }
+
   /// Validates the raw enum fields; malformed records are counted as
   /// degraded and dropped.
   bool validate(const RasRecord& record) const;
@@ -120,6 +152,7 @@ class OnlineEngine {
 
   PredictorPtr predictor_;
   OnlineOptions options_;
+  BoundCounters counters_;
   EventClassifier classifier_;
   std::unordered_map<Key, TimePoint, KeyHash> last_seen_;
   OnlineStats stats_;

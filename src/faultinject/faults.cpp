@@ -207,4 +207,33 @@ std::string corrupt_blob(std::string blob, double byte_corruption_rate,
   return blob;
 }
 
+std::string corrupt_bytes_in_range(std::string blob, std::size_t begin,
+                                   std::size_t end, Rng& rng,
+                                   InjectionStats* stats) {
+  end = std::min(end, blob.size());
+  InjectionStats local;
+  if (begin < end) {
+    const auto offset = static_cast<std::size_t>(rng.uniform_int(
+        static_cast<std::int64_t>(begin), static_cast<std::int64_t>(end) - 1));
+    const char original = blob[offset];
+    // XOR with a nonzero byte guarantees the value actually changes.
+    const auto flip = static_cast<char>(rng.uniform_int(1, 255));
+    blob[offset] = static_cast<char>(original ^ flip);
+    local.corrupted_bytes = 1;
+  }
+  if (stats != nullptr) {
+    *stats = local;
+  }
+  return blob;
+}
+
+std::string duplicate_blob(const std::string& blob, InjectionStats* stats) {
+  if (stats != nullptr) {
+    InjectionStats local;
+    local.duplicated_lines = 1;
+    *stats = local;
+  }
+  return blob + blob;
+}
+
 }  // namespace bglpred

@@ -94,4 +94,20 @@ std::string corrupt_blob(std::string blob, double byte_corruption_rate,
                          Rng& rng, std::size_t preserve_prefix = 8,
                          InjectionStats* stats = nullptr);
 
+/// Overwrites exactly one random byte in [begin, end) with a value that
+/// differs from the original (so the corruption is never a no-op). Used
+/// by the wire-protocol fault suite to target specific frame fields
+/// (length prefix, CRC, payload) by their known offsets. `end` is
+/// clamped to the blob size; an empty range leaves the blob unchanged.
+std::string corrupt_bytes_in_range(std::string blob, std::size_t begin,
+                                   std::size_t end, Rng& rng,
+                                   InjectionStats* stats = nullptr);
+
+/// Appends a full copy of the blob to itself (a retransmitting sender
+/// replaying an already delivered frame). The wire fault suite feeds the
+/// result through the frame decoder to prove duplicate frames are
+/// detected by sequence number, not silently re-applied.
+std::string duplicate_blob(const std::string& blob,
+                           InjectionStats* stats = nullptr);
+
 }  // namespace bglpred

@@ -1,0 +1,165 @@
+#include "serve/client.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/binary.hpp"
+#include "common/error.hpp"
+
+namespace bglpred::serve {
+
+Client Client::connect(std::uint16_t port) {
+  return Client(connect_loopback(port));
+}
+
+Frame Client::roundtrip(Frame request) {
+  request.seq = next_seq_++;
+  send_all(fd_, encode_frame(request));
+  std::string chunk;
+  for (;;) {
+    Frame frame;
+    FrameError error;
+    switch (reader_.next(frame, error)) {
+      case FrameReader::Status::kFrame:
+        if (frame.seq != request.seq) {
+          // A stale or server-initiated frame (e.g. an error for an
+          // earlier damaged frame); skip it and keep waiting.
+          continue;
+        }
+        if (frame.type == MessageType::kError) {
+          const FrameError err = decode_error_payload(frame);
+          throw Error(std::string("server error (") + to_string(err.code) +
+                      "): " + err.message);
+        }
+        return frame;
+      case FrameReader::Status::kBadFrame:
+      case FrameReader::Status::kDesync:
+        throw Error(std::string("malformed response frame: ") + error.message);
+      case FrameReader::Status::kNeedMore: {
+        chunk.clear();
+        const std::size_t n = recv_some(fd_, chunk);
+        if (n == 0) {
+          throw Error("server closed the connection mid-request");
+        }
+        if (n != SIZE_MAX) {
+          reader_.feed(chunk);
+        }
+        continue;
+      }
+    }
+  }
+}
+
+namespace {
+std::uint64_t decode_accepted(const Frame& frame) {
+  BytesReader in(frame.payload);
+  return in.read<std::uint64_t>("accepted count");
+}
+}  // namespace
+
+SubmitResult Client::submit_record(std::uint64_t stream_id,
+                                   const RasRecord& record,
+                                   std::string_view entry) {
+  Frame request;
+  request.type = MessageType::kSubmitRecord;
+  request.stream_id = stream_id;
+  encode_record(request.payload, record, entry);
+  const Frame reply = roundtrip(std::move(request));
+  SubmitResult result;
+  result.accepted = decode_accepted(reply);
+  result.busy = reply.type == MessageType::kRejectedBusy;
+  return result;
+}
+
+SubmitResult Client::submit_batch(std::uint64_t stream_id,
+                                  const std::vector<WireRecord>& records) {
+  Frame request;
+  request.type = MessageType::kSubmitBatch;
+  request.stream_id = stream_id;
+  wire::append<std::uint32_t>(request.payload,
+                              static_cast<std::uint32_t>(records.size()));
+  for (const WireRecord& wr : records) {
+    encode_record(request.payload, wr.record, wr.entry);
+  }
+  const Frame reply = roundtrip(std::move(request));
+  SubmitResult result;
+  result.accepted = decode_accepted(reply);
+  result.busy = reply.type == MessageType::kRejectedBusy;
+  return result;
+}
+
+std::size_t Client::submit_all(std::uint64_t stream_id,
+                               const std::vector<WireRecord>& records,
+                               std::size_t batch_size) {
+  BGL_REQUIRE(batch_size > 0, "batch size must be positive");
+  std::size_t busy_rounds = 0;
+  std::size_t offset = 0;
+  while (offset < records.size()) {
+    const std::size_t end = std::min(offset + batch_size, records.size());
+    const std::vector<WireRecord> slice(records.begin() +
+                                            static_cast<std::ptrdiff_t>(offset),
+                                        records.begin() +
+                                            static_cast<std::ptrdiff_t>(end));
+    const SubmitResult r = submit_batch(stream_id, slice);
+    offset += static_cast<std::size_t>(r.accepted);
+    if (r.busy) {
+      // The server drains between event-loop iterations; simply
+      // resubmitting the remainder is the backoff (the blocking
+      // roundtrip paces us to the server's loop).
+      ++busy_rounds;
+    }
+  }
+  return busy_rounds;
+}
+
+std::vector<Warning> Client::poll_warnings(std::uint64_t stream_id) {
+  Frame request;
+  request.type = MessageType::kPollWarnings;
+  request.stream_id = stream_id;
+  const Frame reply = roundtrip(std::move(request));
+  if (reply.type != MessageType::kWarnings) {
+    throw Error("unexpected response type to POLL_WARNINGS");
+  }
+  return decode_warnings(reply.payload);
+}
+
+std::string Client::checkpoint() {
+  Frame request;
+  request.type = MessageType::kCheckpoint;
+  Frame reply = roundtrip(std::move(request));
+  if (reply.type != MessageType::kCheckpointBlob) {
+    throw Error("unexpected response type to CHECKPOINT");
+  }
+  return std::move(reply.payload);
+}
+
+void Client::restore(const std::string& blob) {
+  Frame request;
+  request.type = MessageType::kRestore;
+  request.payload = blob;
+  const Frame reply = roundtrip(std::move(request));
+  if (reply.type != MessageType::kOk) {
+    throw Error("unexpected response type to RESTORE");
+  }
+}
+
+std::string Client::stats_json() {
+  Frame request;
+  request.type = MessageType::kStats;
+  Frame reply = roundtrip(std::move(request));
+  if (reply.type != MessageType::kStatsJson) {
+    throw Error("unexpected response type to STATS");
+  }
+  return std::move(reply.payload);
+}
+
+void Client::shutdown_server() {
+  Frame request;
+  request.type = MessageType::kShutdown;
+  const Frame reply = roundtrip(std::move(request));
+  if (reply.type != MessageType::kOk) {
+    throw Error("unexpected response type to SHUTDOWN");
+  }
+}
+
+}  // namespace bglpred::serve

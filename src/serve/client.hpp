@@ -1,0 +1,73 @@
+// Blocking client for the prediction service — the counterpart the
+// tests, examples, and load generator drive (DESIGN §8.3).
+//
+// One request in flight at a time: each call encodes a frame, writes it,
+// and blocks until the matching response frame (sequence numbers are
+// assigned internally and verified on the reply). Typed kError
+// responses surface as thrown bglpred::Error carrying the server's
+// error code and message; REJECTED_BUSY is not an error — submit calls
+// report it through SubmitResult so callers implement their own
+// backoff/retry (submit_all does it for them).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "serve/net_util.hpp"
+#include "serve/protocol.hpp"
+
+namespace bglpred::serve {
+
+/// Outcome of a submit: how many records the server accepted, and
+/// whether it pushed back.
+struct SubmitResult {
+  std::uint64_t accepted = 0;
+  bool busy = false;
+};
+
+class Client {
+ public:
+  /// Connects to a server on 127.0.0.1:`port`.
+  static Client connect(std::uint16_t port);
+
+  SubmitResult submit_record(std::uint64_t stream_id, const RasRecord& record,
+                             std::string_view entry);
+  SubmitResult submit_batch(std::uint64_t stream_id,
+                            const std::vector<WireRecord>& records);
+
+  /// Submits the whole batch, retrying REJECTED_BUSY remainders until
+  /// everything is accepted. Returns the number of retry rounds that hit
+  /// backpressure (0 = never pushed back).
+  std::size_t submit_all(std::uint64_t stream_id,
+                         const std::vector<WireRecord>& records,
+                         std::size_t batch_size = 128);
+
+  /// Drains and returns the stream's pending warnings.
+  std::vector<Warning> poll_warnings(std::uint64_t stream_id);
+
+  /// Whole-shard-set checkpoint blob.
+  std::string checkpoint();
+
+  /// Replaces all server stream state from a checkpoint blob.
+  void restore(const std::string& blob);
+
+  /// Metrics registry dump as JSON text.
+  std::string stats_json();
+
+  /// Asks the server to stop after responding.
+  void shutdown_server();
+
+ private:
+  explicit Client(OwnedFd fd) : fd_(std::move(fd)) {}
+
+  /// Sends `request` (seq assigned) and blocks for its response frame.
+  Frame roundtrip(Frame request);
+
+  OwnedFd fd_;
+  FrameReader reader_;
+  std::uint32_t next_seq_ = 1;
+};
+
+}  // namespace bglpred::serve

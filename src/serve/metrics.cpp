@@ -1,0 +1,21 @@
+#include "serve/metrics.hpp"
+
+namespace bglpred::serve {
+
+ServeMetrics::ServeMetrics(MetricsRegistry& reg)
+    : registry(&reg),
+      frames_in(reg.counter("serve.frames_in")),
+      frames_out(reg.counter("serve.frames_out")),
+      decode_errors(reg.counter("serve.decode_errors")),
+      duplicate_frames(reg.counter("serve.duplicate_frames")),
+      records_in(reg.counter("serve.records_in")),
+      batches_in(reg.counter("serve.batches_in")),
+      records_rejected(reg.counter("serve.records_rejected")),
+      warnings_out(reg.counter("serve.warnings_out")),
+      checkpoints(reg.counter("serve.checkpoints")),
+      restores(reg.counter("serve.restores")),
+      connections(reg.gauge("serve.connections")),
+      submit_micros(reg.histogram("serve.submit_micros")),
+      warning_age_micros(reg.histogram("serve.warning_age_micros")) {}
+
+}  // namespace bglpred::serve

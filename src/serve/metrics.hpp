@@ -1,0 +1,48 @@
+// Metric inventory of the prediction service (DESIGN §8.4).
+//
+// One ServeMetrics instance bundles stable references to every
+// service-level instrument in a MetricsRegistry, so the session layer
+// and shard manager bump plain references instead of doing name lookups
+// on the hot path. Per-shard and per-engine instruments (queue depth
+// gauges, the OnlineEngine counter set) are registered separately by the
+// ShardManager under "shard<N>." prefixes; everything lands in the same
+// registry and is dumped as one JSON document by the STATS admin
+// message.
+#pragma once
+
+#include "common/metrics.hpp"
+
+namespace bglpred::serve {
+
+struct ServeMetrics {
+  explicit ServeMetrics(MetricsRegistry& registry);
+
+  MetricsRegistry* registry;
+
+  // Frame layer.
+  Counter& frames_in;         ///< well-formed frames decoded
+  Counter& frames_out;        ///< response frames written
+  Counter& decode_errors;     ///< framing/CRC/payload failures answered
+  Counter& duplicate_frames;  ///< frames rejected by sequence replay
+
+  // Record plane.
+  Counter& records_in;        ///< records accepted into shard queues
+  Counter& batches_in;        ///< SUBMIT_BATCH requests accepted (≥1 rec)
+  Counter& records_rejected;  ///< records refused with REJECTED_BUSY
+  Counter& warnings_out;      ///< warnings delivered via POLL_WARNINGS
+
+  // Admin plane.
+  Counter& checkpoints;  ///< CHECKPOINT requests served
+  Counter& restores;     ///< RESTORE requests applied
+
+  Gauge& connections;  ///< currently open sessions
+
+  /// Service time of submit requests, microseconds.
+  Histogram& submit_micros;
+  /// Age of a warning between the engine emitting it and a poll
+  /// delivering it, microseconds (the served-path latency the load
+  /// generator reports as p50/p99).
+  Histogram& warning_age_micros;
+};
+
+}  // namespace bglpred::serve

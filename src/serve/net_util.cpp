@@ -1,0 +1,176 @@
+#include "serve/net_util.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "common/error.hpp"
+
+namespace bglpred::serve {
+
+namespace {
+[[noreturn]] void throw_errno(const char* what) {
+  throw Error(std::string(what) + ": " + std::strerror(errno));
+}
+
+sockaddr_in loopback_addr(std::uint16_t port) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  return addr;
+}
+}  // namespace
+
+OwnedFd& OwnedFd::operator=(OwnedFd&& other) noexcept {
+  if (this != &other) {
+    reset();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+OwnedFd::~OwnedFd() { reset(); }
+
+void OwnedFd::reset() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+OwnedFd make_loopback_listener(std::uint16_t port, int backlog) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::bind(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    throw_errno("bind 127.0.0.1");
+  }
+  if (::listen(fd.get(), backlog) != 0) {
+    throw_errno("listen");
+  }
+  return fd;
+}
+
+std::uint16_t local_port(const OwnedFd& fd) {
+  sockaddr_in addr{};
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd.get(), reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    throw_errno("getsockname");
+  }
+  return ntohs(addr.sin_port);
+}
+
+OwnedFd connect_loopback(std::uint16_t port) {
+  OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
+  if (!fd.valid()) {
+    throw_errno("socket");
+  }
+  const int one = 1;
+  ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  sockaddr_in addr = loopback_addr(port);
+  if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    throw_errno("connect 127.0.0.1");
+  }
+  return fd;
+}
+
+OwnedFd accept_connection(const OwnedFd& listener) {
+  for (;;) {
+    const int fd = ::accept(listener.get(), nullptr, nullptr);
+    if (fd >= 0) {
+      OwnedFd conn(fd);
+      const int one = 1;
+      ::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      return conn;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return OwnedFd();
+    }
+    throw_errno("accept");
+  }
+}
+
+void set_nonblocking(const OwnedFd& fd) {
+  const int flags = ::fcntl(fd.get(), F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd.get(), F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl O_NONBLOCK");
+  }
+}
+
+void send_all(const OwnedFd& fd, std::string_view data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const ssize_t n = ::send(fd.get(), data.data() + off, data.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      off += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      // Callers use blocking sockets for writes; a would-block here
+      // means misuse, but spinning would be worse. Treat as failure.
+      throw Error("send_all on a non-writable socket");
+    }
+    throw_errno("send");
+  }
+}
+
+std::size_t send_nonblocking(const OwnedFd& fd, std::string_view data) {
+  for (;;) {
+    const ssize_t n =
+        ::send(fd.get(), data.data(), data.size(), MSG_NOSIGNAL);
+    if (n >= 0) {
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return SIZE_MAX;
+    }
+    throw_errno("send");
+  }
+}
+
+std::size_t recv_some(const OwnedFd& fd, std::string& out,
+                      std::size_t max_bytes) {
+  std::string chunk(max_bytes, '\0');
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), chunk.data(), chunk.size(), 0);
+    if (n > 0) {
+      out.append(chunk.data(), static_cast<std::size_t>(n));
+      return static_cast<std::size_t>(n);
+    }
+    if (n == 0) {
+      return 0;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return SIZE_MAX;
+    }
+    throw_errno("recv");
+  }
+}
+
+}  // namespace bglpred::serve

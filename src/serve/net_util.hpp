@@ -1,0 +1,70 @@
+// Thin POSIX socket wrappers for the serve subsystem.
+//
+// This is the only file in the repo allowed to call raw send()/recv()
+// (repo_lint rule `naked-send-recv`): the syscalls' partial-transfer and
+// EINTR semantics are easy to mishandle, so every caller goes through
+// send_all / recv_some, which loop and translate errors into
+// bglpred::Error. Sockets are loopback-only IPv4 — the service is a
+// local subsystem, not an exposed network daemon.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bglpred::serve {
+
+/// RAII file descriptor. Move-only; closes on destruction.
+class OwnedFd {
+ public:
+  OwnedFd() = default;
+  explicit OwnedFd(int fd) : fd_(fd) {}
+  OwnedFd(OwnedFd&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  OwnedFd& operator=(OwnedFd&& other) noexcept;
+  OwnedFd(const OwnedFd&) = delete;
+  OwnedFd& operator=(const OwnedFd&) = delete;
+  ~OwnedFd();
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+  void reset();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Creates a listening TCP socket bound to 127.0.0.1:`port` (0 picks an
+/// ephemeral port). Throws Error on failure.
+OwnedFd make_loopback_listener(std::uint16_t port, int backlog = 16);
+
+/// The port a bound socket actually listens on.
+std::uint16_t local_port(const OwnedFd& fd);
+
+/// Blocking connect to 127.0.0.1:`port`. Throws Error on failure.
+OwnedFd connect_loopback(std::uint16_t port);
+
+/// Accepts one pending connection; returns an invalid fd when the accept
+/// would block. Throws Error on hard failure.
+OwnedFd accept_connection(const OwnedFd& listener);
+
+/// Puts the descriptor in non-blocking mode. Throws Error on failure.
+void set_nonblocking(const OwnedFd& fd);
+
+/// Writes the whole buffer, looping over partial sends and EINTR.
+/// Throws Error if the peer goes away (SIGPIPE is suppressed).
+void send_all(const OwnedFd& fd, std::string_view data);
+
+/// Single non-blocking send attempt. Returns the number of bytes the
+/// kernel accepted, or SIZE_MAX when the socket's buffer is full
+/// ("would block"). Throws Error when the peer is gone.
+std::size_t send_nonblocking(const OwnedFd& fd, std::string_view data);
+
+/// Reads up to `max_bytes` into `out` (appended). Returns the number of
+/// bytes read; 0 means clean EOF. On a non-blocking socket with nothing
+/// available, returns SIZE_MAX ("would block"). Throws Error on hard
+/// failure.
+std::size_t recv_some(const OwnedFd& fd, std::string& out,
+                      std::size_t max_bytes = 64 * 1024);
+
+}  // namespace bglpred::serve

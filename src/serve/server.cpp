@@ -1,0 +1,193 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "common/error.hpp"
+#include "serve/net_util.hpp"
+#include "serve/session.hpp"
+
+namespace bglpred::serve {
+
+struct Server::Impl {
+  explicit Impl(ServerOptions opts)
+      : options(std::move(opts)), shards(options.shards, registry) {}
+
+  struct Connection {
+    explicit Connection(OwnedFd socket, ShardManager& shards)
+        : fd(std::move(socket)), session(shards) {}
+    OwnedFd fd;
+    Session session;
+    std::string outbox;       ///< bytes accepted but not yet written
+    bool closing = false;     ///< close once outbox drains
+    bool shutdown = false;    ///< stop the server once outbox drains
+  };
+
+  void loop();
+  void flush(Connection& conn);
+
+  ServerOptions options;
+  MetricsRegistry registry;
+  ShardManager shards;
+  OwnedFd listener;
+  std::uint16_t bound_port = 0;
+  std::thread thread;
+  std::atomic<bool> stop_requested{false};
+  std::atomic<bool> loop_running{false};
+  std::vector<std::unique_ptr<Connection>> connections;
+};
+
+Server::Server(ServerOptions options)
+    : impl_(std::make_unique<Impl>(std::move(options))) {}
+
+Server::~Server() { stop(); }
+
+void Server::start() {
+  BGL_REQUIRE(!impl_->thread.joinable(), "server already started");
+  impl_->listener = make_loopback_listener(impl_->options.port);
+  set_nonblocking(impl_->listener);
+  impl_->bound_port = local_port(impl_->listener);
+  impl_->stop_requested.store(false);
+  impl_->loop_running.store(true);
+  Impl* impl = impl_.get();
+  impl_->thread = std::thread([impl] { impl->loop(); });
+}
+
+void Server::stop() {
+  impl_->stop_requested.store(true);
+  if (impl_->thread.joinable()) {
+    impl_->thread.join();
+  }
+}
+
+std::uint16_t Server::port() const { return impl_->bound_port; }
+
+bool Server::running() const { return impl_->loop_running.load(); }
+
+MetricsRegistry& Server::metrics() const { return impl_->registry; }
+
+void Server::Impl::flush(Connection& conn) {
+  if (conn.outbox.empty()) {
+    return;
+  }
+  // The poll loop only calls this under POLLOUT (or right after filling
+  // the outbox); send what the kernel accepts and keep the rest.
+  std::size_t off = 0;
+  try {
+    while (off < conn.outbox.size()) {
+      const std::size_t n =
+          send_nonblocking(conn.fd, std::string_view(conn.outbox).substr(off));
+      if (n == SIZE_MAX) {
+        break;  // kernel buffer full; wait for POLLOUT
+      }
+      off += n;
+    }
+  } catch (const Error&) {
+    // Peer vanished mid-write: drop the connection, keep serving.
+    conn.outbox.clear();
+    conn.closing = true;
+    return;
+  }
+  conn.outbox.erase(0, off);
+}
+
+void Server::Impl::loop() {
+  std::vector<pollfd> fds;
+  std::string inbox;
+  while (!stop_requested.load()) {
+    fds.clear();
+    fds.push_back(pollfd{listener.get(), POLLIN, 0});
+    for (const auto& conn : connections) {
+      short events = POLLIN;
+      if (!conn->outbox.empty()) {
+        events |= POLLOUT;
+      }
+      fds.push_back(pollfd{conn->fd.get(), events, 0});
+    }
+    // A finite timeout doubles as the stop_requested check interval.
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
+    if (ready < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      break;
+    }
+    // Connections accepted below were not in this poll() set; remember
+    // how many fds entries are valid so the per-connection loop never
+    // indexes past them (a fresh connection gets its first look next
+    // wakeup).
+    const std::size_t polled = fds.size() - 1;
+    // New connections.
+    if ((fds[0].revents & POLLIN) != 0) {
+      for (;;) {
+        OwnedFd conn = accept_connection(listener);
+        if (!conn.valid()) {
+          break;
+        }
+        set_nonblocking(conn);
+        connections.push_back(
+            std::make_unique<Connection>(std::move(conn), shards));
+        shards.metrics().connections.add(1);
+      }
+    }
+    // Existing connections: read, hand bytes to the session, queue
+    // responses, flush what fits.
+    bool shutdown_after_flush = false;
+    for (std::size_t i = 0; i < polled; ++i) {
+      Connection& conn = *connections[i];
+      const short revents = fds[i + 1].revents;
+      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
+          (revents & POLLIN) == 0) {
+        conn.closing = true;
+        conn.outbox.clear();
+      }
+      if (!conn.closing && (revents & POLLIN) != 0) {
+        inbox.clear();
+        const std::size_t n = recv_some(conn.fd, inbox);
+        if (n == 0) {
+          conn.closing = true;  // clean EOF
+        } else if (n != SIZE_MAX) {
+          switch (conn.session.on_bytes(inbox, conn.outbox)) {
+            case Session::Status::kKeepOpen:
+              break;
+            case Session::Status::kClose:
+              conn.closing = true;
+              break;
+            case Session::Status::kShutdown:
+              conn.shutdown = true;
+              break;
+          }
+        }
+      }
+      if ((revents & POLLOUT) != 0 || !conn.outbox.empty()) {
+        flush(conn);
+      }
+      if (conn.shutdown && conn.outbox.empty()) {
+        shutdown_after_flush = true;
+      }
+    }
+    // Batched hand-off: everything submitted during this wakeup goes
+    // through the shards in one drain (fanned out if a pool exists).
+    shards.drain();
+    // Reap closed connections.
+    std::erase_if(connections, [this](const std::unique_ptr<Connection>& c) {
+      const bool done = c->closing && c->outbox.empty();
+      if (done) {
+        shards.metrics().connections.add(-1);
+      }
+      return done;
+    });
+    if (shutdown_after_flush) {
+      break;
+    }
+  }
+  connections.clear();
+  listener.reset();
+  loop_running.store(false);
+}
+
+}  // namespace bglpred::serve

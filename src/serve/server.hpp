@@ -1,0 +1,66 @@
+// poll()-based loopback TCP server for the prediction service
+// (DESIGN §8.3).
+//
+// Single-threaded event loop: one poll() set covering the listener and
+// every connection, non-blocking reads feeding per-connection Sessions,
+// buffered writes flushed under POLLOUT. Shard work happens inside the
+// loop thread via ShardManager::drain() — once per loop iteration, so
+// submits arriving in the same wakeup are batched through the shards —
+// optionally fanned out on the manager's worker pool. This shape is
+// deliberate for 1-CPU CI: no thread is ever busy-waiting, and with
+// worker_threads=0 the whole service is exactly one thread.
+//
+// start() runs the loop on a background thread (tests, examples, and
+// the load generator drive a blocking Client from the foreground);
+// stop() wakes the loop and joins. A SHUTDOWN frame stops the loop from
+// within after the response is flushed.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/metrics.hpp"
+#include "serve/shard_manager.hpp"
+
+namespace bglpred::serve {
+
+struct ServerOptions {
+  /// 0 picks an ephemeral loopback port; read it back via port().
+  std::uint16_t port = 0;
+  ShardOptions shards;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds, listens, and starts the event loop thread.
+  void start();
+
+  /// Requests the loop to exit and joins it. Idempotent.
+  void stop();
+
+  /// Listening port (valid after start()).
+  std::uint16_t port() const;
+
+  /// True while the event loop is running.
+  bool running() const;
+
+  /// The metrics registry backing the STATS message. Instruments are
+  /// atomic, so the test/load-generator thread can look up and read them
+  /// (registry lookups return the existing instrument for a known name)
+  /// while the event loop writes.
+  MetricsRegistry& metrics() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace bglpred::serve

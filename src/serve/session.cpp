@@ -1,0 +1,236 @@
+#include "serve/session.hpp"
+
+#include <chrono>
+#include <sstream>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace bglpred::serve {
+
+namespace {
+std::uint64_t steady_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+Session::Session(ShardManager& shards)
+    : shards_(&shards), metrics_(&shards.metrics()) {}
+
+void Session::respond(Frame frame, std::string& out) {
+  out += encode_frame(frame);
+  metrics_->frames_out.inc();
+}
+
+void Session::respond_error(ErrorCode code, std::string message,
+                            const Frame& frame, std::string& out) {
+  metrics_->decode_errors.inc();
+  respond(make_error_frame(
+              FrameError{code, std::move(message), frame.stream_id,
+                         frame.seq}),
+          out);
+}
+
+Session::Status Session::on_bytes(std::string_view data, std::string& out) {
+  reader_.feed(data);
+  for (;;) {
+    Frame frame;
+    FrameError error;
+    switch (reader_.next(frame, error)) {
+      case FrameReader::Status::kNeedMore:
+        return Status::kKeepOpen;
+      case FrameReader::Status::kBadFrame:
+        metrics_->decode_errors.inc();
+        respond(make_error_frame(error), out);
+        continue;
+      case FrameReader::Status::kDesync:
+        metrics_->decode_errors.inc();
+        respond(make_error_frame(error), out);
+        return Status::kClose;
+      case FrameReader::Status::kFrame: {
+        metrics_->frames_in.inc();
+        const Status status = handle_frame(frame, out);
+        if (status != Status::kKeepOpen) {
+          return status;
+        }
+        continue;
+      }
+    }
+  }
+}
+
+Session::Status Session::handle_frame(const Frame& frame, std::string& out) {
+  if (!is_request_type(static_cast<std::uint8_t>(frame.type))) {
+    respond_error(ErrorCode::kBadType,
+                  "unknown request type " +
+                      std::to_string(static_cast<unsigned>(frame.type)),
+                  frame, out);
+    return Status::kKeepOpen;
+  }
+  if (frame.seq <= seq_watermark_) {
+    // Counted as a duplicate, not a decode error: the frame is intact,
+    // it has just been seen before (a retransmitting collector).
+    metrics_->duplicate_frames.inc();
+    respond(make_error_frame(FrameError{
+                ErrorCode::kDuplicateFrame,
+                "sequence " + std::to_string(frame.seq) +
+                    " at or below watermark " +
+                    std::to_string(seq_watermark_),
+                frame.stream_id, frame.seq}),
+            out);
+    return Status::kKeepOpen;
+  }
+  seq_watermark_ = frame.seq;
+  // Decoders throw ParseError on malformed payloads; convert every such
+  // throw (and any engine-level Error) into a typed error frame so the
+  // session survives arbitrary payload bytes.
+  try {
+    switch (frame.type) {
+      case MessageType::kSubmitRecord:
+      case MessageType::kSubmitBatch:
+        return handle_submit(frame, out);
+      case MessageType::kPollWarnings:
+        handle_poll(frame, out);
+        return Status::kKeepOpen;
+      case MessageType::kCheckpoint:
+        handle_checkpoint(frame, out);
+        return Status::kKeepOpen;
+      case MessageType::kRestore:
+        handle_restore(frame, out);
+        return Status::kKeepOpen;
+      case MessageType::kStats:
+        handle_stats(frame, out);
+        return Status::kKeepOpen;
+      case MessageType::kShutdown: {
+        Frame ok;
+        ok.type = MessageType::kOk;
+        ok.stream_id = frame.stream_id;
+        ok.seq = frame.seq;
+        respond(std::move(ok), out);
+        return Status::kShutdown;
+      }
+      default:
+        break;
+    }
+  } catch (const ParseError& e) {
+    respond_error(ErrorCode::kBadPayload, e.what(), frame, out);
+    return Status::kKeepOpen;
+  } catch (const Error& e) {
+    respond_error(ErrorCode::kNotSupported, e.what(), frame, out);
+    return Status::kKeepOpen;
+  }
+  respond_error(ErrorCode::kBadType, "unhandled request type", frame, out);
+  return Status::kKeepOpen;
+}
+
+Session::Status Session::handle_submit(const Frame& frame, std::string& out) {
+  const std::uint64_t started = steady_micros();
+  BytesReader in(frame.payload);
+  std::uint32_t count = 1;
+  if (frame.type == MessageType::kSubmitBatch) {
+    count = in.read<std::uint32_t>("batch record count");
+    if (count > frame.payload.size()) {
+      throw ParseError("batch record count implausibly large");
+    }
+  }
+  // Decode the whole batch before feeding any of it: a malformed record
+  // anywhere in the frame fails the frame as a unit (typed error,
+  // nothing applied) instead of half-applying it.
+  std::vector<WireRecord> records;
+  records.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    records.push_back(decode_record(in));
+  }
+  if (in.remaining() != 0) {
+    throw ParseError("trailing bytes after submitted records");
+  }
+  std::uint64_t accepted = 0;
+  bool busy = false;
+  for (WireRecord& wr : records) {
+    if (shards_->submit(frame.stream_id, wr.record, std::move(wr.entry)) ==
+        ShardManager::Submit::kBusy) {
+      busy = true;
+      break;
+    }
+    ++accepted;
+  }
+  if (frame.type == MessageType::kSubmitBatch && count > 0) {
+    metrics_->batches_in.inc();
+  }
+  Frame reply;
+  reply.type = busy ? MessageType::kRejectedBusy : MessageType::kOk;
+  reply.stream_id = frame.stream_id;
+  reply.seq = frame.seq;
+  std::string payload;
+  // Both replies carry the accepted count: on kRejectedBusy the client
+  // resumes the batch from this offset after backing off.
+  payload.reserve(8);
+  for (int b = 0; b < 8; ++b) {
+    payload.push_back(static_cast<char>((accepted >> (8 * b)) & 0xff));
+  }
+  reply.payload = std::move(payload);
+  respond(std::move(reply), out);
+  metrics_->submit_micros.record(steady_micros() - started);
+  return Status::kKeepOpen;
+}
+
+void Session::handle_poll(const Frame& frame, std::string& out) {
+  if (!frame.payload.empty()) {
+    throw ParseError("POLL_WARNINGS carries no payload");
+  }
+  Frame reply;
+  reply.type = MessageType::kWarnings;
+  reply.stream_id = frame.stream_id;
+  reply.seq = frame.seq;
+  reply.payload = encode_warnings(shards_->poll(frame.stream_id));
+  respond(std::move(reply), out);
+}
+
+void Session::handle_checkpoint(const Frame& frame, std::string& out) {
+  if (!frame.payload.empty()) {
+    throw ParseError("CHECKPOINT carries no payload");
+  }
+  std::ostringstream blob;
+  shards_->save(blob);
+  metrics_->checkpoints.inc();
+  Frame reply;
+  reply.type = MessageType::kCheckpointBlob;
+  reply.stream_id = frame.stream_id;
+  reply.seq = frame.seq;
+  reply.payload = std::move(blob).str();
+  respond(std::move(reply), out);
+}
+
+void Session::handle_restore(const Frame& frame, std::string& out) {
+  std::istringstream blob{frame.payload};
+  try {
+    shards_->restore(blob);
+  } catch (const Error& e) {
+    respond_error(ErrorCode::kRestoreFailed, e.what(), frame, out);
+    return;
+  }
+  metrics_->restores.inc();
+  Frame reply;
+  reply.type = MessageType::kOk;
+  reply.stream_id = frame.stream_id;
+  reply.seq = frame.seq;
+  respond(std::move(reply), out);
+}
+
+void Session::handle_stats(const Frame& frame, std::string& out) {
+  if (!frame.payload.empty()) {
+    throw ParseError("STATS carries no payload");
+  }
+  shards_->drain();
+  Frame reply;
+  reply.type = MessageType::kStatsJson;
+  reply.stream_id = frame.stream_id;
+  reply.seq = frame.seq;
+  reply.payload = metrics_->registry->dump_json();
+  respond(std::move(reply), out);
+}
+
+}  // namespace bglpred::serve

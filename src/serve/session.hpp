@@ -1,0 +1,61 @@
+// Per-connection session: the layer between raw bytes and the shard
+// manager (DESIGN §8.3).
+//
+// A session owns a FrameReader and a duplicate-detection sequence
+// watermark. It is transport-agnostic — on_bytes() consumes whatever the
+// socket (or a test, or the fault-injection harness) hands it and
+// appends response frames to an output buffer — which is what makes the
+// frame-fault property suite runnable without sockets.
+//
+// Error containment contract (ISSUE 4): nothing thrown by the protocol
+// decoders escapes on_bytes(). Recoverable damage (bad CRC, unknown
+// type, malformed payload, duplicate sequence) is answered with a typed
+// kError frame and the session keeps serving; framing damage that
+// desynchronizes the byte stream (bad magic/version, implausible length
+// prefix) is answered with a final kError frame and kClose — the server
+// drops that connection and keeps serving everyone else.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/protocol.hpp"
+#include "serve/shard_manager.hpp"
+
+namespace bglpred::serve {
+
+class Session {
+ public:
+  enum class Status : std::uint8_t {
+    kKeepOpen,
+    kClose,     ///< framing desync: flush `out`, then close
+    kShutdown,  ///< SHUTDOWN handled: flush `out`, then stop the server
+  };
+
+  explicit Session(ShardManager& shards);
+
+  /// Consumes `data`, appends response frames to `out`.
+  Status on_bytes(std::string_view data, std::string& out);
+
+ private:
+  Status handle_frame(const Frame& frame, std::string& out);
+  void respond(Frame frame, std::string& out);
+  void respond_error(ErrorCode code, std::string message, const Frame& frame,
+                     std::string& out);
+  Status handle_submit(const Frame& frame, std::string& out);
+  void handle_poll(const Frame& frame, std::string& out);
+  void handle_checkpoint(const Frame& frame, std::string& out);
+  void handle_restore(const Frame& frame, std::string& out);
+  void handle_stats(const Frame& frame, std::string& out);
+
+  ShardManager* shards_;
+  ServeMetrics* metrics_;
+  FrameReader reader_;
+  /// Highest request sequence seen; retransmitted/duplicated frames
+  /// (seq <= watermark) are answered with kDuplicateFrame and NOT
+  /// re-applied, so a duplicate storm cannot double-feed an engine.
+  std::uint32_t seq_watermark_ = 0;
+};
+
+}  // namespace bglpred::serve

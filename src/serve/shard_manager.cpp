@@ -1,0 +1,238 @@
+#include "serve/shard_manager.hpp"
+
+#include <chrono>
+#include <future>
+#include <sstream>
+#include <utility>
+
+#include "common/binary.hpp"
+#include "common/error.hpp"
+#include "serve/protocol.hpp"
+
+namespace bglpred::serve {
+
+namespace {
+constexpr std::string_view kShardSetTag = "BGLSRV1\n";
+
+std::uint64_t steady_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// splitmix64 finalizer: decorrelates adjacent stream ids so shard load
+/// stays balanced even when clients number streams 0, 1, 2, ...
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+ShardManager::ShardManager(const ShardOptions& options,
+                           MetricsRegistry& registry)
+    : options_(options), registry_(&registry), metrics_(registry) {
+  BGL_REQUIRE(options_.shard_count > 0, "shard count must be positive");
+  BGL_REQUIRE(options_.queue_capacity > 0, "queue capacity must be positive");
+  BGL_REQUIRE(options_.predictor_factory != nullptr,
+              "shard manager needs a predictor factory");
+  for (std::size_t i = 0; i < options_.shard_count; ++i) {
+    Shard& shard = shards_.emplace_back();
+    const std::string prefix = "shard" + std::to_string(i) + ".";
+    shard.queue_depth = &registry.gauge(prefix + "queue_depth");
+    shard.stream_count = &registry.gauge(prefix + "streams");
+  }
+  if (options_.worker_threads > 0) {
+    pool_ = std::make_unique<ThreadPool>(options_.worker_threads);
+  }
+}
+
+std::size_t ShardManager::shard_of(std::uint64_t stream_id,
+                                   std::size_t shard_count) {
+  return static_cast<std::size_t>(mix64(stream_id) % shard_count);
+}
+
+std::string ShardManager::engine_prefix(std::size_t shard_index) const {
+  return "shard" + std::to_string(shard_index) + ".engine.";
+}
+
+OnlineEngine ShardManager::make_engine() const {
+  PredictorPtr predictor = options_.predictor_factory();
+  BGL_REQUIRE(predictor != nullptr, "predictor factory returned null");
+  return OnlineEngine(std::move(predictor), options_.engine);
+}
+
+ShardManager::Stream& ShardManager::stream_for(Shard& shard,
+                                               std::size_t shard_index,
+                                               std::uint64_t stream_id) {
+  auto it = shard.streams.find(stream_id);
+  if (it == shard.streams.end()) {
+    it = shard.streams.emplace(stream_id, Stream(make_engine())).first;
+    it->second.engine.attach_metrics(*registry_, engine_prefix(shard_index));
+    shard.stream_count->set(static_cast<std::int64_t>(shard.streams.size()));
+  }
+  return it->second;
+}
+
+ShardManager::Submit ShardManager::submit(std::uint64_t stream_id,
+                                          const RasRecord& record,
+                                          std::string entry) {
+  const std::size_t index = shard_of(stream_id, shards_.size());
+  Shard& shard = shards_[index];
+  if (shard.queue.size() >= options_.queue_capacity) {
+    metrics_.records_rejected.inc();
+    return Submit::kBusy;
+  }
+  shard.queue.push_back(QueuedRecord{stream_id, record, std::move(entry),
+                                     steady_micros()});
+  shard.queue_depth->set(static_cast<std::int64_t>(shard.queue.size()));
+  metrics_.records_in.inc();
+  return Submit::kAccepted;
+}
+
+void ShardManager::drain_shard(std::size_t index) {
+  Shard& shard = shards_[index];
+  while (!shard.queue.empty()) {
+    QueuedRecord item = std::move(shard.queue.front());
+    shard.queue.pop_front();
+    Stream& stream = stream_for(shard, index, item.stream_id);
+    std::vector<Warning> warnings =
+        stream.engine.feed(item.record, item.entry);
+    const std::uint64_t born = steady_micros();
+    for (Warning& w : warnings) {
+      stream.pending.push_back(std::move(w));
+      stream.pending_born_micros.push_back(born);
+    }
+  }
+  shard.queue_depth->set(0);
+}
+
+void ShardManager::drain() {
+  if (pool_ == nullptr) {
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      drain_shard(i);
+    }
+    return;
+  }
+  std::vector<std::future<void>> done;
+  done.reserve(shards_.size());
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    if (shards_[i].queue.empty()) {
+      continue;
+    }
+    // Explicit capture (repo-lint submit-ref-capture): one task per
+    // shard; shards are disjoint, so tasks share no mutable state.
+    done.push_back(pool_->submit([this, i] { drain_shard(i); }));
+  }
+  for (std::future<void>& f : done) {
+    f.get();
+  }
+}
+
+void ShardManager::drain_stream(std::uint64_t stream_id) {
+  drain_shard(shard_of(stream_id, shards_.size()));
+}
+
+std::vector<Warning> ShardManager::poll(std::uint64_t stream_id) {
+  const std::size_t index = shard_of(stream_id, shards_.size());
+  drain_shard(index);
+  Shard& shard = shards_[index];
+  const auto it = shard.streams.find(stream_id);
+  if (it == shard.streams.end()) {
+    return {};
+  }
+  const std::uint64_t now = steady_micros();
+  for (const std::uint64_t born : it->second.pending_born_micros) {
+    metrics_.warning_age_micros.record(now >= born ? now - born : 0);
+  }
+  it->second.pending_born_micros.clear();
+  std::vector<Warning> out = std::move(it->second.pending);
+  it->second.pending.clear();
+  metrics_.warnings_out.inc(out.size());
+  return out;
+}
+
+std::size_t ShardManager::stream_count() const {
+  std::size_t n = 0;
+  for (const Shard& shard : shards_) {
+    n += shard.streams.size();
+  }
+  return n;
+}
+
+void ShardManager::save(std::ostream& os) {
+  drain();
+  wire::write_tag(os, kShardSetTag);
+  wire::write<std::uint32_t>(os,
+                             static_cast<std::uint32_t>(shards_.size()));
+  wire::write<std::uint64_t>(os, stream_count());
+  // std::map iteration per shard gives sorted stream ids, so checkpoint
+  // bytes are a pure function of the served state.
+  for (const Shard& shard : shards_) {
+    for (const auto& [stream_id, stream] : shard.streams) {
+      wire::write<std::uint64_t>(os, stream_id);
+      wire::write<std::uint32_t>(
+          os, static_cast<std::uint32_t>(stream.pending.size()));
+      std::string warnings;
+      for (const Warning& w : stream.pending) {
+        encode_warning(warnings, w);
+      }
+      wire::write_string(os, warnings);
+      stream.engine.save(os);
+    }
+  }
+}
+
+void ShardManager::restore(std::istream& is) {
+  wire::expect_tag(is, kShardSetTag);
+  const auto saved_shards = wire::read<std::uint32_t>(is, "shard count");
+  if (saved_shards != shards_.size()) {
+    throw ParseError("checkpoint has " + std::to_string(saved_shards) +
+                     " shards, this server has " +
+                     std::to_string(shards_.size()));
+  }
+  const auto stream_total = wire::read<std::uint64_t>(is, "stream count");
+  // Build the replacement state fully before touching the live shards:
+  // a truncated or mismatched blob must not leave a half-restored set.
+  std::vector<std::map<std::uint64_t, Stream>> replacement(shards_.size());
+  for (std::uint64_t i = 0; i < stream_total; ++i) {
+    const auto stream_id = wire::read<std::uint64_t>(is, "stream id");
+    const auto pending_count =
+        wire::read<std::uint32_t>(is, "pending warning count");
+    const std::string warning_bytes =
+        wire::read_string(is, "pending warnings", kMaxPayload);
+    BytesReader reader(warning_bytes);
+    std::vector<Warning> pending;
+    pending.reserve(pending_count);
+    for (std::uint32_t w = 0; w < pending_count; ++w) {
+      pending.push_back(decode_warning(reader));
+    }
+    if (reader.remaining() != 0) {
+      throw ParseError("trailing bytes after pending warnings");
+    }
+    PredictorPtr fresh = options_.predictor_factory();
+    BGL_REQUIRE(fresh != nullptr, "predictor factory returned null");
+    Stream stream(OnlineEngine::restore(is, std::move(fresh)));
+    stream.pending = std::move(pending);
+    stream.pending_born_micros.assign(stream.pending.size(),
+                                      steady_micros());
+    const std::size_t index = shard_of(stream_id, shards_.size());
+    if (!replacement[index].emplace(stream_id, std::move(stream)).second) {
+      throw ParseError("duplicate stream id in checkpoint");
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].queue.clear();
+    shards_[i].streams = std::move(replacement[i]);
+    shards_[i].queue_depth->set(0);
+    shards_[i].stream_count->set(
+        static_cast<std::int64_t>(shards_[i].streams.size()));
+    for (auto& [stream_id, stream] : shards_[i].streams) {
+      stream.engine.attach_metrics(*registry_, engine_prefix(i));
+    }
+  }
+}
+
+}  // namespace bglpred::serve

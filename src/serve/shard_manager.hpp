@@ -1,0 +1,140 @@
+// Shard layer of the prediction service (DESIGN §8.2).
+//
+// Streams (identified by the client-chosen 64-bit stream id — one per
+// job, location group, or collector, the client decides) are routed to a
+// fixed set of shards by a deterministic hash, so a stream's records are
+// always processed by the same shard in arrival order. Each stream owns
+// a full OnlineEngine (its own dedup map, reorder buffer, and predictor
+// state), which is what makes the served path byte-equivalent to running
+// one in-process engine per stream.
+//
+// Hand-off is batched and bounded: submit() only enqueues into the
+// target shard's FIFO (capacity `queue_capacity` records) and reports
+// kBusy when the queue is full — the session layer turns that into a
+// REJECTED_BUSY response instead of buffering without bound. drain()
+// processes every queue, inline or fanned out one task per shard on a
+// ThreadPool; shards never share engines, so shard-level parallelism
+// cannot reorder a stream.
+//
+// save()/restore() checkpoint the whole shard set — every engine via its
+// PR 3 checkpoint format plus each stream's pending (emitted but not yet
+// polled) warnings — so a restored service resumes byte-identically.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <iosfwd>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/online.hpp"
+#include "parallel/thread_pool.hpp"
+#include "serve/metrics.hpp"
+
+namespace bglpred::serve {
+
+/// Everything the service needs to build engines and bound its memory.
+struct ShardOptions {
+  std::size_t shard_count = 4;
+  /// Per-shard hand-off queue bound, in records. A full queue rejects
+  /// further submits (explicit backpressure) until the next drain.
+  std::size_t queue_capacity = 4096;
+  /// 0 drains inline on the caller; >0 fans drain() out one task per
+  /// shard on an internal pool of this many threads.
+  std::size_t worker_threads = 0;
+  /// Options for every per-stream OnlineEngine.
+  OnlineOptions engine;
+  /// Builds the (already trained) predictor for a new stream's engine.
+  /// Called once per stream, and once per stream again on restore.
+  std::function<PredictorPtr()> predictor_factory;
+};
+
+class ShardManager {
+ public:
+  enum class Submit : std::uint8_t { kAccepted, kBusy };
+
+  ShardManager(const ShardOptions& options, MetricsRegistry& registry);
+
+  /// Deterministic stream -> shard routing (exposed for tests and the
+  /// load generator's skew analysis).
+  static std::size_t shard_of(std::uint64_t stream_id,
+                              std::size_t shard_count);
+
+  /// Enqueues one record for `stream_id`; kBusy when the target shard's
+  /// queue is at capacity (nothing is enqueued in that case).
+  Submit submit(std::uint64_t stream_id, const RasRecord& record,
+                std::string entry);
+
+  /// Processes every queued record in every shard. With worker threads,
+  /// one task per non-empty shard, joined before returning.
+  void drain();
+
+  /// Drains only the shard owning `stream_id` (the cheap barrier ahead
+  /// of a poll).
+  void drain_stream(std::uint64_t stream_id);
+
+  /// Moves out the stream's pending warnings (drains its shard first so
+  /// a poll observes every previously accepted submit).
+  std::vector<Warning> poll(std::uint64_t stream_id);
+
+  /// Checkpoints the whole shard set. Drains first; queues are therefore
+  /// always empty in a checkpoint.
+  void save(std::ostream& os);
+
+  /// Replaces all stream state from a save() blob. Strong guarantee: on
+  /// throw, the previous state is untouched.
+  void restore(std::istream& is);
+
+  /// Streams currently materialized.
+  std::size_t stream_count() const;
+
+  const ShardOptions& options() const { return options_; }
+
+  /// The service-level instrument bundle (shared with the session layer,
+  /// which counts frames into the same registry).
+  ServeMetrics& metrics() { return metrics_; }
+
+ private:
+  struct QueuedRecord {
+    std::uint64_t stream_id = 0;
+    RasRecord record;
+    std::string entry;
+    std::uint64_t enqueued_micros = 0;  ///< steady-clock stamp
+  };
+
+  /// One stream's full serving state.
+  struct Stream {
+    explicit Stream(OnlineEngine e) : engine(std::move(e)) {}
+    OnlineEngine engine;
+    std::vector<Warning> pending;
+    /// Steady-clock stamps parallel to `pending`, for warning-age
+    /// metrics (not checkpointed; ages reset across restore).
+    std::vector<std::uint64_t> pending_born_micros;
+  };
+
+  struct Shard {
+    std::deque<QueuedRecord> queue;
+    std::map<std::uint64_t, Stream> streams;  // ordered: checkpoint bytes
+    Gauge* queue_depth = nullptr;
+    Gauge* stream_count = nullptr;
+  };
+
+  Stream& stream_for(Shard& shard, std::size_t shard_index,
+                     std::uint64_t stream_id);
+  void drain_shard(std::size_t index);
+  OnlineEngine make_engine() const;
+  std::string engine_prefix(std::size_t shard_index) const;
+
+  ShardOptions options_;
+  MetricsRegistry* registry_;
+  ServeMetrics metrics_;
+  // deque: Shard holds an std::map of move-only Streams, and deque
+  // growth never relocates elements, so no copy constructor is needed.
+  std::deque<Shard> shards_;
+  std::unique_ptr<ThreadPool> pool_;
+};
+
+}  // namespace bglpred::serve

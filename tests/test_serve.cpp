@@ -1,0 +1,331 @@
+// Tests for the sharded prediction service: shard routing, backpressure,
+// the session layer, and the end-to-end served path — including the
+// central equivalence claim that a served stream's warnings are
+// byte-identical to a single in-process OnlineEngine per stream, across
+// a mid-stream CHECKPOINT/RESTORE of the whole shard set.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/binary.hpp"
+#include "core/three_phase.hpp"
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+#include "serve/server.hpp"
+#include "serve/session.hpp"
+#include "serve/shard_manager.hpp"
+#include "simgen/generator.hpp"
+
+namespace bglpred::serve {
+namespace {
+
+/// Factory for the streams' engines: every-failure is deterministic,
+/// needs no training, and is checkpointable — ideal for equivalence.
+std::function<PredictorPtr()> every_failure_factory(
+    const ThreePhasePredictor& tpp) {
+  return [&tpp] { return tpp.make_predictor(Method::kEveryFailure); };
+}
+
+ShardOptions small_shard_options(const ThreePhasePredictor& tpp) {
+  ShardOptions options;
+  options.shard_count = 3;
+  options.queue_capacity = 256;
+  options.predictor_factory = every_failure_factory(tpp);
+  return options;
+}
+
+/// Splits a generated log's raw records into `streams` interleaved
+/// WireRecord sequences (entry text attached), mimicking independent
+/// collectors feeding one service.
+std::vector<std::vector<WireRecord>> split_streams(const GeneratedLog& g,
+                                                   std::size_t streams,
+                                                   std::size_t max_records) {
+  std::vector<std::vector<WireRecord>> out(streams);
+  const auto& records = g.log.records();
+  const std::size_t n = std::min(max_records, records.size());
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i % streams].push_back(
+        WireRecord{records[i], g.log.text_of(records[i])});
+  }
+  return out;
+}
+
+/// Decodes every response frame out of a session output buffer.
+std::vector<Frame> parse_frames(const std::string& bytes) {
+  FrameReader reader;
+  reader.feed(bytes);
+  std::vector<Frame> frames;
+  Frame frame;
+  FrameError error;
+  while (reader.next(frame, error) == FrameReader::Status::kFrame) {
+    frames.push_back(frame);
+  }
+  return frames;
+}
+
+std::uint64_t accepted_count(const Frame& reply) {
+  BytesReader in(reply.payload);
+  return in.read<std::uint64_t>("accepted count");
+}
+
+TEST(ShardRoutingTest, DeterministicAndSpread) {
+  std::set<std::size_t> hit;
+  for (std::uint64_t id = 0; id < 64; ++id) {
+    const std::size_t shard = ShardManager::shard_of(id, 4);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, ShardManager::shard_of(id, 4));  // stable
+    hit.insert(shard);
+  }
+  // splitmix64 must spread even sequential ids across all shards.
+  EXPECT_EQ(hit.size(), 4u);
+}
+
+TEST(ShardManagerTest, BackpressureBoundsTheQueue) {
+  const ThreePhasePredictor tpp;
+  MetricsRegistry registry;
+  ShardOptions options = small_shard_options(tpp);
+  options.shard_count = 1;
+  options.queue_capacity = 2;
+  ShardManager manager(options, registry);
+  const RasRecord rec;
+  EXPECT_EQ(manager.submit(1, rec, "a"), ShardManager::Submit::kAccepted);
+  EXPECT_EQ(manager.submit(1, rec, "b"), ShardManager::Submit::kAccepted);
+  EXPECT_EQ(manager.submit(1, rec, "c"), ShardManager::Submit::kBusy);
+  EXPECT_EQ(manager.metrics().records_rejected.value(), 1u);
+  manager.drain();
+  EXPECT_EQ(manager.submit(1, rec, "d"), ShardManager::Submit::kAccepted);
+}
+
+TEST(SessionTest, BatchRejectedBusyCarriesAcceptedCount) {
+  const ThreePhasePredictor tpp;
+  MetricsRegistry registry;
+  ShardOptions options = small_shard_options(tpp);
+  options.shard_count = 1;
+  options.queue_capacity = 2;
+  ShardManager manager(options, registry);
+  Session session(manager);
+
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  const auto streams = split_streams(g, 1, 5);
+  ASSERT_EQ(streams[0].size(), 5u);
+  Frame request;
+  request.type = MessageType::kSubmitBatch;
+  request.stream_id = 9;
+  request.seq = 1;
+  wire::append<std::uint32_t>(request.payload, 5);
+  for (const WireRecord& wr : streams[0]) {
+    encode_record(request.payload, wr.record, wr.entry);
+  }
+  std::string out;
+  ASSERT_EQ(session.on_bytes(encode_frame(request), out),
+            Session::Status::kKeepOpen);
+  const auto replies = parse_frames(out);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MessageType::kRejectedBusy);
+  EXPECT_EQ(accepted_count(replies[0]), 2u);
+  EXPECT_EQ(manager.metrics().records_in.value(), 2u);
+  EXPECT_EQ(manager.metrics().records_rejected.value(), 1u);
+}
+
+TEST(SessionTest, DuplicateFrameIsNotReapplied) {
+  const ThreePhasePredictor tpp;
+  MetricsRegistry registry;
+  ShardManager manager(small_shard_options(tpp), registry);
+  Session session(manager);
+
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  const auto streams = split_streams(g, 1, 1);
+  Frame request;
+  request.type = MessageType::kSubmitRecord;
+  request.stream_id = 1;
+  request.seq = 5;
+  encode_record(request.payload, streams[0][0].record, streams[0][0].entry);
+  const std::string bytes = encode_frame(request);
+
+  std::string out;
+  session.on_bytes(bytes, out);
+  ASSERT_EQ(parse_frames(out).front().type, MessageType::kOk);
+
+  // The exact same frame again: rejected by sequence, engine untouched.
+  out.clear();
+  session.on_bytes(bytes, out);
+  const auto replies = parse_frames(out);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_EQ(replies[0].type, MessageType::kError);
+  EXPECT_EQ(decode_error_payload(replies[0]).code,
+            ErrorCode::kDuplicateFrame);
+  EXPECT_EQ(manager.metrics().records_in.value(), 1u);
+  EXPECT_EQ(manager.metrics().duplicate_frames.value(), 1u);
+}
+
+TEST(OnlineEngineMetricsTest, AttachedCountersMirrorStats) {
+  const ThreePhasePredictor tpp;
+  MetricsRegistry registry;
+  OnlineEngine engine(tpp.make_predictor(Method::kEveryFailure));
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  const auto& records = g.log.records();
+  const std::size_t half = std::min<std::size_t>(50, records.size() / 2);
+  for (std::size_t i = 0; i < half; ++i) {
+    engine.feed(records[i], g.log.text_of(records[i]));
+  }
+  // Attaching mid-stream adds the current totals, so the counters report
+  // lifetime counts from here on.
+  engine.attach_metrics(registry, "engine.");
+  for (std::size_t i = half; i < 2 * half; ++i) {
+    engine.feed(records[i], g.log.text_of(records[i]));
+  }
+  EXPECT_EQ(registry.counter("engine.raw_records").value(),
+            engine.stats().raw_records);
+  EXPECT_EQ(registry.counter("engine.deduplicated").value(),
+            engine.stats().deduplicated);
+  EXPECT_EQ(registry.counter("engine.forwarded").value(),
+            engine.stats().forwarded);
+  EXPECT_EQ(registry.counter("engine.warnings").value(),
+            engine.stats().warnings);
+  EXPECT_EQ(registry.counter("engine.degraded").value(),
+            engine.stats().degraded);
+  EXPECT_EQ(registry.counter("engine.reordered").value(),
+            engine.stats().reordered);
+  EXPECT_EQ(registry.counter("engine.clamped").value(),
+            engine.stats().clamped);
+  EXPECT_GT(engine.stats().raw_records, 0u);
+}
+
+// The tentpole acceptance test: warnings produced through the full
+// client -> socket -> session -> shard -> engine path are byte-identical
+// (through encode_warnings) to one in-process OnlineEngine per stream,
+// including across a mid-stream CHECKPOINT + RESTORE of the shard set.
+TEST(ServedEquivalenceTest, ByteIdenticalAcrossCheckpointRestore) {
+  const ThreePhasePredictor tpp;
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.02);
+  constexpr std::size_t kStreams = 3;
+  const auto streams = split_streams(g, kStreams, 600);
+
+  ServerOptions options;
+  options.shards = small_shard_options(tpp);
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+
+  // In-process oracle: one engine per stream, same options, same factory.
+  // (deque: OnlineEngine is move-only with a non-noexcept move.)
+  std::deque<OnlineEngine> oracle;
+  std::vector<std::string> oracle_bytes(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    oracle.emplace_back(options.shards.predictor_factory(),
+                        options.shards.engine);
+  }
+  const auto feed_oracle = [&oracle, &oracle_bytes](
+                               std::size_t s,
+                               const std::vector<WireRecord>& slice) {
+    std::vector<Warning> warnings;
+    for (const WireRecord& wr : slice) {
+      for (Warning& w : oracle[s].feed(wr.record, wr.entry)) {
+        warnings.push_back(std::move(w));
+      }
+    }
+    oracle_bytes[s] += encode_warnings(warnings);
+  };
+  const auto slice_of = [&streams](std::size_t s, std::size_t begin,
+                                   std::size_t end) {
+    const auto& all = streams[s];
+    begin = std::min(begin, all.size());
+    end = std::min(end, all.size());
+    return std::vector<WireRecord>(all.begin() + begin, all.begin() + end);
+  };
+
+  std::vector<std::string> served_bytes(kStreams);
+  for (std::size_t s = 0; s < kStreams; ++s) {
+    const std::size_t half = streams[s].size() / 2;
+    const std::size_t doomed_end = half + streams[s].size() / 4;
+
+    // First half, served and polled; oracle follows.
+    client.submit_all(s, slice_of(s, 0, half));
+    served_bytes[s] += encode_warnings(client.poll_warnings(s));
+    feed_oracle(s, slice_of(s, 0, half));
+
+    // Checkpoint, then submit a slice whose effects the RESTORE must
+    // fully roll back (its warnings are never polled).
+    const std::string blob = client.checkpoint();
+    client.submit_all(s, slice_of(s, half, doomed_end));
+    client.restore(blob);
+
+    // Resume from the checkpointed state: re-submit the rolled-back
+    // slice and the remainder. The oracle feeds them exactly once.
+    client.submit_all(s, slice_of(s, half, streams[s].size()));
+    served_bytes[s] += encode_warnings(client.poll_warnings(s));
+    feed_oracle(s, slice_of(s, half, streams[s].size()));
+
+    EXPECT_EQ(served_bytes[s], oracle_bytes[s]) << "stream " << s;
+    EXPECT_FALSE(served_bytes[s].empty());
+  }
+
+  // The admin plane saw it all: stats JSON is parseable text with the
+  // serve counters present and nonzero.
+  const std::string stats = client.stats_json();
+  EXPECT_NE(stats.find("\"serve.records_in\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"serve.checkpoints\":" + std::to_string(kStreams)),
+            std::string::npos);
+  // Some shard (stream ids hash, so not necessarily shard 0) aggregates
+  // its engines' counters under the shardN.engine. prefix.
+  EXPECT_NE(stats.find(".engine.raw_records\":"), std::string::npos);
+  EXPECT_NE(stats.find("\"serve.warning_age_micros\":{"), std::string::npos);
+
+  client.shutdown_server();
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+// Same service, shard-level worker threads: determinism must not depend
+// on draining inline (shards are disjoint, streams stay ordered).
+TEST(ServedEquivalenceTest, WorkerThreadsPreserveStreamOrder) {
+  const ThreePhasePredictor tpp;
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  const auto streams = split_streams(g, 2, 200);
+
+  ServerOptions options;
+  options.shards = small_shard_options(tpp);
+  options.shards.worker_threads = 2;
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    OnlineEngine engine(options.shards.predictor_factory(),
+                        options.shards.engine);
+    std::vector<Warning> expected;
+    for (const WireRecord& wr : streams[s]) {
+      for (Warning& w : engine.feed(wr.record, wr.entry)) {
+        expected.push_back(std::move(w));
+      }
+    }
+    client.submit_all(s, streams[s]);
+    EXPECT_EQ(encode_warnings(client.poll_warnings(s)),
+              encode_warnings(expected))
+        << "stream " << s;
+  }
+  client.shutdown_server();
+  server.stop();
+}
+
+TEST(ServerTest, StopIsIdempotentAndPortIsEphemeral) {
+  const ThreePhasePredictor tpp;
+  ServerOptions options;
+  options.shards = small_shard_options(tpp);
+  Server server(options);
+  server.start();
+  EXPECT_NE(server.port(), 0);
+  EXPECT_TRUE(server.running());
+  server.stop();
+  server.stop();
+  EXPECT_FALSE(server.running());
+}
+
+}  // namespace
+}  // namespace bglpred::serve

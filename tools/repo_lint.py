@@ -24,6 +24,11 @@ Rules (C++ sources under src/, tests/, bench/, examples/):
                         throw unnamed std:: exceptions; field parsing must
                         go through parse_u32/parse_u64, which reject all
                         three with a ParseError naming the field.
+  naked-send-recv       send()/recv() outside src/serve/net_util. The
+                        wrappers there own the portability hazards
+                        (SIGPIPE via MSG_NOSIGNAL, EINTR retries, partial
+                        writes, EAGAIN vs EOF); a raw call silently
+                        reintroduces them.
 
 Suppress a finding on one line with `// repo-lint: allow(<rule>)`, or add
 a (path, rule) pair to ALLOWLIST below with a justification.
@@ -57,6 +62,9 @@ RAND_EXEMPT = re.compile(r"^src/common/(rng|time)\.(cpp|hpp)$")
 # The checked-parse helpers are the one sanctioned home for std::sto*.
 STO_EXEMPT = re.compile(r"^src/common/parse\.(cpp|hpp)$")
 
+# The socket wrappers are the one sanctioned home for raw send()/recv().
+SEND_RECV_EXEMPT = re.compile(r"^src/serve/net_util\.(cpp|hpp)$")
+
 RE_ALLOW = re.compile(r"//\s*repo-lint:\s*allow\(([a-z-]+)\)")
 RE_RAND = re.compile(
     r"\bstd::rand\b|(?<![_\w:])rand\s*\(|\bsrand\s*\(|"
@@ -67,6 +75,9 @@ RE_INCLUDE = re.compile(r'^\s*#\s*include\s+(["<][^">]+[">])')
 RE_PREPROC = re.compile(r"^\s*#\s*(\w+)")
 RE_SUBMIT_REF = re.compile(r"\bsubmit\s*\(\s*\[\s*&\s*[\],]")
 RE_STO = re.compile(r"\bstd\s*::\s*sto[a-z]+\s*\(")
+# Raw socket I/O calls, including the ::-qualified spellings; identifiers
+# like send_all / recv_some must not match.
+RE_SEND_RECV = re.compile(r"(?<![_\w.])(?:::\s*)?(send|recv)\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -136,6 +147,7 @@ class Linter:
                          code_lines: list[str]) -> None:
         rand_exempt = bool(RAND_EXEMPT.match(path))
         sto_exempt = bool(STO_EXEMPT.match(path))
+        send_recv_exempt = bool(SEND_RECV_EXEMPT.match(path))
         for idx, code in enumerate(code_lines):
             raw = raw_lines[idx]
             no = idx + 1
@@ -157,6 +169,11 @@ class Linter:
                             "submit lambdas must capture explicitly, not "
                             "[&]: the task may outlive the enclosing scope",
                             raw)
+            if not send_recv_exempt and RE_SEND_RECV.search(code):
+                self.report(path, no, "naked-send-recv",
+                            "use the send_all/send_nonblocking/recv_some "
+                            "wrappers from serve/net_util instead of raw "
+                            "send()/recv()", raw)
 
     def check_pragma_once(self, path: str, code_lines: list[str]) -> None:
         for idx, code in enumerate(code_lines):
