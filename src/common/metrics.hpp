@@ -21,10 +21,15 @@
 
 namespace bglpred {
 
-/// Monotonically increasing event count.
+/// Monotonically increasing event count. reset() is the one exception,
+/// for state replacement (checkpoint restore): the producers a counter
+/// aggregated are discarded wholesale and re-attach with their restored
+/// totals, so the counter must restart from zero to stay equal to the
+/// sum of live producer stats.
 class Counter {
  public:
   void inc(std::uint64_t n = 1) { value_.fetch_add(n, relaxed); }
+  void reset() { value_.store(0, relaxed); }
   std::uint64_t value() const { return value_.load(relaxed); }
 
  private:

@@ -165,6 +165,15 @@ void OnlineEngine::attach_metrics(MetricsRegistry& registry,
   counters_.clamped = bind(stats_.clamped, "clamped");
 }
 
+void OnlineEngine::reset_metrics(MetricsRegistry& registry,
+                                 const std::string& prefix) {
+  // Keep this name list in sync with attach_metrics above.
+  for (const char* name : {"raw_records", "deduplicated", "forwarded",
+                           "warnings", "degraded", "reordered", "clamped"}) {
+    registry.counter(prefix + name).reset();
+  }
+}
+
 namespace {
 constexpr std::string_view kEngineTag = "BGLCKPT1";
 

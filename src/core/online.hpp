@@ -100,6 +100,14 @@ class OnlineEngine {
   /// lifetime counts, not post-restore deltas.
   void attach_metrics(MetricsRegistry& registry, const std::string& prefix);
 
+  /// Zeroes the counter set under `prefix`. For state replacement: when
+  /// every engine attached under a prefix is discarded (shard restore),
+  /// reset before the replacements re-attach, so the registry again
+  /// equals the sum of live engine stats instead of compounding the
+  /// discarded engines' increments with the restored lifetime totals.
+  static void reset_metrics(MetricsRegistry& registry,
+                            const std::string& prefix);
+
  private:
   struct Key {
     bgl::JobId job;

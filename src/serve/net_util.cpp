@@ -96,7 +96,8 @@ OwnedFd accept_connection(const OwnedFd& listener) {
       ::setsockopt(conn.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       return conn;
     }
-    if (errno == EINTR) {
+    if (errno == EINTR || errno == ECONNABORTED) {
+      // ECONNABORTED: the peer gave up while queued; grab the next one.
       continue;
     }
     if (errno == EAGAIN || errno == EWOULDBLOCK) {

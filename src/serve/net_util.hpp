@@ -45,7 +45,8 @@ std::uint16_t local_port(const OwnedFd& fd);
 OwnedFd connect_loopback(std::uint16_t port);
 
 /// Accepts one pending connection; returns an invalid fd when the accept
-/// would block. Throws Error on hard failure.
+/// would block. Aborted handshakes (ECONNABORTED) are skipped. Throws
+/// Error on hard failure (e.g. fd exhaustion).
 OwnedFd accept_connection(const OwnedFd& listener);
 
 /// Puts the descriptor in non-blocking mode. Throws Error on failure.

@@ -121,17 +121,22 @@ void Server::Impl::loop() {
     // indexes past them (a fresh connection gets its first look next
     // wakeup).
     const std::size_t polled = fds.size() - 1;
-    // New connections.
+    // New connections. Accept-time errors (fd exhaustion and friends)
+    // must not kill the loop: skip the accept this wakeup and retry on
+    // the next POLLIN.
     if ((fds[0].revents & POLLIN) != 0) {
-      for (;;) {
-        OwnedFd conn = accept_connection(listener);
-        if (!conn.valid()) {
-          break;
+      try {
+        for (;;) {
+          OwnedFd conn = accept_connection(listener);
+          if (!conn.valid()) {
+            break;
+          }
+          set_nonblocking(conn);
+          connections.push_back(
+              std::make_unique<Connection>(std::move(conn), shards));
+          shards.metrics().connections.add(1);
         }
-        set_nonblocking(conn);
-        connections.push_back(
-            std::make_unique<Connection>(std::move(conn), shards));
-        shards.metrics().connections.add(1);
+      } catch (const Error&) {
       }
     }
     // Existing connections: read, hand bytes to the session, queue
@@ -146,21 +151,29 @@ void Server::Impl::loop() {
         conn.outbox.clear();
       }
       if (!conn.closing && (revents & POLLIN) != 0) {
-        inbox.clear();
-        const std::size_t n = recv_some(conn.fd, inbox);
-        if (n == 0) {
-          conn.closing = true;  // clean EOF
-        } else if (n != SIZE_MAX) {
-          switch (conn.session.on_bytes(inbox, conn.outbox)) {
-            case Session::Status::kKeepOpen:
-              break;
-            case Session::Status::kClose:
-              conn.closing = true;
-              break;
-            case Session::Status::kShutdown:
-              conn.shutdown = true;
-              break;
+        // A read error (e.g. ECONNRESET from an aborting client) drops
+        // this connection only — mirroring what flush() does for write
+        // errors — so one bad peer never terminates the server.
+        try {
+          inbox.clear();
+          const std::size_t n = recv_some(conn.fd, inbox);
+          if (n == 0) {
+            conn.closing = true;  // clean EOF
+          } else if (n != SIZE_MAX) {
+            switch (conn.session.on_bytes(inbox, conn.outbox)) {
+              case Session::Status::kKeepOpen:
+                break;
+              case Session::Status::kClose:
+                conn.closing = true;
+                break;
+              case Session::Status::kShutdown:
+                conn.shutdown = true;
+                break;
+            }
           }
+        } catch (const Error&) {
+          conn.outbox.clear();
+          conn.closing = true;
         }
       }
       if ((revents & POLLOUT) != 0 || !conn.outbox.empty()) {
@@ -185,6 +198,11 @@ void Server::Impl::loop() {
       break;
     }
   }
+  // The registry outlives stop()/start() cycles: account for the
+  // connections torn down here, or a restarted server reports a stale
+  // nonzero gauge.
+  shards.metrics().connections.add(
+      -static_cast<std::int64_t>(connections.size()));
   connections.clear();
   listener.reset();
   loop_running.store(false);

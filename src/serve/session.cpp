@@ -83,7 +83,11 @@ Session::Status Session::handle_frame(const Frame& frame, std::string& out) {
             out);
     return Status::kKeepOpen;
   }
-  seq_watermark_ = frame.seq;
+  // The watermark advances only once a frame is fully handled: a frame
+  // answered with kRejectedBusy (or a typed error) leaves it untouched,
+  // so a collector may retransmit the identical frame — same seq — after
+  // backing off without tripping the duplicate check.
+  //
   // Decoders throw ParseError on malformed payloads; convert every such
   // throw (and any engine-level Error) into a typed error frame so the
   // session survives arbitrary payload bytes.
@@ -91,29 +95,34 @@ Session::Status Session::handle_frame(const Frame& frame, std::string& out) {
     switch (frame.type) {
       case MessageType::kSubmitRecord:
       case MessageType::kSubmitBatch:
+        // handle_submit advances the watermark itself, and only on a
+        // non-busy outcome.
         return handle_submit(frame, out);
       case MessageType::kPollWarnings:
         handle_poll(frame, out);
-        return Status::kKeepOpen;
+        break;
       case MessageType::kCheckpoint:
         handle_checkpoint(frame, out);
-        return Status::kKeepOpen;
+        break;
       case MessageType::kRestore:
         handle_restore(frame, out);
-        return Status::kKeepOpen;
+        break;
       case MessageType::kStats:
         handle_stats(frame, out);
-        return Status::kKeepOpen;
+        break;
       case MessageType::kShutdown: {
         Frame ok;
         ok.type = MessageType::kOk;
         ok.stream_id = frame.stream_id;
         ok.seq = frame.seq;
         respond(std::move(ok), out);
+        seq_watermark_ = frame.seq;
         return Status::kShutdown;
       }
       default:
-        break;
+        respond_error(ErrorCode::kBadType, "unhandled request type", frame,
+                      out);
+        return Status::kKeepOpen;
     }
   } catch (const ParseError& e) {
     respond_error(ErrorCode::kBadPayload, e.what(), frame, out);
@@ -122,7 +131,7 @@ Session::Status Session::handle_frame(const Frame& frame, std::string& out) {
     respond_error(ErrorCode::kNotSupported, e.what(), frame, out);
     return Status::kKeepOpen;
   }
-  respond_error(ErrorCode::kBadType, "unhandled request type", frame, out);
+  seq_watermark_ = frame.seq;
   return Status::kKeepOpen;
 }
 
@@ -159,6 +168,15 @@ Session::Status Session::handle_submit(const Frame& frame, std::string& out) {
   }
   if (frame.type == MessageType::kSubmitBatch && count > 0) {
     metrics_->batches_in.inc();
+  }
+  if (!busy || accepted > 0) {
+    // A fully-rejected frame (busy, nothing applied) leaves the
+    // watermark untouched: the collector may retransmit it verbatim
+    // (same seq) after backing off. A partially-applied batch DID mutate
+    // engine state, so it advances the watermark like a success — the
+    // kRejectedBusy reply carries the accepted count, and the collector
+    // resumes from that offset with a fresh frame.
+    seq_watermark_ = frame.seq;
   }
   Frame reply;
   reply.type = busy ? MessageType::kRejectedBusy : MessageType::kOk;

@@ -52,9 +52,14 @@ class Session {
   ShardManager* shards_;
   ServeMetrics* metrics_;
   FrameReader reader_;
-  /// Highest request sequence seen; retransmitted/duplicated frames
-  /// (seq <= watermark) are answered with kDuplicateFrame and NOT
+  /// Highest fully-handled request sequence; retransmitted/duplicated
+  /// frames (seq <= watermark) are answered with kDuplicateFrame and NOT
   /// re-applied, so a duplicate storm cannot double-feed an engine.
+  /// Frames that applied nothing — typed errors, and submits fully
+  /// rejected with kRejectedBusy — do not advance it, so a collector may
+  /// retransmit them verbatim (same seq) after backing off. A partially
+  /// applied batch does advance it (re-applying would double-feed); its
+  /// kRejectedBusy reply carries the accepted count to resume from.
   std::uint32_t seq_watermark_ = 0;
 };
 

@@ -229,6 +229,10 @@ void ShardManager::restore(std::istream& is) {
     shards_[i].queue_depth->set(0);
     shards_[i].stream_count->set(
         static_cast<std::int64_t>(shards_[i].streams.size()));
+    // The replaced engines' live increments are already in the shard
+    // counters; zero them so re-attaching adds exactly the restored
+    // lifetime totals instead of stacking on top.
+    OnlineEngine::reset_metrics(*registry_, engine_prefix(i));
     for (auto& [stream_id, stream] : shards_[i].streams) {
       stream.engine.attach_metrics(*registry_, engine_prefix(i));
     }

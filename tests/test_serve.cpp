@@ -5,11 +5,14 @@
 // a mid-stream CHECKPOINT/RESTORE of the whole shard set.
 #include <gtest/gtest.h>
 
+#include <sys/socket.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <set>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -162,6 +165,130 @@ TEST(SessionTest, DuplicateFrameIsNotReapplied) {
             ErrorCode::kDuplicateFrame);
   EXPECT_EQ(manager.metrics().records_in.value(), 1u);
   EXPECT_EQ(manager.metrics().duplicate_frames.value(), 1u);
+}
+
+TEST(SessionTest, FullyRejectedSubmitCanBeRetransmittedVerbatim) {
+  const ThreePhasePredictor tpp;
+  MetricsRegistry registry;
+  ShardOptions options = small_shard_options(tpp);
+  options.shard_count = 1;
+  options.queue_capacity = 2;
+  ShardManager manager(options, registry);
+  Session session(manager);
+
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  const auto streams = split_streams(g, 1, 1);
+  // Fill the (single) shard's queue so the session's submit is rejected
+  // with nothing applied.
+  const RasRecord filler;
+  ASSERT_EQ(manager.submit(7, filler, "a"), ShardManager::Submit::kAccepted);
+  ASSERT_EQ(manager.submit(7, filler, "b"), ShardManager::Submit::kAccepted);
+
+  Frame request;
+  request.type = MessageType::kSubmitRecord;
+  request.stream_id = 1;
+  request.seq = 3;
+  encode_record(request.payload, streams[0][0].record, streams[0][0].entry);
+  const std::string bytes = encode_frame(request);
+
+  std::string out;
+  session.on_bytes(bytes, out);
+  auto replies = parse_frames(out);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MessageType::kRejectedBusy);
+  EXPECT_EQ(accepted_count(replies[0]), 0u);
+
+  // Backpressure clears; the verbatim retransmit (same seq) must be
+  // applied, not rejected as a duplicate.
+  manager.drain();
+  out.clear();
+  session.on_bytes(bytes, out);
+  replies = parse_frames(out);
+  ASSERT_EQ(replies.size(), 1u);
+  EXPECT_EQ(replies[0].type, MessageType::kOk);
+  EXPECT_EQ(accepted_count(replies[0]), 1u);
+  EXPECT_EQ(manager.metrics().duplicate_frames.value(), 0u);
+
+  // But a frame that WAS applied still cannot be replayed.
+  out.clear();
+  session.on_bytes(bytes, out);
+  replies = parse_frames(out);
+  ASSERT_EQ(replies.size(), 1u);
+  ASSERT_EQ(replies[0].type, MessageType::kError);
+  EXPECT_EQ(decode_error_payload(replies[0]).code,
+            ErrorCode::kDuplicateFrame);
+}
+
+TEST(ShardManagerTest, RestoreDoesNotDoubleEngineCounters) {
+  const ThreePhasePredictor tpp;
+  MetricsRegistry registry;
+  ShardOptions options = small_shard_options(tpp);
+  options.shard_count = 1;
+  ShardManager manager(options, registry);
+
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  const auto streams = split_streams(g, 2, 40);
+  for (std::size_t s = 0; s < streams.size(); ++s) {
+    for (const WireRecord& wr : streams[s]) {
+      ASSERT_EQ(manager.submit(s, wr.record, wr.entry),
+                ShardManager::Submit::kAccepted);
+    }
+  }
+  manager.drain();
+  const Counter& raw = registry.counter("shard0.engine.raw_records");
+  const std::uint64_t before = raw.value();
+  ASSERT_GT(before, 0u);
+
+  // Restoring a server's own mid-stream checkpoint replaces the engines
+  // with copies holding identical lifetime stats; the registry total
+  // must stay equal to those stats, not double.
+  std::stringstream blob;
+  manager.save(blob);
+  manager.restore(blob);
+  EXPECT_EQ(raw.value(), before);
+}
+
+TEST(ServerTest, AbortiveClientDisconnectDoesNotKillServer) {
+  const ThreePhasePredictor tpp;
+  ServerOptions options;
+  options.shards = small_shard_options(tpp);
+  Server server(options);
+  server.start();
+
+  {
+    // Send bytes, then RST the connection (SO_LINGER 0 close) so the
+    // server's next recv on it fails with ECONNRESET.
+    OwnedFd rude = connect_loopback(server.port());
+    send_all(rude, "not a frame");
+    const linger abort_now{1, 0};
+    ::setsockopt(rude.get(), SOL_SOCKET, SO_LINGER, &abort_now,
+                 sizeof(abort_now));
+  }
+
+  // One misbehaving client must cost only its own connection: a second
+  // client still gets a full admin roundtrip.
+  Client client = Client::connect(server.port());
+  EXPECT_NE(client.stats_json().find("\"serve.frames_in\":"),
+            std::string::npos);
+  client.shutdown_server();
+  server.stop();
+}
+
+TEST(ServerTest, StopResetsConnectionsGauge) {
+  const ThreePhasePredictor tpp;
+  ServerOptions options;
+  options.shards = small_shard_options(tpp);
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+  // A completed roundtrip proves the server accepted the connection.
+  client.stats_json();
+  EXPECT_EQ(server.metrics().gauge("serve.connections").value(), 1);
+  // Stop with the connection still open: the teardown path must release
+  // the gauge, or a restarted server (same registry) reports a stale
+  // count forever.
+  server.stop();
+  EXPECT_EQ(server.metrics().gauge("serve.connections").value(), 0);
 }
 
 TEST(OnlineEngineMetricsTest, AttachedCountersMirrorStats) {
