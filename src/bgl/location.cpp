@@ -59,7 +59,15 @@ Location Location::parent_node_card() const {
 }
 
 std::string Location::str() const {
-  char buf[32];
+  std::string out;
+  append_to(out);
+  return out;
+}
+
+void Location::append_to(std::string& out) const {
+  // Zero-init so gcc's maybe-uninitialized check accepts the
+  // switch-covers-all-kinds control flow.
+  char buf[32] = {};
   switch (kind) {
     case LocationKind::kRack:
       std::snprintf(buf, sizeof(buf), "R%02u", rack);
@@ -86,7 +94,7 @@ std::string Location::str() const {
       std::snprintf(buf, sizeof(buf), "R%02u-M%u-S", rack, midplane);
       break;
   }
-  return buf;
+  out += buf;
 }
 
 Location Location::make_rack(std::uint16_t r) {
@@ -170,6 +178,33 @@ void expect_dash(const std::string& code, std::size_t& pos) {
   ++pos;
 }
 
+// Non-throwing twin of expect_component: same digit accumulation (and
+// the same defined unsigned wrap on absurd inputs).
+bool scan_component(std::string_view code, std::size_t& pos, char prefix,
+                    unsigned& value) {
+  if (pos >= code.size() || code[pos] != prefix) {
+    return false;
+  }
+  ++pos;
+  if (pos >= code.size() || code[pos] < '0' || code[pos] > '9') {
+    return false;
+  }
+  value = 0;
+  while (pos < code.size() && code[pos] >= '0' && code[pos] <= '9') {
+    value = value * 10 + static_cast<unsigned>(code[pos] - '0');
+    ++pos;
+  }
+  return true;
+}
+
+bool scan_dash(std::string_view code, std::size_t& pos) {
+  if (pos >= code.size() || code[pos] != '-') {
+    return false;
+  }
+  ++pos;
+  return true;
+}
+
 }  // namespace
 
 Location parse_location(const std::string& code) {
@@ -230,6 +265,83 @@ Location parse_location(const std::string& code) {
                                 static_cast<std::uint8_t>(mid),
                                 static_cast<std::uint8_t>(nc),
                                 static_cast<std::uint8_t>(io));
+}
+
+bool try_parse_location(std::string_view code, Location& out) {
+  // Structural mirror of parse_location: identical accept set and
+  // identical narrowing casts, minus the exception on failure.
+  std::size_t pos = 0;
+  unsigned rack = 0;
+  if (!scan_component(code, pos, 'R', rack)) {
+    return false;
+  }
+  if (pos == code.size()) {
+    out = Location::make_rack(static_cast<std::uint16_t>(rack));
+    return true;
+  }
+  unsigned mid = 0;
+  if (!scan_dash(code, pos) || !scan_component(code, pos, 'M', mid)) {
+    return false;
+  }
+  if (pos == code.size()) {
+    out = Location::make_midplane(static_cast<std::uint16_t>(rack),
+                                  static_cast<std::uint8_t>(mid));
+    return true;
+  }
+  if (!scan_dash(code, pos)) {
+    return false;
+  }
+  if (pos < code.size() && code[pos] == 'S') {
+    ++pos;
+    if (pos != code.size()) {
+      return false;
+    }
+    out = Location::make_service_card(static_cast<std::uint16_t>(rack),
+                                      static_cast<std::uint8_t>(mid));
+    return true;
+  }
+  if (pos < code.size() && code[pos] == 'L') {
+    unsigned lc = 0;
+    if (!scan_component(code, pos, 'L', lc) || pos != code.size()) {
+      return false;
+    }
+    out = Location::make_link_card(static_cast<std::uint16_t>(rack),
+                                   static_cast<std::uint8_t>(mid),
+                                   static_cast<std::uint8_t>(lc));
+    return true;
+  }
+  unsigned nc = 0;
+  if (!scan_component(code, pos, 'N', nc)) {
+    return false;
+  }
+  if (pos == code.size()) {
+    out = Location::make_node_card(static_cast<std::uint16_t>(rack),
+                                   static_cast<std::uint8_t>(mid),
+                                   static_cast<std::uint8_t>(nc));
+    return true;
+  }
+  if (!scan_dash(code, pos)) {
+    return false;
+  }
+  if (pos < code.size() && code[pos] == 'C') {
+    unsigned chip = 0;
+    if (!scan_component(code, pos, 'C', chip) || pos != code.size()) {
+      return false;
+    }
+    out = Location::make_compute_chip(
+        static_cast<std::uint16_t>(rack), static_cast<std::uint8_t>(mid),
+        static_cast<std::uint8_t>(nc), static_cast<std::uint8_t>(chip));
+    return true;
+  }
+  unsigned io = 0;
+  if (!scan_component(code, pos, 'I', io) || pos != code.size()) {
+    return false;
+  }
+  out = Location::make_io_node(static_cast<std::uint16_t>(rack),
+                               static_cast<std::uint8_t>(mid),
+                               static_cast<std::uint8_t>(nc),
+                               static_cast<std::uint8_t>(io));
+  return true;
 }
 
 }  // namespace bglpred::bgl

@@ -18,6 +18,7 @@
 #include <compare>
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace bglpred::bgl {
 
@@ -58,6 +59,10 @@ struct Location {
   /// Formats the canonical code, e.g. "R00-M1-N07-C21".
   std::string str() const;
 
+  /// Appends str() to `out` without a temporary string (serialization
+  /// hot path).
+  void append_to(std::string& out) const;
+
   // Factories ---------------------------------------------------------
   static Location make_rack(std::uint16_t r);
   static Location make_midplane(std::uint16_t r, std::uint8_t m);
@@ -74,5 +79,12 @@ struct Location {
 
 /// Parses a canonical location code; throws ParseError on malformed input.
 Location parse_location(const std::string& code);
+
+/// Non-throwing form of parse_location. Accepts exactly the same codes
+/// and produces exactly the same values (component digits accumulate
+/// with the same unsigned wrap and narrowing); the two are pinned to
+/// each other by a randomized differential test. Returns false where
+/// parse_location would throw.
+bool try_parse_location(std::string_view code, Location& out);
 
 }  // namespace bglpred::bgl

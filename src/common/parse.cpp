@@ -40,6 +40,14 @@ std::uint32_t parse_u32(std::string_view text, const char* what) {
   return parse_unsigned<std::uint32_t>(text, what);
 }
 
+bool try_parse_u32(std::string_view text, std::uint32_t& out) {
+  // from_chars already rejects empty input, '+', '-', non-digits, and
+  // overflow — the identical accept set as parse_u32, sans exceptions.
+  const char* end = text.data() + text.size();
+  const auto [ptr, ec] = std::from_chars(text.data(), end, out, 10);
+  return ec == std::errc{} && ptr == end;
+}
+
 std::uint64_t parse_u64(std::string_view text, const char* what) {
   return parse_unsigned<std::uint64_t>(text, what);
 }

@@ -21,4 +21,9 @@ std::uint32_t parse_u32(std::string_view text, const char* what);
 /// Same, with a u64 range.
 std::uint64_t parse_u64(std::string_view text, const char* what);
 
+/// Non-throwing form of parse_u32 with the exact same accept set (empty
+/// input, signs, trailing garbage, and overflow all return false); the
+/// ingest hot path uses it to stay exception-free on malformed lines.
+bool try_parse_u32(std::string_view text, std::uint32_t& out);
+
 }  // namespace bglpred

@@ -64,6 +64,12 @@ TimePoint make_time(int year, int month, int day, int hour, int minute,
 }
 
 std::string format_time(TimePoint t) {
+  std::string out;
+  format_time_to(out, t);
+  return out;
+}
+
+void format_time_to(std::string& out, TimePoint t) {
   std::int64_t days = t / kDay;
   std::int64_t sod = t % kDay;
   if (sod < 0) {
@@ -75,11 +81,42 @@ std::string format_time(TimePoint t) {
   int d = 0;
   civil_from_days(days, y, m, d);
   char buf[32];
-  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", y, m, d,
-                static_cast<int>(sod / kHour),
-                static_cast<int>((sod % kHour) / kMinute),
-                static_cast<int>(sod % kMinute));
-  return buf;
+  const int len =
+      std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d", y, m, d,
+                    static_cast<int>(sod / kHour),
+                    static_cast<int>((sod % kHour) / kMinute),
+                    static_cast<int>(sod % kMinute));
+  out.append(buf, static_cast<std::size_t>(len));
+}
+
+bool try_parse_time(std::string_view text, TimePoint& out) {
+  // "YYYY-MM-DD HH:MM:SS": 19 bytes, digits and separators at fixed
+  // offsets. Anything else is the caller's problem (fall back to
+  // parse_time's sscanf grammar).
+  if (text.size() != 19 || text[4] != '-' || text[7] != '-' ||
+      text[10] != ' ' || text[13] != ':' || text[16] != ':') {
+    return false;
+  }
+  const auto digit = [&](std::size_t i) { return text[i] - '0'; };
+  for (const std::size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u,
+                              15u, 17u, 18u}) {
+    if (text[i] < '0' || text[i] > '9') {
+      return false;
+    }
+  }
+  const int y = ((digit(0) * 10 + digit(1)) * 10 + digit(2)) * 10 + digit(3);
+  const int m = digit(5) * 10 + digit(6);
+  const int d = digit(8) * 10 + digit(9);
+  const int hh = digit(11) * 10 + digit(12);
+  const int mm = digit(14) * 10 + digit(15);
+  const int ss = digit(17) * 10 + digit(18);
+  // Same range rules as make_time, minus the throw.
+  if (m < 1 || m > 12 || d < 1 || d > days_in_month(y, m) || hh >= 24 ||
+      mm >= 60 || ss >= 60) {
+    return false;
+  }
+  out = days_from_civil(y, m, d) * kDay + hh * kHour + mm * kMinute + ss;
+  return true;
 }
 
 TimePoint parse_time(const std::string& text) {

@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace bglpred {
 
@@ -37,8 +38,23 @@ struct TimeSpan {
 /// Formats a time point as "YYYY-MM-DD HH:MM:SS" (UTC).
 std::string format_time(TimePoint t);
 
+/// Appends format_time(t) to `out` without a temporary string — the
+/// buffer-append form the serialization hot path uses (DESIGN §6).
+void format_time_to(std::string& out, TimePoint t);
+
 /// Parses "YYYY-MM-DD HH:MM:SS" (UTC); throws ParseError on bad input.
+/// Scanning is sscanf-lenient: component widths may vary and trailing
+/// bytes are ignored (kept for compatibility — this is the reference
+/// grammar the fast reader falls back to).
 TimePoint parse_time(const std::string& text);
+
+/// Non-throwing parse of the *canonical* fixed-width form format_time
+/// emits ("YYYY-MM-DD HH:MM:SS", exactly 19 bytes). Returns false on any
+/// other shape or on out-of-range components; never throws, never
+/// allocates. Canonical-accept is deliberately a subset of parse_time's
+/// grammar so a fast-path accept always agrees with the reference
+/// parser (the ingest hot path falls back to parse_time on false).
+bool try_parse_time(std::string_view text, TimePoint& out);
 
 /// Builds a TimePoint from calendar components (UTC, proleptic Gregorian).
 /// Months are 1-12, days 1-31. Throws InvalidArgument for out-of-range

@@ -4,25 +4,18 @@
 #include <numeric>
 
 #include "common/check.hpp"
+#include "raslog/fast_io.hpp"
 
 namespace bglpred {
 
 namespace {
 
+// Same line semantics as the ingest tokenizer: an unterminated tail is
+// kept, a trailing '\n' does not produce a phantom empty line.
 std::vector<std::string> split_lines(const std::string& text) {
   std::vector<std::string> lines;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    const std::size_t end = text.find('\n', start);
-    if (end == std::string::npos) {
-      if (start < text.size()) {
-        lines.push_back(text.substr(start));
-      }
-      break;
-    }
-    lines.push_back(text.substr(start, end - start));
-    start = end + 1;
-  }
+  for_each_line(text,
+                [&](std::string_view line) { lines.emplace_back(line); });
   return lines;
 }
 

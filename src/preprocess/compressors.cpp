@@ -6,54 +6,11 @@
 #include "common/error.hpp"
 
 namespace bglpred {
-namespace {
 
-// Packs the temporal-compression key (job, location, subcategory) into a
-// single 64-bit word: 32 bits job | 16 bits subcategory | location packed
-// into 16 bits (kind:3 | rack folded | midplane:1 | node_card:4 | unit:5).
-// Rack bits are folded in via multiply-shift since single-digit rack
-// counts dominate; collisions would only ever merge records that the
-// hash map's full-key comparison separates anyway — we therefore keep an
-// explicit struct key and a hasher instead of trusting the packing.
-struct TemporalKey {
-  bgl::JobId job;
-  bgl::Location location;
-  SubcategoryId subcategory;
-
-  bool operator==(const TemporalKey&) const = default;
-};
-
-struct TemporalKeyHash {
-  std::size_t operator()(const TemporalKey& k) const {
-    std::uint64_t h = k.job;
-    h = h * 0x9e3779b97f4a7c15ULL + k.location.rack;
-    h = h * 0x9e3779b97f4a7c15ULL +
-        (static_cast<std::uint64_t>(k.location.kind) << 24 |
-         static_cast<std::uint64_t>(k.location.midplane) << 16 |
-         static_cast<std::uint64_t>(k.location.node_card) << 8 |
-         k.location.unit);
-    h = h * 0x9e3779b97f4a7c15ULL + k.subcategory;
-    return static_cast<std::size_t>(h ^ (h >> 32));
-  }
-};
-
-struct SpatialKey {
-  StringId entry_data;
-  bgl::JobId job;
-
-  bool operator==(const SpatialKey&) const = default;
-};
-
-struct SpatialKeyHash {
-  std::size_t operator()(const SpatialKey& k) const {
-    const std::uint64_t h =
-        (static_cast<std::uint64_t>(k.entry_data) << 32 | k.job) *
-        0x9e3779b97f4a7c15ULL;
-    return static_cast<std::size_t>(h ^ (h >> 32));
-  }
-};
-
-}  // namespace
+using detail::SpatialKey;
+using detail::SpatialKeyHash;
+using detail::TemporalKey;
+using detail::TemporalKeyHash;
 
 CompressionResult compress_temporal(RasLog& log, Duration threshold) {
   BGL_REQUIRE(threshold >= 0, "threshold must be non-negative");

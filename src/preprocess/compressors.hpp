@@ -51,4 +51,54 @@ CompressionResult compress_temporal(
 CompressionResult compress_spatial(
     RasLog& log, Duration threshold = kDefaultCompressionThreshold);
 
+namespace detail {
+
+// Cluster keys and hashers shared by the standalone passes above and the
+// fused streaming ingest (preprocess/fused_ingest.hpp), so the two paths
+// cannot drift apart in what they coalesce.
+
+/// Temporal-compression key: records with the same (job, location,
+/// subcategory) belong to the same cluster.
+struct TemporalKey {
+  bgl::JobId job;
+  bgl::Location location;
+  SubcategoryId subcategory;
+
+  bool operator==(const TemporalKey&) const = default;
+};
+
+struct TemporalKeyHash {
+  std::size_t operator()(const TemporalKey& k) const {
+    std::uint64_t h = k.job;
+    h = h * 0x9e3779b97f4a7c15ULL + k.location.rack;
+    h = h * 0x9e3779b97f4a7c15ULL +
+        (static_cast<std::uint64_t>(k.location.kind) << 24 |
+         static_cast<std::uint64_t>(k.location.midplane) << 16 |
+         static_cast<std::uint64_t>(k.location.node_card) << 8 |
+         k.location.unit);
+    h = h * 0x9e3779b97f4a7c15ULL + k.subcategory;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+/// Spatial-compression key: the same entry text under the same job is
+/// one fault fanned out across locations.
+struct SpatialKey {
+  StringId entry_data;
+  bgl::JobId job;
+
+  bool operator==(const SpatialKey&) const = default;
+};
+
+struct SpatialKeyHash {
+  std::size_t operator()(const SpatialKey& k) const {
+    const std::uint64_t h =
+        (static_cast<std::uint64_t>(k.entry_data) << 32 | k.job) *
+        0x9e3779b97f4a7c15ULL;
+    return static_cast<std::size_t>(h ^ (h >> 32));
+  }
+};
+
+}  // namespace detail
+
 }  // namespace bglpred

@@ -1,0 +1,109 @@
+#include "preprocess/fused_ingest.hpp"
+
+#include <fstream>
+#include <unordered_map>
+
+#include "common/error.hpp"
+#include "preprocess/compressors.hpp"
+#include "raslog/fast_io.hpp"
+#include "taxonomy/classifier.hpp"
+
+namespace bglpred {
+
+RasLog ingest_classified(std::istream& is, const ReadOptions& read_options,
+                         const PreprocessOptions& options,
+                         PreprocessStats* stats, IngestReport* report) {
+  BGL_REQUIRE(options.temporal_threshold >= 0,
+              "threshold must be non-negative");
+  BGL_REQUIRE(options.spatial_threshold >= 0,
+              "threshold must be non-negative");
+
+  RasLog log;
+  // Accumulate into a local and copy out at the end (assigning a
+  // temporary through the caller's pointer trips gcc-12's
+  // use-after-free analysis).
+  PreprocessStats st;
+  IngestReport local_report;
+  IngestReport& rep = report != nullptr ? *report : local_report;
+
+  const EventClassifier classifier;
+  std::unordered_map<detail::TemporalKey, TimePoint, detail::TemporalKeyHash>
+      temporal_seen;
+  std::unordered_map<detail::SpatialKey, TimePoint, detail::SpatialKeyHash>
+      spatial_seen;
+
+  TimePoint prev_time = 0;
+  bool have_prev = false;
+
+  ingest_records(
+      is, read_options, rep,
+      [&](const RasRecord& parsed, std::string_view entry) {
+        BGL_REQUIRE(!have_prev || parsed.time >= prev_time,
+                    "fused ingest requires non-decreasing record times "
+                    "(use read_log + preprocess for unsorted input)");
+        have_prev = true;
+        prev_time = parsed.time;
+        ++st.raw_records;
+
+        // Intern unconditionally — even records the compressors drop —
+        // so pool ids line up with the three-step path, where read_log
+        // interns every kept record before any compression runs.
+        RasRecord rec = parsed;
+        rec.entry_data = log.pool().intern(entry);
+        classifier.classify_record(log.pool().str(rec.entry_data), rec,
+                                   st.classification);
+
+        // Temporal pass (gap-based clustering, last_seen advances on
+        // every record — same update rule as compress_temporal).
+        ++st.temporal.input_records;
+        const detail::TemporalKey tkey{rec.job, rec.location, rec.subcategory};
+        auto [tit, t_new] = temporal_seen.try_emplace(tkey, rec.time);
+        if (!t_new && rec.time - tit->second <= options.temporal_threshold) {
+          tit->second = rec.time;
+          return;
+        }
+        tit->second = rec.time;
+        ++st.temporal.output_records;
+
+        // Spatial pass — sees only temporal survivors, exactly like the
+        // batch sequence compress_temporal -> compress_spatial.
+        ++st.spatial.input_records;
+        const detail::SpatialKey skey{rec.entry_data, rec.job};
+        auto [sit, s_new] = spatial_seen.try_emplace(skey, rec.time);
+        if (!s_new && rec.time - sit->second <= options.spatial_threshold) {
+          sit->second = rec.time;
+          return;
+        }
+        sit->second = rec.time;
+        ++st.spatial.output_records;
+        log.append(rec);
+      });
+
+  st.temporal.removed = st.temporal.input_records - st.temporal.output_records;
+  st.spatial.removed = st.spatial.input_records - st.spatial.output_records;
+  st.unique_events = log.size();
+  for (const RasRecord& rec : log.records()) {
+    if (rec.fatal()) {
+      ++st.unique_fatal_events;
+      const MainCategory main = catalog().info(rec.subcategory).main;
+      ++st.fatal_per_main[static_cast<std::size_t>(main)];
+    }
+  }
+  if (stats != nullptr) {
+    *stats = st;
+  }
+  return log;
+}
+
+RasLog load_classified(const std::string& path,
+                       const ReadOptions& read_options,
+                       const PreprocessOptions& options,
+                       PreprocessStats* stats, IngestReport* report) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open for reading: " + path);
+  }
+  return ingest_classified(in, read_options, options, stats, report);
+}
+
+}  // namespace bglpred

@@ -21,12 +21,102 @@ const char* to_string(Facility f) {
 }
 
 Facility parse_facility(const std::string& name) {
-  for (std::size_t i = 0; i < kNames.size(); ++i) {
-    if (name == kNames[i]) {
-      return static_cast<Facility>(i);
-    }
+  Facility f;
+  if (try_parse_facility(name, f)) {
+    return f;
   }
   throw ParseError("unknown facility: '" + name + "'");
+}
+
+bool try_parse_facility(std::string_view name, Facility& out) {
+  // First-char dispatch; colliding initials disambiguate on length
+  // (MEMORY/MIDPLANE/MONITOR are 6/8/7 chars) or the second character
+  // (CIOD vs CMCS) before the final exact compare.
+  switch (name.empty() ? '\0' : name.front()) {
+    case 'A':
+      if (name == "APP") {
+        out = Facility::kApp;
+        return true;
+      }
+      break;
+    case 'C':
+      if (name.size() == 4) {
+        if (name[1] == 'I' ? name == "CIOD" : name == "CMCS") {
+          out = name[1] == 'I' ? Facility::kCiod : Facility::kCmcs;
+          return true;
+        }
+      }
+      break;
+    case 'K':
+      if (name == "KERNEL") {
+        out = Facility::kKernel;
+        return true;
+      }
+      break;
+    case 'M':
+      switch (name.size()) {
+        case 6:
+          if (name == "MEMORY") {
+            out = Facility::kMemory;
+            return true;
+          }
+          break;
+        case 7:
+          if (name == "MONITOR") {
+            out = Facility::kMonitor;
+            return true;
+          }
+          break;
+        case 8:
+          if (name == "MIDPLANE") {
+            out = Facility::kMidplane;
+            return true;
+          }
+          break;
+        default:
+          break;
+      }
+      break;
+    case 'T':
+      if (name == "TORUS") {
+        out = Facility::kTorus;
+        return true;
+      }
+      break;
+    case 'E':
+      if (name == "ETHERNET") {
+        out = Facility::kEthernet;
+        return true;
+      }
+      break;
+    case 'N':
+      if (name == "NODECARD") {
+        out = Facility::kNodeCard;
+        return true;
+      }
+      break;
+    case 'L':
+      if (name == "LINKCARD") {
+        out = Facility::kLinkCard;
+        return true;
+      }
+      break;
+    case 'S':
+      if (name == "SERVICECARD") {
+        out = Facility::kServiceCard;
+        return true;
+      }
+      break;
+    case 'B':
+      if (name == "BGLMASTER") {
+        out = Facility::kBglMaster;
+        return true;
+      }
+      break;
+    default:
+      break;
+  }
+  return false;
 }
 
 }  // namespace bglpred

@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace bglpred {
 
@@ -34,5 +35,10 @@ const char* to_string(Facility f);
 
 /// Parses a canonical facility name; throws ParseError on unknown input.
 Facility parse_facility(const std::string& name);
+
+/// Non-throwing parse with the same accept set, dispatching on the
+/// first character (plus length where names collide) instead of scanning
+/// the name table (ingest hot path).
+bool try_parse_facility(std::string_view name, Facility& out);
 
 }  // namespace bglpred

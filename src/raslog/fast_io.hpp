@@ -1,0 +1,197 @@
+// Zero-allocation streaming ingest (DESIGN §6).
+//
+// The reference reader in raslog/io.hpp is the semantic oracle: getline
+// into a std::string, split into seven owned field strings, throwing
+// parsers. This header provides the production ingest path, built to be
+// observably identical while touching the allocator only when a record
+// is actually kept (one interned copy of its entry data):
+//
+//   * LineScanner — chunked reads into one reusable buffer; lines are
+//     returned as string_views into it, including lines that straddle
+//     chunk boundaries (the partial tail is slid to the buffer front
+//     before the next refill).
+//   * split_fields — in-place seven-way tokenizer; the first six fields
+//     must not contain '|', the seventh is the remainder of the line
+//     (entry data may contain '|'; see io.hpp).
+//   * try_parse_record — non-throwing fast parse over the try_* parser
+//     family. It accepts a strict *subset* of the reference grammar
+//     (canonical timestamps only — parse_time's sscanf is more lenient),
+//     so on failure the caller replays the line through
+//     detail::parse_record_fields, which both recovers anything only the
+//     reference grammar accepts and produces the oracle's exact error
+//     classification and message.
+//   * read_log_fast — drop-in replacement for read_log: same RasLog
+//     contents (records, pool ids), same IngestReport, same strict-mode
+//     exceptions, byte-for-byte. Pinned by differential tests against
+//     clean and fault-injected inputs (tests/test_fast_io.cpp).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <istream>
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "raslog/io.hpp"
+#include "raslog/log.hpp"
+
+namespace bglpred {
+
+/// Number of '|'-separated fields in a record line.
+inline constexpr std::size_t kRecordFieldCount = 7;
+
+/// Streams lines out of an istream through one reusable chunk buffer.
+/// Returned views are valid until the next next() call.
+class LineScanner {
+ public:
+  static constexpr std::size_t kDefaultChunkSize = std::size_t{1} << 20;
+
+  /// `chunk_size` is how many bytes each refill requests; the buffer
+  /// grows beyond it only when a single line is longer than a chunk.
+  explicit LineScanner(std::istream& is,
+                       std::size_t chunk_size = kDefaultChunkSize);
+
+  /// Yields the next line without its '\n' (an unterminated final line
+  /// is yielded as-is, mirroring std::getline). Returns false at EOF.
+  bool next(std::string_view& line);
+
+  /// 1-based number of the line most recently yielded (0 before the
+  /// first next()).
+  std::size_t line_number() const { return line_no_; }
+
+ private:
+  void refill();
+
+  std::istream* is_;
+  std::string buf_;
+  std::size_t pos_ = 0;  ///< scan position within buf_
+  std::size_t len_ = 0;  ///< valid bytes in buf_
+  std::size_t chunk_size_;
+  std::size_t line_no_ = 0;
+  bool eof_ = false;
+};
+
+/// Calls `fn(std::string_view line)` for every line of `text`, without
+/// copying. Same line semantics as LineScanner: '\n' terminators are
+/// stripped, an unterminated tail is emitted, and a trailing '\n' does
+/// NOT produce a phantom empty line.
+template <typename F>
+void for_each_line(std::string_view text, F&& fn) {
+  std::size_t start = 0;
+  while (start < text.size()) {
+    std::size_t eol = text.find('\n', start);
+    if (eol == std::string_view::npos) {
+      eol = text.size();
+    }
+    fn(std::string_view(text.data() + start, eol - start));
+    start = eol + 1;
+  }
+}
+
+/// In-place tokenizer replacing detail::split_pipes on the hot path:
+/// splits `line` on its first six '|' into views; the seventh field is
+/// the remainder (may contain '|'). Returns false iff the line has
+/// fewer than seven fields — exactly where split_pipes throws.
+bool split_fields(std::string_view line,
+                  std::array<std::string_view, kRecordFieldCount>& out);
+
+/// Fast-path record parse (see file comment). On success fills `rec`
+/// (entry_data left unset — the caller interns `entry`) and returns
+/// true. On failure returns false WITHOUT classifying the error: the
+/// caller must replay through detail::parse_record_fields, because the
+/// reference grammar accepts some lines this subset parser does not.
+bool try_parse_record(std::string_view line, RasRecord& rec,
+                      std::string_view& entry);
+
+/// Drop-in replacement for read_log: observably identical output
+/// (records, interned pool, IngestReport, strict-mode errors) with one
+/// allocation per kept record (the interned entry copy).
+RasLog read_log_fast(std::istream& is);
+RasLog read_log_fast(std::istream& is, const ReadOptions& options,
+                     IngestReport* report = nullptr);
+
+/// Core streaming driver shared by read_log_fast and the fused ingest
+/// pipeline (preprocess/fused_ingest.hpp). Scans `is` line by line,
+/// parses each record (fast path, reference-parser replay on miss), and
+/// hands every successfully parsed record to `on_record(rec, entry)`.
+/// `entry` is a view into the scan (or replay) buffer — consume it
+/// before returning. Error accounting — strict-mode ParseError with line
+/// numbers, lenient tallies, grace period, and the error-fraction
+/// guard — is byte-identical to read_log; `rep` is reset on entry.
+template <typename F>
+void ingest_records(std::istream& is, const ReadOptions& options,
+                    IngestReport& rep, F&& on_record) {
+  BGL_REQUIRE(options.max_error_fraction >= 0.0 &&
+                  options.max_error_fraction <= 1.0,
+              "max_error_fraction must be within [0, 1]");
+  rep = IngestReport{};
+
+  // Same guard as read_log: grace period, then abort once the dropped
+  // fraction exceeds the budget (see io.cpp).
+  constexpr std::size_t kGraceRecords = 20;
+  const auto over_budget = [&] {
+    return static_cast<double>(rep.records_dropped) >
+           options.max_error_fraction *
+               static_cast<double>(rep.records_attempted);
+  };
+
+  LineScanner scanner(is);
+  std::string_view line;
+  std::string replay;  // reused owned copy for the cold path
+  std::string replay_entry;
+  while (scanner.next(line)) {
+    if (line.empty() || line.front() == '#') {
+      continue;
+    }
+    ++rep.records_attempted;
+    RasRecord rec;
+    std::string_view entry;
+    if (try_parse_record(line, rec, entry)) {
+      on_record(rec, entry);
+      ++rep.records_kept;
+      continue;
+    }
+    // Cold path: the fast grammar is a subset of the reference grammar,
+    // so replay through the oracle parser — it either keeps the record
+    // (e.g. a non-canonical timestamp sscanf accepts) or produces the
+    // exact classification and diagnostic read_log would.
+    IngestError failed;
+    replay.assign(line.data(), line.size());
+    try {
+      const RasRecord oracle =
+          detail::parse_record_fields(replay, replay_entry, &failed);
+      on_record(oracle, std::string_view(replay_entry));
+      ++rep.records_kept;
+    } catch (const ParseError& e) {
+      const std::string diagnostic =
+          std::string(detail::ingest_field_context(failed)) + ": " + e.what();
+      if (options.mode == IngestMode::kStrict) {
+        throw ParseError(diagnostic, scanner.line_number());
+      }
+      ++rep.records_dropped;
+      ++rep.by_class[static_cast<std::size_t>(failed)];
+      if (rep.samples.size() < options.max_samples) {
+        rep.samples.push_back("line " + std::to_string(scanner.line_number()) +
+                              ": " + diagnostic);
+      }
+      if (rep.records_attempted >= kGraceRecords && over_budget()) {
+        throw ParseError(
+            "lenient ingest gave up: " + std::to_string(rep.records_dropped) +
+                " of " + std::to_string(rep.records_attempted) +
+                " records malformed (max_error_fraction " +
+                std::to_string(options.max_error_fraction) + ")",
+            scanner.line_number());
+      }
+    }
+  }
+  if (rep.records_dropped > 0 && over_budget()) {
+    throw ParseError("lenient ingest gave up: " +
+                     std::to_string(rep.records_dropped) + " of " +
+                     std::to_string(rep.records_attempted) +
+                     " records malformed (max_error_fraction " +
+                     std::to_string(options.max_error_fraction) + ")");
+  }
+}
+
+}  // namespace bglpred

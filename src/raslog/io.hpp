@@ -11,6 +11,11 @@
 // This mirrors the flat exports used by the BG/L log studies and makes
 // generated logs diffable and greppable.
 //
+// Field semantics: the first six fields must not contain '|'; the entry
+// data field is the *remainder of the line*, so it may itself contain
+// '|' characters and they round-trip unescaped. Tokenizers therefore
+// split on the first six pipes only.
+//
 // Ingest policy: production RAS streams contain corrupt fields, truncated
 // lines, and duplicate storms, so every reader takes a ReadOptions with
 // two modes (DESIGN §7):
@@ -98,6 +103,11 @@ struct IngestReport {
 /// Serializes one record as a log line (no trailing newline).
 std::string format_record(const RasLog& log, const RasRecord& rec);
 
+/// Appends format_record(log, rec) to `out` without any temporary
+/// stream or string (serialization hot path).
+void format_record_to(std::string& out, const RasLog& log,
+                      const RasRecord& rec);
+
 /// Parses one log line into `log` (appends). Throws ParseError naming the
 /// offending field on malformed input; the log is not modified on error.
 void parse_record_line(const std::string& line, RasLog& log);
@@ -113,10 +123,32 @@ RasLog read_log(std::istream& is);
 RasLog read_log(std::istream& is, const ReadOptions& options,
                 IngestReport* report = nullptr);
 
-/// File convenience wrappers; throw Error on I/O failure.
+/// File convenience wrappers; throw Error on I/O failure. load_log uses
+/// the fast reader (raslog/fast_io.hpp), which is observably identical
+/// to read_log.
 void save_log(const std::string& path, const RasLog& log);
 RasLog load_log(const std::string& path);
 RasLog load_log(const std::string& path, const ReadOptions& options,
                 IngestReport* report = nullptr);
+
+namespace detail {
+
+/// Reference tokenizer: splits on the first `expected - 1` pipes; the
+/// final field takes the remainder (see file comment). Throws ParseError
+/// if the line has too few fields.
+std::vector<std::string> split_pipes(const std::string& line, int expected);
+
+/// Reference (oracle) line parser. Parses all seven fields into a record
+/// plus its entry-data text WITHOUT touching any log, so both the
+/// line-replay cold path in fast_io and the fused ingest pipeline can
+/// reuse it. `*failed` is set before each parsing stage, so it names the
+/// stage in flight when a ParseError escapes.
+RasRecord parse_record_fields(const std::string& line, std::string& entry,
+                              IngestError* failed);
+
+/// Field name used to annotate strict-mode errors ("time field", ...).
+const char* ingest_field_context(IngestError e);
+
+}  // namespace detail
 
 }  // namespace bglpred

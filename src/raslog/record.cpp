@@ -19,12 +19,37 @@ const char* to_string(EventType t) {
 }
 
 EventType parse_event_type(const std::string& name) {
-  for (std::size_t i = 0; i < kEventTypeNames.size(); ++i) {
-    if (name == kEventTypeNames[i]) {
-      return static_cast<EventType>(i);
-    }
+  EventType t;
+  if (try_parse_event_type(name, t)) {
+    return t;
   }
   throw ParseError("unknown event type: '" + name + "'");
+}
+
+bool try_parse_event_type(std::string_view name, EventType& out) {
+  switch (name.empty() ? '\0' : name.front()) {
+    case 'R':
+      if (name == "RAS") {
+        out = EventType::kRas;
+        return true;
+      }
+      break;
+    case 'M':
+      if (name == "MONITOR") {
+        out = EventType::kMonitor;
+        return true;
+      }
+      break;
+    case 'C':
+      if (name == "CONTROL") {
+        out = EventType::kControl;
+        return true;
+      }
+      break;
+    default:
+      break;
+  }
+  return false;
 }
 
 }  // namespace bglpred

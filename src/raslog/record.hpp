@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <string_view>
 
 #include "bgl/job.hpp"
 #include "bgl/location.hpp"
@@ -26,6 +27,10 @@ enum class EventType : std::uint8_t {
 
 const char* to_string(EventType t);
 EventType parse_event_type(const std::string& name);
+
+/// Non-throwing parse with the same accept set as parse_event_type
+/// (ingest hot path).
+bool try_parse_event_type(std::string_view name, EventType& out);
 
 /// Subcategory id assigned during Phase-1 categorization. The raslog layer
 /// treats it as opaque; src/taxonomy defines the catalog. kUnclassified

@@ -19,12 +19,51 @@ const char* to_string(Severity s) {
 }
 
 Severity parse_severity(const std::string& name) {
-  for (std::size_t i = 0; i < kNames.size(); ++i) {
-    if (name == kNames[i]) {
-      return static_cast<Severity>(i);
-    }
+  Severity s;
+  if (try_parse_severity(name, s)) {
+    return s;
   }
   throw ParseError("unknown severity: '" + name + "'");
+}
+
+bool try_parse_severity(std::string_view name, Severity& out) {
+  // First-char dispatch; the string_view == then checks length before
+  // any byte compare, so each branch is one cheap exact match.
+  switch (name.empty() ? '\0' : name.front()) {
+    case 'I':
+      if (name == "INFO") {
+        out = Severity::kInfo;
+        return true;
+      }
+      break;
+    case 'W':
+      if (name == "WARNING") {
+        out = Severity::kWarning;
+        return true;
+      }
+      break;
+    case 'S':
+      if (name == "SEVERE") {
+        out = Severity::kSevere;
+        return true;
+      }
+      break;
+    case 'E':
+      if (name == "ERROR") {
+        out = Severity::kError;
+        return true;
+      }
+      break;
+    case 'F':
+      if (name.size() == 5 ? name == "FATAL" : name == "FAILURE") {
+        out = name.size() == 5 ? Severity::kFatal : Severity::kFailure;
+        return true;
+      }
+      break;
+    default:
+      break;
+  }
+  return false;
 }
 
 }  // namespace bglpred

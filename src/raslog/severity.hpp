@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <string>
+#include <string_view>
 
 namespace bglpred {
 
@@ -32,5 +33,10 @@ const char* to_string(Severity s);
 
 /// Parses a canonical severity name; throws ParseError on unknown input.
 Severity parse_severity(const std::string& name);
+
+/// Non-throwing parse with the same accept set, dispatching on the
+/// first character instead of comparing against every name (ingest hot
+/// path).
+bool try_parse_severity(std::string_view name, Severity& out);
 
 }  // namespace bglpred

@@ -140,13 +140,18 @@ double BytesReader::read_double(const char* what) {
 
 std::string BytesReader::read_string(const char* what,
                                      std::size_t max_length) {
+  return std::string(read_string_view(what, max_length));
+}
+
+std::string_view BytesReader::read_string_view(const char* what,
+                                               std::size_t max_length) {
   const auto len = read<std::uint32_t>(what);
   if (len > max_length) {
     throw ParseError(std::string("payload string implausibly long reading ") +
                      what);
   }
   require(len, what);
-  std::string s(bytes_.substr(pos_, len));
+  const std::string_view s(bytes_.data() + pos_, len);
   pos_ += len;
   return s;
 }
@@ -178,10 +183,15 @@ void encode_record(std::string& out, const RasRecord& rec,
 }
 
 WireRecord decode_record(BytesReader& in) {
+  const WireRecordView view = decode_record_view(in);
+  return WireRecord{view.record, std::string(view.entry)};
+}
+
+WireRecordView decode_record_view(BytesReader& in) {
   // Enum fields pass through as raw integers on purpose: the
   // OnlineEngine's validate() is the single range-checking authority, so
   // a served stream and an in-process stream degrade identically.
-  WireRecord wr;
+  WireRecordView wr;
   RasRecord& rec = wr.record;
   rec.time = in.read<std::int64_t>("record time");
   rec.entry_data = in.read<std::uint32_t>("record entry data");
@@ -199,7 +209,7 @@ WireRecord decode_record(BytesReader& in) {
   rec.severity =
       static_cast<Severity>(in.read<std::uint8_t>("record severity"));
   rec.subcategory = in.read<std::uint16_t>("record subcategory");
-  wr.entry = in.read_string("record entry text");
+  wr.entry = in.read_string_view("record entry text");
   return wr;
 }
 

@@ -160,6 +160,12 @@ class BytesReader {
   std::string read_string(const char* what,
                           std::size_t max_length = (1u << 16));
 
+  /// Zero-copy form of read_string: the returned view aliases the
+  /// reader's underlying buffer and is valid for that buffer's lifetime
+  /// (for frames: until the Frame's payload is destroyed or mutated).
+  std::string_view read_string_view(const char* what,
+                                    std::size_t max_length = (1u << 16));
+
   std::size_t remaining() const { return bytes_.size() - pos_; }
 
  private:
@@ -175,9 +181,19 @@ struct WireRecord {
   std::string entry;
 };
 
+/// Zero-copy form of WireRecord: `entry` aliases the decoded payload
+/// (see BytesReader::read_string_view), so the frame must outlive the
+/// view. The session layer batch-decodes with this, deferring the one
+/// owned copy per record to the point of shard submission.
+struct WireRecordView {
+  RasRecord record;
+  std::string_view entry;
+};
+
 void encode_record(std::string& out, const RasRecord& rec,
                    std::string_view entry);
 WireRecord decode_record(BytesReader& in);
+WireRecordView decode_record_view(BytesReader& in);
 
 void encode_warning(std::string& out, const Warning& warning);
 Warning decode_warning(BytesReader& in);

@@ -147,19 +147,21 @@ Session::Status Session::handle_submit(const Frame& frame, std::string& out) {
   }
   // Decode the whole batch before feeding any of it: a malformed record
   // anywhere in the frame fails the frame as a unit (typed error,
-  // nothing applied) instead of half-applying it.
-  std::vector<WireRecord> records;
+  // nothing applied) instead of half-applying it. Views alias
+  // frame.payload, which outlives this function — the one owned copy
+  // per record happens at shard submission.
+  std::vector<WireRecordView> records;
   records.reserve(count);
   for (std::uint32_t i = 0; i < count; ++i) {
-    records.push_back(decode_record(in));
+    records.push_back(decode_record_view(in));
   }
   if (in.remaining() != 0) {
     throw ParseError("trailing bytes after submitted records");
   }
   std::uint64_t accepted = 0;
   bool busy = false;
-  for (WireRecord& wr : records) {
-    if (shards_->submit(frame.stream_id, wr.record, std::move(wr.entry)) ==
+  for (const WireRecordView& wr : records) {
+    if (shards_->submit(frame.stream_id, wr.record, std::string(wr.entry)) ==
         ShardManager::Submit::kBusy) {
       busy = true;
       break;

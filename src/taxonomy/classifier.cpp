@@ -23,6 +23,15 @@ EventClassifier::EventClassifier() : by_facility_(kFacilityCount) {
 SubcategoryId EventClassifier::classify(std::string_view entry_data,
                                         Facility facility,
                                         Severity severity) const {
+  return classify(entry_data, facility, severity, nullptr);
+}
+
+SubcategoryId EventClassifier::classify(std::string_view entry_data,
+                                        Facility facility, Severity severity,
+                                        bool* matched_phrase) const {
+  if (matched_phrase != nullptr) {
+    *matched_phrase = true;
+  }
   for (const auto& [phrase, id] :
        by_facility_[static_cast<std::size_t>(facility)]) {
     if (entry_data.find(phrase) != std::string_view::npos) {
@@ -38,7 +47,26 @@ SubcategoryId EventClassifier::classify(std::string_view entry_data,
       }
     }
   }
+  if (matched_phrase != nullptr) {
+    *matched_phrase = false;
+  }
   return fallback(facility, severity);
+}
+
+void EventClassifier::classify_record(std::string_view entry_data,
+                                      RasRecord& rec,
+                                      ClassificationStats& stats) const {
+  bool matched_phrase = false;
+  const SubcategoryId id =
+      classify(entry_data, rec.facility, rec.severity, &matched_phrase);
+  if (matched_phrase) {
+    ++stats.classified_by_phrase;
+  } else {
+    ++stats.classified_by_fallback;
+  }
+  rec.subcategory = id;
+  ++stats.total;
+  ++stats.per_main[static_cast<std::size_t>(catalog().info(id).main)];
 }
 
 SubcategoryId EventClassifier::fallback(Facility facility,
@@ -69,41 +97,8 @@ SubcategoryId EventClassifier::fallback(Facility facility,
 
 ClassificationStats EventClassifier::classify_all(RasLog& log) const {
   ClassificationStats stats;
-  stats.total = log.size();
   for (RasRecord& rec : log.mutable_records()) {
-    const std::string& text = log.text_of(rec);
-    SubcategoryId id = kUnclassified;
-    // Inline the two-stage classify so we can attribute phrase/fallback.
-    for (const auto& [phrase, candidate] :
-         by_facility_[static_cast<std::size_t>(rec.facility)]) {
-      if (text.find(phrase) != std::string::npos) {
-        id = candidate;
-        break;
-      }
-    }
-    if (id == kUnclassified) {
-      for (const auto& list : by_facility_) {
-        for (const auto& [phrase, candidate] : list) {
-          if (text.find(phrase) != std::string::npos) {
-            id = candidate;
-            break;
-          }
-        }
-        if (id != kUnclassified) {
-          break;
-        }
-      }
-      if (id != kUnclassified) {
-        ++stats.classified_by_phrase;
-      } else {
-        id = fallback(rec.facility, rec.severity);
-        ++stats.classified_by_fallback;
-      }
-    } else {
-      ++stats.classified_by_phrase;
-    }
-    rec.subcategory = id;
-    ++stats.per_main[static_cast<std::size_t>(catalog().info(id).main)];
+    classify_record(log.text_of(rec), rec, stats);
   }
   return stats;
 }

@@ -37,6 +37,18 @@ class EventClassifier {
   SubcategoryId classify(std::string_view entry_data, Facility facility,
                          Severity severity) const;
 
+  /// Same, additionally reporting (when `matched_phrase` is non-null)
+  /// whether a catalog phrase matched or the facility/severity fallback
+  /// decided — the attribution classify_all tallies.
+  SubcategoryId classify(std::string_view entry_data, Facility facility,
+                         Severity severity, bool* matched_phrase) const;
+
+  /// Streaming form of classify_all: stamps `rec.subcategory` from
+  /// `entry_data` and accumulates `stats` exactly as one classify_all
+  /// iteration would. Shared by classify_all and the fused ingest pass.
+  void classify_record(std::string_view entry_data, RasRecord& rec,
+                       ClassificationStats& stats) const;
+
   /// Classifies every record in the log in place (fills
   /// RasRecord::subcategory) and returns statistics.
   ClassificationStats classify_all(RasLog& log) const;

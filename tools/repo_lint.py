@@ -29,9 +29,18 @@ Rules (C++ sources under src/, tests/, bench/, examples/):
                         (SIGPIPE via MSG_NOSIGNAL, EINTR retries, partial
                         writes, EAGAIN vs EOF); a raw call silently
                         reintroduces them.
+  slow-ingest           std::istringstream / std::ostringstream or
+                        std::string::substr in the ingest hot paths
+                        (src/raslog/, src/preprocess/). Both allocate per
+                        record; the fast path tokenizes with string_view
+                        (raslog/fast_io.hpp) and formats by buffer append.
+                        The reference oracle in io.cpp — kept slow on
+                        purpose as the differential-testing baseline —
+                        carries explicit allow markers.
 
-Suppress a finding on one line with `// repo-lint: allow(<rule>)`, or add
-a (path, rule) pair to ALLOWLIST below with a justification.
+Suppress a finding with `// repo-lint: allow(<rule>)` on the offending
+line or on the line directly above it, or add a (path, rule) pair to
+ALLOWLIST below with a justification.
 
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
@@ -65,6 +74,10 @@ STO_EXEMPT = re.compile(r"^src/common/parse\.(cpp|hpp)$")
 # The socket wrappers are the one sanctioned home for raw send()/recv().
 SEND_RECV_EXEMPT = re.compile(r"^src/serve/net_util\.(cpp|hpp)$")
 
+# Ingest hot paths: record parsing/formatting and Phase-1 preprocessing
+# must stay allocation-free per field (see raslog/fast_io.hpp).
+SLOW_INGEST_DIRS = re.compile(r"^src/(raslog|preprocess)/")
+
 RE_ALLOW = re.compile(r"//\s*repo-lint:\s*allow\(([a-z-]+)\)")
 RE_RAND = re.compile(
     r"\bstd::rand\b|(?<![_\w:])rand\s*\(|\bsrand\s*\(|"
@@ -78,6 +91,10 @@ RE_STO = re.compile(r"\bstd\s*::\s*sto[a-z]+\s*\(")
 # Raw socket I/O calls, including the ::-qualified spellings; identifiers
 # like send_all / recv_some must not match.
 RE_SEND_RECV = re.compile(r"(?<![_\w.])(?:::\s*)?(send|recv)\s*\(")
+# Per-record allocation patterns banned from the ingest hot paths:
+# stringstream round-trips and member .substr() calls.
+RE_SLOW_STREAM = re.compile(r"\bstd\s*::\s*[io]?stringstream\b")
+RE_SUBSTR = re.compile(r"\.substr\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -122,10 +139,11 @@ class Linter:
 
     def report(self, path: str, line_no: int, rule: str, msg: str,
                raw_line: str = "") -> None:
+        # `raw_line` may span two lines (offending line plus the one
+        # above it), so a marker on either suppresses the finding.
         if (path, rule) in ALLOWLIST:
             return
-        m = RE_ALLOW.search(raw_line)
-        if m and m.group(1) == rule:
+        if any(m.group(1) == rule for m in RE_ALLOW.finditer(raw_line)):
             return
         self.findings.append((path, line_no, rule, msg))
 
@@ -148,8 +166,11 @@ class Linter:
         rand_exempt = bool(RAND_EXEMPT.match(path))
         sto_exempt = bool(STO_EXEMPT.match(path))
         send_recv_exempt = bool(SEND_RECV_EXEMPT.match(path))
+        slow_ingest = bool(SLOW_INGEST_DIRS.match(path))
         for idx, code in enumerate(code_lines):
-            raw = raw_lines[idx]
+            # Allow markers may sit on the offending line or just above.
+            raw = (raw_lines[idx - 1] + "\n" if idx > 0 else "") \
+                + raw_lines[idx]
             no = idx + 1
             if not rand_exempt and RE_RAND.search(code):
                 self.report(path, no, "forbidden-rand",
@@ -174,6 +195,13 @@ class Linter:
                             "use the send_all/send_nonblocking/recv_some "
                             "wrappers from serve/net_util instead of raw "
                             "send()/recv()", raw)
+            if slow_ingest and (RE_SLOW_STREAM.search(code) or
+                                RE_SUBSTR.search(code)):
+                self.report(path, no, "slow-ingest",
+                            "ingest hot paths must not allocate per field: "
+                            "tokenize with string_view (raslog/fast_io.hpp) "
+                            "and format by buffer append, not stringstream "
+                            "or substr", raw)
 
     def check_pragma_once(self, path: str, code_lines: list[str]) -> None:
         for idx, code in enumerate(code_lines):
