@@ -41,4 +41,12 @@ if(Python3_FOUND)
             --root ${CMAKE_SOURCE_DIR}
     COMMENT "repo_lint.py over src/ tests/ bench/ examples/ tools/"
     VERBATIM)
+  # Architecture conformance (layering DAG, hot regions, drift checks);
+  # also emits include_graph.{json,dot} into the build dir for CI upload.
+  add_custom_target(repo-analyze
+    COMMAND ${Python3_EXECUTABLE} ${CMAKE_SOURCE_DIR}/tools/repo_analyze.py
+            --root ${CMAKE_SOURCE_DIR}
+            --graph-out ${CMAKE_BINARY_DIR}/include-graph
+    COMMENT "repo_analyze.py: layering, hot paths, cross-artifact drift"
+    VERBATIM)
 endif()

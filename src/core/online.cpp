@@ -49,6 +49,11 @@ OnlineEngine::OnlineEngine(PredictorPtr predictor,
               "reorder horizon must be non-negative");
 }
 
+// bgl:hot-begin(online-submit)
+// The per-record submit path every served stream funnels through:
+// validate -> classify -> dedup -> predictor observe, with the reorder
+// heap in between. The only allocations are container growth (heap,
+// dedup map, warning vector) — amortized, not per record.
 bool OnlineEngine::validate(const RasRecord& record) const {
   // Enum fields straight off the wire index fixed tables downstream
   // (the classifier's by-facility phrase index, the catalog); reject
@@ -147,30 +152,33 @@ std::vector<Warning> OnlineEngine::flush() {
   release_until(INT64_MAX, out);
   return out;
 }
+// bgl:hot-end
+
+// bgl:metric-names-begin
+const OnlineEngine::CounterSlot OnlineEngine::kCounterSlots[7] = {
+    {"raw_records", &OnlineStats::raw_records, &BoundCounters::raw_records},
+    {"deduplicated", &OnlineStats::deduplicated, &BoundCounters::deduplicated},
+    {"forwarded", &OnlineStats::forwarded, &BoundCounters::forwarded},
+    {"warnings", &OnlineStats::warnings, &BoundCounters::warnings},
+    {"degraded", &OnlineStats::degraded, &BoundCounters::degraded},
+    {"reordered", &OnlineStats::reordered, &BoundCounters::reordered},
+    {"clamped", &OnlineStats::clamped, &BoundCounters::clamped},
+};
+// bgl:metric-names-end
 
 void OnlineEngine::attach_metrics(MetricsRegistry& registry,
                                   const std::string& prefix) {
-  const auto bind = [&registry, &prefix](std::size_t current,
-                                         const char* name) {
-    Counter& c = registry.counter(prefix + name);
-    c.inc(current);
-    return &c;
-  };
-  counters_.raw_records = bind(stats_.raw_records, "raw_records");
-  counters_.deduplicated = bind(stats_.deduplicated, "deduplicated");
-  counters_.forwarded = bind(stats_.forwarded, "forwarded");
-  counters_.warnings = bind(stats_.warnings, "warnings");
-  counters_.degraded = bind(stats_.degraded, "degraded");
-  counters_.reordered = bind(stats_.reordered, "reordered");
-  counters_.clamped = bind(stats_.clamped, "clamped");
+  for (const CounterSlot& slot : kCounterSlots) {
+    Counter& c = registry.counter(prefix + slot.name);
+    c.inc(stats_.*slot.stat);
+    counters_.*slot.bound = &c;
+  }
 }
 
 void OnlineEngine::reset_metrics(MetricsRegistry& registry,
                                  const std::string& prefix) {
-  // Keep this name list in sync with attach_metrics above.
-  for (const char* name : {"raw_records", "deduplicated", "forwarded",
-                           "warnings", "degraded", "reordered", "clamped"}) {
-    registry.counter(prefix + name).reset();
+  for (const CounterSlot& slot : kCounterSlots) {
+    registry.counter(prefix + slot.name).reset();
   }
 }
 

@@ -141,6 +141,17 @@ class OnlineEngine {
     Counter* clamped = nullptr;
   };
 
+  /// One row per engine counter: registry name, the OnlineStats field it
+  /// mirrors, and the BoundCounters slot it binds. attach_metrics and
+  /// reset_metrics both walk this table, so the name set cannot drift
+  /// between them (definition in online.cpp).
+  struct CounterSlot {
+    const char* name;
+    std::size_t OnlineStats::*stat;
+    Counter* BoundCounters::*bound;
+  };
+  static const CounterSlot kCounterSlots[7];
+
   /// Bumps a stats member and its bound registry counter together —
   /// the single mutation point for every OnlineStats field.
   static void bump(std::size_t& stat, Counter* counter) {

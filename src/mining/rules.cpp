@@ -60,6 +60,11 @@ RuleSet::RuleSet(std::vector<Rule> rules) : rules_(std::move(rules)) {
   }
 }
 
+// bgl:hot-begin(rule-matcher)
+// Matching runs once per forwarded record in the online engine; the
+// ~4500x over the naive scan (DESIGN §6) only holds while this stays
+// bitset-AND + popcount (the candidate copy is a handful of words, and
+// empty for rule sets with no always-checked bodies).
 const Rule* RuleSet::match_candidates(const ItemBitset& observed,
                                       const Itemset* observed_items) const {
   // Candidates: rules sharing at least one item with the observed set
@@ -104,6 +109,7 @@ const Rule* RuleSet::best_match(const Itemset& observed) const {
 const Rule* RuleSet::best_match(const ItemBitset& observed) const {
   return match_candidates(observed, nullptr);
 }
+// bgl:hot-end
 
 const Rule* RuleSet::best_match_naive(const Itemset& observed) const {
   for (const Rule& rule : rules_) {

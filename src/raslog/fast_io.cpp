@@ -34,6 +34,10 @@ void LineScanner::refill() {
   }
 }
 
+// bgl:hot-begin(ingest-scanner)
+// Per-record tokenizing: one pass over the chunk buffer, string_views
+// only. Allocation lives in refill() (amortized once per chunk) and in
+// the cold replay path of ingest_records — never here.
 bool LineScanner::next(std::string_view& line) {
   for (;;) {
     const char* base = buf_.data();
@@ -96,6 +100,7 @@ bool try_parse_record(std::string_view line, RasRecord& rec,
   entry = fields[6];
   return true;
 }
+// bgl:hot-end
 
 RasLog read_log_fast(std::istream& is) {
   return read_log_fast(is, ReadOptions::strict());

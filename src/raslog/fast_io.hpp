@@ -141,6 +141,7 @@ void ingest_records(std::istream& is, const ReadOptions& options,
   std::string replay;  // reused owned copy for the cold path
   std::string replay_entry;
   while (scanner.next(line)) {
+    // bgl:hot-begin(ingest-fast-path)
     if (line.empty() || line.front() == '#') {
       continue;
     }
@@ -152,6 +153,7 @@ void ingest_records(std::istream& is, const ReadOptions& options,
       ++rep.records_kept;
       continue;
     }
+    // bgl:hot-end
     // Cold path: the fast grammar is a subset of the reference grammar,
     // so replay through the oracle parser — it either keeps the record
     // (e.g. a non-canonical timestamp sscanf accepts) or produces the

@@ -70,6 +70,7 @@ bool Server::running() const { return impl_->loop_running.load(); }
 
 MetricsRegistry& Server::metrics() const { return impl_->registry; }
 
+// bgl:hot-begin(serve-flush)
 void Server::Impl::flush(Connection& conn) {
   if (conn.outbox.empty()) {
     return;
@@ -94,6 +95,7 @@ void Server::Impl::flush(Connection& conn) {
   }
   conn.outbox.erase(0, off);
 }
+// bgl:hot-end
 
 void Server::Impl::loop() {
   std::vector<pollfd> fds;
@@ -141,6 +143,7 @@ void Server::Impl::loop() {
     }
     // Existing connections: read, hand bytes to the session, queue
     // responses, flush what fits.
+    // bgl:hot-begin(serve-event-loop)
     bool shutdown_after_flush = false;
     for (std::size_t i = 0; i < polled; ++i) {
       Connection& conn = *connections[i];
@@ -183,6 +186,7 @@ void Server::Impl::loop() {
         shutdown_after_flush = true;
       }
     }
+    // bgl:hot-end
     // Batched hand-off: everything submitted during this wakeup goes
     // through the shards in one drain (fanned out if a pool exists).
     shards.drain();

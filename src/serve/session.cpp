@@ -34,6 +34,11 @@ void Session::respond_error(ErrorCode code, std::string message,
           out);
 }
 
+// bgl:hot-begin(serve-frame-pump)
+// Every byte off every connection passes through this loop; it appends
+// to the caller's outbox and bumps counters, nothing else. Decode
+// errors arrive as *status values* from the FrameReader — the throwing
+// decoders live behind handle_frame's try/catch, outside the region.
 Session::Status Session::on_bytes(std::string_view data, std::string& out) {
   reader_.feed(data);
   for (;;) {
@@ -61,6 +66,7 @@ Session::Status Session::on_bytes(std::string_view data, std::string& out) {
     }
   }
 }
+// bgl:hot-end
 
 Session::Status Session::handle_frame(const Frame& frame, std::string& out) {
   if (!is_request_type(static_cast<std::uint8_t>(frame.type))) {

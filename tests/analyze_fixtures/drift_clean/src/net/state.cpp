@@ -1,0 +1,5 @@
+#include "net/proto.hpp"
+void save(std::ostream& os, Registry& registry) {
+  wire::write_tag(os, "DEMO1");
+  registry.counter("net.pings").inc();
+}

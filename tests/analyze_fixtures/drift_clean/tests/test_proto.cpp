@@ -1,0 +1,10 @@
+// Every opcode, tag, and metric name appears here, next to a dump_json
+// assertion — the clean counterpart of drift_gaps.
+void test_everything() {
+  expect(roundtrip(MessageType::kPing));
+  expect(roundtrip(MessageType::kPong));
+  expect(blob.substr(0, 5) == "DEMO1");
+  const std::string json = registry.dump_json();
+  expect(json.contains("net.pings"));
+  expect(json.contains("net.errors"));
+}

@@ -1,0 +1,4 @@
+#pragma once
+// bgl:metric-names-begin
+constexpr const char* kNetCounterNames[] = {"net.errors"};
+// bgl:metric-names-end

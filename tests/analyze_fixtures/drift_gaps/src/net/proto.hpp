@@ -1,0 +1,5 @@
+#pragma once
+enum class MessageType : unsigned char {
+  kPing = 1,
+  kPong = 2,
+};

@@ -1,0 +1,6 @@
+// Covers the first opcode only; the second opcode, the checkpoint tag,
+// and both metric names are deliberately absent so the drift rules fire.
+void test_ping_roundtrip() {
+  expect(roundtrip(MessageType::kPing));
+  expect(registry.dump_json() == "{}");
+}

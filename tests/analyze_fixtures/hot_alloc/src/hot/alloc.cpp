@@ -1,0 +1,8 @@
+#include "hot/widget.hpp"
+// bgl:hot-begin(alloc-demo)
+void consume(const Widget& in) {
+  Widget* copy = new Widget(in);
+  auto owned = std::make_unique<Widget>(in);
+  copy->use(owned.get());
+}
+// bgl:hot-end

@@ -1,0 +1,9 @@
+#include "hot/sink.hpp"
+// bgl:hot-begin(clean-demo)
+void append(Sink& sink, const Payload& payload) {
+  sink.reserve_one();  // amortized growth happens outside the region
+  // bgl-analyze: allow(hot-alloc) -- one-time arena warm-up, not per record
+  sink.arena = new Arena(payload.size());
+  sink.push(payload);
+}
+// bgl:hot-end

@@ -1,0 +1,2 @@
+#include "hot/sink.hpp"
+void cold(Sink& sink) { sink.flush(); }

@@ -1,0 +1,10 @@
+#include "hot/sink.hpp"
+// bgl:hot-begin(pump-demo)
+void pump(Sink& sink, std::vector<int> values) {
+  std::ostringstream line;
+  for (int v : values) {
+    line << v;
+  }
+  sink.write(line);
+}
+// bgl:hot-end

@@ -1,0 +1,9 @@
+#include "hot/record.hpp"
+// bgl:hot-begin(fmt-demo)
+void tag_record(Record& rec, int id) {
+  rec.label = std::to_string(id);
+  if (rec.label.empty()) {
+    throw BadRecord("empty label");
+  }
+}
+// bgl:hot-end

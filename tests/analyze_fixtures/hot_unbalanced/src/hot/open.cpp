@@ -1,0 +1,3 @@
+#include "hot/sink.hpp"
+// bgl:hot-begin(never-closed)
+void drain(Sink& sink) { sink.flush(); }

@@ -1,0 +1,3 @@
+#pragma once
+#include "base/util.hpp"
+inline int logic() { return util(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int logic() { return 2; }

@@ -1,0 +1,2 @@
+#pragma once
+inline int util() { return 1; }

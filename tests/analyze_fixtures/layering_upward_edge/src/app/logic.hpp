@@ -1,0 +1,3 @@
+#pragma once
+#include "base/other.hpp"
+inline int logic() { return other(); }

@@ -1,0 +1,2 @@
+#pragma once
+inline int other() { return 2; }

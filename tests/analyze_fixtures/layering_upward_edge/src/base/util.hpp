@@ -1,0 +1,3 @@
+#pragma once
+#include "app/logic.hpp"
+inline int util() { return logic() + 1; }

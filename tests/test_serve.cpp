@@ -248,6 +248,47 @@ TEST(ShardManagerTest, RestoreDoesNotDoubleEngineCounters) {
   EXPECT_EQ(raw.value(), before);
 }
 
+TEST(ShardManagerTest, DumpJsonListsEveryRegisteredMetric) {
+  // Inventory check paired with the drift-metric-unasserted rule in
+  // tools/repo_analyze.py: every metric the serving plane registers must
+  // surface in dump_json under its documented name. A renamed or dropped
+  // registration fails here; a new registration missing from this list
+  // fails the analyzer.
+  const ThreePhasePredictor tpp;
+  MetricsRegistry registry;
+  ShardOptions options = small_shard_options(tpp);
+  options.shard_count = 1;
+  ShardManager manager(options, registry);
+
+  // One submitted record forces a stream — and its engine's counters —
+  // into existence under shard0.engine.*.
+  GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
+  const auto streams = split_streams(g, 1, 1);
+  ASSERT_FALSE(streams[0].empty());
+  ASSERT_EQ(manager.submit(0, streams[0][0].record, streams[0][0].entry),
+            ShardManager::Submit::kAccepted);
+  manager.drain();
+
+  const std::string json = registry.dump_json();
+  for (const char* name : {
+           // session/server plane (ServeMetrics)
+           "serve.frames_in", "serve.frames_out", "serve.decode_errors",
+           "serve.duplicate_frames", "serve.records_in", "serve.batches_in",
+           "serve.records_rejected", "serve.warnings_out",
+           "serve.checkpoints", "serve.restores", "serve.connections",
+           "serve.submit_micros", "serve.warning_age_micros",
+           // per-shard gauges
+           "shard0.queue_depth", "shard0.streams",
+           // per-stream engine counters (OnlineEngine::kCounterSlots)
+           "shard0.engine.raw_records", "shard0.engine.deduplicated",
+           "shard0.engine.forwarded", "shard0.engine.warnings",
+           "shard0.engine.degraded", "shard0.engine.reordered",
+           "shard0.engine.clamped"}) {
+    EXPECT_NE(json.find(std::string("\"") + name + "\""), std::string::npos)
+        << "metric missing from dump_json: " << name;
+  }
+}
+
 TEST(ServerTest, AbortiveClientDisconnectDoesNotKillServer) {
   const ThreePhasePredictor tpp;
   ServerOptions options;

@@ -259,6 +259,41 @@ TEST(CodecTest, RequestTypePredicate) {
   EXPECT_FALSE(is_request_type(255));
 }
 
+TEST(CodecTest, EveryWireOpcodeRoundtripsThroughTheFramer) {
+  // The full MessageType inventory — adding an opcode without extending
+  // this list trips the drift check in tools/repo_analyze.py.
+  const MessageType requests[] = {
+      MessageType::kSubmitRecord, MessageType::kSubmitBatch,
+      MessageType::kPollWarnings, MessageType::kCheckpoint,
+      MessageType::kRestore,      MessageType::kStats,
+      MessageType::kShutdown,
+  };
+  const MessageType responses[] = {
+      MessageType::kOk,        MessageType::kWarnings,
+      MessageType::kCheckpointBlob, MessageType::kStatsJson,
+      MessageType::kError,     MessageType::kRejectedBusy,
+  };
+  const auto roundtrip = [](MessageType type, bool request) {
+    Frame f = sample_frame();
+    f.type = type;
+    FrameReader reader;
+    reader.feed(encode_frame(f));
+    Frame got;
+    FrameError error;
+    ASSERT_EQ(reader.next(got, error), FrameReader::Status::kFrame)
+        << "opcode " << static_cast<unsigned>(type);
+    EXPECT_EQ(got.type, type);
+    EXPECT_EQ(is_request_type(static_cast<std::uint8_t>(type)), request)
+        << "opcode " << static_cast<unsigned>(type);
+  };
+  for (const MessageType type : requests) {
+    roundtrip(type, /*request=*/true);
+  }
+  for (const MessageType type : responses) {
+    roundtrip(type, /*request=*/false);
+  }
+}
+
 // ---- metrics registry ----------------------------------------------------
 
 TEST(MetricsTest, SameNameReturnsSameInstrument) {

@@ -42,12 +42,22 @@ Suppress a finding with `// repo-lint: allow(<rule>)` on the offending
 line or on the line directly above it, or add a (path, rule) pair to
 ALLOWLIST below with a justification.
 
+`--json` prints findings as a JSON array (machine-readable for CI
+annotation) instead of the human `path:line: [rule] msg` lines; both
+modes end with a per-rule summary on stderr.
+
+Deeper architecture checks — module-layering DAG, hot-path allocation
+regions, GCC -fanalyzer triage, cross-artifact drift — live in the
+sibling tools/repo_analyze.py.
+
 Exit status: 0 clean, 1 findings, 2 usage error.
 """
 
 from __future__ import annotations
 
 import argparse
+import collections
+import json
 import os
 import re
 import sys
@@ -264,15 +274,18 @@ class Linter:
                             "includes within a block must be sorted "
                             "alphabetically")
 
-    def run(self) -> int:
+    def run(self, as_json: bool = False) -> int:
         files: list[str] = []
         for scan_dir in SCAN_DIRS:
             top = os.path.join(self.root, scan_dir)
             if not os.path.isdir(top):
                 continue
             for dirpath, dirnames, filenames in os.walk(top):
+                # analyze_fixtures holds deliberately-violating inputs for
+                # repo_analyze.py --self-test; don't lint the bait.
                 dirnames[:] = [d for d in dirnames
-                               if not d.startswith(("build", "."))]
+                               if not d.startswith(("build", "."))
+                               and d != "analyze_fixtures"]
                 for name in sorted(filenames):
                     if name.endswith(CXX_EXTENSIONS):
                         files.append(os.path.relpath(
@@ -280,10 +293,23 @@ class Linter:
         for path in sorted(files):
             self.lint_file(path)
 
-        for path, line_no, rule, msg in self.findings:
-            print(f"{path}:{line_no}: [{rule}] {msg}")
+        if as_json:
+            print(json.dumps(
+                [{"path": path, "line": line_no, "rule": rule, "msg": msg}
+                 for path, line_no, rule, msg in self.findings],
+                indent=2))
+        else:
+            for path, line_no, rule, msg in self.findings:
+                print(f"{path}:{line_no}: [{rule}] {msg}")
+
+        # Per-rule summary on stderr so it never pollutes --json stdout.
+        by_rule = collections.Counter(rule for _, _, rule, _ in self.findings)
+        breakdown = ", ".join(f"{rule}: {count}"
+                              for rule, count in sorted(by_rule.items()))
         print(f"repo_lint: {len(files)} files scanned, "
-              f"{len(self.findings)} finding(s)")
+              f"{len(self.findings)} finding(s)"
+              + (f" ({breakdown})" if breakdown else ""),
+              file=sys.stderr)
         return 1 if self.findings else 0
 
 
@@ -292,11 +318,13 @@ def main() -> int:
     parser.add_argument("--root", default=os.path.dirname(
         os.path.dirname(os.path.abspath(__file__))),
         help="repository root (default: parent of tools/)")
+    parser.add_argument("--json", action="store_true",
+                        help="emit findings as a JSON array on stdout")
     args = parser.parse_args()
     if not os.path.isdir(args.root):
         print(f"repo_lint: no such directory: {args.root}", file=sys.stderr)
         return 2
-    return Linter(args.root).run()
+    return Linter(args.root).run(as_json=args.json)
 
 
 if __name__ == "__main__":
