@@ -1,27 +1,51 @@
 // Deterministic load generator for the sharded prediction service
-// (EXPERIMENTS.md X9).
+// (EXPERIMENTS.md X9/X11).
 //
-// Replays simgen logs as interleaved client streams through a real
-// loopback server — client -> socket -> session -> shards -> engines —
-// and reports end-to-end records/s plus the p50/p99 warning age (the
-// time a warning sits between the engine emitting it and a poll
-// delivering it, read from the server's own histogram; server and
-// generator share the process, so no cross-process clock games).
+// Two workloads share this binary:
 //
-//   $ ./serve_loadgen                  # full google-benchmark sweep
-//   $ ./serve_loadgen --smoke          # CI smoke: one tiny config, with
-//                                      # result sanity checks, still
-//                                      # emitting BENCH_serve.json
+//  * BM_ServeLoadgen — the original blocking-client replay: simgen logs
+//    as interleaved streams through a real loopback server, reporting
+//    records/s plus the p50/p99 warning age from the server's own
+//    histogram.
+//  * BM_ServeSweep — the 1→10k concurrent-connection latency sweep
+//    (EXPERIMENTS.md X11). Every connection is a nonblocking state
+//    machine driven by a client-side epoll EventPoller: pre-encoded
+//    pipelined SUBMIT_BATCH windows go out, per-frame submit→reply
+//    latency lands in an exact (sorted-sample) p50/p99/p999, and the
+//    row reports throughput plus dropped/desynced/busy anomaly counts.
+//    The server runs whichever backend BGL_SERVE_POLL selects, so the
+//    same sweep measures epoll against the poll() oracle.
+//
+//   $ ./serve_loadgen                   # full google-benchmark sweep
+//   $ ./serve_loadgen --smoke           # CI gate: correctness pass +
+//                                       # epoll-vs-poll-baseline
+//                                       # throughput floor, then emits
+//                                       # BENCH_serve.json (cheap row)
+//   $ ./serve_loadgen --sweep-smoke     # CI gate: few-hundred-conn
+//                                       # sweep, p99 bound, zero
+//                                       # dropped/desynced frames
+//   $ ./serve_loadgen --write-baseline  # regenerate the committed
+//                                       # poll() oracle baseline JSON
 #include <benchmark/benchmark.h>
 
+#include <sys/resource.h>
+
+#include <algorithm>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
+#include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
 #include "bench_json.hpp"
+#include "common/binary.hpp"
 #include "core/three_phase.hpp"
 #include "serve/client.hpp"
+#include "serve/event_poller.hpp"
+#include "serve/net_util.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
 #include "simgen/generator.hpp"
@@ -33,6 +57,10 @@ namespace {
 
 /// --smoke shrinks the workload; set in main() before benchmarks run.
 bool g_smoke = false;
+
+#ifndef BGL_SERVE_BASELINE_PATH
+#define BGL_SERVE_BASELINE_PATH "BENCH_serve_poll_baseline.json"
+#endif
 
 struct Workload {
   std::vector<std::vector<WireRecord>> streams;
@@ -57,6 +85,551 @@ const Workload& workload() {
   }();
   return w;
 }
+
+ServerOptions sweep_server_options(const ThreePhasePredictor& tpp) {
+  ServerOptions options;
+  options.listen_backlog = 4096;  // connection storms; kernel clamps
+  options.shards.shard_count = 2;
+  // Deep queues: the sweep measures latency/throughput, and a client
+  // that never resubmits would silently lose REJECTED_BUSY records —
+  // anomaly counters assert this stays zero instead.
+  options.shards.queue_capacity = 1u << 20;
+  options.shards.predictor_factory = [&tpp] {
+    return tpp.make_predictor(Method::kEveryFailure);
+  };
+  return options;
+}
+
+// ---- fd budget -----------------------------------------------------------
+
+/// Both ends of every loopback connection live in this process, so N
+/// connections cost ~2N descriptors. Raise RLIMIT_NOFILE as far as the
+/// kernel allows (best effort) and report how many connections fit.
+std::size_t raise_fd_limit_and_cap() {
+  rlimit lim{};
+  if (getrlimit(RLIMIT_NOFILE, &lim) != 0) {
+    return 1024;
+  }
+  const rlim_t want = 65536;
+  if (lim.rlim_cur < want) {
+    rlimit raised = lim;
+    raised.rlim_cur = std::max<rlim_t>(lim.rlim_max, want);
+    raised.rlim_max = std::max<rlim_t>(lim.rlim_max, want);
+    if (setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+      lim = raised;
+    } else {
+      // Privileged raise refused: at least lift soft to hard.
+      raised = lim;
+      raised.rlim_cur = lim.rlim_max;
+      if (setrlimit(RLIMIT_NOFILE, &raised) == 0) {
+        lim = raised;
+      }
+    }
+  }
+  // Headroom for the listener, pollers, eventfds, benchmark files, and
+  // whatever the runtime already holds open.
+  const rlim_t budget = lim.rlim_cur > 256 ? lim.rlim_cur - 256 : 0;
+  return static_cast<std::size_t>(budget / 2);
+}
+
+std::size_t fd_capped_connections() {
+  static const std::size_t cap = raise_fd_limit_and_cap();
+  return cap;
+}
+
+// ---- the connection sweep ------------------------------------------------
+
+struct SweepConfig {
+  std::size_t connections = 1;
+  std::size_t frames_per_conn = 4;
+  std::size_t records_per_frame = 4;
+};
+
+struct SweepResult {
+  std::size_t connections = 0;       ///< actually opened
+  std::size_t records_submitted = 0;
+  std::uint64_t records_accepted = 0;
+  double elapsed_s = 0.0;
+  std::uint64_t p50_us = 0;
+  std::uint64_t p99_us = 0;
+  std::uint64_t p999_us = 0;
+  std::size_t busy_replies = 0;    ///< REJECTED_BUSY (queue too small)
+  std::size_t dropped = 0;         ///< conns that died before all replies
+  std::size_t desynced = 0;        ///< mismatched/error/undecodable frames
+};
+
+/// Per-connection client state machine (see file header).
+struct SweepConn {
+  OwnedFd fd;
+  std::size_t write_off = 0;      ///< into the shared wire image
+  std::string wire;               ///< patched copy of the frame template
+  std::size_t next_stamp = 0;     ///< frames fully handed to the kernel
+  std::size_t replies = 0;
+  bool want_write = false;
+  bool done = false;
+  FrameReader reader;
+  std::vector<std::chrono::steady_clock::time_point> sent_at;
+};
+
+/// Pre-encodes one connection's frames: a single pipelined window —
+/// head unflagged, followers kFlagPipelineFollow — with stream_id 0 to
+/// be patched per connection (the CRC covers only the payload, so
+/// header patching is free). Returns the byte image plus each frame's
+/// end offset (for send-completion stamping) and start offset (for
+/// stream-id patching).
+struct FrameTemplate {
+  std::string wire;
+  std::vector<std::size_t> frame_starts;
+  std::vector<std::size_t> frame_ends;
+  std::size_t records = 0;
+};
+
+FrameTemplate build_template(const SweepConfig& cfg) {
+  // Flattened record pool, tiled when a config needs more than the
+  // generated log holds.
+  const Workload& load = workload();
+  std::vector<const WireRecord*> pool;
+  for (const auto& stream : load.streams) {
+    for (const WireRecord& wr : stream) {
+      pool.push_back(&wr);
+    }
+  }
+  FrameTemplate tpl;
+  std::size_t next = 0;
+  for (std::size_t f = 0; f < cfg.frames_per_conn; ++f) {
+    Frame frame;
+    frame.type = MessageType::kSubmitBatch;
+    frame.stream_id = 0;  // patched per connection
+    frame.seq = static_cast<std::uint32_t>(f + 1);
+    if (f > 0) {
+      frame.flags = kFlagPipelineFollow;
+    }
+    wire::append<std::uint32_t>(
+        frame.payload, static_cast<std::uint32_t>(cfg.records_per_frame));
+    for (std::size_t r = 0; r < cfg.records_per_frame; ++r) {
+      const WireRecord& wr = *pool[next++ % pool.size()];
+      encode_record(frame.payload, wr.record, wr.entry);
+      ++tpl.records;
+    }
+    tpl.frame_starts.push_back(tpl.wire.size());
+    tpl.wire += encode_frame(frame);
+    tpl.frame_ends.push_back(tpl.wire.size());
+  }
+  return tpl;
+}
+
+void patch_stream_id(std::string& wire,
+                     const std::vector<std::size_t>& frame_starts,
+                     std::uint64_t stream_id) {
+  for (const std::size_t start : frame_starts) {
+    for (std::size_t b = 0; b < 8; ++b) {
+      wire[start + 8 + b] =
+          static_cast<char>((stream_id >> (8 * b)) & 0xff);
+    }
+  }
+}
+
+/// Writes as much of the connection's remaining bytes as the kernel
+/// accepts, stamping each frame the moment its last byte is handed
+/// over. Returns false when the connection failed.
+bool pump_writes(SweepConn& conn, const FrameTemplate& tpl) {
+  try {
+    while (conn.write_off < conn.wire.size()) {
+      const std::size_t n = send_nonblocking(
+          conn.fd, std::string_view(conn.wire).substr(conn.write_off));
+      if (n == SIZE_MAX) {
+        break;
+      }
+      conn.write_off += n;
+      const auto now = std::chrono::steady_clock::now();
+      while (conn.next_stamp < tpl.frame_ends.size() &&
+             conn.write_off >= tpl.frame_ends[conn.next_stamp]) {
+        conn.sent_at[conn.next_stamp] = now;
+        ++conn.next_stamp;
+      }
+    }
+  } catch (const Error&) {
+    return false;
+  }
+  return true;
+}
+
+SweepResult run_sweep(const SweepConfig& cfg, const ThreePhasePredictor& tpp) {
+  SweepResult result;
+  const FrameTemplate tpl = build_template(cfg);
+
+  ServerOptions options = sweep_server_options(tpp);
+  Server server(options);
+  server.start();
+
+  // Phase 1 (untimed): open the connection population. Blocking
+  // connects pace themselves against the server's accept loop.
+  std::vector<std::unique_ptr<SweepConn>> conns;
+  conns.reserve(cfg.connections);
+  for (std::size_t c = 0; c < cfg.connections; ++c) {
+    auto conn = std::make_unique<SweepConn>();
+    conn->fd = connect_loopback(server.port());
+    set_nonblocking(conn->fd);
+    conn->wire = tpl.wire;
+    patch_stream_id(conn->wire, tpl.frame_starts,
+                    /*stream_id=*/c + 1);
+    conn->sent_at.resize(cfg.frames_per_conn);
+    conns.push_back(std::move(conn));
+  }
+  result.connections = conns.size();
+  result.records_submitted = tpl.records * conns.size();
+
+  // Phase 2 (timed): drive every connection to completion off a
+  // client-side epoll poller.
+  std::vector<std::uint64_t> latencies_us;
+  latencies_us.reserve(conns.size() * cfg.frames_per_conn);
+  auto poller = make_event_poller(PollerBackend::kEpoll);
+  std::vector<SweepConn*> by_fd(65536, nullptr);
+  std::size_t done_count = 0;
+  std::vector<char> scratch(64 * 1024);
+  std::vector<ReadyEvent> events;
+
+  const auto handle_reply = [&](SweepConn& conn, const Frame& frame) {
+    const std::size_t idx = frame.seq == 0 ? SIZE_MAX : frame.seq - 1;
+    if (idx >= cfg.frames_per_conn) {
+      ++result.desynced;
+      return;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    latencies_us.push_back(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            now - conn.sent_at[idx])
+            .count()));
+    if (frame.type == MessageType::kOk ||
+        frame.type == MessageType::kRejectedBusy) {
+      BytesReader in(frame.payload);
+      result.records_accepted += in.read<std::uint64_t>("accepted count");
+      if (frame.type == MessageType::kRejectedBusy) {
+        ++result.busy_replies;
+      }
+    } else {
+      ++result.desynced;
+    }
+    ++conn.replies;
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  for (auto& conn : conns) {
+    by_fd[static_cast<std::size_t>(conn->fd.get())] = conn.get();
+    poller->add(conn->fd.get(), /*want_write=*/false);
+    if (!pump_writes(*conn, tpl)) {
+      conn->done = true;
+      ++done_count;
+      ++result.dropped;
+      poller->remove(conn->fd.get());
+      continue;
+    }
+    if (conn->write_off < conn->wire.size()) {
+      conn->want_write = true;
+      poller->set_want_write(conn->fd.get(), true);
+    }
+  }
+  const auto deadline = start + std::chrono::seconds(120);
+  while (done_count < conns.size() &&
+         std::chrono::steady_clock::now() < deadline) {
+    const std::size_t n = poller->wait(1000, events);
+    for (std::size_t i = 0; i < n; ++i) {
+      SweepConn* conn = by_fd[static_cast<std::size_t>(events[i].fd)];
+      if (conn == nullptr || conn->done) {
+        continue;
+      }
+      bool failed = false;
+      if (events[i].writable && conn->write_off < conn->wire.size()) {
+        failed = !pump_writes(*conn, tpl);
+        if (!failed && conn->write_off == conn->wire.size() &&
+            conn->want_write) {
+          conn->want_write = false;
+          poller->set_want_write(conn->fd.get(), false);
+        }
+      }
+      if (!failed && events[i].readable) {
+        try {
+          for (;;) {
+            const std::size_t r =
+                recv_into(conn->fd, scratch.data(), scratch.size());
+            if (r == SIZE_MAX) {
+              break;
+            }
+            if (r == 0) {
+              failed = conn->replies < cfg.frames_per_conn;
+              break;
+            }
+            conn->reader.feed(std::string_view(scratch.data(), r));
+            Frame frame;
+            FrameError error;
+            for (;;) {
+              const FrameReader::Status st = conn->reader.next(frame, error);
+              if (st == FrameReader::Status::kNeedMore) {
+                break;
+              }
+              if (st != FrameReader::Status::kFrame) {
+                ++result.desynced;
+                failed = true;
+                break;
+              }
+              handle_reply(*conn, frame);
+            }
+            if (failed || conn->replies == cfg.frames_per_conn) {
+              break;
+            }
+          }
+        } catch (const Error&) {
+          failed = true;
+        }
+      }
+      if (!conn->done &&
+          (failed || conn->replies == cfg.frames_per_conn)) {
+        if (failed) {
+          ++result.dropped;
+        }
+        conn->done = true;
+        ++done_count;
+        poller->remove(conn->fd.get());
+        by_fd[static_cast<std::size_t>(conn->fd.get())] = nullptr;
+        conn->fd.reset();
+      }
+    }
+  }
+  result.dropped += conns.size() - done_count;
+  result.elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  conns.clear();
+  server.stop();
+
+  if (!latencies_us.empty()) {
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const auto at = [&](double q) {
+      const std::size_t i = std::min(
+          latencies_us.size() - 1,
+          static_cast<std::size_t>(q * static_cast<double>(latencies_us.size())));
+      return latencies_us[i];
+    };
+    result.p50_us = at(0.50);
+    result.p99_us = at(0.99);
+    result.p999_us = at(0.999);
+  }
+  return result;
+}
+
+void BM_ServeSweep(benchmark::State& state) {
+  const auto requested = static_cast<std::size_t>(state.range(0));
+  const std::size_t cap = fd_capped_connections();
+  SweepConfig cfg;
+  cfg.connections = std::min(requested, cap);
+  if (cfg.connections < requested) {
+    std::fprintf(stderr,
+                 "sweep: fd limit caps %zu requested connections at %zu\n",
+                 requested, cfg.connections);
+  }
+  // Scale per-connection work down as the population grows so every row
+  // finishes in comparable wall time (floor of 2 windows' worth).
+  cfg.records_per_frame = 4;
+  cfg.frames_per_conn = std::max<std::size_t>(
+      2, 65536 / (cfg.connections * cfg.records_per_frame));
+  const ThreePhasePredictor tpp;
+
+  SweepResult r;
+  for (auto _ : state) {
+    r = run_sweep(cfg, tpp);
+  }
+  state.SetLabel(to_string(poller_backend_from_env()));
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(r.records_submitted));
+  state.counters["connections"] = static_cast<double>(r.connections);
+  state.counters["records"] = static_cast<double>(r.records_submitted);
+  state.counters["rps"] =
+      static_cast<double>(r.records_accepted) / std::max(r.elapsed_s, 1e-9);
+  state.counters["p50_us"] = static_cast<double>(r.p50_us);
+  state.counters["p99_us"] = static_cast<double>(r.p99_us);
+  state.counters["p999_us"] = static_cast<double>(r.p999_us);
+  state.counters["busy"] = static_cast<double>(r.busy_replies);
+  state.counters["dropped"] = static_cast<double>(r.dropped);
+  state.counters["desynced"] = static_cast<double>(r.desynced);
+}
+
+// ---- throughput probes and the committed poll() baseline -----------------
+
+/// Records/s of a pipelined submit replay against the given backend —
+/// the number the smoke gate compares across backends and against the
+/// committed baseline.
+double throughput_probe(PollerBackend backend, const ThreePhasePredictor& tpp) {
+  const Workload& load = workload();
+  std::vector<WireRecord> all;
+  for (const auto& stream : load.streams) {
+    all.insert(all.end(), stream.begin(), stream.end());
+  }
+  ServerOptions options;
+  options.backend = backend;
+  options.shards.shard_count = 2;
+  options.shards.queue_capacity = 4096;
+  options.shards.predictor_factory = [&tpp] {
+    return tpp.make_predictor(Method::kEveryFailure);
+  };
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+  const auto start = std::chrono::steady_clock::now();
+  client.submit_all_pipelined(1, all, /*batch_size=*/64, /*window=*/8);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  client.shutdown_server();
+  server.stop();
+  return static_cast<double>(all.size()) / std::max(elapsed, 1e-9);
+}
+
+/// Minimal field extraction — the baseline file is flat JSON this
+/// binary itself wrote.
+double baseline_records_per_sec(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return 0.0;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const std::string key = "\"records_per_sec\":";
+  const std::size_t pos = text.find(key);
+  if (pos == std::string::npos) {
+    return 0.0;
+  }
+  return std::strtod(text.c_str() + pos + key.size(), nullptr);
+}
+
+int write_baseline(const std::string& path,
+                   const ThreePhasePredictor& tpp) {
+  const double rps = throughput_probe(PollerBackend::kPoll, tpp);
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "write-baseline: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  out << "{\n"
+      << "  \"name\": \"serve_poll_baseline\",\n"
+      << "  \"backend\": \"poll\",\n"
+      << "  \"workload\": \"" << (g_smoke ? "smoke" : "full") << "\",\n"
+      << "  \"records_per_sec\": " << static_cast<std::uint64_t>(rps) << "\n"
+      << "}\n";
+  std::printf("write-baseline: poll oracle %.0f records/s -> %s\n", rps,
+              path.c_str());
+  return 0;
+}
+
+// ---- CI gates ------------------------------------------------------------
+
+/// One end-to-end pass with correctness checks, then the epoll-vs-poll
+/// throughput floor — the CI smoke gate.
+int run_smoke() {
+  const ThreePhasePredictor tpp;
+  const Workload& load = workload();
+  ServerOptions options;
+  options.shards.shard_count = 2;
+  options.shards.queue_capacity = 512;
+  options.shards.predictor_factory = [&tpp] {
+    return tpp.make_predictor(Method::kEveryFailure);
+  };
+  Server server(options);
+  server.start();
+  Client client = Client::connect(server.port());
+  std::size_t warnings = 0;
+  for (std::size_t s = 0; s < load.streams.size(); ++s) {
+    client.submit_all(s, load.streams[s]);
+    warnings += client.poll_warnings(s).size();
+  }
+  const std::string stats = client.stats_json();
+  client.shutdown_server();
+  server.stop();
+  if (warnings == 0) {
+    std::fprintf(stderr, "smoke: no warnings delivered\n");
+    return 1;
+  }
+  const std::string want =
+      "\"serve.records_in\":" + std::to_string(load.total_records);
+  if (stats.find(want) == std::string::npos) {
+    std::fprintf(stderr, "smoke: records_in mismatch (wanted %s) in %s\n",
+                 want.c_str(), stats.c_str());
+    return 1;
+  }
+  // Throughput floor (satellite of the epoll tentpole): the epoll
+  // backend must not serve slower than the poll() oracle. Both probes
+  // run on this machine back to back; the committed baseline is a
+  // second reference, and the floor takes the smaller of the two so a
+  // slower CI box gates against its own live poll number. The margin
+  // absorbs scheduler noise, not regressions — losing to poll() by
+  // >15% means the event loop broke.
+  const double poll_rps = throughput_probe(PollerBackend::kPoll, tpp);
+  const double epoll_rps = throughput_probe(PollerBackend::kEpoll, tpp);
+  const double committed = baseline_records_per_sec(BGL_SERVE_BASELINE_PATH);
+  double floor = poll_rps;
+  if (committed > 0.0) {
+    floor = std::min(floor, committed);
+  } else {
+    std::fprintf(stderr, "smoke: note: no committed baseline at %s\n",
+                 BGL_SERVE_BASELINE_PATH);
+  }
+  std::printf(
+      "smoke: throughput epoll=%.0f poll=%.0f committed-baseline=%.0f "
+      "records/s\n",
+      epoll_rps, poll_rps, committed);
+  if (epoll_rps < 0.85 * floor) {
+    std::fprintf(stderr,
+                 "smoke: epoll throughput %.0f below floor %.0f (poll %.0f, "
+                 "baseline %.0f)\n",
+                 epoll_rps, 0.85 * floor, poll_rps, committed);
+    return 1;
+  }
+  std::printf("smoke: %zu records, %zu warnings served OK\n",
+              load.total_records, warnings);
+  return 0;
+}
+
+/// The sweep's own CI gate: a few hundred concurrent connections must
+/// complete with zero dropped/desynced/busy frames and a sane p99.
+int run_sweep_smoke() {
+  const ThreePhasePredictor tpp;
+  SweepConfig cfg;
+  cfg.connections = std::min<std::size_t>(256, fd_capped_connections());
+  cfg.frames_per_conn = 4;
+  cfg.records_per_frame = 4;
+  const SweepResult r = run_sweep(cfg, tpp);
+  std::printf(
+      "sweep-smoke [%s]: %zu conns, %zu records, %.2fs, p50=%luus "
+      "p99=%luus p999=%luus, busy=%zu dropped=%zu desynced=%zu\n",
+      to_string(poller_backend_from_env()), r.connections,
+      r.records_submitted, r.elapsed_s,
+      static_cast<unsigned long>(r.p50_us),
+      static_cast<unsigned long>(r.p99_us),
+      static_cast<unsigned long>(r.p999_us), r.busy_replies, r.dropped,
+      r.desynced);
+  int rc = 0;
+  if (r.dropped != 0 || r.desynced != 0 || r.busy_replies != 0) {
+    std::fprintf(stderr, "sweep-smoke: frame anomalies detected\n");
+    rc = 1;
+  }
+  if (r.records_accepted != r.records_submitted) {
+    std::fprintf(stderr, "sweep-smoke: accepted %llu != submitted %zu\n",
+                 static_cast<unsigned long long>(r.records_accepted),
+                 r.records_submitted);
+    rc = 1;
+  }
+  // Generous: loopback p99 is single-digit milliseconds even on a busy
+  // 1-CPU CI box; half a second means the loop starved someone.
+  if (r.p99_us > 500000) {
+    std::fprintf(stderr, "sweep-smoke: p99 %lu us exceeds 500ms bound\n",
+                 static_cast<unsigned long>(r.p99_us));
+    rc = 1;
+  }
+  return rc;
+}
+
+}  // namespace
 
 void BM_ServeLoadgen(benchmark::State& state) {
   const auto shard_count = static_cast<std::size_t>(state.range(0));
@@ -106,45 +679,6 @@ void BM_ServeLoadgen(benchmark::State& state) {
   state.counters["p99_warning_age_us"] = static_cast<double>(p99);
 }
 
-/// One end-to-end pass with correctness checks — the CI smoke gate.
-int run_smoke() {
-  const ThreePhasePredictor tpp;
-  const Workload& load = workload();
-  ServerOptions options;
-  options.shards.shard_count = 2;
-  options.shards.queue_capacity = 512;
-  options.shards.predictor_factory = [&tpp] {
-    return tpp.make_predictor(Method::kEveryFailure);
-  };
-  Server server(options);
-  server.start();
-  Client client = Client::connect(server.port());
-  std::size_t warnings = 0;
-  for (std::size_t s = 0; s < load.streams.size(); ++s) {
-    client.submit_all(s, load.streams[s]);
-    warnings += client.poll_warnings(s).size();
-  }
-  const std::string stats = client.stats_json();
-  client.shutdown_server();
-  server.stop();
-  if (warnings == 0) {
-    std::fprintf(stderr, "smoke: no warnings delivered\n");
-    return 1;
-  }
-  const std::string want =
-      "\"serve.records_in\":" + std::to_string(load.total_records);
-  if (stats.find(want) == std::string::npos) {
-    std::fprintf(stderr, "smoke: records_in mismatch (wanted %s) in %s\n",
-                 want.c_str(), stats.c_str());
-    return 1;
-  }
-  std::printf("smoke: %zu records, %zu warnings served OK\n",
-              load.total_records, warnings);
-  return 0;
-}
-
-}  // namespace
-
 // Args: {shard_count, worker_threads}. The 1-shard/0-worker row is the
 // single-threaded floor; extra shards measure routing overhead and, with
 // workers, shard-parallel drains.
@@ -154,18 +688,49 @@ BENCHMARK(BM_ServeLoadgen)
     ->Args({4, 2})
     ->Unit(benchmark::kMillisecond);
 
+// The 1→10k concurrent-connection latency sweep (EXPERIMENTS.md X11).
+// One iteration per row: a row IS a full population lifecycle, and
+// run_sweep already reports exact quantiles from every sample.
+BENCHMARK(BM_ServeSweep)
+    ->Arg(1)
+    ->Arg(10)
+    ->Arg(100)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Iterations(1)
+    ->Unit(benchmark::kMillisecond);
+
 int main(int argc, char** argv) {
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc) + 2);
   // Old google-benchmark wants a plain double for min_time.
   static char min_time[] = "--benchmark_min_time=0.05";
   static char filter[] = "--benchmark_filter=BM_ServeLoadgen/1/0$";
+  bool sweep_smoke = false;
+  bool baseline = false;
   for (int i = 0; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) {
       g_smoke = true;
       continue;
     }
+    if (std::strcmp(argv[i], "--sweep-smoke") == 0) {
+      sweep_smoke = true;
+      continue;
+    }
+    if (std::strcmp(argv[i], "--write-baseline") == 0) {
+      baseline = true;
+      continue;
+    }
     args.push_back(argv[i]);
+  }
+  if (baseline) {
+    const ThreePhasePredictor tpp;
+    return write_baseline(BGL_SERVE_BASELINE_PATH, tpp);
+  }
+  if (sweep_smoke) {
+    // Cheap workload for the gate; the full sweep scales itself.
+    g_smoke = true;
+    return run_sweep_smoke();
   }
   if (g_smoke) {
     const int rc = run_smoke();

@@ -15,13 +15,17 @@ Client Client::connect(std::uint16_t port) {
 Frame Client::roundtrip(Frame request) {
   request.seq = next_seq_++;
   send_all(fd_, encode_frame(request));
+  return await_reply(request.seq);
+}
+
+Frame Client::await_reply(std::uint32_t seq) {
   std::string chunk;
   for (;;) {
     Frame frame;
     FrameError error;
     switch (reader_.next(frame, error)) {
       case FrameReader::Status::kFrame:
-        if (frame.seq != request.seq) {
+        if (frame.seq != seq) {
           // A stale or server-initiated frame (e.g. an error for an
           // earlier damaged frame); skip it and keep waiting.
           continue;
@@ -106,6 +110,68 @@ std::size_t Client::submit_all(std::uint64_t stream_id,
       // The server drains between event-loop iterations; simply
       // resubmitting the remainder is the backoff (the blocking
       // roundtrip paces us to the server's loop).
+      ++busy_rounds;
+    }
+  }
+  return busy_rounds;
+}
+
+std::size_t Client::submit_all_pipelined(std::uint64_t stream_id,
+                                         const std::vector<WireRecord>& records,
+                                         std::size_t batch_size,
+                                         std::size_t window) {
+  BGL_REQUIRE(batch_size > 0, "batch size must be positive");
+  BGL_REQUIRE(window > 0, "pipeline window must be positive");
+  std::size_t busy_rounds = 0;
+  std::size_t offset = 0;
+  // Reused across windows: encoded frames, their seqs, and the iovec
+  // batch handed to one gather-write.
+  std::vector<std::string> frames;
+  std::vector<std::uint32_t> seqs;
+  std::vector<iovec> iov;
+  while (offset < records.size()) {
+    frames.clear();
+    seqs.clear();
+    iov.clear();
+    std::size_t cursor = offset;
+    for (std::size_t w = 0; w < window && cursor < records.size(); ++w) {
+      const std::size_t end = std::min(cursor + batch_size, records.size());
+      Frame frame;
+      frame.type = MessageType::kSubmitBatch;
+      frame.stream_id = stream_id;
+      frame.seq = next_seq_++;
+      if (w > 0) {
+        // Followers carry the pipeline flag so the server auto-rejects
+        // them (accepted = 0) if an earlier frame of this window hit
+        // backpressure — the accepted records always form an exact
+        // prefix of the window.
+        frame.flags = kFlagPipelineFollow;
+      }
+      wire::append<std::uint32_t>(frame.payload,
+                                  static_cast<std::uint32_t>(end - cursor));
+      for (std::size_t i = cursor; i < end; ++i) {
+        encode_record(frame.payload, records[i].record, records[i].entry);
+      }
+      seqs.push_back(frame.seq);
+      frames.push_back(encode_frame(frame));
+      cursor = end;
+    }
+    for (const std::string& f : frames) {
+      iov.push_back(iovec{const_cast<char*>(f.data()), f.size()});
+    }
+    writev_all(fd_, iov.data(), iov.size());
+    bool busy = false;
+    std::uint64_t accepted_total = 0;
+    for (const std::uint32_t seq : seqs) {
+      const Frame reply = await_reply(seq);
+      accepted_total += decode_accepted(reply);
+      busy = busy || reply.type == MessageType::kRejectedBusy;
+    }
+    offset += static_cast<std::size_t>(accepted_total);
+    if (busy) {
+      // Like submit_all: the await above already paced us to the
+      // server's drain cycle, so resubmitting the remainder is the
+      // backoff.
       ++busy_rounds;
     }
   }

@@ -44,6 +44,20 @@ class Client {
                          const std::vector<WireRecord>& records,
                          std::size_t batch_size = 128);
 
+  /// Pipelined submit_all: encodes up to `window` SUBMIT_BATCH frames —
+  /// the window head unflagged, followers marked kFlagPipelineFollow —
+  /// gather-writes them in one vectored send, then collects all window
+  /// replies. The server's busy latch guarantees the accepted records of
+  /// a window form an exact prefix of it, so after backpressure the next
+  /// window simply resumes at offset + total accepted. Same return as
+  /// submit_all: windows that hit backpressure. A thrown server error
+  /// mid-window leaves later replies unread — treat the client as dead
+  /// after an exception, as with any desync.
+  std::size_t submit_all_pipelined(std::uint64_t stream_id,
+                                   const std::vector<WireRecord>& records,
+                                   std::size_t batch_size = 128,
+                                   std::size_t window = 8);
+
   /// Drains and returns the stream's pending warnings.
   std::vector<Warning> poll_warnings(std::uint64_t stream_id);
 
@@ -64,6 +78,11 @@ class Client {
 
   /// Sends `request` (seq assigned) and blocks for its response frame.
   Frame roundtrip(Frame request);
+
+  /// Blocks until the response frame carrying `seq` arrives. Responses
+  /// are matched in submission order (the server replies in order), so
+  /// pipelined callers await their window's seqs ascending.
+  Frame await_reply(std::uint32_t seq);
 
   OwnedFd fd_;
   FrameReader reader_;

@@ -1,0 +1,80 @@
+// Readiness-notification abstraction for the serve event loop
+// (DESIGN §8.3).
+//
+// Two backends behind one interface: the production path is an
+// edge-triggered epoll instance — O(ready) per wakeup, no per-connection
+// scan — and the original poll() loop survives as a level-triggered
+// differential oracle selected with BGL_SERVE_POLL=1 (the repo's
+// oracle-replay pattern: the slow correct implementation stays runnable
+// so the fast one can be diffed against it at any time).
+//
+// The server loop is written against the *edge-triggered contract*,
+// which is the stricter of the two and therefore correct under both:
+// an event is a hint that readiness may have appeared, the consumer
+// must drain the fd until EAGAIN, and write interest is armed only
+// while there are bytes queued to flush. Under the level-triggered
+// oracle the same discipline merely produces the occasional redundant
+// (and harmless) wakeup.
+//
+// Both backends block indefinitely when asked (timeout_ms = -1); there
+// is no polling tick. notify() is the only cross-thread door: it wakes
+// a blocked wait() via an internal eventfd, which is how stop() reaches
+// a loop that is otherwise asleep with zero pending work.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace bglpred::serve {
+
+enum class PollerBackend : std::uint8_t {
+  kEpoll,  ///< edge-triggered epoll (production)
+  kPoll,   ///< level-triggered poll() (differential oracle)
+};
+
+const char* to_string(PollerBackend backend);
+
+/// kPoll when BGL_SERVE_POLL=1 is set in the environment, else kEpoll.
+PollerBackend poller_backend_from_env();
+
+/// One fd's readiness, as reported by wait().
+struct ReadyEvent {
+  int fd = -1;
+  bool readable = false;  ///< drain with recv until EAGAIN
+  bool writable = false;  ///< a pending flush may now make progress
+  bool hangup = false;    ///< peer error/hangup (may still carry data)
+};
+
+class EventPoller {
+ public:
+  virtual ~EventPoller() = default;
+
+  /// Registers `fd` for read readiness (plus write readiness when
+  /// `want_write`). The fd must be non-blocking.
+  virtual void add(int fd, bool want_write) = 0;
+
+  /// Arms or disarms write-readiness interest. Re-arming under the
+  /// epoll backend acts as an edge reset: if the socket is already
+  /// writable, the next wait() reports it.
+  virtual void set_want_write(int fd, bool want_write) = 0;
+
+  /// Deregisters `fd`. Call before closing it (the poll oracle keeps
+  /// its own interest table).
+  virtual void remove(int fd) = 0;
+
+  /// Blocks until readiness, notify(), or `timeout_ms` (-1 = forever;
+  /// 0 = nonblocking probe). Fills `out` (cleared first) and returns
+  /// the event count; 0 means timeout, EINTR, or a notify-only wakeup.
+  virtual std::size_t wait(int timeout_ms, std::vector<ReadyEvent>& out) = 0;
+
+  /// Wakes a blocked wait() from any thread.
+  virtual void notify() = 0;
+
+  virtual PollerBackend backend() const = 0;
+};
+
+std::unique_ptr<EventPoller> make_event_poller(PollerBackend backend);
+
+}  // namespace bglpred::serve

@@ -15,6 +15,7 @@ ServeMetrics::ServeMetrics(MetricsRegistry& reg)
       checkpoints(reg.counter("serve.checkpoints")),
       restores(reg.counter("serve.restores")),
       connections(reg.gauge("serve.connections")),
+      wakeups(reg.counter("serve.wakeups")),
       submit_micros(reg.histogram("serve.submit_micros")),
       warning_age_micros(reg.histogram("serve.warning_age_micros")) {}
 

@@ -37,6 +37,11 @@ struct ServeMetrics {
 
   Gauge& connections;  ///< currently open sessions
 
+  /// Event-loop returns from EventPoller::wait(). The idle-wakeup
+  /// regression test pins this still while the server is idle — the
+  /// epoll loop blocks indefinitely instead of ticking.
+  Counter& wakeups;
+
   /// Service time of submit requests, microseconds.
   Histogram& submit_micros;
   /// Age of a warning between the engine emitting it and a poll

@@ -8,6 +8,7 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <unistd.h>
+#include <vector>
 
 #include "common/error.hpp"
 
@@ -152,6 +153,78 @@ std::size_t send_nonblocking(const OwnedFd& fd, std::string_view data) {
   }
 }
 
+namespace {
+/// Shared sendmsg core of the vectored writers: one gather-write
+/// attempt over iov[0..iovcnt), EINTR retried. Returns bytes accepted,
+/// SIZE_MAX on would-block; throws when the peer is gone. sendmsg
+/// rather than writev so MSG_NOSIGNAL keeps suppressing SIGPIPE exactly
+/// as the scalar send path does.
+std::size_t sendmsg_once(const OwnedFd& fd, const iovec* iov,
+                         std::size_t iovcnt) {
+  msghdr msg{};
+  // sendmsg's iovec is mutation-free; the const_cast mirrors the POSIX
+  // signature, not an actual write.
+  msg.msg_iov = const_cast<iovec*>(iov);
+  msg.msg_iovlen = iovcnt;
+  for (;;) {
+    const ssize_t n = ::sendmsg(fd.get(), &msg, MSG_NOSIGNAL);
+    if (n >= 0) {
+      return static_cast<std::size_t>(n);
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return SIZE_MAX;
+    }
+    throw_errno("sendmsg");
+  }
+}
+
+/// Advances an iovec array by `n` written bytes: drops fully-written
+/// entries and trims the first partial one, so the next attempt resumes
+/// exactly where the kernel stopped — including mid-iovec.
+void advance_iovecs(iovec*& iov, std::size_t& iovcnt, std::size_t n) {
+  while (n > 0 && iovcnt > 0) {
+    if (n >= iov[0].iov_len) {
+      n -= iov[0].iov_len;
+      ++iov;
+      --iovcnt;
+    } else {
+      iov[0].iov_base = static_cast<char*>(iov[0].iov_base) + n;
+      iov[0].iov_len -= n;
+      n = 0;
+    }
+  }
+}
+}  // namespace
+
+void writev_all(const OwnedFd& fd, const iovec* iov, std::size_t iovcnt) {
+  // Local copy: resuming a partial write mutates base/len in place.
+  std::vector<iovec> pending(iov, iov + iovcnt);
+  iovec* cursor = pending.data();
+  std::size_t remaining = pending.size();
+  while (remaining > 0) {
+    const std::size_t n = sendmsg_once(fd, cursor, remaining);
+    if (n == SIZE_MAX) {
+      // Callers use blocking sockets; see send_all for the rationale.
+      throw Error("writev_all on a non-writable socket");
+    }
+    advance_iovecs(cursor, remaining, n);
+    // Zero-length trailing entries never block progress: sendmsg
+    // reports 0 only for an all-empty vector, which advance() drains.
+    if (n == 0 && remaining > 0 && cursor[0].iov_len == 0) {
+      ++cursor;
+      --remaining;
+    }
+  }
+}
+
+std::size_t writev_nonblocking(const OwnedFd& fd, const iovec* iov,
+                               std::size_t iovcnt) {
+  return sendmsg_once(fd, iov, iovcnt);
+}
+
 std::size_t recv_some(const OwnedFd& fd, std::string& out,
                       std::size_t max_bytes) {
   std::string chunk(max_bytes, '\0');
@@ -163,6 +236,22 @@ std::size_t recv_some(const OwnedFd& fd, std::string& out,
     }
     if (n == 0) {
       return 0;
+    }
+    if (errno == EINTR) {
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return SIZE_MAX;
+    }
+    throw_errno("recv");
+  }
+}
+
+std::size_t recv_into(const OwnedFd& fd, char* buf, std::size_t cap) {
+  for (;;) {
+    const ssize_t n = ::recv(fd.get(), buf, cap, 0);
+    if (n >= 0) {
+      return static_cast<std::size_t>(n);
     }
     if (errno == EINTR) {
       continue;

@@ -1,12 +1,18 @@
 // Thin POSIX socket wrappers for the serve subsystem.
 //
-// This is the only file in the repo allowed to call raw send()/recv()
-// (repo_lint rule `naked-send-recv`): the syscalls' partial-transfer and
-// EINTR semantics are easy to mishandle, so every caller goes through
-// send_all / recv_some, which loop and translate errors into
-// bglpred::Error. Sockets are loopback-only IPv4 — the service is a
-// local subsystem, not an exposed network daemon.
+// This is the only file in the repo allowed to call raw
+// send()/recv()/sendmsg() (repo_lint rule `naked-send-recv`): the
+// syscalls' partial-transfer and EINTR semantics are easy to mishandle,
+// so every caller goes through send_all / writev_all / recv_some, which
+// loop and translate errors into bglpred::Error. The vectored writers
+// gather-write an iovec array in one syscall (sendmsg is the writev
+// spelling that accepts MSG_NOSIGNAL, preserving the SIGPIPE discipline
+// of send_all) and resume partial writes mid-iovec. Sockets are
+// loopback-only IPv4 — the service is a local subsystem, not an exposed
+// network daemon.
 #pragma once
+
+#include <sys/uio.h>
 
 #include <cstddef>
 #include <cstdint>
@@ -61,11 +67,31 @@ void send_all(const OwnedFd& fd, std::string_view data);
 /// ("would block"). Throws Error when the peer is gone.
 std::size_t send_nonblocking(const OwnedFd& fd, std::string_view data);
 
+/// Gather-writes the whole iovec array, looping over partial writes —
+/// resuming mid-iovec when the kernel accepts part of an entry — and
+/// EINTR. Blocking-socket counterpart of send_all (SIGPIPE suppressed
+/// via MSG_NOSIGNAL); throws Error if the peer goes away or the socket
+/// reports would-block (misuse on a blocking socket).
+void writev_all(const OwnedFd& fd, const iovec* iov, std::size_t iovcnt);
+
+/// Single non-blocking vectored write of up to `iovcnt` iovec entries.
+/// Returns the number of bytes the kernel accepted (possibly ending
+/// mid-iovec), or SIZE_MAX when the socket's buffer is full. Retries
+/// EINTR internally; throws Error when the peer is gone.
+std::size_t writev_nonblocking(const OwnedFd& fd, const iovec* iov,
+                               std::size_t iovcnt);
+
 /// Reads up to `max_bytes` into `out` (appended). Returns the number of
 /// bytes read; 0 means clean EOF. On a non-blocking socket with nothing
 /// available, returns SIZE_MAX ("would block"). Throws Error on hard
 /// failure.
 std::size_t recv_some(const OwnedFd& fd, std::string& out,
                       std::size_t max_bytes = 64 * 1024);
+
+/// Reads up to `cap` bytes into the caller's buffer — the
+/// zero-allocation form of recv_some for the event loop, which reuses
+/// one scratch buffer across every connection. Same returns: byte
+/// count, 0 on clean EOF, SIZE_MAX when the read would block.
+std::size_t recv_into(const OwnedFd& fd, char* buf, std::size_t cap);
 
 }  // namespace bglpred::serve

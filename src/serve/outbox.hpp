@@ -1,0 +1,125 @@
+// Per-connection output queue of coalesced response frames
+// (DESIGN §8.3).
+//
+// The session layer appends encoded frames into the writable tail
+// chunk; the event loop flushes with one vectored write per wakeup
+// (net_util::writev_nonblocking) gathering every chunk, so N queued
+// replies cost one syscall instead of N. consume() implements
+// partial-write resume: fully-written chunks pop, a partially-written
+// front chunk keeps an offset — the next flush picks up exactly where
+// the kernel stopped, including mid-iovec.
+//
+// Compared with the previous single-std::string outbox (whose partial
+// flushes paid an O(queued bytes) erase-from-front per write), chunks
+// make both append and consume O(1) amortized.
+#pragma once
+
+#include <sys/uio.h>
+
+#include <cstddef>
+#include <deque>
+#include <string>
+#include <utility>
+
+namespace bglpred::serve {
+
+class Outbox {
+ public:
+  /// Chunks are capped so one slow peer cannot grow a single allocation
+  /// without bound and so a multi-chunk backlog still fits one
+  /// writev batch.
+  static constexpr std::size_t kChunkCap = 256 * 1024;
+
+  /// The string the session appends response frames to. Starts a fresh
+  /// chunk once the tail has reached kChunkCap; otherwise appends
+  /// coalesce into the existing tail.
+  std::string& writable_tail() {
+    if (chunks_.empty() || chunks_.back().size() >= kChunkCap) {
+      chunks_.emplace_back();
+    }
+    tracked_tail_ = chunks_.back().size();
+    return chunks_.back();
+  }
+
+  /// Accounts for bytes the caller appended to writable_tail() since the
+  /// last sync. (The session writes through a plain std::string&, so the
+  /// outbox cannot observe growth as it happens.)
+  void sync_tail() {
+    if (!chunks_.empty()) {
+      bytes_ += chunks_.back().size() - tracked_tail_;
+      tracked_tail_ = chunks_.back().size();
+    }
+  }
+
+  /// Queues an already-encoded blob as its own chunk (move, no copy).
+  void push(std::string bytes) {
+    if (bytes.empty()) {
+      return;
+    }
+    bytes_ += bytes.size();
+    chunks_.push_back(std::move(bytes));
+    tracked_tail_ = chunks_.back().size();
+  }
+
+  bool empty() const { return bytes_ == 0; }
+  std::size_t size() const { return bytes_; }
+
+  /// Fills up to `max` iovec entries with the unflushed bytes, front
+  /// chunk first (honoring its partial-write offset). Returns the entry
+  /// count.
+  std::size_t fill_iovecs(iovec* iov, std::size_t max) const {
+    std::size_t count = 0;
+    std::size_t index = 0;
+    for (const std::string& chunk : chunks_) {
+      if (count == max) {
+        break;
+      }
+      const std::size_t skip = (index++ == 0) ? front_offset_ : 0;
+      if (chunk.size() == skip) {
+        continue;  // fully-consumed or empty tail chunk
+      }
+      iov[count].iov_base =
+          const_cast<char*>(chunk.data() + skip);  // POSIX signature
+      iov[count].iov_len = chunk.size() - skip;
+      ++count;
+    }
+    return count;
+  }
+
+  /// Marks `n` bytes as written, popping finished chunks.
+  void consume(std::size_t n) {
+    bytes_ -= n;
+    while (n > 0) {
+      std::string& front = chunks_.front();
+      const std::size_t remaining = front.size() - front_offset_;
+      if (n >= remaining) {
+        n -= remaining;
+        chunks_.pop_front();
+        front_offset_ = 0;
+      } else {
+        front_offset_ += n;
+        n = 0;
+      }
+    }
+    if (bytes_ == 0) {
+      chunks_.clear();  // also drops a fully-consumed tail still appended-to
+      front_offset_ = 0;
+      tracked_tail_ = 0;
+    }
+  }
+
+  void clear() {
+    chunks_.clear();
+    front_offset_ = 0;
+    bytes_ = 0;
+    tracked_tail_ = 0;
+  }
+
+ private:
+  std::deque<std::string> chunks_;
+  std::size_t front_offset_ = 0;  ///< consumed bytes of chunks_.front()
+  std::size_t bytes_ = 0;         ///< total unflushed bytes
+  std::size_t tracked_tail_ = 0;  ///< tail size at last writable_tail/sync
+};
+
+}  // namespace bglpred::serve

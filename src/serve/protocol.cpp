@@ -45,7 +45,7 @@ std::string encode_frame(const Frame& frame) {
   out += kFrameMagic;
   wire::append<std::uint8_t>(out, kProtocolVersion);
   wire::append<std::uint8_t>(out, static_cast<std::uint8_t>(frame.type));
-  wire::append<std::uint16_t>(out, 0);  // flags
+  wire::append<std::uint16_t>(out, frame.flags);
   wire::append<std::uint64_t>(out, frame.stream_id);
   wire::append<std::uint32_t>(out, frame.seq);
   wire::append<std::uint32_t>(out,
@@ -120,6 +120,7 @@ FrameReader::Status FrameReader::next(Frame& frame, FrameError& error) {
     return Status::kBadFrame;
   }
   frame.type = static_cast<MessageType>(static_cast<std::uint8_t>(view[5]));
+  frame.flags = wire::decode<std::uint16_t>(view.data() + 6);
   frame.stream_id = stream_id;
   frame.seq = seq;
   frame.payload.assign(payload);

@@ -6,7 +6,7 @@
 //   0      4     magic "BGLS"
 //   4      1     protocol version (kProtocolVersion)
 //   5      1     message type (MessageType)
-//   6      2     flags (reserved, must be 0)
+//   6      2     flags (bit 0: kFlagPipelineFollow; rest reserved 0)
 //   8      8     stream id (which RAS stream the message concerns)
 //   16     4     request sequence number (responses echo it)
 //   20     4     payload size (bounded by kMaxPayload)
@@ -38,6 +38,18 @@ namespace bglpred::serve {
 inline constexpr std::string_view kFrameMagic = "BGLS";
 inline constexpr std::uint8_t kProtocolVersion = 1;
 inline constexpr std::size_t kFrameHeaderSize = 28;
+
+/// Header flag bits. Bit 0 marks a submit frame as a *non-head* member
+/// of a client pipeline window: if an earlier frame of the same window
+/// already hit REJECTED_BUSY, the session auto-rejects followers with
+/// accepted=0 instead of applying them — otherwise a later frame could
+/// slip records into the engine ahead of the rejected remainder of an
+/// earlier one, breaking stream order. Frames without the bit (every
+/// legacy frame, and the head of each window) clear the latch and are
+/// processed normally, so the flag is fully backward compatible.
+/// Remaining bits stay reserved (senders must leave them 0; receivers
+/// ignore them).
+inline constexpr std::uint16_t kFlagPipelineFollow = 0x1;
 /// Checkpoint blobs ride in a single frame, so the bound is generous;
 /// it exists to reject corrupt length prefixes, not to limit payloads.
 inline constexpr std::uint32_t kMaxPayload = 32u << 20;
@@ -88,6 +100,7 @@ const char* to_string(ErrorCode code);
 /// One decoded frame.
 struct Frame {
   MessageType type = MessageType::kError;
+  std::uint16_t flags = 0;  ///< kFlagPipelineFollow | reserved bits
   std::uint64_t stream_id = 0;
   std::uint32_t seq = 0;
   std::string payload;

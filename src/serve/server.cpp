@@ -1,17 +1,33 @@
 #include "serve/server.hpp"
 
-#include <poll.h>
-
 #include <cerrno>
 #include <cstdint>
+#include <string_view>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/error.hpp"
 #include "serve/net_util.hpp"
+#include "serve/outbox.hpp"
 #include "serve/session.hpp"
 
 namespace bglpred::serve {
+
+namespace {
+/// One vectored write gathers at most this many outbox chunks. A flush
+/// loops, so a deeper backlog still drains — this only bounds the iovec
+/// array on the stack (well under IOV_MAX everywhere).
+constexpr std::size_t kMaxIov = 64;
+
+/// Round-robin service rounds per wakeup. Each round gives every
+/// read-ready connection exactly one recv, so a firehose client cannot
+/// starve its neighbors; when the bound trips with data still pending,
+/// the loop re-enters wait() with a zero timeout (new readiness is
+/// picked up, nothing blocks) and keeps going — retained read_ready
+/// flags carry the edge-triggered obligation across wakeups.
+constexpr int kMaxServiceRounds = 8;
+}  // namespace
 
 struct Server::Impl {
   explicit Impl(ServerOptions opts)
@@ -22,23 +38,60 @@ struct Server::Impl {
         : fd(std::move(socket)), session(shards) {}
     OwnedFd fd;
     Session session;
-    std::string outbox;       ///< bytes accepted but not yet written
-    bool closing = false;     ///< close once outbox drains
-    bool shutdown = false;    ///< stop the server once outbox drains
+    Outbox outbox;
+    /// Edge-triggered read obligation: set by a readable event, cleared
+    /// only by recv returning EAGAIN (or the connection dying). While
+    /// set, the socket may hold bytes epoll will never re-announce.
+    bool read_ready = false;
+    /// Mirror of the poller's EPOLLOUT interest, so flush() only issues
+    /// an epoll_ctl when the armed state actually changes.
+    bool want_write = false;
+    bool in_active = false;  ///< membership in Impl::active (dedup)
+    bool in_dirty = false;   ///< membership in Impl::dirty (dedup)
+    bool closing = false;    ///< close once outbox drains
+    bool shutdown = false;   ///< stop the server once outbox drains
   };
 
   void loop();
+  void run_service_rounds(bool& reads_pending);
+  void accept_new_connections();
   void flush(Connection& conn);
+  void close_now(Connection& conn);
+  void mark_readable(Connection& conn);
+  void mark_dirty(Connection& conn);
+  void set_closing(Connection& conn);
 
   ServerOptions options;
   MetricsRegistry registry;
   ShardManager shards;
   OwnedFd listener;
   std::uint16_t bound_port = 0;
+  std::unique_ptr<EventPoller> poller;
   std::thread thread;
   std::atomic<bool> stop_requested{false};
   std::atomic<bool> loop_running{false};
   std::vector<std::unique_ptr<Connection>> connections;
+  std::unordered_map<int, Connection*> by_fd;
+  /// Connections with an outstanding edge-triggered read obligation —
+  /// the service rounds iterate THIS list, never the full population,
+  /// so a wakeup costs O(events + readable), not O(connections).
+  /// Membership is lazy: entries whose read_ready flag cleared are
+  /// swap-removed when the rounds next encounter them.
+  std::vector<Connection*> active;
+  /// Connections whose outbox changed during this wakeup's service
+  /// rounds; only these get a post-round flush. Cleared every wakeup.
+  std::vector<Connection*> dirty;
+  /// Connections currently in the closing state but not yet reaped; the
+  /// reap scan is skipped entirely while this is zero.
+  std::size_t closing_count = 0;
+  /// The connection that requested server shutdown (at most one wins);
+  /// the loop exits once its outbox — carrying the acknowledgment —
+  /// drains.
+  Connection* pending_shutdown = nullptr;
+  /// Reused across wakeups and connections — the loop allocates nothing
+  /// per event.
+  std::vector<ReadyEvent> events;
+  std::vector<char> scratch;
 };
 
 Server::Server(ServerOptions options)
@@ -48,9 +101,14 @@ Server::~Server() { stop(); }
 
 void Server::start() {
   BGL_REQUIRE(!impl_->thread.joinable(), "server already started");
-  impl_->listener = make_loopback_listener(impl_->options.port);
+  impl_->listener =
+      make_loopback_listener(impl_->options.port, impl_->options.listen_backlog);
   set_nonblocking(impl_->listener);
   impl_->bound_port = local_port(impl_->listener);
+  // The poller is created here, not on the loop thread, so stop() can
+  // reach notify() the instant start() returns.
+  impl_->poller = make_event_poller(impl_->options.backend);
+  impl_->poller->add(impl_->listener.get(), /*want_write=*/false);
   impl_->stop_requested.store(false);
   impl_->loop_running.store(true);
   Impl* impl = impl_.get();
@@ -59,6 +117,9 @@ void Server::start() {
 
 void Server::stop() {
   impl_->stop_requested.store(true);
+  if (impl_->poller) {
+    impl_->poller->notify();
+  }
   if (impl_->thread.joinable()) {
     impl_->thread.join();
   }
@@ -70,134 +131,246 @@ bool Server::running() const { return impl_->loop_running.load(); }
 
 MetricsRegistry& Server::metrics() const { return impl_->registry; }
 
-// bgl:hot-begin(serve-flush)
-void Server::Impl::flush(Connection& conn) {
-  if (conn.outbox.empty()) {
-    return;
+void Server::Impl::mark_readable(Connection& conn) {
+  conn.read_ready = true;
+  if (!conn.in_active && !conn.closing) {
+    conn.in_active = true;
+    active.push_back(&conn);
   }
-  // The poll loop only calls this under POLLOUT (or right after filling
-  // the outbox); send what the kernel accepts and keep the rest.
-  std::size_t off = 0;
+}
+
+void Server::Impl::mark_dirty(Connection& conn) {
+  if (!conn.in_dirty) {
+    conn.in_dirty = true;
+    dirty.push_back(&conn);
+  }
+}
+
+void Server::Impl::set_closing(Connection& conn) {
+  if (!conn.closing) {
+    conn.closing = true;
+    ++closing_count;
+  }
+  conn.read_ready = false;
+}
+
+void Server::Impl::close_now(Connection& conn) {
+  conn.outbox.clear();
+  set_closing(conn);
+}
+
+// bgl:hot-begin(serve-flush)
+// One vectored write per call gathers every queued reply frame; loops
+// only while the kernel keeps accepting full batches. Partial-write
+// resume lives in Outbox::consume (byte-offset into the front chunk),
+// so the next flush restarts exactly where the kernel stopped —
+// including mid-iovec.
+void Server::Impl::flush(Connection& conn) {
+  iovec iov[kMaxIov];
   try {
-    while (off < conn.outbox.size()) {
-      const std::size_t n =
-          send_nonblocking(conn.fd, std::string_view(conn.outbox).substr(off));
-      if (n == SIZE_MAX) {
-        break;  // kernel buffer full; wait for POLLOUT
+    while (!conn.outbox.empty()) {
+      const std::size_t iovcnt = conn.outbox.fill_iovecs(iov, kMaxIov);
+      std::size_t batch = 0;
+      for (std::size_t i = 0; i < iovcnt; ++i) {
+        batch += iov[i].iov_len;
       }
-      off += n;
+      const std::size_t n = writev_nonblocking(conn.fd, iov, iovcnt);
+      if (n == SIZE_MAX) {
+        break;  // kernel buffer full; EPOLLOUT will re-announce
+      }
+      conn.outbox.consume(n);
+      if (n < batch) {
+        // Short write: the buffer just filled. Writability will
+        // transition (an edge) once the peer drains it — no point in a
+        // second syscall that would return EAGAIN.
+        break;
+      }
     }
   } catch (const Error&) {
     // Peer vanished mid-write: drop the connection, keep serving.
-    conn.outbox.clear();
-    conn.closing = true;
-    return;
+    close_now(conn);
   }
-  conn.outbox.erase(0, off);
+  // Arm EPOLLOUT only while bytes remain queued; disarm the moment the
+  // outbox drains. Closing connections keep it armed too — a desync's
+  // final error reply still has to drain before the reap. Skipping the
+  // no-change case keeps the happy path (everything flushed in one
+  // write) free of epoll_ctl calls.
+  const bool want = !conn.outbox.empty();
+  if (want != conn.want_write) {
+    conn.want_write = want;
+    poller->set_want_write(conn.fd.get(), want);
+  }
+}
+// bgl:hot-end
+
+void Server::Impl::accept_new_connections() {
+  // Accept-time errors (fd exhaustion and friends) must not kill the
+  // loop: skip the rest of the burst and retry on the next readable
+  // event. Under edge-triggered epoll the accept loop must run to
+  // would-block, or pending connections would wait forever.
+  try {
+    for (;;) {
+      OwnedFd sock = accept_connection(listener);
+      if (!sock.valid()) {
+        break;
+      }
+      set_nonblocking(sock);
+      auto conn = std::make_unique<Connection>(std::move(sock), shards);
+      // Probe immediately: bytes may have landed between accept and
+      // epoll registration, and ET would only announce *new* arrivals.
+      mark_readable(*conn);
+      poller->add(conn->fd.get(), /*want_write=*/false);
+      by_fd.emplace(conn->fd.get(), conn.get());
+      connections.push_back(std::move(conn));
+      shards.metrics().connections.add(1);
+    }
+  } catch (const Error&) {
+  }
+}
+
+// bgl:hot-begin(serve-event-loop)
+// Fair service over the active list only: each pass hands every
+// read-ready connection exactly one recv (into the shared scratch
+// buffer, straight through the session into that connection's outbox
+// tail), so a firehose client cannot starve its neighbors. Entries
+// that drain to EAGAIN — or die — are swap-removed on the spot; what
+// remains after kMaxServiceRounds passes still owes reads, and the
+// caller re-polls with timeout 0 so heavy load degrades to batched
+// servicing instead of starvation. Everything here is O(active), never
+// O(connections).
+void Server::Impl::run_service_rounds(bool& reads_pending) {
+  int rounds = 0;
+  while (!active.empty() && rounds < kMaxServiceRounds) {
+    ++rounds;
+    for (std::size_t i = 0; i < active.size();) {
+      Connection& conn = *active[i];
+      if (conn.closing || !conn.read_ready) {
+        conn.in_active = false;
+        active[i] = active.back();
+        active.pop_back();
+        continue;  // the swapped-in entry takes this slot's turn
+      }
+      // A read error (e.g. ECONNRESET from an aborting client) drops
+      // this connection only — mirroring what flush() does for write
+      // errors — so one bad peer never terminates the server.
+      try {
+        const std::size_t n =
+            recv_into(conn.fd, scratch.data(), scratch.size());
+        if (n == 0) {
+          close_now(conn);  // clean EOF
+        } else if (n == SIZE_MAX) {
+          conn.read_ready = false;  // drained: edge obligation met
+        } else {
+          std::string& tail = conn.outbox.writable_tail();
+          switch (conn.session.on_bytes(
+              std::string_view(scratch.data(), n), tail)) {
+            case Session::Status::kKeepOpen:
+              break;
+            case Session::Status::kClose:
+              // Flush the error reply, then close: keep the outbox.
+              set_closing(conn);
+              break;
+            case Session::Status::kShutdown:
+              conn.shutdown = true;
+              pending_shutdown = &conn;
+              break;
+          }
+          conn.outbox.sync_tail();
+          if (!conn.outbox.empty() || conn.closing) {
+            mark_dirty(conn);
+          }
+        }
+      } catch (const Error&) {
+        close_now(conn);
+      }
+      ++i;
+    }
+  }
+  // Only the rounds bound leaves the active list nonempty: those
+  // connections still owe reads.
+  reads_pending = !active.empty();
+  for (Connection* conn : dirty) {
+    conn->in_dirty = false;
+    if (!conn->outbox.empty() || conn->closing) {
+      flush(*conn);
+    }
+  }
+  dirty.clear();
 }
 // bgl:hot-end
 
 void Server::Impl::loop() {
-  std::vector<pollfd> fds;
-  std::string inbox;
+  scratch.resize(64 * 1024);
+  bool reads_pending = false;
   while (!stop_requested.load()) {
-    fds.clear();
-    fds.push_back(pollfd{listener.get(), POLLIN, 0});
-    for (const auto& conn : connections) {
-      short events = POLLIN;
-      if (!conn->outbox.empty()) {
-        events |= POLLOUT;
-      }
-      fds.push_back(pollfd{conn->fd.get(), events, 0});
-    }
-    // A finite timeout doubles as the stop_requested check interval.
-    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/50);
-    if (ready < 0) {
-      if (errno == EINTR) {
+    // Block forever when nothing is pending: notify() (from stop()) and
+    // fd readiness are the only wakeup sources. The idle-wakeup
+    // regression test holds `serve.wakeups` to this contract.
+    const std::size_t nevents =
+        poller->wait(reads_pending ? 0 : -1, events);
+    shards.metrics().wakeups.inc();
+    bool accept_ready = false;
+    for (std::size_t i = 0; i < nevents; ++i) {
+      const ReadyEvent& ev = events[i];
+      if (ev.fd == listener.get()) {
+        accept_ready = true;
         continue;
       }
-      break;
-    }
-    // Connections accepted below were not in this poll() set; remember
-    // how many fds entries are valid so the per-connection loop never
-    // indexes past them (a fresh connection gets its first look next
-    // wakeup).
-    const std::size_t polled = fds.size() - 1;
-    // New connections. Accept-time errors (fd exhaustion and friends)
-    // must not kill the loop: skip the accept this wakeup and retry on
-    // the next POLLIN.
-    if ((fds[0].revents & POLLIN) != 0) {
-      try {
-        for (;;) {
-          OwnedFd conn = accept_connection(listener);
-          if (!conn.valid()) {
-            break;
-          }
-          set_nonblocking(conn);
-          connections.push_back(
-              std::make_unique<Connection>(std::move(conn), shards));
-          shards.metrics().connections.add(1);
-        }
-      } catch (const Error&) {
+      const auto it = by_fd.find(ev.fd);
+      if (it == by_fd.end()) {
+        continue;
       }
-    }
-    // Existing connections: read, hand bytes to the session, queue
-    // responses, flush what fits.
-    // bgl:hot-begin(serve-event-loop)
-    bool shutdown_after_flush = false;
-    for (std::size_t i = 0; i < polled; ++i) {
-      Connection& conn = *connections[i];
-      const short revents = fds[i + 1].revents;
-      if ((revents & (POLLERR | POLLHUP | POLLNVAL)) != 0 &&
-          (revents & POLLIN) == 0) {
-        conn.closing = true;
-        conn.outbox.clear();
+      Connection& conn = *it->second;
+      if (ev.readable) {
+        // RDHUP rides in here too: the peer half-closed, but queued
+        // bytes (and the final EOF) still need to be read out.
+        mark_readable(conn);
+      } else if (ev.hangup) {
+        close_now(conn);
       }
-      if (!conn.closing && (revents & POLLIN) != 0) {
-        // A read error (e.g. ECONNRESET from an aborting client) drops
-        // this connection only — mirroring what flush() does for write
-        // errors — so one bad peer never terminates the server.
-        try {
-          inbox.clear();
-          const std::size_t n = recv_some(conn.fd, inbox);
-          if (n == 0) {
-            conn.closing = true;  // clean EOF
-          } else if (n != SIZE_MAX) {
-            switch (conn.session.on_bytes(inbox, conn.outbox)) {
-              case Session::Status::kKeepOpen:
-                break;
-              case Session::Status::kClose:
-                conn.closing = true;
-                break;
-              case Session::Status::kShutdown:
-                conn.shutdown = true;
-                break;
-            }
-          }
-        } catch (const Error&) {
-          conn.outbox.clear();
-          conn.closing = true;
-        }
-      }
-      if ((revents & POLLOUT) != 0 || !conn.outbox.empty()) {
+      if (ev.writable && !conn.outbox.empty()) {
         flush(conn);
       }
-      if (conn.shutdown && conn.outbox.empty()) {
-        shutdown_after_flush = true;
-      }
     }
-    // bgl:hot-end
+    if (accept_ready) {
+      accept_new_connections();
+    }
+    run_service_rounds(reads_pending);
     // Batched hand-off: everything submitted during this wakeup goes
     // through the shards in one drain (fanned out if a pool exists).
     shards.drain();
-    // Reap closed connections.
-    std::erase_if(connections, [this](const std::unique_ptr<Connection>& c) {
-      const bool done = c->closing && c->outbox.empty();
-      if (done) {
-        shards.metrics().connections.add(-1);
-      }
-      return done;
-    });
+    // Shutdown fires only once the acknowledgment has fully drained;
+    // checked before the reap so the pointer cannot dangle.
+    const bool shutdown_after_flush =
+        pending_shutdown != nullptr && pending_shutdown->outbox.empty();
+    // Reap closed connections: deregister before close so the poller
+    // never holds a dangling fd. The scan is skipped entirely on
+    // wakeups where nothing closed. The active list drops its closing
+    // entries first — its removal is otherwise lazy, and the reap
+    // frees the objects it points at.
+    if (closing_count > 0) {
+      std::erase_if(active, [](Connection* c) {
+        if (c->closing) {
+          c->in_active = false;
+          return true;
+        }
+        return false;
+      });
+      std::erase_if(connections,
+                    [this](const std::unique_ptr<Connection>& c) {
+                      const bool done = c->closing && c->outbox.empty();
+                      if (done) {
+                        poller->remove(c->fd.get());
+                        by_fd.erase(c->fd.get());
+                        shards.metrics().connections.add(-1);
+                        --closing_count;
+                        if (c.get() == pending_shutdown) {
+                          pending_shutdown = nullptr;
+                        }
+                      }
+                      return done;
+                    });
+    }
     if (shutdown_after_flush) {
       break;
     }
@@ -207,7 +380,12 @@ void Server::Impl::loop() {
   // nonzero gauge.
   shards.metrics().connections.add(
       -static_cast<std::int64_t>(connections.size()));
+  active.clear();
+  dirty.clear();
+  pending_shutdown = nullptr;
+  closing_count = 0;
   connections.clear();
+  by_fd.clear();
   listener.reset();
   loop_running.store(false);
 }

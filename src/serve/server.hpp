@@ -1,19 +1,26 @@
-// poll()-based loopback TCP server for the prediction service
+// Event-driven loopback TCP server for the prediction service
 // (DESIGN §8.3).
 //
-// Single-threaded event loop: one poll() set covering the listener and
-// every connection, non-blocking reads feeding per-connection Sessions,
-// buffered writes flushed under POLLOUT. Shard work happens inside the
-// loop thread via ShardManager::drain() — once per loop iteration, so
-// submits arriving in the same wakeup are batched through the shards —
-// optionally fanned out on the manager's worker pool. This shape is
-// deliberate for 1-CPU CI: no thread is ever busy-waiting, and with
-// worker_threads=0 the whole service is exactly one thread.
+// Single-threaded event loop over an EventPoller — edge-triggered epoll
+// in production, the original poll() loop as a BGL_SERVE_POLL=1
+// differential oracle. Wakeups are O(ready): the loop blocks
+// indefinitely when no connection has pending bytes or queued output
+// (no polling tick; `serve.wakeups` counts every wait() return, and a
+// regression test pins the idle count to zero). Reads drain each ready
+// connection to EAGAIN, round-robin one recv per connection per round
+// so a hot stream cannot starve the rest; responses coalesce into
+// per-connection chunked outboxes flushed with one vectored write per
+// wakeup, EPOLLOUT armed only while an outbox is non-empty. Shard work
+// happens inside the loop thread via ShardManager::drain() — once per
+// wakeup, so submits arriving together batch through the shards —
+// optionally fanned out on the manager's worker pool. With
+// worker_threads=0 the whole service is exactly one thread and nothing
+// busy-waits: deliberately sized for 1-CPU CI.
 //
 // start() runs the loop on a background thread (tests, examples, and
-// the load generator drive a blocking Client from the foreground);
-// stop() wakes the loop and joins. A SHUTDOWN frame stops the loop from
-// within after the response is flushed.
+// the load generator drive clients from the foreground); stop() wakes
+// the loop via the poller's notify door and joins. A SHUTDOWN frame
+// stops the loop from within after the response is flushed.
 #pragma once
 
 #include <atomic>
@@ -22,6 +29,7 @@
 #include <thread>
 
 #include "common/metrics.hpp"
+#include "serve/event_poller.hpp"
 #include "serve/shard_manager.hpp"
 
 namespace bglpred::serve {
@@ -29,6 +37,12 @@ namespace bglpred::serve {
 struct ServerOptions {
   /// 0 picks an ephemeral loopback port; read it back via port().
   std::uint16_t port = 0;
+  /// Readiness backend; defaults to epoll unless BGL_SERVE_POLL=1
+  /// selects the poll() differential oracle.
+  PollerBackend backend = poller_backend_from_env();
+  /// listen() backlog — raise for connection-storm workloads like the
+  /// 10k-connection sweep (the kernel caps it at somaxconn).
+  int listen_backlog = 128;
   ShardOptions shards;
 };
 

@@ -143,6 +143,22 @@ Session::Status Session::handle_frame(const Frame& frame, std::string& out) {
 
 Session::Status Session::handle_submit(const Frame& frame, std::string& out) {
   const std::uint64_t started = steady_micros();
+  // Pipeline-window order guard: once a submit hits backpressure, any
+  // *follower* frame of the same client window (kFlagPipelineFollow)
+  // must not apply — the client will resubmit the rejected remainder,
+  // and applying a follower first would reorder the stream. A window
+  // head (no flag — also every legacy frame) re-opens the gate.
+  if ((frame.flags & kFlagPipelineFollow) == 0) {
+    busy_latched_ = false;
+  } else if (busy_latched_) {
+    Frame reply;
+    reply.type = MessageType::kRejectedBusy;
+    reply.stream_id = frame.stream_id;
+    reply.seq = frame.seq;
+    reply.payload.assign(8, '\0');  // accepted = 0
+    respond(std::move(reply), out);
+    return Status::kKeepOpen;
+  }
   BytesReader in(frame.payload);
   std::uint32_t count = 1;
   if (frame.type == MessageType::kSubmitBatch) {
@@ -173,6 +189,9 @@ Session::Status Session::handle_submit(const Frame& frame, std::string& out) {
       break;
     }
     ++accepted;
+  }
+  if (busy) {
+    busy_latched_ = true;
   }
   if (frame.type == MessageType::kSubmitBatch && count > 0) {
     metrics_->batches_in.inc();

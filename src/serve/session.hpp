@@ -61,6 +61,12 @@ class Session {
   /// applied batch does advance it (re-applying would double-feed); its
   /// kRejectedBusy reply carries the accepted count to resume from.
   std::uint32_t seq_watermark_ = 0;
+  /// Set when a submit hits REJECTED_BUSY; while set, submit frames
+  /// flagged kFlagPipelineFollow auto-reject with accepted=0 so the
+  /// accepted records of a pipelined window always form an exact prefix
+  /// of it (stream order survives backpressure mid-window). Cleared by
+  /// the next window-head submit (a frame without the flag).
+  bool busy_latched_ = false;
 };
 
 }  // namespace bglpred::serve

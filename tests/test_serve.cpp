@@ -276,7 +276,8 @@ TEST(ShardManagerTest, DumpJsonListsEveryRegisteredMetric) {
            "serve.duplicate_frames", "serve.records_in", "serve.batches_in",
            "serve.records_rejected", "serve.warnings_out",
            "serve.checkpoints", "serve.restores", "serve.connections",
-           "serve.submit_micros", "serve.warning_age_micros",
+           "serve.wakeups", "serve.submit_micros",
+           "serve.warning_age_micros",
            // per-shard gauges
            "shard0.queue_depth", "shard0.streams",
            // per-stream engine counters (OnlineEngine::kCounterSlots)
@@ -289,9 +290,21 @@ TEST(ShardManagerTest, DumpJsonListsEveryRegisteredMetric) {
   }
 }
 
-TEST(ServerTest, AbortiveClientDisconnectDoesNotKillServer) {
+/// Server tests that exercise the event loop run against both readiness
+/// backends: edge-triggered epoll (production) and the poll() oracle.
+class ServerBackendTest : public ::testing::TestWithParam<PollerBackend> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ServerBackendTest,
+    ::testing::Values(PollerBackend::kEpoll, PollerBackend::kPoll),
+    [](const ::testing::TestParamInfo<PollerBackend>& info) {
+      return std::string(to_string(info.param));
+    });
+
+TEST_P(ServerBackendTest, AbortiveClientDisconnectDoesNotKillServer) {
   const ThreePhasePredictor tpp;
   ServerOptions options;
+  options.backend = GetParam();
   options.shards = small_shard_options(tpp);
   Server server(options);
   server.start();
@@ -315,9 +328,10 @@ TEST(ServerTest, AbortiveClientDisconnectDoesNotKillServer) {
   server.stop();
 }
 
-TEST(ServerTest, StopResetsConnectionsGauge) {
+TEST_P(ServerBackendTest, StopResetsConnectionsGauge) {
   const ThreePhasePredictor tpp;
   ServerOptions options;
+  options.backend = GetParam();
   options.shards = small_shard_options(tpp);
   Server server(options);
   server.start();
@@ -369,13 +383,26 @@ TEST(OnlineEngineMetricsTest, AttachedCountersMirrorStats) {
 // client -> socket -> session -> shard -> engine path are byte-identical
 // (through encode_warnings) to one in-process OnlineEngine per stream,
 // including across a mid-stream CHECKPOINT + RESTORE of the shard set.
-TEST(ServedEquivalenceTest, ByteIdenticalAcrossCheckpointRestore) {
+// Runs against both readiness backends (ServerBackendTest), which is the
+// epoll rewrite's differential gate.
+class ServedEquivalenceTest : public ::testing::TestWithParam<PollerBackend> {
+};
+
+INSTANTIATE_TEST_SUITE_P(
+    Backends, ServedEquivalenceTest,
+    ::testing::Values(PollerBackend::kEpoll, PollerBackend::kPoll),
+    [](const ::testing::TestParamInfo<PollerBackend>& info) {
+      return std::string(to_string(info.param));
+    });
+
+TEST_P(ServedEquivalenceTest, ByteIdenticalAcrossCheckpointRestore) {
   const ThreePhasePredictor tpp;
   GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.02);
   constexpr std::size_t kStreams = 3;
   const auto streams = split_streams(g, kStreams, 600);
 
   ServerOptions options;
+  options.backend = GetParam();
   options.shards = small_shard_options(tpp);
   Server server(options);
   server.start();
@@ -452,12 +479,13 @@ TEST(ServedEquivalenceTest, ByteIdenticalAcrossCheckpointRestore) {
 
 // Same service, shard-level worker threads: determinism must not depend
 // on draining inline (shards are disjoint, streams stay ordered).
-TEST(ServedEquivalenceTest, WorkerThreadsPreserveStreamOrder) {
+TEST_P(ServedEquivalenceTest, WorkerThreadsPreserveStreamOrder) {
   const ThreePhasePredictor tpp;
   GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(0.01);
   const auto streams = split_streams(g, 2, 200);
 
   ServerOptions options;
+  options.backend = GetParam();
   options.shards = small_shard_options(tpp);
   options.shards.worker_threads = 2;
   Server server(options);
@@ -482,9 +510,10 @@ TEST(ServedEquivalenceTest, WorkerThreadsPreserveStreamOrder) {
   server.stop();
 }
 
-TEST(ServerTest, StopIsIdempotentAndPortIsEphemeral) {
+TEST_P(ServerBackendTest, StopIsIdempotentAndPortIsEphemeral) {
   const ThreePhasePredictor tpp;
   ServerOptions options;
+  options.backend = GetParam();
   options.shards = small_shard_options(tpp);
   Server server(options);
   server.start();

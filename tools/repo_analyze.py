@@ -119,6 +119,7 @@ REQUIRED_HOT_FILES = (
     "src/core/online.cpp",
     "src/serve/session.cpp",
     "src/serve/server.cpp",
+    "src/serve/event_poller.cpp",
 )
 
 REPO_CONFIG = {

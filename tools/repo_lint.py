@@ -24,11 +24,20 @@ Rules (C++ sources under src/, tests/, bench/, examples/):
                         throw unnamed std:: exceptions; field parsing must
                         go through parse_u32/parse_u64, which reject all
                         three with a ParseError naming the field.
-  naked-send-recv       send()/recv() outside src/serve/net_util. The
-                        wrappers there own the portability hazards
-                        (SIGPIPE via MSG_NOSIGNAL, EINTR retries, partial
-                        writes, EAGAIN vs EOF); a raw call silently
-                        reintroduces them.
+  naked-send-recv       send()/recv()/sendmsg()/recvmsg()/writev()/readv()
+                        outside src/serve/net_util. The wrappers there own
+                        the portability hazards (SIGPIPE via MSG_NOSIGNAL,
+                        EINTR retries, partial writes — including
+                        mid-iovec resume, EAGAIN vs EOF); a raw call
+                        silently reintroduces them.
+  naked-poll            poll()/select() (and the ppoll/pselect variants)
+                        in src/serve/ outside the EventPoller oracle.
+                        Readiness flows through the EventPoller
+                        abstraction (edge-triggered epoll in production);
+                        the poll() spelling is reserved for the
+                        level-triggered differential oracle in
+                        event_poller.cpp, which carries explicit allow
+                        markers.
   slow-ingest           std::istringstream / std::ostringstream or
                         std::string::substr in the ingest hot paths
                         (src/raslog/, src/preprocess/). Both allocate per
@@ -99,8 +108,21 @@ RE_PREPROC = re.compile(r"^\s*#\s*(\w+)")
 RE_SUBMIT_REF = re.compile(r"\bsubmit\s*\(\s*\[\s*&\s*[\],]")
 RE_STO = re.compile(r"\bstd\s*::\s*sto[a-z]+\s*\(")
 # Raw socket I/O calls, including the ::-qualified spellings; identifiers
-# like send_all / recv_some must not match.
-RE_SEND_RECV = re.compile(r"(?<![_\w.])(?:::\s*)?(send|recv)\s*\(")
+# like send_all / recv_some / writev_nonblocking must not match.
+RE_SEND_RECV = re.compile(
+    r"(?<![_\w.])(?:::\s*)?"
+    r"(send(?:msg|to)?|recv(?:msg|from)?|writev|readv)\s*\(")
+# Raw readiness syscalls in the serve plane. `poll` is also a protocol
+# verb (ShardManager::poll, POLL_WARNINGS), so the unqualified spelling
+# stays legal for the syscall name itself — but the headers that declare
+# the syscalls are banned too, so an unqualified ::poll cannot slip in
+# by omitting the `::`. ShardManager::poll( does not match (the `::` is
+# preceded by \w); epoll_wait survives the select-alternation.
+RE_POLL = re.compile(
+    r"(?<![\w>])::\s*(p?poll|p?select)\s*\(|"
+    r"(?<![\w.:>])(ppoll|p?select)\s*\(|"
+    r"^\s*#\s*include\s*<(poll|sys/poll|sys/select)\.h>")
+SERVE_DIR = re.compile(r"^src/serve/")
 # Per-record allocation patterns banned from the ingest hot paths:
 # stringstream round-trips and member .substr() calls.
 RE_SLOW_STREAM = re.compile(r"\bstd\s*::\s*[io]?stringstream\b")
@@ -176,6 +198,7 @@ class Linter:
         rand_exempt = bool(RAND_EXEMPT.match(path))
         sto_exempt = bool(STO_EXEMPT.match(path))
         send_recv_exempt = bool(SEND_RECV_EXEMPT.match(path))
+        serve_file = bool(SERVE_DIR.match(path))
         slow_ingest = bool(SLOW_INGEST_DIRS.match(path))
         for idx, code in enumerate(code_lines):
             # Allow markers may sit on the offending line or just above.
@@ -202,9 +225,14 @@ class Linter:
                             raw)
             if not send_recv_exempt and RE_SEND_RECV.search(code):
                 self.report(path, no, "naked-send-recv",
-                            "use the send_all/send_nonblocking/recv_some "
+                            "use the send_all/writev_all/recv_into "
                             "wrappers from serve/net_util instead of raw "
-                            "send()/recv()", raw)
+                            "send()/recv()/sendmsg()/writev()", raw)
+            if serve_file and RE_POLL.search(code):
+                self.report(path, no, "naked-poll",
+                            "readiness goes through EventPoller; raw "
+                            "poll()/select() is reserved for the "
+                            "differential oracle in event_poller.cpp", raw)
             if slow_ingest and (RE_SLOW_STREAM.search(code) or
                                 RE_SUBSTR.search(code)):
                 self.report(path, no, "slow-ingest",
