@@ -1,15 +1,22 @@
 #include "serve/client.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 #include <utility>
 
 #include "common/binary.hpp"
 #include "common/error.hpp"
+#include "common/rng.hpp"
 
 namespace bglpred::serve {
 
-Client Client::connect(std::uint16_t port) {
-  return Client(connect_loopback(port));
+Client Client::connect(std::uint16_t port, const ClientOptions& options) {
+  OwnedFd fd = connect_loopback(port, options.connect_timeout_micros);
+  // Unconditional: 0 clears the SO_SNDTIMEO that a bounded connect left
+  // on the socket, restoring block-forever sends.
+  set_io_timeouts(fd, options.io_timeout_micros, options.io_timeout_micros);
+  return Client(std::move(fd));
 }
 
 Frame Client::roundtrip(Frame request) {
@@ -45,9 +52,12 @@ Frame Client::await_reply(std::uint32_t seq) {
         if (n == 0) {
           throw Error("server closed the connection mid-request");
         }
-        if (n != SIZE_MAX) {
-          reader_.feed(chunk);
+        if (n == SIZE_MAX) {
+          // Only reachable with an io timeout configured (the socket is
+          // otherwise blocking): the reply didn't arrive in time.
+          throw Error("timed out waiting for a response");
         }
+        reader_.feed(chunk);
         continue;
       }
     }
@@ -59,6 +69,22 @@ std::uint64_t decode_accepted(const Frame& frame) {
   BytesReader in(frame.payload);
   return in.read<std::uint64_t>("accepted count");
 }
+
+SubmitResult decode_submit_result(const Frame& reply) {
+  SubmitResult result;
+  result.accepted = decode_accepted(reply);
+  result.overloaded = reply.type == MessageType::kRejectedOverloaded;
+  result.busy = result.overloaded || reply.type == MessageType::kRejectedBusy;
+  return result;
+}
+
+/// A budget rejection stays rejected until the server's rolling window
+/// turns over; resubmitting instantly would just burn more budget. One
+/// short sleep per overloaded round keeps the retry loop polite without
+/// slowing the (busy-only) backpressure path at all.
+void overload_pause() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
 }  // namespace
 
 SubmitResult Client::submit_record(std::uint64_t stream_id,
@@ -68,11 +94,7 @@ SubmitResult Client::submit_record(std::uint64_t stream_id,
   request.type = MessageType::kSubmitRecord;
   request.stream_id = stream_id;
   encode_record(request.payload, record, entry);
-  const Frame reply = roundtrip(std::move(request));
-  SubmitResult result;
-  result.accepted = decode_accepted(reply);
-  result.busy = reply.type == MessageType::kRejectedBusy;
-  return result;
+  return decode_submit_result(roundtrip(std::move(request)));
 }
 
 SubmitResult Client::submit_batch(std::uint64_t stream_id,
@@ -85,11 +107,7 @@ SubmitResult Client::submit_batch(std::uint64_t stream_id,
   for (const WireRecord& wr : records) {
     encode_record(request.payload, wr.record, wr.entry);
   }
-  const Frame reply = roundtrip(std::move(request));
-  SubmitResult result;
-  result.accepted = decode_accepted(reply);
-  result.busy = reply.type == MessageType::kRejectedBusy;
-  return result;
+  return decode_submit_result(roundtrip(std::move(request)));
 }
 
 std::size_t Client::submit_all(std::uint64_t stream_id,
@@ -109,8 +127,12 @@ std::size_t Client::submit_all(std::uint64_t stream_id,
     if (r.busy) {
       // The server drains between event-loop iterations; simply
       // resubmitting the remainder is the backoff (the blocking
-      // roundtrip paces us to the server's loop).
+      // roundtrip paces us to the server's loop). Budget rejections
+      // additionally wait out a slice of the rolling window.
       ++busy_rounds;
+      if (r.overloaded) {
+        overload_pause();
+      }
     }
   }
   return busy_rounds;
@@ -161,18 +183,23 @@ std::size_t Client::submit_all_pipelined(std::uint64_t stream_id,
     }
     writev_all(fd_, iov.data(), iov.size());
     bool busy = false;
+    bool overloaded = false;
     std::uint64_t accepted_total = 0;
     for (const std::uint32_t seq : seqs) {
-      const Frame reply = await_reply(seq);
-      accepted_total += decode_accepted(reply);
-      busy = busy || reply.type == MessageType::kRejectedBusy;
+      const SubmitResult r = decode_submit_result(await_reply(seq));
+      accepted_total += r.accepted;
+      busy = busy || r.busy;
+      overloaded = overloaded || r.overloaded;
     }
     offset += static_cast<std::size_t>(accepted_total);
     if (busy) {
       // Like submit_all: the await above already paced us to the
       // server's drain cycle, so resubmitting the remainder is the
-      // backoff.
+      // backoff. Budget rejections wait out part of the window first.
       ++busy_rounds;
+      if (overloaded) {
+        overload_pause();
+      }
     }
   }
   return busy_rounds;
@@ -187,6 +214,17 @@ std::vector<Warning> Client::poll_warnings(std::uint64_t stream_id) {
     throw Error("unexpected response type to POLL_WARNINGS");
   }
   return decode_warnings(reply.payload);
+}
+
+std::uint64_t Client::stream_accepted(std::uint64_t stream_id) {
+  Frame request;
+  request.type = MessageType::kStreamStatus;
+  request.stream_id = stream_id;
+  const Frame reply = roundtrip(std::move(request));
+  if (reply.type != MessageType::kOk) {
+    throw Error("unexpected response type to STREAM_STATUS");
+  }
+  return decode_accepted(reply);
 }
 
 std::string Client::checkpoint() {
@@ -226,6 +264,86 @@ void Client::shutdown_server() {
   if (reply.type != MessageType::kOk) {
     throw Error("unexpected response type to SHUTDOWN");
   }
+}
+
+ResilientStats submit_all_resilient(std::uint16_t port,
+                                    std::uint64_t stream_id,
+                                    const std::vector<WireRecord>& records,
+                                    const ResilientOptions& options) {
+  BGL_REQUIRE(options.batch_size > 0, "batch size must be positive");
+  BGL_REQUIRE(options.window > 0, "pipeline window must be positive");
+  BGL_REQUIRE(options.max_attempts > 0, "max attempts must be positive");
+  ResilientStats stats;
+  Rng rng(options.backoff_seed);
+  ClientOptions conn_options;
+  conn_options.connect_timeout_micros = options.connect_timeout_micros;
+  conn_options.io_timeout_micros = options.io_timeout_micros;
+  // Exactly-once resume: the server's lifetime accepted count for the
+  // stream, read on the first successful connection, is the baseline;
+  // after any reconnect `accepted - baseline` is how many of OUR records
+  // already landed (streams have one writer), so the retransmit starts
+  // right after them — never double-feeding, never skipping.
+  bool have_baseline = false;
+  std::uint64_t baseline = 0;
+  std::size_t offset = 0;
+  bool connected_once = false;
+  std::size_t consecutive_failures = 0;
+  while (offset < records.size() || !connected_once) {
+    try {
+      Client client = Client::connect(port, conn_options);
+      const std::uint64_t mark = client.stream_accepted(stream_id);
+      if (connected_once) {
+        ++stats.reconnects;
+      }
+      connected_once = true;
+      if (!have_baseline) {
+        baseline = mark;
+        have_baseline = true;
+      } else if (mark - baseline > offset) {
+        // Records whose replies we never saw (the connection died with
+        // them in flight) did land: skip past them.
+        stats.resumed_records += (mark - baseline) - offset;
+        offset = static_cast<std::size_t>(mark - baseline);
+      }
+      consecutive_failures = 0;
+      if (options.on_progress) {
+        options.on_progress(offset);
+      }
+      if (offset < records.size()) {
+        const std::vector<WireRecord> rest(
+            records.begin() + static_cast<std::ptrdiff_t>(offset),
+            records.end());
+        stats.busy_rounds += client.submit_all_pipelined(
+            stream_id, rest, options.batch_size, options.window);
+        offset = records.size();
+        if (options.on_progress) {
+          options.on_progress(offset);
+        }
+      }
+    } catch (const Error&) {
+      // Connect refused/timed out, accept shed (typed refusal then
+      // close), reply timeout, or mid-submit death — all retriable; the
+      // watermark repairs the stream position on the next connection.
+      ++stats.failed_attempts;
+      if (++consecutive_failures >= options.max_attempts) {
+        throw;
+      }
+      // Full-jitter exponential backoff: uniform in [0, ceiling] with
+      // the ceiling doubling per consecutive failure. Seeded, so a
+      // chaos run's retry schedule is reproducible.
+      const std::size_t shift =
+          consecutive_failures < 32 ? consecutive_failures - 1 : 31;
+      std::uint64_t ceiling = options.initial_backoff_micros << shift;
+      if (ceiling > options.max_backoff_micros ||
+          (ceiling >> shift) != options.initial_backoff_micros) {
+        ceiling = options.max_backoff_micros;
+      }
+      const std::uint64_t delay = static_cast<std::uint64_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(ceiling)));
+      std::this_thread::sleep_for(std::chrono::microseconds(delay));
+    }
+  }
+  return stats;
 }
 
 }  // namespace bglpred::serve

@@ -5,12 +5,15 @@
 // and blocks until the matching response frame (sequence numbers are
 // assigned internally and verified on the reply). Typed kError
 // responses surface as thrown bglpred::Error carrying the server's
-// error code and message; REJECTED_BUSY is not an error — submit calls
-// report it through SubmitResult so callers implement their own
-// backoff/retry (submit_all does it for them).
+// error code and message; REJECTED_BUSY and REJECTED_OVERLOADED are not
+// errors — submit calls report them through SubmitResult so callers
+// implement their own backoff/retry (submit_all does it for them, and
+// submit_all_resilient additionally survives dropped connections by
+// reconnecting and resuming from the server's accepted-count watermark).
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -24,13 +27,30 @@ namespace bglpred::serve {
 /// whether it pushed back.
 struct SubmitResult {
   std::uint64_t accepted = 0;
+  /// Backpressure (REJECTED_BUSY or REJECTED_OVERLOADED): back off and
+  /// retransmit the remainder.
   bool busy = false;
+  /// Specifically REJECTED_OVERLOADED — the per-connection inbound
+  /// budget tripped; immediate retransmits stay rejected until the
+  /// budget window rolls, so back off for real before retrying.
+  bool overloaded = false;
+};
+
+/// Connection-behavior knobs. Defaults reproduce the historical client:
+/// block forever on connect and on replies.
+struct ClientOptions {
+  /// Bound on the TCP handshake; 0 waits forever.
+  std::uint64_t connect_timeout_micros = 0;
+  /// Bound on each blocking send/recv; 0 waits forever. When it trips,
+  /// the pending call throws Error — treat the client as dead (the
+  /// stream position is recovered via stream_accepted() on reconnect).
+  std::uint64_t io_timeout_micros = 0;
 };
 
 class Client {
  public:
   /// Connects to a server on 127.0.0.1:`port`.
-  static Client connect(std::uint16_t port);
+  static Client connect(std::uint16_t port, const ClientOptions& options = {});
 
   SubmitResult submit_record(std::uint64_t stream_id, const RasRecord& record,
                              std::string_view entry);
@@ -61,6 +81,13 @@ class Client {
   /// Drains and returns the stream's pending warnings.
   std::vector<Warning> poll_warnings(std::uint64_t stream_id);
 
+  /// Lifetime count of records the server has accepted for the stream
+  /// (STREAM_STATUS). This is the reconnect watermark: a resilient
+  /// submitter reads it after reconnecting and resumes at
+  /// `accepted - baseline`, so records land exactly once even when the
+  /// connection died before a submit's reply arrived.
+  std::uint64_t stream_accepted(std::uint64_t stream_id);
+
   /// Whole-shard-set checkpoint blob.
   std::string checkpoint();
 
@@ -88,5 +115,45 @@ class Client {
   FrameReader reader_;
   std::uint32_t next_seq_ = 1;
 };
+
+/// Knobs for submit_all_resilient.
+struct ResilientOptions {
+  std::size_t batch_size = 128;
+  std::size_t window = 8;
+  /// Consecutive failed attempts (connect or mid-submit death) before
+  /// giving up with a thrown Error. Progress resets the count.
+  std::size_t max_attempts = 8;
+  /// Exponential backoff between attempts: full jitter in
+  /// [0, min(initial << attempt, max)], drawn from a seeded Rng so chaos
+  /// runs are reproducible.
+  std::uint64_t initial_backoff_micros = 10'000;
+  std::uint64_t max_backoff_micros = 1'000'000;
+  std::uint64_t connect_timeout_micros = 2'000'000;
+  std::uint64_t io_timeout_micros = 5'000'000;
+  std::uint64_t backoff_seed = 0x9e3779b97f4a7c15ULL;
+  /// Observability hook, called after every submit round and reconnect
+  /// with records landed so far; nullptr-safe (unset = silent).
+  std::function<void(std::uint64_t landed)> on_progress;
+};
+
+/// What a resilient submit went through to land everything.
+struct ResilientStats {
+  std::size_t reconnects = 0;     ///< connections established after the first
+  std::size_t failed_attempts = 0;  ///< attempts that died and were retried
+  std::size_t busy_rounds = 0;    ///< backpressure rounds across all conns
+  std::uint64_t resumed_records = 0;  ///< records skipped via the watermark
+};
+
+/// Submits the whole batch to 127.0.0.1:`port`, surviving backpressure,
+/// budget rejections, dropped connections, and accept shedding:
+/// reconnects with seeded-jitter exponential backoff and resumes from
+/// the server's STREAM_STATUS accepted-count watermark, so every record
+/// lands exactly once in order even when a connection dies with replies
+/// in flight. Throws Error after `max_attempts` consecutive failures
+/// (e.g. the server is gone for good).
+ResilientStats submit_all_resilient(std::uint16_t port,
+                                    std::uint64_t stream_id,
+                                    const std::vector<WireRecord>& records,
+                                    const ResilientOptions& options = {});
 
 }  // namespace bglpred::serve

@@ -1,0 +1,26 @@
+// Monotonic time for the serve plane (DESIGN §8.5).
+//
+// Every serve-side timer — idle/write-stall deadlines, submit latency
+// histograms, queue-age stamps, client backoff — must use the monotonic
+// clock: wall time jumps (NTP steps, suspend/resume) would fire or
+// starve deadlines spuriously. The repo-lint `serve-wall-clock` rule
+// bans std::chrono::system_clock from src/serve/ so nothing regresses
+// to wall time by accident; the single legitimate wall-clock read (the
+// STATS timestamp gauge) carries an explicit allow marker.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+namespace bglpred::serve {
+
+/// Microseconds on the monotonic clock. Only differences are
+/// meaningful; the epoch is unspecified (typically boot time).
+inline std::uint64_t monotonic_micros() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace bglpred::serve

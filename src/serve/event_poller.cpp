@@ -12,6 +12,7 @@
 #include <string>
 
 #include "common/error.hpp"
+#include "serve/clock.hpp"
 #include "serve/net_util.hpp"
 
 namespace bglpred::serve {
@@ -20,6 +21,42 @@ namespace {
 [[noreturn]] void throw_errno(const char* what) {
   throw Error(std::string(what) + ": " + std::strerror(errno));
 }
+
+// EINTR bookkeeping for a finite-timeout wait: a signal must not make
+// the wait return early (timer deadlines would then fire late under
+// signal load — the loop treats a 0 return as "the deadline passed").
+// Tracks the absolute deadline once and converts back to a remaining
+// millisecond budget, rounded up so a re-wait never undershoots.
+class WaitDeadline {
+ public:
+  explicit WaitDeadline(int timeout_ms) : timeout_ms_(timeout_ms) {
+    if (timeout_ms > 0) {
+      deadline_micros_ =
+          monotonic_micros() + static_cast<std::uint64_t>(timeout_ms) * 1000;
+    }
+  }
+
+  /// Timeout for the next wait attempt: the original value for
+  /// infinite (-1) and probe (0) waits, else the remaining time.
+  int remaining_ms() const {
+    if (timeout_ms_ <= 0) {
+      return timeout_ms_;
+    }
+    const std::uint64_t now = monotonic_micros();
+    if (now >= deadline_micros_) {
+      return 0;
+    }
+    return static_cast<int>((deadline_micros_ - now + 999) / 1000);
+  }
+
+  /// True when an EINTR-interrupted wait should report a timeout
+  /// instead of re-waiting.
+  bool expired() const { return timeout_ms_ > 0 && remaining_ms() == 0; }
+
+ private:
+  int timeout_ms_;
+  std::uint64_t deadline_micros_ = 0;
+};
 
 OwnedFd make_notify_eventfd() {
   OwnedFd fd(::eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC));
@@ -101,14 +138,23 @@ class EpollPoller final : public EventPoller {
   // the rare full-batch wakeup, then stays grown).
   std::size_t wait(int timeout_ms, std::vector<ReadyEvent>& out) override {
     out.clear();
-    const int n = ::epoll_wait(epoll_.get(), kernel_events_.data(),
-                               static_cast<int>(kernel_events_.size()),
-                               timeout_ms);
-    if (n < 0) {
-      if (errno == EINTR) {
-        return 0;
+    const WaitDeadline deadline(timeout_ms);
+    int n;
+    for (;;) {
+      n = ::epoll_wait(epoll_.get(), kernel_events_.data(),
+                       static_cast<int>(kernel_events_.size()),
+                       deadline.remaining_ms());
+      if (n >= 0) {
+        break;
       }
-      throw_errno("epoll_wait");  // fatal: the loop cannot continue
+      if (errno != EINTR) {
+        throw_errno("epoll_wait");  // fatal: the loop cannot continue
+      }
+      if (deadline.expired()) {
+        return 0;  // the signal ate the remaining budget: a real timeout
+      }
+      // Interrupted with time left (or an infinite/probe wait): re-wait
+      // with the remaining budget so timer deadlines fire on schedule.
     }
     for (int i = 0; i < n; ++i) {
       const epoll_event& ev = kernel_events_[static_cast<std::size_t>(i)];
@@ -187,13 +233,23 @@ class PollOracle final : public EventPoller {
       }
       fds_.push_back(pollfd{fd, events, 0});
     }
-    const int ready =  // repo-lint: allow(naked-poll)
-        ::poll(fds_.data(), static_cast<nfds_t>(fds_.size()), timeout_ms);
-    if (ready < 0) {
-      if (errno == EINTR) {
+    const WaitDeadline deadline(timeout_ms);
+    int ready;
+    for (;;) {
+      ready =  // repo-lint: allow(naked-poll)
+          ::poll(fds_.data(), static_cast<nfds_t>(fds_.size()),
+                 deadline.remaining_ms());
+      if (ready >= 0) {
+        break;
+      }
+      if (errno != EINTR) {
+        throw_errno("poll");
+      }
+      if (deadline.expired()) {
         return 0;
       }
-      throw_errno("poll");
+      // Same EINTR discipline as the epoll backend: re-wait with the
+      // remaining budget instead of returning early.
     }
     if ((fds_[0].revents & POLLIN) != 0) {
       drain_eventfd(wakeup_);

@@ -66,7 +66,11 @@ class EventPoller {
 
   /// Blocks until readiness, notify(), or `timeout_ms` (-1 = forever;
   /// 0 = nonblocking probe). Fills `out` (cleared first) and returns
-  /// the event count; 0 means timeout, EINTR, or a notify-only wakeup.
+  /// the event count; 0 means the timeout elapsed or a notify-only
+  /// wakeup. EINTR never surfaces: a finite-timeout wait interrupted by
+  /// a signal re-waits with the *remaining* time, so a 0 return with a
+  /// positive timeout means the full timeout genuinely passed — the
+  /// server's timer sweep depends on this.
   virtual std::size_t wait(int timeout_ms, std::vector<ReadyEvent>& out) = 0;
 
   /// Wakes a blocked wait() from any thread.

@@ -14,7 +14,16 @@ ServeMetrics::ServeMetrics(MetricsRegistry& reg)
       warnings_out(reg.counter("serve.warnings_out")),
       checkpoints(reg.counter("serve.checkpoints")),
       restores(reg.counter("serve.restores")),
+      accepts_shed(reg.counter("serve.accepts_shed")),
+      slow_readers_evicted(reg.counter("serve.slow_readers_evicted")),
+      idle_timeouts(reg.counter("serve.idle_timeouts")),
+      write_stall_timeouts(reg.counter("serve.write_stall_timeouts")),
+      budget_rejected(reg.counter("serve.budget_rejected")),
+      drain_forced_closes(reg.counter("serve.drain_forced_closes")),
       connections(reg.gauge("serve.connections")),
+      fd_limit(reg.gauge("serve.fd_limit")),
+      outbox_bytes(reg.gauge("serve.outbox_bytes")),
+      stats_wall_micros(reg.gauge("serve.stats_wall_micros")),
       wakeups(reg.counter("serve.wakeups")),
       submit_micros(reg.histogram("serve.submit_micros")),
       warning_age_micros(reg.histogram("serve.warning_age_micros")) {}

@@ -35,7 +35,24 @@ struct ServeMetrics {
   Counter& checkpoints;  ///< CHECKPOINT requests served
   Counter& restores;     ///< RESTORE requests applied
 
+  // Overload protection & lifecycle (DESIGN §8.5). Every shed/evict/
+  // timeout decision the admission layer makes is counted here; the
+  // chaos harness gates on all of them being >0 under chaos and ==0 in
+  // a clean run.
+  Counter& accepts_shed;          ///< connections refused at admission
+  Counter& slow_readers_evicted;  ///< closed for exceeding the outbox cap
+  Counter& idle_timeouts;         ///< closed for idling past the deadline
+  Counter& write_stall_timeouts;  ///< closed for a stalled outbox flush
+  Counter& budget_rejected;       ///< submits refused by the inbound budget
+  Counter& drain_forced_closes;   ///< connections cut at the drain deadline
+
   Gauge& connections;  ///< currently open sessions
+  Gauge& fd_limit;     ///< effective RLIMIT_NOFILE soft limit at startup
+  Gauge& outbox_bytes; ///< total reply bytes buffered across connections
+  /// Wall-clock microseconds at the last STATS request — the one
+  /// legitimate wall-time read in the serve plane (stamping dumps for
+  /// humans); every timer uses the monotonic clock (serve/clock.hpp).
+  Gauge& stats_wall_micros;
 
   /// Event-loop returns from EventPoller::wait(). The idle-wakeup
   /// regression test pins this still while the server is idle — the

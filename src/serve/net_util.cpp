@@ -6,7 +6,9 @@
 #include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <sys/resource.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 #include <vector>
 
@@ -25,6 +27,21 @@ sockaddr_in loopback_addr(std::uint16_t port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(port);
   return addr;
+}
+
+timeval micros_to_timeval(std::uint64_t micros) {
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(micros / 1'000'000);
+  tv.tv_usec = static_cast<suseconds_t>(micros % 1'000'000);
+  return tv;
+}
+
+void set_socket_timeout(const OwnedFd& fd, int option,
+                        std::uint64_t micros) {
+  const timeval tv = micros_to_timeval(micros);
+  if (::setsockopt(fd.get(), SOL_SOCKET, option, &tv, sizeof(tv)) != 0) {
+    throw_errno("setsockopt SO_*TIMEO");
+  }
 }
 }  // namespace
 
@@ -73,19 +90,66 @@ std::uint16_t local_port(const OwnedFd& fd) {
   return ntohs(addr.sin_port);
 }
 
-OwnedFd connect_loopback(std::uint16_t port) {
+OwnedFd connect_loopback(std::uint16_t port,
+                         std::uint64_t connect_timeout_micros,
+                         int rcvbuf_bytes) {
   OwnedFd fd(::socket(AF_INET, SOCK_STREAM, 0));
   if (!fd.valid()) {
     throw_errno("socket");
   }
   const int one = 1;
   ::setsockopt(fd.get(), IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (rcvbuf_bytes > 0) {
+    set_receive_buffer_bytes(fd, rcvbuf_bytes);
+  }
+  if (connect_timeout_micros > 0) {
+    // Linux applies SO_SNDTIMEO to a blocking connect(), which bounds
+    // the handshake without the nonblocking-connect/poll dance.
+    set_socket_timeout(fd, SO_SNDTIMEO, connect_timeout_micros);
+  }
   sockaddr_in addr = loopback_addr(port);
   if (::connect(fd.get(), reinterpret_cast<const sockaddr*>(&addr),
                 sizeof(addr)) != 0) {
     throw_errno("connect 127.0.0.1");
   }
   return fd;
+}
+
+void set_io_timeouts(const OwnedFd& fd, std::uint64_t recv_micros,
+                     std::uint64_t send_micros) {
+  set_socket_timeout(fd, SO_RCVTIMEO, recv_micros);
+  set_socket_timeout(fd, SO_SNDTIMEO, send_micros);
+}
+
+void set_send_buffer_bytes(const OwnedFd& fd, int bytes) {
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_SNDBUF, &bytes,
+                   sizeof(bytes)) != 0) {
+    throw_errno("setsockopt SO_SNDBUF");
+  }
+}
+
+void set_receive_buffer_bytes(const OwnedFd& fd, int bytes) {
+  if (::setsockopt(fd.get(), SOL_SOCKET, SO_RCVBUF, &bytes,
+                   sizeof(bytes)) != 0) {
+    throw_errno("setsockopt SO_RCVBUF");
+  }
+}
+
+std::size_t raise_fd_limit() {
+  rlimit lim{};
+  if (::getrlimit(RLIMIT_NOFILE, &lim) != 0) {
+    throw_errno("getrlimit RLIMIT_NOFILE");
+  }
+  if (lim.rlim_cur < lim.rlim_max) {
+    rlimit want = lim;
+    want.rlim_cur = lim.rlim_max;
+    // Best effort: a container may refuse the raise; serve with what
+    // the kernel grants rather than failing startup.
+    if (::setrlimit(RLIMIT_NOFILE, &want) == 0) {
+      lim = want;
+    }
+  }
+  return static_cast<std::size_t>(lim.rlim_cur);
 }
 
 OwnedFd accept_connection(const OwnedFd& listener) {

@@ -48,7 +48,43 @@ OwnedFd make_loopback_listener(std::uint16_t port, int backlog = 16);
 std::uint16_t local_port(const OwnedFd& fd);
 
 /// Blocking connect to 127.0.0.1:`port`. Throws Error on failure.
-OwnedFd connect_loopback(std::uint16_t port);
+/// With `connect_timeout_micros > 0` the handshake is bounded: the
+/// socket's send timeout (SO_SNDTIMEO, which Linux applies to a blocking
+/// connect) is set before connecting, so an unresponsive listener turns
+/// into a thrown Error instead of hanging — note the timeout stays in
+/// effect for later sends until set_io_timeouts() changes it.
+/// `rcvbuf_bytes > 0` applies SO_RCVBUF before the handshake (the
+/// window is negotiated at connect time, so it must be set here, not
+/// after).
+OwnedFd connect_loopback(std::uint16_t port,
+                         std::uint64_t connect_timeout_micros = 0,
+                         int rcvbuf_bytes = 0);
+
+/// Bounds blocking recv/send on the descriptor (SO_RCVTIMEO /
+/// SO_SNDTIMEO): after the timeout, the call fails as would-block —
+/// recv_some/recv_into return SIZE_MAX, send_all throws. 0 disables the
+/// corresponding bound (waits forever, the default).
+void set_io_timeouts(const OwnedFd& fd, std::uint64_t recv_micros,
+                     std::uint64_t send_micros);
+
+/// Shrinks (or grows) the socket's kernel send buffer. The overload
+/// tests use this to make write-stall scenarios deterministic: with the
+/// default autotuned buffer the kernel can absorb megabytes before a
+/// stalled reader becomes visible to the server.
+void set_send_buffer_bytes(const OwnedFd& fd, int bytes);
+
+/// Receive-side counterpart (SO_RCVBUF; set before connect so the
+/// negotiated window honors it). Misbehaving-client personas shrink
+/// their own receive buffer so unread replies back up into the server's
+/// outbox quickly instead of vanishing into kernel buffering.
+void set_receive_buffer_bytes(const OwnedFd& fd, int bytes);
+
+/// Raises the soft RLIMIT_NOFILE to the hard limit (best effort — a
+/// refused raise keeps the current soft limit) and returns the effective
+/// soft limit. The server calls this at startup and publishes the result
+/// as the serve.fd_limit gauge; admission control derives its default
+/// connection ceiling from it.
+std::size_t raise_fd_limit();
 
 /// Accepts one pending connection; returns an invalid fd when the accept
 /// would block. Aborted handshakes (ECONNABORTED) are skipped. Throws

@@ -10,7 +10,7 @@ namespace bglpred::serve {
 
 bool is_request_type(std::uint8_t type) {
   return type >= static_cast<std::uint8_t>(MessageType::kSubmitRecord) &&
-         type <= static_cast<std::uint8_t>(MessageType::kShutdown);
+         type <= static_cast<std::uint8_t>(MessageType::kStreamStatus);
 }
 
 const char* to_string(ErrorCode code) {

@@ -69,7 +69,8 @@ enum class MessageType : std::uint8_t {
   kCheckpoint = 4,     ///< serialize the whole shard set
   kRestore = 5,        ///< payload: a checkpoint blob
   kStats = 6,          ///< metrics registry as JSON
-  kShutdown = 7,       ///< stop the server after responding
+  kShutdown = 7,       ///< drain the server: stop accepting, flush, stop
+  kStreamStatus = 8,   ///< lifetime accepted count for the stream id
   // Responses.
   kOk = 128,             ///< u64 accepted count (submits) or empty
   kWarnings = 129,       ///< u32 count, then count warnings
@@ -77,6 +78,14 @@ enum class MessageType : std::uint8_t {
   kStatsJson = 131,      ///< raw JSON text
   kError = 132,          ///< u16 ErrorCode + string message
   kRejectedBusy = 133,   ///< u64 records accepted before the queue filled
+  /// The server refused the request for overload-protection reasons
+  /// (admission shed at the connection/memory ceiling, per-connection
+  /// inbound budget exceeded, or a drain in progress) — as opposed to
+  /// kRejectedBusy's shard-queue backpressure. Carries u64 accepted=0;
+  /// the seq watermark is untouched and the session's busy latch is
+  /// set, so the retransmit/resume discipline is identical to a fully
+  /// rejected busy submit: back off, then retransmit verbatim.
+  kRejectedOverloaded = 134,
 };
 
 /// True for values in the request range the server dispatches on.

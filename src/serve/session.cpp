@@ -5,20 +5,12 @@
 #include <utility>
 
 #include "common/error.hpp"
+#include "serve/clock.hpp"
 
 namespace bglpred::serve {
 
-namespace {
-std::uint64_t steady_micros() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
-}  // namespace
-
-Session::Session(ShardManager& shards)
-    : shards_(&shards), metrics_(&shards.metrics()) {}
+Session::Session(ShardManager& shards, SessionLimits limits)
+    : shards_(&shards), metrics_(&shards.metrics()), limits_(limits) {}
 
 void Session::respond(Frame frame, std::string& out) {
   out += encode_frame(frame);
@@ -57,6 +49,7 @@ Session::Status Session::on_bytes(std::string_view data, std::string& out) {
         return Status::kClose;
       case FrameReader::Status::kFrame: {
         metrics_->frames_in.inc();
+        ++frames_seen_;  // idle supervision keys activity on this delta
         const Status status = handle_frame(frame, out);
         if (status != Status::kKeepOpen) {
           return status;
@@ -116,6 +109,9 @@ Session::Status Session::handle_frame(const Frame& frame, std::string& out) {
       case MessageType::kStats:
         handle_stats(frame, out);
         break;
+      case MessageType::kStreamStatus:
+        handle_stream_status(frame, out);
+        break;
       case MessageType::kShutdown: {
         Frame ok;
         ok.type = MessageType::kOk;
@@ -141,8 +137,30 @@ Session::Status Session::handle_frame(const Frame& frame, std::string& out) {
   return Status::kKeepOpen;
 }
 
+/// Rolling-window inbound budget. Count-then-compare with a strict `>`,
+/// so a limit of N admits exactly N frames (or bytes) per window; the
+/// N+1th trips it. Disabled limits (0) never trip.
+bool Session::submit_budget_exceeded(const Frame& frame) {
+  if (limits_.max_submit_frames_per_window == 0 &&
+      limits_.max_submit_payload_bytes_per_window == 0) {
+    return false;
+  }
+  const std::uint64_t now = monotonic_micros();
+  if (now - window_start_micros_ >= limits_.window_micros) {
+    window_start_micros_ = now;
+    window_frames_ = 0;
+    window_bytes_ = 0;
+  }
+  ++window_frames_;
+  window_bytes_ += frame.payload.size();
+  return (limits_.max_submit_frames_per_window != 0 &&
+          window_frames_ > limits_.max_submit_frames_per_window) ||
+         (limits_.max_submit_payload_bytes_per_window != 0 &&
+          window_bytes_ > limits_.max_submit_payload_bytes_per_window);
+}
+
 Session::Status Session::handle_submit(const Frame& frame, std::string& out) {
-  const std::uint64_t started = steady_micros();
+  const std::uint64_t started = monotonic_micros();
   // Pipeline-window order guard: once a submit hits backpressure, any
   // *follower* frame of the same client window (kFlagPipelineFollow)
   // must not apply — the client will resubmit the rejected remainder,
@@ -153,6 +171,23 @@ Session::Status Session::handle_submit(const Frame& frame, std::string& out) {
   } else if (busy_latched_) {
     Frame reply;
     reply.type = MessageType::kRejectedBusy;
+    reply.stream_id = frame.stream_id;
+    reply.seq = frame.seq;
+    reply.payload.assign(8, '\0');  // accepted = 0
+    respond(std::move(reply), out);
+    return Status::kKeepOpen;
+  }
+  // Inbound budget, checked before any decoding: a greedy submitter is
+  // refused for the price of a header inspection. The reply mirrors a
+  // fully-rejected busy submit — accepted=0, watermark untouched, latch
+  // set so window followers auto-reject — which keeps the exact-prefix
+  // guarantee and the verbatim-retransmit recovery identical to the
+  // backpressure path clients already implement.
+  if (submit_budget_exceeded(frame)) {
+    metrics_->budget_rejected.inc();
+    busy_latched_ = true;
+    Frame reply;
+    reply.type = MessageType::kRejectedOverloaded;
     reply.stream_id = frame.stream_id;
     reply.seq = frame.seq;
     reply.payload.assign(8, '\0');  // accepted = 0
@@ -218,7 +253,7 @@ Session::Status Session::handle_submit(const Frame& frame, std::string& out) {
   }
   reply.payload = std::move(payload);
   respond(std::move(reply), out);
-  metrics_->submit_micros.record(steady_micros() - started);
+  metrics_->submit_micros.record(monotonic_micros() - started);
   return Status::kKeepOpen;
 }
 
@@ -270,11 +305,40 @@ void Session::handle_stats(const Frame& frame, std::string& out) {
     throw ParseError("STATS carries no payload");
   }
   shards_->drain();
+  // The one legitimate wall-clock read in src/serve/: STATS dumps are
+  // for humans and log pipelines, which want an absolute timestamp.
+  // Every timer in this layer uses the monotonic clock (clock.hpp).
+  metrics_->stats_wall_micros.set(static_cast<std::int64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          // repo-lint: allow(serve-wall-clock)
+          std::chrono::system_clock::now().time_since_epoch())
+          .count()));
   Frame reply;
   reply.type = MessageType::kStatsJson;
   reply.stream_id = frame.stream_id;
   reply.seq = frame.seq;
   reply.payload = metrics_->registry->dump_json();
+  respond(std::move(reply), out);
+}
+
+void Session::handle_stream_status(const Frame& frame, std::string& out) {
+  if (!frame.payload.empty()) {
+    throw ParseError("STREAM_STATUS carries no payload");
+  }
+  // The reconnect watermark: how many records of this stream the server
+  // has accepted over its lifetime, across every connection. A resuming
+  // client (Client::submit_all_resilient) reads this after reconnecting
+  // and skips exactly that many records, making retries exactly-once
+  // from the engine's perspective.
+  const std::uint64_t accepted = shards_->stream_accepted(frame.stream_id);
+  Frame reply;
+  reply.type = MessageType::kOk;
+  reply.stream_id = frame.stream_id;
+  reply.seq = frame.seq;
+  reply.payload.reserve(8);
+  for (int b = 0; b < 8; ++b) {
+    reply.payload.push_back(static_cast<char>((accepted >> (8 * b)) & 0xff));
+  }
   respond(std::move(reply), out);
 }
 

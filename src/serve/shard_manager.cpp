@@ -1,25 +1,18 @@
 #include "serve/shard_manager.hpp"
 
-#include <chrono>
 #include <future>
 #include <sstream>
 #include <utility>
 
 #include "common/binary.hpp"
 #include "common/error.hpp"
+#include "serve/clock.hpp"
 #include "serve/protocol.hpp"
 
 namespace bglpred::serve {
 
 namespace {
 constexpr std::string_view kShardSetTag = "BGLSRV1\n";
-
-std::uint64_t steady_micros() {
-  return static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(
-          std::chrono::steady_clock::now().time_since_epoch())
-          .count());
-}
 
 /// splitmix64 finalizer: decorrelates adjacent stream ids so shard load
 /// stays balanced even when clients number streams 0, 1, 2, ...
@@ -86,10 +79,16 @@ ShardManager::Submit ShardManager::submit(std::uint64_t stream_id,
     return Submit::kBusy;
   }
   shard.queue.push_back(QueuedRecord{stream_id, record, std::move(entry),
-                                     steady_micros()});
+                                     monotonic_micros()});
   shard.queue_depth->set(static_cast<std::int64_t>(shard.queue.size()));
   metrics_.records_in.inc();
+  ++accepted_totals_[stream_id];
   return Submit::kAccepted;
+}
+
+std::uint64_t ShardManager::stream_accepted(std::uint64_t stream_id) const {
+  const auto it = accepted_totals_.find(stream_id);
+  return it == accepted_totals_.end() ? 0 : it->second;
 }
 
 void ShardManager::drain_shard(std::size_t index) {
@@ -100,7 +99,7 @@ void ShardManager::drain_shard(std::size_t index) {
     Stream& stream = stream_for(shard, index, item.stream_id);
     std::vector<Warning> warnings =
         stream.engine.feed(item.record, item.entry);
-    const std::uint64_t born = steady_micros();
+    const std::uint64_t born = monotonic_micros();
     for (Warning& w : warnings) {
       stream.pending.push_back(std::move(w));
       stream.pending_born_micros.push_back(born);
@@ -143,7 +142,7 @@ std::vector<Warning> ShardManager::poll(std::uint64_t stream_id) {
   if (it == shard.streams.end()) {
     return {};
   }
-  const std::uint64_t now = steady_micros();
+  const std::uint64_t now = monotonic_micros();
   for (const std::uint64_t born : it->second.pending_born_micros) {
     metrics_.warning_age_micros.record(now >= born ? now - born : 0);
   }
@@ -217,7 +216,7 @@ void ShardManager::restore(std::istream& is) {
     Stream stream(OnlineEngine::restore(is, std::move(fresh)));
     stream.pending = std::move(pending);
     stream.pending_born_micros.assign(stream.pending.size(),
-                                      steady_micros());
+                                      monotonic_micros());
     const std::size_t index = shard_of(stream_id, shards_.size());
     if (!replacement[index].emplace(stream_id, std::move(stream)).second) {
       throw ParseError("duplicate stream id in checkpoint");

@@ -28,6 +28,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/online.hpp"
@@ -91,6 +92,15 @@ class ShardManager {
   /// Streams currently materialized.
   std::size_t stream_count() const;
 
+  /// Lifetime count of records accepted for `stream_id` (0 for unknown
+  /// streams). This is the exactly-once watermark a reconnecting client
+  /// resumes from via STREAM_STATUS: fresh connections get fresh seq
+  /// watermarks, so the per-stream total is the only cross-connection
+  /// progress record. Deliberately NOT checkpointed — it counts what
+  /// this process accepted, so it resets across restore/restart, and a
+  /// resuming client must re-baseline after either.
+  std::uint64_t stream_accepted(std::uint64_t stream_id) const;
+
   const ShardOptions& options() const { return options_; }
 
   /// The service-level instrument bundle (shared with the session layer,
@@ -134,6 +144,10 @@ class ShardManager {
   // deque: Shard holds an std::map of move-only Streams, and deque
   // growth never relocates elements, so no copy constructor is needed.
   std::deque<Shard> shards_;
+  /// Lifetime accepted-record totals per stream. Touched only on the
+  /// event-loop thread (submit happens before any worker fan-out), so
+  /// no synchronization is needed.
+  std::unordered_map<std::uint64_t, std::uint64_t> accepted_totals_;
   std::unique_ptr<ThreadPool> pool_;
 };
 

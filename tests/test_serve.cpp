@@ -278,6 +278,12 @@ TEST(ShardManagerTest, DumpJsonListsEveryRegisteredMetric) {
            "serve.checkpoints", "serve.restores", "serve.connections",
            "serve.wakeups", "serve.submit_micros",
            "serve.warning_age_micros",
+           // overload protection & lifecycle (DESIGN §8.5)
+           "serve.accepts_shed", "serve.slow_readers_evicted",
+           "serve.idle_timeouts", "serve.write_stall_timeouts",
+           "serve.budget_rejected", "serve.drain_forced_closes",
+           "serve.fd_limit", "serve.outbox_bytes",
+           "serve.stats_wall_micros",
            // per-shard gauges
            "shard0.queue_depth", "shard0.streams",
            // per-stream engine counters (OnlineEngine::kCounterSlots)

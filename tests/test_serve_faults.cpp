@@ -21,6 +21,7 @@
 #include "common/rng.hpp"
 #include "core/three_phase.hpp"
 #include "faultinject/faults.hpp"
+#include "serve/outbox.hpp"
 #include "serve/protocol.hpp"
 #include "serve/session.hpp"
 #include "serve/shard_manager.hpp"
@@ -261,6 +262,120 @@ TEST(ServeFaultsTest, RandomByteSoupNeverEscapesTheSession) {
       EXPECT_EQ(f.type, MessageType::kError);
     }
     expect_still_serving(h, 1);
+  }
+}
+
+// ---- Outbox edge cases (the flush path's data structure) -----------------
+
+/// Concatenates everything fill_iovecs exposes (with a max high enough
+/// to see every chunk) — the bytes the next flush would hand the kernel.
+std::string gather_all(const Outbox& box) {
+  std::vector<iovec> iov(4096);
+  const std::size_t count = box.fill_iovecs(iov.data(), iov.size());
+  std::string out;
+  for (std::size_t i = 0; i < count; ++i) {
+    out.append(static_cast<const char*>(iov[i].iov_base), iov[i].iov_len);
+  }
+  return out;
+}
+
+// The event loop fills at most kMaxIov entries per flush: with more
+// chunks queued than the limit, fill_iovecs must stop exactly at the
+// limit, expose the FRONT of the queue, and honor a partial-write
+// offset in the first entry.
+TEST(OutboxEdgeTest, FillIovecsHonorsEntryLimitAcrossChunkBoundaries) {
+  constexpr std::size_t kMaxIov = 64;
+  Outbox box;
+  for (std::size_t i = 0; i < kMaxIov + 6; ++i) {
+    box.push(std::string(1, static_cast<char>('a' + i % 26)));
+  }
+  std::vector<iovec> iov(kMaxIov);
+  ASSERT_EQ(box.fill_iovecs(iov.data(), kMaxIov), kMaxIov);
+  std::size_t exposed = 0;
+  for (std::size_t i = 0; i < kMaxIov; ++i) {
+    exposed += iov[i].iov_len;
+  }
+  EXPECT_EQ(exposed, kMaxIov);              // one byte per chunk
+  EXPECT_EQ(box.size(), kMaxIov + 6);       // limit hides, not drops
+
+  // A partial write inside the first chunk: the next fill resumes at
+  // the offset, and the entry count shrinks only by fully-popped chunks.
+  box.consume(kMaxIov);  // pop exactly the exposed chunks
+  EXPECT_EQ(box.fill_iovecs(iov.data(), kMaxIov), 6u);
+  EXPECT_EQ(box.size(), 6u);
+}
+
+// consume() landing exactly on a chunk seam: the finished chunk pops,
+// the offset resets, and the next fill starts cleanly at the seam.
+TEST(OutboxEdgeTest, ConsumeLandingOnChunkSeamResetsOffset) {
+  Outbox box;
+  box.push(std::string(10, 'x'));
+  box.push(std::string(20, 'y'));
+  box.push(std::string(30, 'z'));
+
+  box.consume(10);  // exactly the first chunk
+  EXPECT_EQ(box.size(), 50u);
+  EXPECT_EQ(gather_all(box), std::string(20, 'y') + std::string(30, 'z'));
+
+  box.consume(25);  // finishes 'y' ON the seam, 5 bytes into 'z'
+  EXPECT_EQ(box.size(), 25u);
+  EXPECT_EQ(gather_all(box), std::string(25, 'z'));
+
+  box.consume(25);
+  EXPECT_TRUE(box.empty());
+  EXPECT_EQ(box.size(), 0u);
+}
+
+// Byte-accounting property: across a random interleaving of push(),
+// writable_tail()+sync_tail() appends, and partial consume()s, the
+// outbox's exposed bytes must equal a flat reference string — same
+// content, same order, size() always agreeing.
+TEST(OutboxEdgeTest, RandomOpsPreserveByteAccounting) {
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    Rng rng(seed);
+    Outbox box;
+    std::string model;
+    std::uint64_t next_byte = 0;
+    const auto fresh_blob = [&](std::size_t n) {
+      std::string blob(n, '\0');
+      for (char& c : blob) {
+        c = static_cast<char>(next_byte++ % 251);  // non-repeating-ish
+      }
+      return blob;
+    };
+    for (int op = 0; op < 200; ++op) {
+      switch (rng.uniform_int(0, 2)) {
+        case 0: {
+          const std::string blob =
+              fresh_blob(static_cast<std::size_t>(rng.uniform_int(0, 700)));
+          model += blob;
+          box.push(blob);
+          break;
+        }
+        case 1: {
+          const std::string blob =
+              fresh_blob(static_cast<std::size_t>(rng.uniform_int(1, 300)));
+          model += blob;
+          box.writable_tail() += blob;
+          box.sync_tail();
+          break;
+        }
+        default: {
+          if (box.size() > 0) {
+            const auto n = static_cast<std::size_t>(rng.uniform_int(
+                1, static_cast<int>(std::min<std::size_t>(box.size(), 900))));
+            box.consume(n);
+            model.erase(0, n);
+          }
+          break;
+        }
+      }
+      ASSERT_EQ(box.size(), model.size()) << "seed " << seed << " op " << op;
+      ASSERT_EQ(box.empty(), model.empty());
+    }
+    EXPECT_EQ(gather_all(box), model) << "seed " << seed;
+    box.consume(box.size());
+    EXPECT_TRUE(box.empty());
   }
 }
 

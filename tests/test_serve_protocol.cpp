@@ -266,12 +266,13 @@ TEST(CodecTest, EveryWireOpcodeRoundtripsThroughTheFramer) {
       MessageType::kSubmitRecord, MessageType::kSubmitBatch,
       MessageType::kPollWarnings, MessageType::kCheckpoint,
       MessageType::kRestore,      MessageType::kStats,
-      MessageType::kShutdown,
+      MessageType::kShutdown,     MessageType::kStreamStatus,
   };
   const MessageType responses[] = {
       MessageType::kOk,        MessageType::kWarnings,
       MessageType::kCheckpointBlob, MessageType::kStatsJson,
       MessageType::kError,     MessageType::kRejectedBusy,
+      MessageType::kRejectedOverloaded,
   };
   const auto roundtrip = [](MessageType type, bool request) {
     Frame f = sample_frame();

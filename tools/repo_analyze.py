@@ -103,7 +103,7 @@ MODULE_DAG: dict[str, list[str]] = {
     "meta": ["common", "predict"],
     "eval": ["common", "parallel", "raslog", "stats", "predict"],
     "simgen": ["common", "bgl", "raslog", "taxonomy"],
-    "faultinject": ["common", "raslog"],
+    "faultinject": ["common", "raslog", "serve"],
     "core": ["common", "taxonomy", "preprocess", "predict", "meta", "eval"],
     "serve": ["common", "parallel", "raslog", "predict", "core"],
 }
@@ -132,7 +132,8 @@ REPO_CONFIG = {
         "opcode_enum": "MessageType",
         "opcode_test_globs": ["tests/test_serve.cpp",
                               "tests/test_serve_protocol.cpp",
-                              "tests/test_serve_faults.cpp"],
+                              "tests/test_serve_faults.cpp",
+                              "tests/test_serve_lifecycle.cpp"],
         "design_doc": "DESIGN.md",
         "design_section": 8,
         "tag_test_globs": ["tests/*.cpp"],

@@ -46,6 +46,14 @@ Rules (C++ sources under src/, tests/, bench/, examples/):
                         The reference oracle in io.cpp — kept slow on
                         purpose as the differential-testing baseline —
                         carries explicit allow markers.
+  serve-wall-clock      std::chrono::system_clock in src/serve/. Every
+                        serve-plane deadline (idle, write-stall, drain,
+                        budget windows) must come from the monotonic
+                        serve/clock.hpp monotonic_micros(); the wall
+                        clock jumps under NTP and would fire or starve
+                        timers spuriously. The one sanctioned wall-clock
+                        read — the STATS dump timestamp — carries an
+                        explicit allow marker.
 
 Suppress a finding with `// repo-lint: allow(<rule>)` on the offending
 line or on the line directly above it, or add a (path, rule) pair to
@@ -127,6 +135,9 @@ SERVE_DIR = re.compile(r"^src/serve/")
 # stringstream round-trips and member .substr() calls.
 RE_SLOW_STREAM = re.compile(r"\bstd\s*::\s*[io]?stringstream\b")
 RE_SUBSTR = re.compile(r"\.substr\s*\(")
+# The wall clock is banned from the serve plane: timers and deadlines
+# must be monotonic (serve/clock.hpp).
+RE_WALL_CLOCK = re.compile(r"\bstd\s*::\s*chrono\s*::\s*system_clock\b")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -233,6 +244,11 @@ class Linter:
                             "readiness goes through EventPoller; raw "
                             "poll()/select() is reserved for the "
                             "differential oracle in event_poller.cpp", raw)
+            if serve_file and RE_WALL_CLOCK.search(code):
+                self.report(path, no, "serve-wall-clock",
+                            "serve-plane time must be monotonic: use "
+                            "monotonic_micros() from serve/clock.hpp, not "
+                            "std::chrono::system_clock", raw)
             if slow_ingest and (RE_SLOW_STREAM.search(code) or
                                 RE_SUBSTR.search(code)):
                 self.report(path, no, "slow-ingest",
