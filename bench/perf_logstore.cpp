@@ -1,0 +1,288 @@
+// google-benchmark: columnar log-store replay (EXPERIMENTS.md X13) —
+// full-scan cursor decode vs the binary loader it replaces, indexed
+// window replay, cold open cost, and the k-way merge.
+//
+//   $ ./perf_logstore            # full sweep, emits BENCH_logstore.json
+//   $ ./perf_logstore --smoke    # CI gate: a 1% window replay must beat
+//                                # a full scan by >= 20x on both a
+//                                # fresh and a converted store
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench_json.hpp"
+#include "logstore/convert.hpp"
+#include "logstore/cursor.hpp"
+#include "logstore/store.hpp"
+#include "raslog/binary_io.hpp"
+#include "simgen/generator.hpp"
+
+using namespace bglpred;
+
+namespace {
+
+/// --smoke shrinks the corpus; set in main() before benchmarks run.
+bool g_smoke = false;
+
+/// Stores are sized so even the smoke corpus spans many segments and
+/// blocks — the seek machinery is what this driver measures.
+logstore::StoreOptions store_options() {
+  logstore::StoreOptions options;
+  options.segment_records = 1024;
+  options.block_records = 128;
+  return options;
+}
+
+// Generated once per process: one sorted log published as a fresh
+// store, a binary dump of the same records, and a store converted from
+// that dump — plus two side stores for the merge benchmark.
+struct Corpus {
+  std::string root;
+  std::string fresh_dir;
+  std::string converted_dir;
+  std::string binary_path;
+  std::vector<std::string> merge_dirs;
+  std::size_t records = 0;
+  TimePoint min_time = 0;
+  TimePoint max_time = 0;
+  /// Time window spanning ~1% of the *records* (not the wall-clock
+  /// span — RAS logs are bursty), anchored at the median record.
+  TimePoint window_begin = 0;
+  TimePoint window_end = 0;
+};
+
+const Corpus& corpus() {
+  static const Corpus c = [] {
+    Corpus out;
+    out.root = (std::filesystem::temp_directory_path() /
+                "bglpred_perf_logstore")
+                   .string();
+    std::filesystem::remove_all(out.root);
+    std::filesystem::create_directories(out.root);
+
+    RasLog log = std::move(LogGenerator(SystemProfile::anl())
+                               .generate(g_smoke ? 0.004 : 0.05)
+                               .log);
+    log.sort_by_time();
+    out.records = log.size();
+    out.min_time = log.records().front().time;
+    out.max_time = log.records().back().time;
+    const std::size_t mid = log.size() / 2;
+    const std::size_t width = std::max<std::size_t>(1, log.size() / 100);
+    out.window_begin = log.records()[mid].time;
+    out.window_end = std::max(out.window_begin + 1,
+                              log.records()[mid + width].time);
+
+    out.fresh_dir = out.root + "/fresh";
+    logstore::store_from_log(log, out.fresh_dir, 0, store_options());
+
+    out.binary_path = out.root + "/corpus.rasb";
+    save_log_binary(out.binary_path, log);
+    out.converted_dir = out.root + "/converted";
+    logstore::convert_binary_log(out.binary_path, out.converted_dir, 0,
+                                 store_options());
+
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      RasLog part = std::move(LogGenerator(SystemProfile::anl())
+                                  .generate(g_smoke ? 0.002 : 0.01, s + 1)
+                                  .log);
+      part.sort_by_time();
+      const std::string dir = out.root + "/merge_" + std::to_string(s);
+      logstore::store_from_log(part, dir, s, store_options());
+      out.merge_dirs.push_back(dir);
+    }
+    return out;
+  }();
+  return c;
+}
+
+/// The precomputed ~1%-of-records window.
+void window_1pct(const Corpus& c, TimePoint& begin, TimePoint& end) {
+  begin = c.window_begin;
+  end = c.window_end;
+}
+
+std::size_t drain(logstore::Cursor cursor) {
+  logstore::StoreRecord record;
+  std::size_t n = 0;
+  std::size_t bytes = 0;
+  while (cursor.next(record)) {
+    ++n;
+    bytes += record.entry.size();
+  }
+  benchmark::DoNotOptimize(bytes);
+  return n;
+}
+
+/// Full-store cursor decode (the sequential replay path).
+void BM_FullScan(benchmark::State& state) {
+  const Corpus& c = corpus();
+  const logstore::StoreReader reader =
+      logstore::StoreReader::open(c.fresh_dir);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    n = drain(reader.scan());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["records"] = static_cast<double>(n);
+}
+
+/// Indexed replay of the middle 1% of the time span: segment selection
+/// plus block seek, so decode work tracks the window, not the store.
+void BM_RangeSeek1Pct(benchmark::State& state) {
+  const Corpus& c = corpus();
+  const logstore::StoreReader reader =
+      logstore::StoreReader::open(c.fresh_dir);
+  TimePoint begin = 0;
+  TimePoint end = 0;
+  window_1pct(c, begin, end);
+  std::size_t n = 0;
+  for (auto _ : state) {
+    n = drain(reader.range(begin, end));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["records"] = static_cast<double>(n);
+}
+
+/// mmap + footer/CRC validation cost of opening every segment.
+void BM_ColdOpen(benchmark::State& state) {
+  const Corpus& c = corpus();
+  for (auto _ : state) {
+    const logstore::StoreReader reader =
+        logstore::StoreReader::open(c.fresh_dir);
+    benchmark::DoNotOptimize(reader.record_count());
+  }
+  state.counters["segments"] = static_cast<double>(
+      logstore::StoreReader::open(c.fresh_dir).segment_count());
+}
+
+/// The pre-store shape this subsystem replaces: materialize the whole
+/// binary dump to replay anything.
+void BM_BinaryLoadBaseline(benchmark::State& state) {
+  const Corpus& c = corpus();
+  for (auto _ : state) {
+    const RasLog log = load_log_binary(c.binary_path);
+    benchmark::DoNotOptimize(log.size());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(c.records));
+}
+
+/// Three-store k-way merge into one total order.
+void BM_MergeScan(benchmark::State& state) {
+  const Corpus& c = corpus();
+  std::vector<logstore::StoreReader> readers;
+  for (const std::string& dir : c.merge_dirs) {
+    readers.push_back(logstore::StoreReader::open(dir));
+  }
+  std::size_t n = 0;
+  for (auto _ : state) {
+    std::vector<logstore::Cursor> sources;
+    for (const logstore::StoreReader& reader : readers) {
+      sources.push_back(reader.scan());
+    }
+    logstore::MergeCursor merge(std::move(sources));
+    logstore::StoreRecord record;
+    n = 0;
+    while (merge.next(record)) {
+      ++n;
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+  state.counters["records"] = static_cast<double>(n);
+}
+
+double min_seconds_of(int repeats, const std::function<std::size_t()>& fn,
+                      std::size_t* out_count) {
+  double best = 1e100;
+  for (int i = 0; i < repeats; ++i) {
+    const auto t0 = std::chrono::steady_clock::now();
+    *out_count = fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+/// CI gate: on both the fresh and the converted store, replaying the
+/// middle 1% window must be at least 20x faster than a full scan, and
+/// both stores must replay the same record count.
+int run_smoke() {
+  const Corpus& c = corpus();
+  TimePoint begin = 0;
+  TimePoint end = 0;
+  window_1pct(c, begin, end);
+  for (const std::string& dir : {c.fresh_dir, c.converted_dir}) {
+    const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+    std::size_t scanned = 0;
+    std::size_t windowed = 0;
+    const double full = min_seconds_of(
+        5, [&] { return drain(reader.scan()); }, &scanned);
+    const double window = min_seconds_of(
+        50, [&] { return drain(reader.range(begin, end)); }, &windowed);
+    if (scanned != c.records) {
+      std::fprintf(stderr, "smoke: %s replayed %zu of %zu records\n",
+                   dir.c_str(), scanned, c.records);
+      return 1;
+    }
+    if (windowed == 0 || windowed >= scanned) {
+      std::fprintf(stderr, "smoke: window replay of %s degenerate (%zu)\n",
+                   dir.c_str(), windowed);
+      return 1;
+    }
+    const double speedup = full / window;
+    std::printf(
+        "smoke: %s full=%0.3fms (%zu recs) window=%0.3fms (%zu recs) "
+        "speedup=%.1fx\n",
+        dir.c_str(), full * 1e3, scanned, window * 1e3, windowed, speedup);
+    if (speedup < 20.0) {
+      std::fprintf(stderr,
+                   "smoke: window seek speedup %.1fx below the 20x gate\n",
+                   speedup);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+BENCHMARK(BM_FullScan)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_RangeSeek1Pct)->Unit(benchmark::kMicrosecond);
+BENCHMARK(BM_ColdOpen)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BinaryLoadBaseline)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_MergeScan)->Unit(benchmark::kMillisecond);
+
+int main(int argc, char** argv) {
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 1);
+  static char min_time[] = "--benchmark_min_time=0.01";
+  for (int i = 0; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      g_smoke = true;
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  if (g_smoke) {
+    const int rc = run_smoke();
+    if (rc != 0) {
+      return rc;
+    }
+    // Still time every benchmark (tiny corpus) so BENCH_logstore.json
+    // lands with all five rows.
+    args.push_back(min_time);
+  }
+  return bglpred::bench::run_benchmark_driver(
+      "logstore", static_cast<int>(args.size()), args.data());
+}

@@ -1,0 +1,122 @@
+#include "common/atomic_io.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "common/error.hpp"
+
+namespace bglpred {
+namespace {
+
+detail::AtomicCrashPoint g_crash_point = detail::AtomicCrashPoint::kNone;
+
+[[noreturn]] void fail(const std::string& what, const std::string& path) {
+  throw Error(what + " " + path + ": " + std::strerror(errno));
+}
+
+/// Closes the fd on scope exit unless release()d first.
+class FdGuard {
+ public:
+  explicit FdGuard(int fd) : fd_(fd) {}
+  FdGuard(const FdGuard&) = delete;
+  FdGuard& operator=(const FdGuard&) = delete;
+  ~FdGuard() {
+    if (fd_ >= 0) {
+      ::close(fd_);
+    }
+  }
+  int release() {
+    const int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+ private:
+  int fd_;
+};
+
+/// Writes the whole buffer, retrying on short writes / EINTR.
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      fail("write failed for", path);
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+/// fsyncs the directory containing `path` so a completed rename is
+/// durable. Best-effort on filesystems that reject directory fsync.
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return;
+  }
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+namespace detail {
+
+void set_atomic_crash_point_for_test(AtomicCrashPoint point) {
+  g_crash_point = point;
+}
+
+}  // namespace detail
+
+void atomic_write_file(const std::string& path, std::string_view bytes) {
+  const std::string tmp = path + ".tmp";
+  const int raw_fd =
+      ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (raw_fd < 0) {
+    fail("cannot open for writing", tmp);
+  }
+  FdGuard guard(raw_fd);
+
+  if (g_crash_point == detail::AtomicCrashPoint::kMidTmpWrite) {
+    // Simulate a power cut mid-write: half the payload reaches the tmp
+    // file, the destination is never touched.
+    write_all(raw_fd, bytes.data(), bytes.size() / 2, tmp);
+    ::fsync(raw_fd);
+    ::_exit(42);
+  }
+
+  if (!bytes.empty()) {
+    write_all(raw_fd, bytes.data(), bytes.size(), tmp);
+  }
+  if (::fsync(raw_fd) != 0) {
+    fail("fsync failed for", tmp);
+  }
+  if (::close(guard.release()) != 0) {
+    fail("close failed for", tmp);
+  }
+
+  if (g_crash_point == detail::AtomicCrashPoint::kBeforeRename) {
+    ::_exit(42);
+  }
+
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    const int saved = errno;
+    ::unlink(tmp.c_str());
+    errno = saved;
+    fail("rename failed for", path);
+  }
+  fsync_parent_dir(path);
+}
+
+}  // namespace bglpred

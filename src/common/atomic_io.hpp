@@ -1,0 +1,43 @@
+// Crash-safe file publication.
+//
+// Every durable artifact in the repo (binary logs, checkpoint blobs,
+// log-store segments and manifests) is published with the same
+// protocol: write the full payload to `<path>.tmp`, fsync the file,
+// rename it over the destination, then fsync the parent directory so
+// the rename itself is durable. A crash at any point leaves either the
+// old file intact or the new file complete — never a torn mix.
+//
+// repo_lint's `naked-store-write` rule bans direct std::ofstream /
+// fopen / ::open writes on segment, manifest, and checkpoint paths so
+// this helper stays the only way those bytes reach disk.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bglpred {
+
+/// Atomically replaces `path` with `bytes` (tmp + fsync + rename +
+/// parent-dir fsync). Throws Error on any I/O failure; on failure the
+/// previous contents of `path`, if any, are untouched.
+void atomic_write_file(const std::string& path, std::string_view bytes);
+
+namespace detail {
+
+/// Crash points for the mid-write kill test: the process _exit(42)s at
+/// the chosen point, leaving behind exactly what a power cut would.
+enum class AtomicCrashPoint : std::uint8_t {
+  kNone = 0,
+  /// Die after writing roughly half the payload to the tmp file.
+  kMidTmpWrite,
+  /// Die after the tmp file is complete and fsynced, before the rename.
+  kBeforeRename,
+};
+
+/// Arms the crash point for the next atomic_write_file call. Test-only;
+/// the hook fires in the calling (usually forked) process.
+void set_atomic_crash_point_for_test(AtomicCrashPoint point);
+
+}  // namespace detail
+}  // namespace bglpred

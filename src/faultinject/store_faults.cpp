@@ -1,0 +1,106 @@
+#include "faultinject/store_faults.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <utility>
+
+#include "common/atomic_io.hpp"
+#include "common/binary.hpp"
+#include "common/check.hpp"
+#include "common/error.hpp"
+#include "logstore/format.hpp"
+#include "logstore/manifest.hpp"
+
+namespace bglpred {
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open for reading: " + path);
+  }
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+}  // namespace
+
+std::string inject_store_fault(const std::string& dir, StoreFault fault,
+                               Rng& rng, InjectionStats* stats) {
+  InjectionStats local;
+  InjectionStats& st = stats != nullptr ? *stats : local;
+
+  const logstore::Manifest manifest = logstore::load_manifest(dir);
+  BGL_REQUIRE(!manifest.entries.empty(),
+              "store has no segments to inject faults into");
+  const auto pick = static_cast<std::size_t>(rng.uniform_int(
+      0, static_cast<std::int64_t>(manifest.entries.size()) - 1));
+  const logstore::ManifestEntry& entry = manifest.entries[pick];
+  const std::string seg_path = dir + "/" + entry.name;
+
+  switch (fault) {
+    case StoreFault::kFooterCorruption: {
+      std::string bytes = read_file(seg_path);
+      BGL_CHECK(bytes.size() >= logstore::kTrailerSize,
+                "segment impossibly small");
+      const auto footer_size = wire::decode<std::uint32_t>(
+          bytes.data() + bytes.size() - 12);
+      std::size_t footer_begin = bytes.size() - logstore::kTrailerSize;
+      if (footer_size < footer_begin) {
+        footer_begin -= footer_size;
+      }
+      bytes = corrupt_bytes_in_range(std::move(bytes), footer_begin,
+                                     bytes.size(), rng, &st);
+      atomic_write_file(seg_path, bytes);
+      return "segment " + entry.name + ": corrupted one byte in the " +
+             "footer/trailer region [" + std::to_string(footer_begin) +
+             ", " + std::to_string(bytes.size()) + ")";
+    }
+    case StoreFault::kTruncatedColumn: {
+      std::string bytes = read_file(seg_path);
+      const auto footer_size = wire::decode<std::uint32_t>(
+          bytes.data() + bytes.size() - 12);
+      const std::size_t data_begin = logstore::kSegmentMagicTag.size();
+      const std::size_t data_end =
+          bytes.size() - logstore::kTrailerSize - footer_size;
+      BGL_CHECK(data_end > data_begin, "segment has no column bytes");
+      const auto cut_begin = static_cast<std::size_t>(rng.uniform_int(
+          static_cast<std::int64_t>(data_begin),
+          static_cast<std::int64_t>(data_end - 1)));
+      const std::size_t max_cut = data_end - cut_begin;
+      const auto cut_len = static_cast<std::size_t>(rng.uniform_int(
+          1, static_cast<std::int64_t>(std::min<std::size_t>(64, max_cut))));
+      // Column bytes vanish but the footer and trailer stay intact: the
+      // reader must diagnose a truncated *column*, not a short file.
+      bytes.erase(cut_begin, cut_len);
+      st.removed_bytes += cut_len;
+      atomic_write_file(seg_path, bytes);
+      return "segment " + entry.name + ": cut " + std::to_string(cut_len) +
+             " column bytes at " + std::to_string(cut_begin);
+    }
+    case StoreFault::kManifestMismatch: {
+      std::uintmax_t size = 0;
+      if (std::filesystem::exists(seg_path)) {
+        size = std::filesystem::file_size(seg_path);
+      }
+      std::filesystem::remove(seg_path);
+      st.removed_bytes += static_cast<std::size_t>(size);
+      return "segment " + entry.name +
+             ": deleted out from under the manifest";
+    }
+    case StoreFault::kManifestCorruption: {
+      const std::string path = logstore::manifest_path(dir);
+      std::string bytes = read_file(path);
+      bytes =
+          corrupt_bytes_in_range(std::move(bytes), 0, bytes.size(), rng, &st);
+      atomic_write_file(path, bytes);
+      return "manifest: corrupted one byte of " +
+             std::to_string(bytes.size());
+    }
+  }
+  throw ContractViolation("unknown store fault");
+}
+
+}  // namespace bglpred

@@ -1,0 +1,42 @@
+// Seeded fault injection against on-disk log stores (src/logstore/).
+//
+// Extends the blob/text fault families with the three ways a segment
+// store rots in the field: a damaged segment footer (bit rot in the
+// metadata tail), a truncated column region (a copy that lost bytes
+// mid-file), and manifest/segment disagreement (a manifest pointing at
+// a segment that was deleted or replaced). Each injector mutates one
+// segment of a store directory in place, deterministically under
+// bglpred::Rng, and returns a description of what it did so property
+// tests can assert the reader's typed diagnostics match the injected
+// class (tests/test_logstore_faults.cpp).
+#pragma once
+
+#include <string>
+
+#include "common/rng.hpp"
+#include "faultinject/faults.hpp"
+
+namespace bglpred {
+
+/// Which store fault to inject; mirrors logstore::StoreFaultClass on
+/// the diagnosis side.
+enum class StoreFault {
+  /// Flip a byte inside the footer/trailer region of one segment.
+  kFooterCorruption,
+  /// Cut bytes out of one segment's column region (footer intact, so
+  /// the reader sees a structurally truncated column, not a short file).
+  kTruncatedColumn,
+  /// Delete one listed segment file out from under the manifest.
+  kManifestMismatch,
+  /// Flip a byte inside the MANIFEST itself.
+  kManifestCorruption,
+};
+
+/// Applies `fault` to one randomly chosen segment (or the manifest) of
+/// the store at `dir`. Returns a human-readable description of the
+/// mutation ("segment seg-000002.bgls: cut 37 bytes at 1024", ...).
+/// Requires a store with at least one published segment.
+std::string inject_store_fault(const std::string& dir, StoreFault fault,
+                               Rng& rng, InjectionStats* stats = nullptr);
+
+}  // namespace bglpred

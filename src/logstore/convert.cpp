@@ -1,0 +1,41 @@
+#include "logstore/convert.hpp"
+
+#include "preprocess/fused_ingest.hpp"
+#include "raslog/binary_io.hpp"
+
+namespace bglpred::logstore {
+
+ConvertStats store_from_log(const RasLog& log, const std::string& dir,
+                            std::uint64_t stream,
+                            const StoreOptions& options) {
+  StoreWriter writer(dir, options);
+  for (const RasRecord& rec : log.records()) {
+    writer.append(rec, log.text_of(rec), stream);
+  }
+  writer.seal();
+  return {writer.records_written(), writer.segments_published()};
+}
+
+ConvertStats convert_binary_log(const std::string& src_path,
+                                const std::string& dir, std::uint64_t stream,
+                                const StoreOptions& options,
+                                const ReadOptions& read_options,
+                                IngestReport* report) {
+  const RasLog log = load_log_binary(src_path, read_options, report);
+  return store_from_log(log, dir, stream, options);
+}
+
+ConvertStats ingest_text_to_store(const std::string& src_path,
+                                  const std::string& dir,
+                                  const ReadOptions& read_options,
+                                  const PreprocessOptions& preprocess,
+                                  std::uint64_t stream,
+                                  const StoreOptions& options,
+                                  PreprocessStats* stats,
+                                  IngestReport* report) {
+  const RasLog log =
+      load_classified(src_path, read_options, preprocess, stats, report);
+  return store_from_log(log, dir, stream, options);
+}
+
+}  // namespace bglpred::logstore

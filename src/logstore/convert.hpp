@@ -1,0 +1,57 @@
+// Migration and ingest wiring into the columnar store.
+//
+// Three entry points, one per existing format boundary:
+//   * store_from_log       — in-memory RasLog -> sealed store
+//   * convert_binary_log   — BGLRAS1 binary dump -> sealed store (the
+//                            `logstore_convert` tool's engine)
+//   * ingest_text_to_store — raw RAS text through the fused Phase-1
+//                            ingest (parse+classify+compress) straight
+//                            into segments, no intermediate file
+//
+// All three require time-sorted input (the store-writer contract; sort
+// with RasLog::sort_by_time first if needed) and seal the store on
+// success so tail-followers terminate.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "logstore/store.hpp"
+#include "preprocess/pipeline.hpp"
+#include "raslog/io.hpp"
+#include "raslog/log.hpp"
+
+namespace bglpred::logstore {
+
+struct ConvertStats {
+  std::uint64_t records = 0;
+  std::uint64_t segments = 0;
+};
+
+/// Writes every record of a time-sorted log into `dir` and seals it.
+ConvertStats store_from_log(const RasLog& log, const std::string& dir,
+                            std::uint64_t stream = 0,
+                            const StoreOptions& options = {});
+
+/// Migrates a binary log file (raslog/binary_io) into a sealed store.
+/// `read_options` follows the binary reader's strict/lenient semantics.
+ConvertStats convert_binary_log(const std::string& src_path,
+                                const std::string& dir,
+                                std::uint64_t stream = 0,
+                                const StoreOptions& options = {},
+                                const ReadOptions& read_options =
+                                    ReadOptions::strict(),
+                                IngestReport* report = nullptr);
+
+/// Streams a raw RAS text log through ingest_classified and publishes
+/// the classified unique-event stream as a sealed store.
+ConvertStats ingest_text_to_store(const std::string& src_path,
+                                  const std::string& dir,
+                                  const ReadOptions& read_options,
+                                  const PreprocessOptions& preprocess = {},
+                                  std::uint64_t stream = 0,
+                                  const StoreOptions& options = {},
+                                  PreprocessStats* stats = nullptr,
+                                  IngestReport* report = nullptr);
+
+}  // namespace bglpred::logstore

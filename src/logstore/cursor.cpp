@@ -1,0 +1,237 @@
+#include "logstore/cursor.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "logstore/report.hpp"
+#include "logstore/store.hpp"
+
+namespace bglpred::logstore {
+namespace {
+
+/// Cold path for damage the open-time validation cannot see (e.g. a
+/// varint stream that decodes to an out-of-range dictionary id while
+/// still matching its CRC — a writer bug, not bit rot). Lives outside
+/// the hot region so the per-record loop never contains a throw.
+[[noreturn]] void fail_decode(const char* what) {
+  throw StoreCorruption(StoreFaultClass::kBadColumn,
+                        std::string("segment decode: ") + what);
+}
+
+}  // namespace
+
+Cursor::Cursor(std::vector<std::shared_ptr<const Segment>> segments,
+               TimePoint begin, TimePoint end, bool has_filter,
+               std::uint64_t stream_filter)
+    : segments_(std::move(segments)),
+      begin_(begin),
+      end_(end),
+      has_filter_(has_filter),
+      stream_filter_(stream_filter) {}
+
+bool Cursor::advance_segment() {
+  seg_ = nullptr;
+  while (seg_idx_ < segments_.size()) {
+    const Segment& seg = *segments_[seg_idx_];
+    if (seg.min_time() >= end_) {
+      // Segments are time-ordered: nothing later can match either.
+      seg_idx_ = segments_.size();
+      return false;
+    }
+    if (seg.max_time() < begin_) {
+      ++seg_idx_;
+      continue;
+    }
+    if (has_filter_) {
+      // The footer's per-stream counts make "segment has no records of
+      // this stream" an O(streams) check, no decode needed.
+      bool has_stream = false;
+      for (const auto& [stream, n] : seg.streams()) {
+        if (stream == stream_filter_ && n > 0) {
+          has_stream = true;
+          break;
+        }
+      }
+      if (!has_stream) {
+        ++seg_idx_;
+        continue;
+      }
+    }
+
+    const std::size_t block =
+        begin_ > seg.min_time() ? seg.seek_block(begin_) : 0;
+    std::uint32_t offs[6];
+    seg.block_offsets(block, offs);
+    const std::string_view ts = seg.column(kColTimestamps);
+    const std::string_view streams = seg.column(kColStreams);
+    const std::string_view entries = seg.column(kColEntries);
+    const std::string_view locs = seg.column(kColLocations);
+    const std::string_view jobs = seg.column(kColJobs);
+    const std::string_view subs = seg.column(kColSubcats);
+    ts_p_ = ts.data() + offs[0];
+    ts_end_ = ts.data() + ts.size();
+    stream_p_ = streams.data() + offs[1];
+    stream_end_ = streams.data() + streams.size();
+    entry_p_ = entries.data() + offs[2];
+    entry_end_ = entries.data() + entries.size();
+    loc_p_ = locs.data() + offs[3];
+    loc_end_ = locs.data() + locs.size();
+    job_p_ = jobs.data() + offs[4];
+    job_end_ = jobs.data() + jobs.size();
+    sub_p_ = subs.data() + offs[5];
+    sub_end_ = subs.data() + subs.size();
+    event_base_ = seg.column(kColEventTypes).data();
+    facility_base_ = seg.column(kColFacilities).data();
+    severity_base_ = seg.column(kColSeverities).data();
+    record_index_ =
+        static_cast<std::uint64_t>(block) * seg.block_records();
+    remaining_ = seg.record_count() - record_index_;
+    time_ = seg.block_first_time(block);
+    pending_block_start_ = true;
+    seg_ = &seg;
+    ++seg_idx_;
+    return true;
+  }
+  return false;
+}
+
+bool Cursor::next(StoreRecord& out) {
+  // bgl:hot-begin(logstore-cursor)
+  for (;;) {
+    if (remaining_ == 0) {
+      if (!advance_segment()) {
+        return false;
+      }
+    }
+    std::uint64_t delta = 0;
+    std::uint64_t stream = 0;
+    std::uint64_t entry_id = 0;
+    std::uint64_t loc_id = 0;
+    std::uint64_t job = 0;
+    std::uint64_t subcat = 0;
+    if (!get_varint(ts_p_, ts_end_, delta) ||
+        !get_varint(stream_p_, stream_end_, stream) ||
+        !get_varint(entry_p_, entry_end_, entry_id) ||
+        !get_varint(loc_p_, loc_end_, loc_id) ||
+        !get_varint(job_p_, job_end_, job) ||
+        !get_varint(sub_p_, sub_end_, subcat)) {
+      fail_decode("varint column underrun");
+    }
+    if (pending_block_start_) {
+      // time_ already holds this record's absolute time from the block
+      // index; the decoded delta belongs to the preceding record.
+      pending_block_start_ = false;
+    } else {
+      time_ += static_cast<TimePoint>(delta);
+    }
+    const std::uint64_t index = record_index_++;
+    --remaining_;
+
+    if (time_ >= end_) {
+      // Writer keeps times non-decreasing across segments, so every
+      // remaining record in this and later segments is out of range.
+      remaining_ = 0;
+      seg_ = nullptr;
+      seg_idx_ = segments_.size();
+      return false;
+    }
+    if (time_ < begin_) {
+      continue;  // still skipping inside the seek block
+    }
+    if (has_filter_ && stream != stream_filter_) {
+      continue;
+    }
+    if (entry_id >= seg_->entry_dict_size() ||
+        loc_id >= seg_->loc_dict_size() || job > 0xffffffffu ||
+        subcat > 0xffffu) {
+      fail_decode("column value out of range");
+    }
+    out.rec.time = time_;
+    out.rec.entry_data = static_cast<StringId>(entry_id);
+    out.rec.job = static_cast<std::uint32_t>(job);
+    out.rec.location = seg_->location(static_cast<std::uint32_t>(loc_id));
+    out.rec.event_type = static_cast<EventType>(
+        static_cast<std::uint8_t>(event_base_[index]));
+    out.rec.facility = static_cast<Facility>(
+        static_cast<std::uint8_t>(facility_base_[index]));
+    out.rec.severity = static_cast<Severity>(
+        static_cast<std::uint8_t>(severity_base_[index]));
+    out.rec.subcategory = static_cast<std::uint16_t>(subcat);
+    out.entry = seg_->entry(static_cast<std::uint32_t>(entry_id));
+    out.stream = stream;
+    return true;
+  }
+  // bgl:hot-end
+}
+
+MergeCursor::MergeCursor(std::vector<Cursor> sources)
+    : sources_(std::move(sources)) {
+  heap_.reserve(sources_.size());
+  for (std::size_t i = 0; i < sources_.size(); ++i) {
+    Head head;
+    head.source = i;
+    if (sources_[i].next(head.record)) {
+      heap_.push_back(head);
+    }
+  }
+  std::make_heap(heap_.begin(), heap_.end(), after);
+}
+
+bool MergeCursor::after(const Head& a, const Head& b) {
+  const RasRecord& ra = a.record.rec;
+  const RasRecord& rb = b.record.rec;
+  if (ra.time != rb.time) {
+    return ra.time > rb.time;
+  }
+  if (ra.location != rb.location) {
+    return ra.location > rb.location;
+  }
+  if (ra.severity != rb.severity) {
+    return ra.severity > rb.severity;
+  }
+  // Dictionary ids are segment-local; cross-store identity is the text.
+  if (a.record.entry != b.record.entry) {
+    return a.record.entry > b.record.entry;
+  }
+  return a.source > b.source;
+}
+
+bool MergeCursor::next(StoreRecord& out, std::size_t* source) {
+  if (heap_.empty()) {
+    return false;
+  }
+  std::pop_heap(heap_.begin(), heap_.end(), after);
+  Head& head = heap_.back();
+  out = head.record;
+  if (source != nullptr) {
+    *source = head.source;
+  }
+  const std::size_t src = head.source;
+  if (sources_[src].next(head.record)) {
+    std::push_heap(heap_.begin(), heap_.end(), after);
+  } else {
+    heap_.pop_back();
+  }
+  return true;
+}
+
+TailCursor::TailCursor(StoreReader& reader) : reader_(&reader) {}
+
+TailCursor::Status TailCursor::poll(StoreRecord& out) {
+  for (;;) {
+    if (!current_.done() && current_.next(out)) {
+      return Status::kRecord;
+    }
+    // Current batch drained: look for newly published segments.
+    reader_->refresh();
+    const std::size_t published = reader_->segment_count();
+    if (next_segment_ < published) {
+      current_ = reader_->tail_from(next_segment_);
+      next_segment_ = published;
+      continue;
+    }
+    return reader_->sealed() ? Status::kEnd : Status::kWait;
+  }
+}
+
+}  // namespace bglpred::logstore

@@ -1,0 +1,142 @@
+// Replay cursors over mmapped segments.
+//
+// Cursor decodes one record per next() call straight out of the column
+// views — the per-record loop is a hot region (no allocation, no
+// throw; corruption that survives open-time validation lands in a cold
+// [[noreturn]] helper). MergeCursor produces one total order from
+// multiple stores, feeding the reorder-buffer path exactly like a
+// single sorted log. TailCursor follows a live writer: it drains what
+// is published, reports kWait while the writer is still appending, and
+// kEnd once the store is sealed.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "logstore/segment.hpp"
+#include "raslog/record.hpp"
+
+namespace bglpred::logstore {
+
+/// One decoded record. `entry` is a zero-copy view into the segment
+/// mapping, valid while the originating cursor (or reader) is alive.
+/// `rec.entry_data` holds the segment-local dictionary id — stable
+/// within a segment but NOT comparable across segments or stores; use
+/// `entry` for cross-store identity.
+struct StoreRecord {
+  RasRecord rec;
+  std::string_view entry;
+  std::uint64_t stream = 0;
+};
+
+/// Forward cursor over one store's segments, optionally restricted to
+/// a [begin, end) time window and/or one stream id. Obtained from
+/// StoreReader; keeps its segments alive independently of the reader.
+class Cursor {
+ public:
+  Cursor() = default;
+
+  /// Decodes the next matching record. Returns false at end-of-range.
+  /// Throws StoreCorruption only on damage that postdates open-time
+  /// validation (e.g. an out-of-range dictionary id).
+  bool next(StoreRecord& out);
+
+  bool done() const { return seg_ == nullptr && seg_idx_ >= segments_.size(); }
+
+ private:
+  friend class StoreReader;
+  friend class TailCursor;
+
+  Cursor(std::vector<std::shared_ptr<const Segment>> segments,
+         TimePoint begin, TimePoint end, bool has_filter,
+         std::uint64_t stream_filter);
+
+  /// Moves to the next segment overlapping the window and positions the
+  /// decode state at the first candidate block. Returns false when no
+  /// segments remain.
+  bool advance_segment();
+
+  std::vector<std::shared_ptr<const Segment>> segments_;
+  TimePoint begin_ = 0;
+  TimePoint end_ = 0;
+  bool has_filter_ = false;
+  std::uint64_t stream_filter_ = 0;
+
+  // Decode state for the current segment.
+  std::size_t seg_idx_ = 0;
+  const Segment* seg_ = nullptr;
+  const char* ts_p_ = nullptr;
+  const char* ts_end_ = nullptr;
+  const char* stream_p_ = nullptr;
+  const char* stream_end_ = nullptr;
+  const char* entry_p_ = nullptr;
+  const char* entry_end_ = nullptr;
+  const char* loc_p_ = nullptr;
+  const char* loc_end_ = nullptr;
+  const char* job_p_ = nullptr;
+  const char* job_end_ = nullptr;
+  const char* sub_p_ = nullptr;
+  const char* sub_end_ = nullptr;
+  const char* event_base_ = nullptr;
+  const char* facility_base_ = nullptr;
+  const char* severity_base_ = nullptr;
+  std::uint64_t record_index_ = 0;
+  std::uint64_t remaining_ = 0;
+  TimePoint time_ = 0;
+  /// True right after a block seek: the first timestamp varint is the
+  /// delta against the *previous* record, which the block index already
+  /// folded into time_, so it is consumed and discarded.
+  bool pending_block_start_ = false;
+};
+
+/// K-way merge over N cursors into one total order: (time, location,
+/// severity, entry text, source index) — the same tie-break as
+/// RecordTimeOrder, with entry *text* substituted for the pool id
+/// (ids are not comparable across stores) and source index as the
+/// final disambiguator so merges are deterministic.
+class MergeCursor {
+ public:
+  explicit MergeCursor(std::vector<Cursor> sources);
+
+  /// Next record in merged order; optionally reports which source it
+  /// came from. Returns false when every source is exhausted.
+  bool next(StoreRecord& out, std::size_t* source = nullptr);
+
+ private:
+  struct Head {
+    StoreRecord record;
+    std::size_t source;
+  };
+  /// True when `a` merges after `b` (max-heap inversion).
+  static bool after(const Head& a, const Head& b);
+
+  std::vector<Cursor> sources_;
+  std::vector<Head> heap_;
+};
+
+/// Follows a live store: yields records from segments as the writer
+/// publishes them. poll() never blocks; the caller decides how to wait.
+class TailCursor {
+ public:
+  enum class Status : std::uint8_t {
+    kRecord,  ///< out was filled with the next record
+    kWait,    ///< no new segments yet and the store is unsealed
+    kEnd,     ///< store sealed and fully drained
+  };
+
+  /// The reader must outlive the cursor and should be opened lenient
+  /// only if the caller accepts salvage semantics on refresh.
+  explicit TailCursor(class StoreReader& reader);
+
+  Status poll(StoreRecord& out);
+
+ private:
+  class StoreReader* reader_;
+  std::size_t next_segment_ = 0;
+  Cursor current_;
+};
+
+}  // namespace bglpred::logstore

@@ -1,0 +1,116 @@
+// Columnar segment file format (on-disk layout).
+//
+// A log store is a directory of immutable segment files plus a
+// MANIFEST. Each segment holds a contiguous, time-sorted run of
+// classified RAS records in column groups so time-range replay touches
+// only the bytes it needs:
+//
+//   "BGLSEG01"                                  head magic
+//   columns, back to back (offsets in footer):
+//     kColTimestamps   varint delta(time[i] - time[i-1]); the first
+//                      delta is relative to the footer's min_time, so
+//                      it is always 0 for record 0
+//     kColStreams      varint u64 source-stream id
+//     kColEntries      varint u32 id into the entry dictionary
+//     kColLocations    varint u32 id into the location dictionary
+//     kColJobs         varint u32 job id
+//     kColSubcats      varint u32 subcategory (0xffff = unclassified)
+//     kColEventTypes   one byte per record
+//     kColFacilities   one byte per record
+//     kColSeverities   one byte per record
+//     kColEntryDict    u32 count, then per string u32 length + bytes
+//                      (StringId order, same interning discipline as
+//                      the in-memory StringPool)
+//     kColLocDict      u32 count, then 6 bytes per location:
+//                      u8 kind, u16 rack, u8 midplane, u8 node_card,
+//                      u8 unit
+//     kColBlockIndex   one 32-byte entry per block of block_records
+//                      records: i64 first_time (absolute), then u32
+//                      byte offsets into the six varint columns of the
+//                      block's first record
+//   footer:
+//     "BGLSFT01"  u32 version  u64 record_count  i64 min_time
+//     i64 max_time  u32 block_records  u32 column_count
+//     per column: u32 id, u64 offset, u64 size, u32 crc32
+//     u32 stream_count, per stream: u64 stream_id, u64 record_count
+//   trailer (fixed 16 bytes, locates the footer from the file end):
+//     u32 crc32(footer bytes)  u32 footer size  "BGLSEND1"
+//
+// Everything is little-endian (common/binary.hpp). A reader validates
+// magic, trailer, footer CRC, column table bounds, and per-column CRCs
+// once at mmap time; cursors then decode with nothing but bounds
+// checks on the hot path. Seek-by-time is a binary search over the
+// manifest (per-segment min/max), then over the block index
+// (first_time per block), then a short varint skip within one block.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace bglpred::logstore {
+
+// Tags are pinned by tests/test_checkpoint_tags.cpp and tracked by the
+// repo_analyze drift check; changing one is a format break and needs a
+// new value, not an edit.
+constexpr std::string_view kSegmentMagicTag = "BGLSEG01";
+constexpr std::string_view kSegmentFooterTag = "BGLSFT01";
+constexpr std::string_view kSegmentEndTag = "BGLSEND1";
+constexpr std::string_view kManifestTag = "BGLMAN01";
+
+constexpr std::uint32_t kSegmentVersion = 1;
+
+/// Column ids in the footer's column table. Values are part of the
+/// on-disk format; append only.
+enum ColumnId : std::uint32_t {
+  kColTimestamps = 0,
+  kColStreams = 1,
+  kColEntries = 2,
+  kColLocations = 3,
+  kColJobs = 4,
+  kColSubcats = 5,
+  kColEventTypes = 6,
+  kColFacilities = 7,
+  kColSeverities = 8,
+  kColEntryDict = 9,
+  kColLocDict = 10,
+  kColBlockIndex = 11,
+};
+
+constexpr std::uint32_t kColumnCount = 12;
+
+/// Bytes per block-index entry: i64 first_time + six u32 column offsets.
+constexpr std::size_t kBlockIndexEntrySize = 32;
+
+/// Fixed trailer: footer crc (u32) + footer size (u32) + end magic (8).
+constexpr std::size_t kTrailerSize = 16;
+
+/// LEB128 unsigned varint append. Sorted timestamps make deltas
+/// non-negative, so all varint columns carry unsigned values.
+inline void put_varint(std::string& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<char>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<char>(v));
+}
+
+/// Decodes one varint from [p, end); advances p. Returns false on
+/// overrun or an over-long (> 10 byte) encoding.
+inline bool get_varint(const char*& p, const char* end, std::uint64_t& v) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (p != end && shift < 64) {
+    const auto byte = static_cast<std::uint8_t>(*p++);
+    value |= static_cast<std::uint64_t>(byte & 0x7f) << shift;
+    if ((byte & 0x80) == 0) {
+      v = value;
+      return true;
+    }
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace bglpred::logstore

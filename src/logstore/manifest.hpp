@@ -1,0 +1,64 @@
+// Store-level manifest: the authoritative, atomically-replaced list of
+// published segments.
+//
+// Layout ("BGLMAN01", little-endian):
+//   magic  "BGLMAN01"
+//   u32    version
+//   u8     sealed (1 = writer called seal(); tail-follow reaches kEnd)
+//   u32    entry count
+//   per entry:
+//     u32+bytes  segment file name (relative to the store directory)
+//     u64        record count
+//     i64        min_time
+//     i64        max_time
+//     u64        file size in bytes
+//     u32        segment footer CRC (cross-checked against the trailer
+//                at open: catches manifest/segment mismatch)
+//   u32    crc32 of all preceding bytes
+//
+// Readers only trust segments the manifest lists; a crash between a
+// segment publish and the manifest rewrite leaves an orphan file that
+// is simply invisible (and overwritten by the next publish).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace bglpred::logstore {
+
+struct ManifestEntry {
+  std::string name;
+  std::uint64_t record_count = 0;
+  TimePoint min_time = 0;
+  TimePoint max_time = 0;
+  std::uint64_t file_size = 0;
+  std::uint32_t footer_crc = 0;
+};
+
+struct Manifest {
+  std::vector<ManifestEntry> entries;
+  bool sealed = false;
+};
+
+/// Serializes to the on-disk form.
+std::string encode_manifest(const Manifest& manifest);
+
+/// Parses manifest bytes; throws StoreCorruption(kBadManifest) on any
+/// damage.
+Manifest decode_manifest(std::string_view bytes);
+
+/// Manifest path inside a store directory.
+std::string manifest_path(const std::string& dir);
+
+/// Loads and validates `dir`'s MANIFEST; throws Error if missing,
+/// StoreCorruption(kBadManifest) if damaged.
+Manifest load_manifest(const std::string& dir);
+
+/// Atomically publishes the manifest (common/atomic_io protocol).
+void save_manifest(const std::string& dir, const Manifest& manifest);
+
+}  // namespace bglpred::logstore

@@ -1,0 +1,64 @@
+#include "logstore/mapped_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/error.hpp"
+
+namespace bglpred::logstore {
+
+MappedFile::MappedFile(MappedFile&& other) noexcept
+    : data_(std::exchange(other.data_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MappedFile& MappedFile::operator=(MappedFile&& other) noexcept {
+  if (this != &other) {
+    this->~MappedFile();
+    data_ = std::exchange(other.data_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+MappedFile::~MappedFile() {
+  if (data_ != nullptr) {
+    ::munmap(const_cast<char*>(data_), size_);
+    data_ = nullptr;
+    size_ = 0;
+  }
+}
+
+MappedFile MappedFile::open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    throw Error("cannot open for mapping " + path + ": " +
+                std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    throw Error("fstat failed for " + path + ": " + std::strerror(saved));
+  }
+  MappedFile mf;
+  mf.size_ = static_cast<std::size_t>(st.st_size);
+  if (mf.size_ > 0) {
+    void* p = ::mmap(nullptr, mf.size_, PROT_READ, MAP_SHARED, fd, 0);
+    if (p == MAP_FAILED) {
+      const int saved = errno;
+      ::close(fd);
+      throw Error("mmap failed for " + path + ": " + std::strerror(saved));
+    }
+    mf.data_ = static_cast<const char*>(p);
+  }
+  ::close(fd);
+  return mf;
+}
+
+}  // namespace bglpred::logstore

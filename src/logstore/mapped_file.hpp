@@ -1,0 +1,40 @@
+// Read-only mmap wrapper for zero-copy segment loading.
+//
+// Segments are immutable once published, so the whole file is mapped
+// shared read-only and column readers hand out string_views straight
+// into the mapping — no copy, no parse-time allocation proportional to
+// file size. The mapping lives as long as the MappedFile; Segment
+// keeps one alive via shared_ptr so cursors can outlive the reader
+// that opened them.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace bglpred::logstore {
+
+/// One read-only memory-mapped file. Move-only; unmaps on destruction.
+class MappedFile {
+ public:
+  MappedFile() = default;
+  MappedFile(MappedFile&& other) noexcept;
+  MappedFile& operator=(MappedFile&& other) noexcept;
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+  ~MappedFile();
+
+  /// Maps `path` read-only. Throws Error on open/stat/mmap failure.
+  /// An empty file maps successfully with size() == 0.
+  static MappedFile open(const std::string& path);
+
+  const char* data() const { return data_; }
+  std::size_t size() const { return size_; }
+  std::string_view view() const { return {data_, size_}; }
+
+ private:
+  const char* data_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace bglpred::logstore

@@ -1,0 +1,69 @@
+// Typed diagnostics for log-store opens.
+//
+// Mirrors the raslog ReadOptions/IngestReport discipline at segment
+// granularity: strict opens throw a StoreCorruption carrying a fault
+// class; lenient opens salvage every intact segment and tally what was
+// dropped, per class, with human-readable samples.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace bglpred::logstore {
+
+/// What kind of damage a segment / manifest exhibited. Indexes
+/// StoreOpenReport::by_class.
+enum class StoreFaultClass : std::uint8_t {
+  /// Head or end magic is wrong — not a segment file at all.
+  kBadMagic = 0,
+  /// Trailer or footer unreadable: bad size, CRC mismatch, bad tag.
+  kBadFooter = 1,
+  /// Column table inconsistent: overlapping/overrunning extents,
+  /// truncated column bytes, or a per-column CRC mismatch.
+  kBadColumn = 2,
+  /// Entry or location dictionary fails to parse or validate.
+  kBadDictionary = 3,
+  /// MANIFEST itself unreadable (bad tag, CRC, or encoding).
+  kBadManifest = 4,
+  /// Manifest and segment disagree: file missing, size or footer CRC
+  /// mismatch, or record counts inconsistent.
+  kManifestMismatch = 5,
+};
+
+constexpr std::size_t kStoreFaultClassCount = 6;
+
+/// Stable lowercase name for logs and test assertions.
+const char* store_fault_class_name(StoreFaultClass cls);
+
+/// ParseError subtype carrying the fault class, so callers (and the
+/// fault-injection property tests) can assert on *what* was corrupt,
+/// not just that something was.
+class StoreCorruption : public ParseError {
+ public:
+  StoreCorruption(StoreFaultClass cls, const std::string& message)
+      : ParseError(message), cls_(cls) {}
+  StoreFaultClass cls() const { return cls_; }
+
+ private:
+  StoreFaultClass cls_;
+};
+
+/// Filled by lenient StoreReader opens: what was listed, what survived,
+/// and what was dropped, by fault class.
+struct StoreOpenReport {
+  std::size_t segments_listed = 0;
+  std::size_t segments_opened = 0;
+  std::size_t segments_dropped = 0;
+  /// True when the MANIFEST was unreadable and the reader fell back to
+  /// scanning the directory for intact segments.
+  bool manifest_recovered = false;
+  std::array<std::size_t, kStoreFaultClassCount> by_class{};
+  std::vector<std::string> samples;
+};
+
+}  // namespace bglpred::logstore

@@ -1,0 +1,137 @@
+// One immutable columnar segment: builder (write side) and mmap view
+// (read side). Layout in format.hpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/string_pool.hpp"
+#include "common/time.hpp"
+#include "logstore/format.hpp"
+#include "logstore/mapped_file.hpp"
+#include "raslog/record.hpp"
+
+namespace bglpred::logstore {
+
+/// Accumulates records into column buffers, then assembles the full
+/// segment file image. One-shot per segment; StoreWriter resets it
+/// between publishes.
+class SegmentBuilder {
+ public:
+  explicit SegmentBuilder(std::uint32_t block_records);
+
+  /// Appends one record. Caller (StoreWriter) guarantees non-decreasing
+  /// times; violating that is a contract violation.
+  void add(const RasRecord& rec, std::string_view entry,
+           std::uint64_t stream);
+
+  std::uint64_t count() const { return count_; }
+  TimePoint min_time() const { return min_time_; }
+  TimePoint max_time() const { return max_time_; }
+
+  /// Assembles the complete file image (magic..trailer) and resets the
+  /// builder for the next segment.
+  std::string finish();
+
+ private:
+  std::uint32_t block_records_;
+  std::uint64_t count_ = 0;
+  TimePoint min_time_ = 0;
+  TimePoint max_time_ = 0;
+  TimePoint prev_time_ = 0;
+  // Varint column buffers.
+  std::string ts_;
+  std::string streams_;
+  std::string entries_;
+  std::string locs_;
+  std::string jobs_;
+  std::string subcats_;
+  // Fixed one-byte-per-record columns.
+  std::string event_types_;
+  std::string facilities_;
+  std::string severities_;
+  // Dictionaries.
+  StringPool entry_pool_;
+  std::unordered_map<std::uint64_t, std::uint32_t> loc_ids_;
+  std::string loc_dict_;
+  // Block index entries (raw, kBlockIndexEntrySize each).
+  std::string block_index_;
+  // Per-stream record counts, in first-seen order.
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stream_counts_;
+  std::unordered_map<std::uint64_t, std::size_t> stream_slot_;
+
+  void reset();
+};
+
+/// Read-only view over one mmapped segment file. Fully validated at
+/// open (magic, trailer, footer CRC, column table, per-column CRCs,
+/// dictionaries, enum ranges); cursors decode with bounds checks only.
+/// Held by shared_ptr so cursors outlive the reader that opened them.
+class Segment {
+ public:
+  /// Opens and validates; throws StoreCorruption with a typed fault
+  /// class on any damage.
+  static std::shared_ptr<const Segment> open(const std::string& path);
+
+  std::uint64_t record_count() const { return record_count_; }
+  TimePoint min_time() const { return min_time_; }
+  TimePoint max_time() const { return max_time_; }
+  std::uint32_t block_records() const { return block_records_; }
+  /// CRC of the footer bytes, as stored in the trailer; the manifest
+  /// pins it to detect manifest/segment mismatch.
+  std::uint32_t footer_crc() const { return footer_crc_; }
+  std::uint64_t file_size() const { return file_.size(); }
+
+  std::string_view column(ColumnId id) const {
+    return columns_[static_cast<std::size_t>(id)];
+  }
+
+  std::string_view entry(std::uint32_t id) const { return entry_dict_[id]; }
+  std::uint32_t entry_dict_size() const {
+    return static_cast<std::uint32_t>(entry_dict_.size());
+  }
+  const bgl::Location& location(std::uint32_t id) const {
+    return loc_dict_[id];
+  }
+  std::uint32_t loc_dict_size() const {
+    return static_cast<std::uint32_t>(loc_dict_.size());
+  }
+
+  /// Per-stream record counts as stored in the footer.
+  const std::vector<std::pair<std::uint64_t, std::uint64_t>>& streams()
+      const {
+    return stream_counts_;
+  }
+
+  std::size_t block_count() const { return block_count_; }
+  TimePoint block_first_time(std::size_t block) const;
+  /// Byte offsets of the block's first record into the six varint
+  /// columns, in ColumnId order kColTimestamps..kColSubcats.
+  void block_offsets(std::size_t block, std::uint32_t out[6]) const;
+
+  /// Index of the first block whose records could contain time >= t:
+  /// the greatest block with first_time <= t (0 when t precedes all).
+  std::size_t seek_block(TimePoint t) const;
+
+ private:
+  Segment() = default;
+
+  MappedFile file_;
+  std::string_view columns_[kColumnCount];
+  std::uint64_t record_count_ = 0;
+  TimePoint min_time_ = 0;
+  TimePoint max_time_ = 0;
+  std::uint32_t block_records_ = 0;
+  std::uint32_t footer_crc_ = 0;
+  std::size_t block_count_ = 0;
+  std::vector<std::string_view> entry_dict_;
+  std::vector<bgl::Location> loc_dict_;
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> stream_counts_;
+};
+
+}  // namespace bglpred::logstore

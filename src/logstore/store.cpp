@@ -1,0 +1,422 @@
+#include "logstore/store.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <limits>
+#include <utility>
+
+#include "common/atomic_io.hpp"
+#include "common/binary.hpp"
+#include "common/check.hpp"
+#include "common/error.hpp"
+#include "logstore/format.hpp"
+
+namespace bglpred::logstore {
+namespace {
+
+constexpr TimePoint kTimeMin = std::numeric_limits<TimePoint>::min();
+constexpr TimePoint kTimeMax = std::numeric_limits<TimePoint>::max();
+
+/// Segment file suffix; the directory-scan salvage path keys on it.
+constexpr std::string_view kSegmentSuffix = ".bgls";
+
+std::string segment_name(std::uint64_t id) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "seg-%06llu.bgls",
+                static_cast<unsigned long long>(id));
+  return buf;
+}
+
+/// Parses "seg-<digits>.bgls" back to its id; returns false otherwise.
+bool parse_segment_id(std::string_view name, std::uint64_t& id) {
+  if (name.size() <= 4 + kSegmentSuffix.size() ||
+      name.substr(0, 4) != "seg-" ||
+      name.substr(name.size() - kSegmentSuffix.size()) != kSegmentSuffix) {
+    return false;
+  }
+  const std::string_view digits =
+      name.substr(4, name.size() - 4 - kSegmentSuffix.size());
+  std::uint64_t value = 0;
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      return false;
+    }
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  id = value;
+  return true;
+}
+
+}  // namespace
+
+const char* store_fault_class_name(StoreFaultClass cls) {
+  switch (cls) {
+    case StoreFaultClass::kBadMagic:
+      return "bad-magic";
+    case StoreFaultClass::kBadFooter:
+      return "bad-footer";
+    case StoreFaultClass::kBadColumn:
+      return "bad-column";
+    case StoreFaultClass::kBadDictionary:
+      return "bad-dictionary";
+    case StoreFaultClass::kBadManifest:
+      return "bad-manifest";
+    case StoreFaultClass::kManifestMismatch:
+      return "manifest-mismatch";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// StoreWriter
+// ---------------------------------------------------------------------------
+
+StoreWriter::StoreWriter(std::string dir, StoreOptions options)
+    : dir_(std::move(dir)),
+      options_(options),
+      builder_(options.block_records),
+      last_time_(kTimeMin) {
+  BGL_REQUIRE(options_.segment_records > 0,
+              "segment_records must be positive");
+  std::filesystem::create_directories(dir_);
+  if (std::filesystem::exists(manifest_path(dir_))) {
+    manifest_ = load_manifest(dir_);
+    if (manifest_.sealed) {
+      throw Error("log store is sealed: " + dir_);
+    }
+    for (const ManifestEntry& e : manifest_.entries) {
+      last_time_ = std::max(last_time_, e.max_time);
+      records_written_ += e.record_count;
+      std::uint64_t id = 0;
+      if (parse_segment_id(e.name, id)) {
+        next_segment_id_ = std::max(next_segment_id_, id + 1);
+      }
+    }
+    if (next_segment_id_ < manifest_.entries.size()) {
+      next_segment_id_ = manifest_.entries.size();
+    }
+  }
+}
+
+StoreWriter::~StoreWriter() {
+  if (sealed_) {
+    return;
+  }
+  try {
+    flush();
+  } catch (...) {  // NOLINT(bugprone-empty-catch)
+    // Destructor publish is best-effort; callers who must observe
+    // failure call flush()/seal() themselves.
+  }
+}
+
+void StoreWriter::append(const RasRecord& rec, std::string_view entry,
+                         std::uint64_t stream) {
+  BGL_REQUIRE(!sealed_, "append to a sealed log store");
+  BGL_REQUIRE(rec.time >= last_time_,
+              "log store appends must be non-decreasing in time");
+  BGL_REQUIRE(static_cast<std::uint8_t>(rec.event_type) <= 2 &&
+                  static_cast<std::uint8_t>(rec.facility) < kFacilityCount &&
+                  static_cast<std::uint8_t>(rec.severity) < kSeverityCount,
+              "record enums out of range");
+  builder_.add(rec, entry, stream);
+  last_time_ = rec.time;
+  ++records_written_;
+  if (builder_.count() >= options_.segment_records) {
+    publish_segment();
+  }
+}
+
+void StoreWriter::flush() {
+  if (builder_.count() > 0) {
+    publish_segment();
+  }
+}
+
+void StoreWriter::seal() {
+  if (sealed_) {
+    return;
+  }
+  flush();
+  manifest_.sealed = true;
+  save_manifest(dir_, manifest_);
+  sealed_ = true;
+}
+
+void StoreWriter::publish_segment() {
+  ManifestEntry entry;
+  entry.name = segment_name(next_segment_id_++);
+  entry.record_count = builder_.count();
+  entry.min_time = builder_.min_time();
+  entry.max_time = builder_.max_time();
+
+  const std::string bytes = builder_.finish();
+  entry.file_size = bytes.size();
+  // The footer CRC sits first in the fixed trailer; pinning it in the
+  // manifest lets readers detect a manifest/segment mismatch without
+  // re-hashing the file.
+  entry.footer_crc =
+      wire::decode<std::uint32_t>(bytes.data() + bytes.size() - kTrailerSize);
+
+  // Segment first, manifest second: a crash in between leaves an
+  // orphan file no reader will trust.
+  atomic_write_file(dir_ + "/" + entry.name, bytes);
+  manifest_.entries.push_back(std::move(entry));
+  save_manifest(dir_, manifest_);
+}
+
+// ---------------------------------------------------------------------------
+// StoreReader
+// ---------------------------------------------------------------------------
+
+StoreReader::StoreReader(std::string dir, const ReadOptions& options)
+    : dir_(std::move(dir)), options_(options) {}
+
+StoreReader StoreReader::open(const std::string& dir) {
+  return open(dir, ReadOptions::strict());
+}
+
+StoreReader StoreReader::open(const std::string& dir,
+                              const ReadOptions& options,
+                              StoreOpenReport* report) {
+  StoreReader reader(dir, options);
+  reader.load();
+  if (report != nullptr) {
+    *report = reader.report_;
+  }
+  return reader;
+}
+
+bool StoreReader::refresh() { return load(); }
+
+void StoreReader::note_drop(StoreFaultClass cls, const std::string& detail) {
+  ++report_.segments_dropped;
+  ++report_.by_class[static_cast<std::size_t>(cls)];
+  if (report_.samples.size() < options_.max_samples) {
+    report_.samples.push_back(std::string(store_fault_class_name(cls)) +
+                              ": " + detail);
+  }
+}
+
+bool StoreReader::open_listed(const ManifestEntry& entry) {
+  const bool lenient = options_.mode == IngestMode::kLenient;
+  std::shared_ptr<const Segment> seg;
+  try {
+    seg = Segment::open(dir_ + "/" + entry.name);
+  } catch (const StoreCorruption& e) {
+    if (!lenient) {
+      throw;
+    }
+    note_drop(e.cls(), e.what());
+    return false;
+  } catch (const Error& e) {
+    // Missing or unmappable file: the manifest promised a segment the
+    // directory cannot deliver.
+    if (!lenient) {
+      throw StoreCorruption(StoreFaultClass::kManifestMismatch, e.what());
+    }
+    note_drop(StoreFaultClass::kManifestMismatch, e.what());
+    return false;
+  }
+  if (seg->record_count() != entry.record_count ||
+      seg->min_time() != entry.min_time ||
+      seg->max_time() != entry.max_time ||
+      seg->file_size() != entry.file_size ||
+      seg->footer_crc() != entry.footer_crc) {
+    const std::string what =
+        "segment " + entry.name + " disagrees with its manifest entry";
+    if (!lenient) {
+      throw StoreCorruption(StoreFaultClass::kManifestMismatch, what);
+    }
+    note_drop(StoreFaultClass::kManifestMismatch, what);
+    return false;
+  }
+  // Time-ordering invariant: the cursor's early-exit logic depends on
+  // segments being non-overlapping and sorted.
+  if (!segments_.empty() && seg->min_time() < segments_.back()->max_time()) {
+    const std::string what =
+        "segment " + entry.name + " overlaps its predecessor";
+    if (!lenient) {
+      throw StoreCorruption(StoreFaultClass::kManifestMismatch, what);
+    }
+    note_drop(StoreFaultClass::kManifestMismatch, what);
+    return false;
+  }
+  segments_.push_back(std::move(seg));
+  loaded_names_.push_back(entry.name);
+  ++report_.segments_opened;
+  return true;
+}
+
+void StoreReader::scan_directory() {
+  // Manifest is gone or unreadable: salvage every intact segment file,
+  // ordered by (min_time, name) so replay is still time-sorted.
+  struct Candidate {
+    std::shared_ptr<const Segment> seg;
+    std::string name;
+  };
+  std::vector<Candidate> found;
+  for (const auto& dir_entry : std::filesystem::directory_iterator(dir_)) {
+    if (!dir_entry.is_regular_file()) {
+      continue;
+    }
+    const std::string name = dir_entry.path().filename().string();
+    if (name.size() <= kSegmentSuffix.size() ||
+        name.substr(name.size() - kSegmentSuffix.size()) != kSegmentSuffix) {
+      continue;
+    }
+    bool already = false;
+    for (const std::string& loaded : loaded_names_) {
+      if (loaded == name) {
+        already = true;
+        break;
+      }
+    }
+    if (already) {
+      continue;
+    }
+    ++report_.segments_listed;
+    try {
+      found.push_back({Segment::open(dir_entry.path().string()), name});
+    } catch (const StoreCorruption& e) {
+      note_drop(e.cls(), e.what());
+    } catch (const Error& e) {
+      note_drop(StoreFaultClass::kBadMagic, e.what());
+    }
+  }
+  std::sort(found.begin(), found.end(),
+            [](const Candidate& a, const Candidate& b) {
+              if (a.seg->min_time() != b.seg->min_time()) {
+                return a.seg->min_time() < b.seg->min_time();
+              }
+              return a.name < b.name;
+            });
+  for (Candidate& c : found) {
+    if (!segments_.empty() &&
+        c.seg->min_time() < segments_.back()->max_time()) {
+      note_drop(StoreFaultClass::kManifestMismatch,
+                "segment " + c.name + " overlaps its predecessor");
+      continue;
+    }
+    segments_.push_back(std::move(c.seg));
+    loaded_names_.push_back(std::move(c.name));
+    ++report_.segments_opened;
+  }
+}
+
+bool StoreReader::load() {
+  const bool lenient = options_.mode == IngestMode::kLenient;
+  const std::size_t before = segments_.size();
+  const bool was_sealed = sealed_;
+
+  Manifest manifest;
+  bool have_manifest = false;
+  try {
+    manifest = load_manifest(dir_);
+    have_manifest = true;
+  } catch (const StoreCorruption& e) {
+    if (!lenient) {
+      throw;
+    }
+    if (!report_.manifest_recovered) {
+      ++report_.by_class[static_cast<std::size_t>(
+          StoreFaultClass::kBadManifest)];
+      if (report_.samples.size() < options_.max_samples) {
+        report_.samples.push_back(e.what());
+      }
+    }
+  } catch (const Error& e) {
+    if (!lenient) {
+      throw;
+    }
+    if (!report_.manifest_recovered) {
+      ++report_.by_class[static_cast<std::size_t>(
+          StoreFaultClass::kBadManifest)];
+      if (report_.samples.size() < options_.max_samples) {
+        report_.samples.push_back(e.what());
+      }
+    }
+  }
+
+  if (have_manifest) {
+    for (const ManifestEntry& entry : manifest.entries) {
+      bool already = false;
+      for (const std::string& loaded : loaded_names_) {
+        if (loaded == entry.name) {
+          already = true;
+          break;
+        }
+      }
+      if (already) {
+        continue;
+      }
+      ++report_.segments_listed;
+      open_listed(entry);
+    }
+    sealed_ = manifest.sealed;
+  } else {
+    report_.manifest_recovered = true;
+    scan_directory();
+    if (segments_.empty()) {
+      throw Error("not a log store (no manifest, no intact segments): " +
+                  dir_);
+    }
+  }
+
+  if (lenient && report_.segments_listed > 0) {
+    const double fraction =
+        static_cast<double>(report_.segments_dropped) /
+        static_cast<double>(report_.segments_listed);
+    if (fraction > options_.max_error_fraction) {
+      throw ParseError(
+          "lenient store open gave up: " +
+          std::to_string(report_.segments_dropped) + " of " +
+          std::to_string(report_.segments_listed) +
+          " segments unusable (max_error_fraction " +
+          std::to_string(options_.max_error_fraction) + ")");
+    }
+  }
+  return segments_.size() != before || sealed_ != was_sealed;
+}
+
+Cursor StoreReader::scan() const { return range(kTimeMin, kTimeMax); }
+
+Cursor StoreReader::range(TimePoint begin, TimePoint end) const {
+  return Cursor(segments_, begin, end, false, 0);
+}
+
+Cursor StoreReader::stream(std::uint64_t stream) const {
+  return stream_range(stream, kTimeMin, kTimeMax);
+}
+
+Cursor StoreReader::stream_range(std::uint64_t stream, TimePoint begin,
+                                 TimePoint end) const {
+  return Cursor(segments_, begin, end, true, stream);
+}
+
+Cursor StoreReader::tail_from(std::size_t first) const {
+  std::vector<std::shared_ptr<const Segment>> tail(
+      segments_.begin() +
+          static_cast<std::ptrdiff_t>(std::min(first, segments_.size())),
+      segments_.end());
+  return Cursor(std::move(tail), kTimeMin, kTimeMax, false, 0);
+}
+
+std::uint64_t StoreReader::record_count() const {
+  std::uint64_t total = 0;
+  for (const auto& seg : segments_) {
+    total += seg->record_count();
+  }
+  return total;
+}
+
+TimePoint StoreReader::min_time() const {
+  return segments_.empty() ? 0 : segments_.front()->min_time();
+}
+
+TimePoint StoreReader::max_time() const {
+  return segments_.empty() ? 0 : segments_.back()->max_time();
+}
+
+}  // namespace bglpred::logstore

@@ -1,0 +1,156 @@
+// Log store: a directory of immutable columnar segments plus a
+// manifest (see format.hpp / manifest.hpp for the on-disk layout).
+//
+// Write side: StoreWriter accumulates time-sorted records, publishes a
+// segment whenever segment_records accumulate (or on flush()), each
+// publish being atomic — segment bytes land via tmp+fsync+rename, then
+// the manifest is rewritten the same way. A reader never observes a
+// half-written segment; a crash leaves at worst an orphan file the
+// manifest does not list.
+//
+// Read side: StoreReader mmaps and validates every listed segment.
+// Strict opens throw typed StoreCorruption on any damage; lenient
+// opens (ReadOptions::lenient) salvage every intact segment, tally
+// drops per fault class in a StoreOpenReport, and fall back to a
+// directory scan when the manifest itself is damaged — same error
+// budget discipline (max_error_fraction, over segments) as the raslog
+// readers. refresh() picks up segments published since the open,
+// which is what TailCursor builds on.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/time.hpp"
+#include "logstore/cursor.hpp"
+#include "logstore/manifest.hpp"
+#include "logstore/report.hpp"
+#include "logstore/segment.hpp"
+#include "raslog/io.hpp"
+#include "raslog/record.hpp"
+
+namespace bglpred::logstore {
+
+struct StoreOptions {
+  /// Records per segment before the writer auto-publishes.
+  std::uint64_t segment_records = 1u << 16;
+  /// Records per block-index entry (seek granularity within a segment).
+  std::uint32_t block_records = 1024;
+};
+
+/// Appends time-sorted records to a store directory. Not thread-safe;
+/// one writer per store. Reopening an unsealed store resumes appending
+/// after its last published segment.
+class StoreWriter {
+ public:
+  explicit StoreWriter(std::string dir, StoreOptions options = {});
+
+  /// Destructor publishes any buffered records (best-effort); call
+  /// flush() or seal() explicitly when failure must be observable.
+  ~StoreWriter();
+
+  StoreWriter(const StoreWriter&) = delete;
+  StoreWriter& operator=(const StoreWriter&) = delete;
+
+  /// Appends one record. Times must be non-decreasing across the whole
+  /// store (InvalidArgument otherwise — same contract as the fused
+  /// ingest path); enums must be in range.
+  void append(const RasRecord& rec, std::string_view entry,
+              std::uint64_t stream = 0);
+
+  /// Publishes buffered records as a (possibly short) segment.
+  void flush();
+
+  /// Flushes and marks the store sealed: no writer may append again and
+  /// tail-followers see end-of-store. Idempotent.
+  void seal();
+
+  std::uint64_t records_written() const { return records_written_; }
+  std::uint64_t segments_published() const {
+    return manifest_.entries.size();
+  }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  void publish_segment();
+
+  std::string dir_;
+  StoreOptions options_;
+  Manifest manifest_;
+  SegmentBuilder builder_;
+  TimePoint last_time_;
+  std::uint64_t next_segment_id_ = 0;
+  std::uint64_t records_written_ = 0;
+  bool sealed_ = false;
+};
+
+/// Read view of a store directory. Cursors obtained from it stay valid
+/// after the reader is destroyed (segments are shared).
+class StoreReader {
+ public:
+  /// Strict open: throws StoreCorruption / Error on any damage.
+  static StoreReader open(const std::string& dir);
+
+  /// Policy open: lenient mode salvages intact segments (see file
+  /// comment). `report`, when given, receives the salvage tally.
+  static StoreReader open(const std::string& dir, const ReadOptions& options,
+                          StoreOpenReport* report = nullptr);
+
+  /// Replays every record in time order.
+  Cursor scan() const;
+
+  /// Replays records with begin <= time < end. Segment selection and
+  /// block seek are O(log n); decode work is proportional to the
+  /// window, not the store.
+  Cursor range(TimePoint begin, TimePoint end) const;
+
+  /// Replays one source stream, optionally windowed.
+  Cursor stream(std::uint64_t stream) const;
+  Cursor stream_range(std::uint64_t stream, TimePoint begin,
+                      TimePoint end) const;
+
+  /// Re-reads the manifest and appends newly published segments (the
+  /// tail-follow primitive). Returns true if new segments or a seal
+  /// appeared. Damage handling follows the open's ReadOptions.
+  bool refresh();
+
+  bool sealed() const { return sealed_; }
+  std::size_t segment_count() const { return segments_.size(); }
+  std::uint64_t record_count() const;
+  /// Earliest / latest record time across loaded segments; meaningful
+  /// only when record_count() > 0.
+  TimePoint min_time() const;
+  TimePoint max_time() const;
+  const std::string& dir() const { return dir_; }
+  const StoreOpenReport& report() const { return report_; }
+
+  /// Full-scan cursor over segments [first, segment_count()) — used by
+  /// TailCursor to drain exactly the newly published segments.
+  Cursor tail_from(std::size_t first) const;
+
+ private:
+  StoreReader(std::string dir, const ReadOptions& options);
+
+  /// Loads (or reloads) the manifest and opens segments not yet loaded.
+  /// Returns true if anything new appeared.
+  bool load();
+  /// Opens one listed segment with manifest cross-checks; true on
+  /// success, false when lenient mode dropped it (tallied).
+  bool open_listed(const ManifestEntry& entry);
+  /// Lenient fallback when the manifest is unreadable: scan the
+  /// directory for intact segments, sorted by (min_time, name).
+  void scan_directory();
+  void note_drop(StoreFaultClass cls, const std::string& detail);
+
+  std::string dir_;
+  ReadOptions options_;
+  std::vector<std::shared_ptr<const Segment>> segments_;
+  std::vector<std::string> loaded_names_;
+  bool sealed_ = false;
+  StoreOpenReport report_;
+};
+
+}  // namespace bglpred::logstore

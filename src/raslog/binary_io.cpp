@@ -5,6 +5,7 @@
 #include <istream>
 #include <ostream>
 
+#include "common/atomic_io.hpp"
 #include "common/binary.hpp"
 #include "common/error.hpp"
 
@@ -51,7 +52,7 @@ RasRecord decode_record(const char* p, std::uint32_t string_count) {
 
 }  // namespace
 
-void write_log_binary(std::ostream& os, const RasLog& log) {
+std::string encode_log_binary(const RasLog& log) {
   std::string out;
   out.append(kMagic, kMagicSize);
   wire::append<std::uint64_t>(out, log.size());
@@ -79,6 +80,11 @@ void write_log_binary(std::ostream& os, const RasLog& log) {
     wire::append<std::uint16_t>(out, rec.subcategory);
     wire::append<std::uint8_t>(out, 0);  // pad to 28 bytes
   }
+  return out;
+}
+
+void write_log_binary(std::ostream& os, const RasLog& log) {
+  const std::string out = encode_log_binary(log);
   os.write(out.data(), static_cast<std::streamsize>(out.size()));
 }
 
@@ -182,14 +188,9 @@ RasLog read_log_binary(std::istream& is, const ReadOptions& options,
 }
 
 void save_log_binary(const std::string& path, const RasLog& log) {
-  std::ofstream out(path, std::ios::binary);
-  if (!out) {
-    throw Error("cannot open for writing: " + path);
-  }
-  write_log_binary(out, log);
-  if (!out) {
-    throw Error("write failed: " + path);
-  }
+  // Crash-safe publish: a kill at any point leaves either the previous
+  // log or the complete new one, never a torn file.
+  atomic_write_file(path, encode_log_binary(log));
 }
 
 RasLog load_log_binary(const std::string& path) {

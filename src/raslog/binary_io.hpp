@@ -32,6 +32,9 @@
 
 namespace bglpred {
 
+/// Serializes the whole log to the binary wire form.
+std::string encode_log_binary(const RasLog& log);
+
 /// Writes the whole log in binary form.
 void write_log_binary(std::ostream& os, const RasLog& log);
 
@@ -41,7 +44,9 @@ RasLog read_log_binary(std::istream& is);
 RasLog read_log_binary(std::istream& is, const ReadOptions& options,
                        IngestReport* report = nullptr);
 
-/// File convenience wrappers; throw Error on I/O failure.
+/// File convenience wrappers; throw Error on I/O failure. Saving is
+/// crash-safe: the log is published via common/atomic_io (tmp + fsync
+/// + rename), so a crash mid-save leaves any previous file intact.
 void save_log_binary(const std::string& path, const RasLog& log);
 RasLog load_log_binary(const std::string& path);
 RasLog load_log_binary(const std::string& path, const ReadOptions& options,

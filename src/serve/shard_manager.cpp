@@ -1,10 +1,15 @@
 #include "serve/shard_manager.hpp"
 
+#include <filesystem>
+#include <fstream>
 #include <future>
+#include <iterator>
 #include <sstream>
 #include <utility>
 
+#include "common/atomic_io.hpp"
 #include "common/binary.hpp"
+#include "common/crc32.hpp"
 #include "common/error.hpp"
 #include "serve/clock.hpp"
 #include "serve/protocol.hpp"
@@ -13,6 +18,28 @@ namespace bglpred::serve {
 
 namespace {
 constexpr std::string_view kShardSetTag = "BGLSRV1\n";
+// Directory-checkpoint formats (save_dir/restore_dir): one per-shard
+// stream file plus a CHECKPOINT manifest pinning each file's size and
+// CRC. Tags are pinned by tests/test_checkpoint_tags.cpp.
+constexpr std::string_view kShardFileTag = "BGLSHD01";
+constexpr std::string_view kCheckpointDirTag = "BGLCKD01";
+
+std::string checkpoint_manifest_path(const std::string& dir) {
+  return dir + "/CHECKPOINT";
+}
+
+std::string shard_file_path(const std::string& dir, std::size_t index) {
+  return dir + "/shard-" + std::to_string(index) + ".ckpt";
+}
+
+std::string read_file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw Error("cannot open for reading: " + path);
+  }
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
 
 /// splitmix64 finalizer: decorrelates adjacent stream ids so shard load
 /// stays balanced even when clients number streams 0, 1, 2, ...
@@ -171,17 +198,48 @@ void ShardManager::save(std::ostream& os) {
   // bytes are a pure function of the served state.
   for (const Shard& shard : shards_) {
     for (const auto& [stream_id, stream] : shard.streams) {
-      wire::write<std::uint64_t>(os, stream_id);
-      wire::write<std::uint32_t>(
-          os, static_cast<std::uint32_t>(stream.pending.size()));
-      std::string warnings;
-      for (const Warning& w : stream.pending) {
-        encode_warning(warnings, w);
-      }
-      wire::write_string(os, warnings);
-      stream.engine.save(os);
+      encode_stream_state(os, stream_id, stream);
     }
   }
+}
+
+void ShardManager::encode_stream_state(std::ostream& os,
+                                       std::uint64_t stream_id,
+                                       const Stream& stream) const {
+  wire::write<std::uint64_t>(os, stream_id);
+  wire::write<std::uint32_t>(
+      os, static_cast<std::uint32_t>(stream.pending.size()));
+  std::string warnings;
+  for (const Warning& w : stream.pending) {
+    encode_warning(warnings, w);
+  }
+  wire::write_string(os, warnings);
+  stream.engine.save(os);
+}
+
+ShardManager::Stream ShardManager::decode_stream_state(
+    std::istream& is, std::uint64_t& stream_id) {
+  stream_id = wire::read<std::uint64_t>(is, "stream id");
+  const auto pending_count =
+      wire::read<std::uint32_t>(is, "pending warning count");
+  const std::string warning_bytes =
+      wire::read_string(is, "pending warnings", kMaxPayload);
+  BytesReader reader(warning_bytes);
+  std::vector<Warning> pending;
+  pending.reserve(pending_count);
+  for (std::uint32_t w = 0; w < pending_count; ++w) {
+    pending.push_back(decode_warning(reader));
+  }
+  if (reader.remaining() != 0) {
+    throw ParseError("trailing bytes after pending warnings");
+  }
+  PredictorPtr fresh = options_.predictor_factory();
+  BGL_REQUIRE(fresh != nullptr, "predictor factory returned null");
+  Stream stream(OnlineEngine::restore(is, std::move(fresh)));
+  stream.pending = std::move(pending);
+  stream.pending_born_micros.assign(stream.pending.size(),
+                                    monotonic_micros());
+  return stream;
 }
 
 void ShardManager::restore(std::istream& is) {
@@ -197,31 +255,18 @@ void ShardManager::restore(std::istream& is) {
   // a truncated or mismatched blob must not leave a half-restored set.
   std::vector<std::map<std::uint64_t, Stream>> replacement(shards_.size());
   for (std::uint64_t i = 0; i < stream_total; ++i) {
-    const auto stream_id = wire::read<std::uint64_t>(is, "stream id");
-    const auto pending_count =
-        wire::read<std::uint32_t>(is, "pending warning count");
-    const std::string warning_bytes =
-        wire::read_string(is, "pending warnings", kMaxPayload);
-    BytesReader reader(warning_bytes);
-    std::vector<Warning> pending;
-    pending.reserve(pending_count);
-    for (std::uint32_t w = 0; w < pending_count; ++w) {
-      pending.push_back(decode_warning(reader));
-    }
-    if (reader.remaining() != 0) {
-      throw ParseError("trailing bytes after pending warnings");
-    }
-    PredictorPtr fresh = options_.predictor_factory();
-    BGL_REQUIRE(fresh != nullptr, "predictor factory returned null");
-    Stream stream(OnlineEngine::restore(is, std::move(fresh)));
-    stream.pending = std::move(pending);
-    stream.pending_born_micros.assign(stream.pending.size(),
-                                      monotonic_micros());
+    std::uint64_t stream_id = 0;
+    Stream stream = decode_stream_state(is, stream_id);
     const std::size_t index = shard_of(stream_id, shards_.size());
     if (!replacement[index].emplace(stream_id, std::move(stream)).second) {
       throw ParseError("duplicate stream id in checkpoint");
     }
   }
+  adopt_streams(std::move(replacement));
+}
+
+void ShardManager::adopt_streams(
+    std::vector<std::map<std::uint64_t, Stream>> replacement) {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     shards_[i].queue.clear();
     shards_[i].streams = std::move(replacement[i]);
@@ -236,6 +281,140 @@ void ShardManager::restore(std::istream& is) {
       stream.engine.attach_metrics(*registry_, engine_prefix(i));
     }
   }
+}
+
+ShardManager::SaveDirStats ShardManager::save_dir(const std::string& dir) {
+  drain();
+  std::filesystem::create_directories(dir);
+
+  // Previous manifest, if readable, supplies the per-shard CRCs that
+  // make checkpoints incremental; any damage just forces a full write.
+  std::map<std::uint32_t, std::pair<std::uint64_t, std::uint32_t>> previous;
+  try {
+    const std::string bytes =
+        read_file_bytes(checkpoint_manifest_path(dir));
+    if (bytes.size() >= kCheckpointDirTag.size() + 8 &&
+        std::string_view(bytes).substr(0, kCheckpointDirTag.size()) ==
+            kCheckpointDirTag &&
+        crc32(std::string_view(bytes).substr(0, bytes.size() - 4)) ==
+            wire::decode<std::uint32_t>(bytes.data() + bytes.size() - 4)) {
+      const char* p = bytes.data() + kCheckpointDirTag.size();
+      const auto count = wire::decode<std::uint32_t>(p);
+      p += 4;
+      for (std::uint32_t i = 0;
+           i < count && p + 16 <= bytes.data() + bytes.size() - 4; ++i) {
+        const auto index = wire::decode<std::uint32_t>(p);
+        const auto size = wire::decode<std::uint64_t>(p + 4);
+        const auto crc = wire::decode<std::uint32_t>(p + 12);
+        p += 16;
+        previous[index] = {size, crc};
+      }
+    }
+  } catch (const Error&) {
+    // Missing or unreadable: first checkpoint into this directory.
+  }
+
+  SaveDirStats stats;
+  std::string manifest(kCheckpointDirTag);
+  wire::append<std::uint32_t>(manifest,
+                              static_cast<std::uint32_t>(shards_.size()));
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    std::ostringstream blob;
+    wire::write_tag(blob, kShardFileTag);
+    wire::write<std::uint32_t>(blob, static_cast<std::uint32_t>(i));
+    wire::write<std::uint64_t>(blob, shards_[i].streams.size());
+    for (const auto& [stream_id, stream] : shards_[i].streams) {
+      encode_stream_state(blob, stream_id, stream);
+    }
+    const std::string bytes = blob.str();
+    const std::uint32_t crc = crc32(bytes);
+    const std::string path = shard_file_path(dir, i);
+    const auto prev = previous.find(static_cast<std::uint32_t>(i));
+    if (prev != previous.end() && prev->second.first == bytes.size() &&
+        prev->second.second == crc && std::filesystem::exists(path) &&
+        std::filesystem::file_size(path) == bytes.size()) {
+      ++stats.shards_skipped;
+    } else {
+      atomic_write_file(path, bytes);
+      ++stats.shards_written;
+    }
+    wire::append<std::uint32_t>(manifest, static_cast<std::uint32_t>(i));
+    wire::append<std::uint64_t>(manifest, bytes.size());
+    wire::append<std::uint32_t>(manifest, crc);
+  }
+  wire::append<std::uint32_t>(manifest, crc32(manifest));
+  // Shard files first, manifest last: a crash mid-checkpoint leaves the
+  // previous manifest pointing at the previous (still present) files.
+  atomic_write_file(checkpoint_manifest_path(dir), manifest);
+  return stats;
+}
+
+void ShardManager::restore_dir(const std::string& dir) {
+  const std::string bytes = read_file_bytes(checkpoint_manifest_path(dir));
+  if (bytes.size() < kCheckpointDirTag.size() + 8 ||
+      std::string_view(bytes).substr(0, kCheckpointDirTag.size()) !=
+          kCheckpointDirTag) {
+    throw ParseError("not a checkpoint directory manifest: " + dir);
+  }
+  if (crc32(std::string_view(bytes).substr(0, bytes.size() - 4)) !=
+      wire::decode<std::uint32_t>(bytes.data() + bytes.size() - 4)) {
+    throw ParseError("checkpoint manifest CRC mismatch: " + dir);
+  }
+  const char* p = bytes.data() + kCheckpointDirTag.size();
+  const char* end = bytes.data() + bytes.size() - 4;
+  const auto saved_shards = wire::decode<std::uint32_t>(p);
+  p += 4;
+  if (saved_shards != shards_.size()) {
+    throw ParseError("checkpoint has " + std::to_string(saved_shards) +
+                     " shards, this server has " +
+                     std::to_string(shards_.size()));
+  }
+
+  // Build the full replacement before touching live state, exactly as
+  // restore() does (strong guarantee).
+  std::vector<std::map<std::uint64_t, Stream>> replacement(shards_.size());
+  for (std::uint32_t i = 0; i < saved_shards; ++i) {
+    if (end - p < 16) {
+      throw ParseError("checkpoint manifest truncated");
+    }
+    const auto index = wire::decode<std::uint32_t>(p);
+    const auto size = wire::decode<std::uint64_t>(p + 4);
+    const auto crc = wire::decode<std::uint32_t>(p + 12);
+    p += 16;
+    if (index != i) {
+      throw ParseError("checkpoint manifest shard entries disordered");
+    }
+    const std::string shard_bytes =
+        read_file_bytes(shard_file_path(dir, index));
+    if (shard_bytes.size() != size || crc32(shard_bytes) != crc) {
+      throw ParseError("checkpoint shard file disagrees with manifest: " +
+                       shard_file_path(dir, index));
+    }
+    std::istringstream is(shard_bytes);
+    wire::expect_tag(is, kShardFileTag);
+    const auto stored_index = wire::read<std::uint32_t>(is, "shard index");
+    if (stored_index != index) {
+      throw ParseError("checkpoint shard file claims index " +
+                       std::to_string(stored_index));
+    }
+    const auto stream_total =
+        wire::read<std::uint64_t>(is, "shard stream count");
+    for (std::uint64_t s = 0; s < stream_total; ++s) {
+      std::uint64_t stream_id = 0;
+      Stream stream = decode_stream_state(is, stream_id);
+      const std::size_t owner = shard_of(stream_id, shards_.size());
+      if (owner != index) {
+        throw ParseError("stream routed to the wrong checkpoint shard");
+      }
+      if (!replacement[owner].emplace(stream_id, std::move(stream)).second) {
+        throw ParseError("duplicate stream id in checkpoint");
+      }
+    }
+  }
+  if (p != end) {
+    throw ParseError("trailing bytes in checkpoint manifest");
+  }
+  adopt_streams(std::move(replacement));
 }
 
 }  // namespace bglpred::serve

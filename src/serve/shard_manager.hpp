@@ -89,6 +89,26 @@ class ShardManager {
   /// throw, the previous state is untouched.
   void restore(std::istream& is);
 
+  /// Result of a directory checkpoint: how many per-shard files were
+  /// rewritten vs skipped because their serialized bytes (by CRC)
+  /// matched the manifest already on disk.
+  struct SaveDirStats {
+    std::size_t shards_written = 0;
+    std::size_t shards_skipped = 0;
+  };
+
+  /// Checkpoints the shard set into `dir` as one file per shard plus a
+  /// CHECKPOINT manifest, every write atomic (common/atomic_io: tmp +
+  /// fsync + rename). Unlike save(), unchanged shards are not
+  /// rewritten — repeated checkpoints of a mostly-idle service stream
+  /// only the shards that moved.
+  SaveDirStats save_dir(const std::string& dir);
+
+  /// Restores from a save_dir() checkpoint, validating the manifest's
+  /// per-shard sizes and CRCs before touching live state. Strong
+  /// guarantee: on throw, the previous state is untouched.
+  void restore_dir(const std::string& dir);
+
   /// Streams currently materialized.
   std::size_t stream_count() const;
 
@@ -134,6 +154,14 @@ class ShardManager {
 
   Stream& stream_for(Shard& shard, std::size_t shard_index,
                      std::uint64_t stream_id);
+  /// One stream's checkpoint encoding, shared by save() and save_dir().
+  void encode_stream_state(std::ostream& os, std::uint64_t stream_id,
+                           const Stream& stream) const;
+  /// Inverse of encode_stream_state; throws ParseError on damage.
+  Stream decode_stream_state(std::istream& is, std::uint64_t& stream_id);
+  /// Swaps fully-built replacement stream maps into the live shards and
+  /// re-baselines metrics (the no-throw tail of both restore paths).
+  void adopt_streams(std::vector<std::map<std::uint64_t, Stream>> replacement);
   void drain_shard(std::size_t index);
   OnlineEngine make_engine() const;
   std::string engine_prefix(std::size_t shard_index) const;

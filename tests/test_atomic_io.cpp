@@ -1,0 +1,98 @@
+// Crash-safety tests for atomic_write_file: a process killed in the
+// middle of publishing a file (mid-tmp-write or between fsync and
+// rename) must leave the previous contents untouched and loadable.
+// The kill is a real one — the test forks, arms a crash point in the
+// child, and asserts on what the dead child left on disk.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <string>
+
+#include "common/atomic_io.hpp"
+#include "raslog/binary_io.hpp"
+#include "raslog/log.hpp"
+#include "simgen/generator.hpp"
+
+namespace bglpred {
+namespace {
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+/// Forks, runs `victim` in the child with `point` armed, and expects
+/// the child to die with the crash hook's exit code (42).
+template <typename Victim>
+void run_crashing_child(detail::AtomicCrashPoint point, Victim victim) {
+  const pid_t pid = fork();
+  ASSERT_GE(pid, 0) << "fork failed";
+  if (pid == 0) {
+    detail::set_atomic_crash_point_for_test(point);
+    victim();
+    _exit(0);  // the crash point should have fired before this
+  }
+  int status = 0;
+  ASSERT_EQ(waitpid(pid, &status, 0), pid);
+  ASSERT_TRUE(WIFEXITED(status));
+  EXPECT_EQ(WEXITSTATUS(status), 42) << "crash point never fired";
+}
+
+TEST(AtomicIoTest, WriteReplacesContents) {
+  const std::string path = testing::TempDir() + "/atomic_plain.bin";
+  atomic_write_file(path, "first contents");
+  atomic_write_file(path, "second contents");
+  EXPECT_EQ(slurp(path), "second contents");
+  std::filesystem::remove(path);
+}
+
+TEST(AtomicIoTest, KillMidTmpWriteLeavesOldFile) {
+  const std::string path = testing::TempDir() + "/atomic_midwrite.bin";
+  const std::string old_bytes(4096, 'a');
+  const std::string new_bytes(8192, 'b');
+  atomic_write_file(path, old_bytes);
+  run_crashing_child(detail::AtomicCrashPoint::kMidTmpWrite,
+                     [&] { atomic_write_file(path, new_bytes); });
+  EXPECT_EQ(slurp(path), old_bytes);
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+}
+
+TEST(AtomicIoTest, KillBeforeRenameLeavesOldFile) {
+  const std::string path = testing::TempDir() + "/atomic_prerename.bin";
+  atomic_write_file(path, "old");
+  run_crashing_child(detail::AtomicCrashPoint::kBeforeRename,
+                     [&] { atomic_write_file(path, "new"); });
+  EXPECT_EQ(slurp(path), "old");
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+}
+
+TEST(AtomicIoTest, KillMidSaveLeavesPreviousBinaryLogLoadable) {
+  const std::string path = testing::TempDir() + "/atomic_log.rasb";
+  const GeneratedLog small = LogGenerator(SystemProfile::anl()).generate(0.002);
+  save_log_binary(path, small.log);
+  const std::string before = slurp(path);
+
+  const GeneratedLog bigger = LogGenerator(SystemProfile::anl()).generate(0.01);
+  run_crashing_child(detail::AtomicCrashPoint::kMidTmpWrite,
+                     [&] { save_log_binary(path, bigger.log); });
+
+  // The interrupted save must not have torn the previous dump: the
+  // bytes are untouched and the strict reader still accepts them.
+  EXPECT_EQ(slurp(path), before);
+  const RasLog reloaded = load_log_binary(path);
+  EXPECT_EQ(reloaded.size(), small.log.size());
+  std::filesystem::remove(path);
+  std::filesystem::remove(path + ".tmp");
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -5,6 +5,9 @@
 // its reader — or a new format without a test — fails here first.
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <iterator>
 #include <memory>
 #include <sstream>
 #include <string>
@@ -14,6 +17,8 @@
 #include "common/metrics.hpp"
 #include "core/online.hpp"
 #include "core/three_phase.hpp"
+#include "logstore/convert.hpp"
+#include "logstore/store.hpp"
 #include "meta/meta_learner.hpp"
 #include "mining/rules.hpp"
 #include "predict/baselines.hpp"
@@ -176,6 +181,73 @@ TEST(CheckpointTagTest, ShardSetBlobLeadsWithBglSrv1Tag) {
   manager.save(blob);
   EXPECT_EQ(blob.str().substr(0, 7), "BGLSRV1");
   manager.restore(blob);  // accepts its own checkpoint
+}
+
+std::string file_bytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(static_cast<bool>(in)) << path;
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(CheckpointTagTest, LogStoreSegmentAndManifestLeadWithTheirTags) {
+  RasLog log = training_log();
+  const std::string dir = testing::TempDir() + "/tag_store";
+  std::filesystem::remove_all(dir);
+  logstore::store_from_log(log, dir);
+
+  const std::string manifest = file_bytes(dir + "/MANIFEST");
+  EXPECT_EQ(manifest.substr(0, 8), "BGLMAN01");
+
+  const std::string segment = file_bytes(dir + "/seg-000000.bgls");
+  ASSERT_GE(segment.size(), 32u);
+  EXPECT_EQ(segment.substr(0, 8), "BGLSEG01");
+  EXPECT_EQ(segment.substr(segment.size() - 8), "BGLSEND1");
+  // The footer tag sits footer_size bytes before the 16-byte trailer.
+  EXPECT_NE(segment.find("BGLSFT01"), std::string::npos);
+
+  // The store the tags describe reads back exactly.
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  EXPECT_EQ(reader.record_count(), log.size());
+}
+
+TEST(CheckpointTagTest, ShardDirCheckpointLeadsWithItsTags) {
+  const ThreePhasePredictor tpp;
+  MetricsRegistry registry;
+  serve::ShardOptions options;
+  options.shard_count = 2;
+  options.predictor_factory = [&tpp] {
+    return tpp.make_predictor(Method::kEveryFailure);
+  };
+  serve::ShardManager manager(options, registry);
+  ASSERT_EQ(manager.submit(/*stream_id=*/7, event(1000, "torusFailure"),
+                           "torusFailure"),
+            serve::ShardManager::Submit::kAccepted);
+  manager.drain();
+
+  const std::string dir = testing::TempDir() + "/tag_ckpt_dir";
+  std::filesystem::remove_all(dir);
+  const auto first = manager.save_dir(dir);
+  EXPECT_EQ(first.shards_written, 2u);
+  EXPECT_EQ(first.shards_skipped, 0u);
+  EXPECT_EQ(file_bytes(dir + "/CHECKPOINT").substr(0, 8), "BGLCKD01");
+  EXPECT_EQ(file_bytes(dir + "/shard-0.ckpt").substr(0, 8), "BGLSHD01");
+
+  // An unchanged shard set re-checkpoints without rewriting anything.
+  const auto second = manager.save_dir(dir);
+  EXPECT_EQ(second.shards_written, 0u);
+  EXPECT_EQ(second.shards_skipped, 2u);
+
+  // New state dirties exactly the owning shard's file.
+  ASSERT_EQ(manager.submit(/*stream_id=*/7, event(2000, "torusFailure"),
+                           "torusFailure"),
+            serve::ShardManager::Submit::kAccepted);
+  const auto third = manager.save_dir(dir);
+  EXPECT_EQ(third.shards_written, 1u);
+  EXPECT_EQ(third.shards_skipped, 1u);
+
+  manager.restore_dir(dir);  // accepts its own checkpoint
+  EXPECT_EQ(manager.stream_count(), 1u);
 }
 
 }  // namespace

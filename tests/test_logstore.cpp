@@ -1,0 +1,414 @@
+// Differential tests for the columnar log store (DESIGN.md §10):
+// cursor replay must match the sequential readers byte-for-byte, the
+// k-way merge must equal a sorted concatenation, and a tail-follower
+// must see exactly the segments the writer published.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/atomic_io.hpp"
+#include "core/online.hpp"
+#include "core/three_phase.hpp"
+#include "logstore/convert.hpp"
+#include "logstore/cursor.hpp"
+#include "logstore/store.hpp"
+#include "preprocess/fused_ingest.hpp"
+#include "preprocess/pipeline.hpp"
+#include "raslog/binary_io.hpp"
+#include "raslog/io.hpp"
+#include "simgen/generator.hpp"
+
+namespace bglpred {
+namespace {
+
+/// Empty scratch directory under the test temp root.
+std::string fresh_dir(const std::string& name) {
+  const std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  return dir;
+}
+
+RasLog generated_log(std::uint64_t seed, double scale = 0.01) {
+  RasLog log = std::move(
+      LogGenerator(SystemProfile::anl()).generate(scale, seed).log);
+  log.sort_by_time();
+  return log;
+}
+
+/// Field-by-field equality of a replayed record against the source log.
+void expect_same_record(const logstore::StoreRecord& got,
+                        const RasRecord& want, const RasLog& source,
+                        std::size_t index) {
+  EXPECT_EQ(got.rec.time, want.time) << "record " << index;
+  EXPECT_EQ(got.rec.location, want.location) << "record " << index;
+  EXPECT_EQ(got.rec.job, want.job) << "record " << index;
+  EXPECT_EQ(got.rec.event_type, want.event_type) << "record " << index;
+  EXPECT_EQ(got.rec.facility, want.facility) << "record " << index;
+  EXPECT_EQ(got.rec.severity, want.severity) << "record " << index;
+  EXPECT_EQ(got.rec.subcategory, want.subcategory) << "record " << index;
+  EXPECT_EQ(got.entry, source.text_of(want)) << "record " << index;
+}
+
+TEST(LogStoreTest, ScanReplaysSourceExactly) {
+  const RasLog log = generated_log(7);
+  ASSERT_GT(log.size(), 1000u);
+  const std::string dir = fresh_dir("store_scan");
+  logstore::StoreOptions options;
+  options.segment_records = 512;  // force many segments
+  options.block_records = 64;
+  const logstore::ConvertStats stats =
+      logstore::store_from_log(log, dir, /*stream=*/0, options);
+  EXPECT_EQ(stats.records, log.size());
+  EXPECT_GT(stats.segments, 1u);
+
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  EXPECT_TRUE(reader.sealed());
+  EXPECT_EQ(reader.record_count(), log.size());
+  EXPECT_EQ(reader.min_time(), log.records().front().time);
+  EXPECT_EQ(reader.max_time(), log.records().back().time);
+
+  logstore::Cursor cursor = reader.scan();
+  logstore::StoreRecord got;
+  std::size_t i = 0;
+  while (cursor.next(got)) {
+    ASSERT_LT(i, log.size());
+    expect_same_record(got, log.records()[i], log, i);
+    ++i;
+  }
+  EXPECT_EQ(i, log.size());
+  EXPECT_TRUE(cursor.done());
+}
+
+TEST(LogStoreTest, RangeCursorMatchesFilteredOracle) {
+  const RasLog log = generated_log(11);
+  const std::string dir = fresh_dir("store_range");
+  logstore::StoreOptions options;
+  options.segment_records = 256;
+  options.block_records = 32;
+  logstore::store_from_log(log, dir, 0, options);
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+
+  const TimePoint lo = log.records().front().time;
+  const TimePoint hi = log.records().back().time;
+  const TimePoint span = hi - lo;
+  // Windows: mid slice, exact-boundary slice, 1% slice, empty, all.
+  const std::vector<std::pair<TimePoint, TimePoint>> windows = {
+      {lo + span / 3, lo + span / 2},
+      {log.records()[log.size() / 2].time,
+       log.records()[log.size() / 2].time + 1},
+      {lo + span / 2, lo + span / 2 + span / 100},
+      {hi + 10, hi + 20},
+      {lo, hi + 1},
+  };
+  for (const auto& [begin, end] : windows) {
+    logstore::Cursor cursor = reader.range(begin, end);
+    logstore::StoreRecord got;
+    std::size_t matched = 0;
+    for (const RasRecord& want : log.records()) {
+      if (want.time < begin || want.time >= end) {
+        continue;
+      }
+      ASSERT_TRUE(cursor.next(got)) << "window [" << begin << "," << end
+                                    << ") record " << matched;
+      expect_same_record(got, want, log, matched);
+      ++matched;
+    }
+    EXPECT_FALSE(cursor.next(got))
+        << "window [" << begin << "," << end << ") overshot";
+  }
+}
+
+TEST(LogStoreTest, StreamFilterReplaysOneStream) {
+  const RasLog log = generated_log(13, 0.005);
+  const std::string dir = fresh_dir("store_streams");
+  logstore::StoreOptions options;
+  options.segment_records = 128;
+  {
+    logstore::StoreWriter writer(dir, options);
+    for (std::size_t i = 0; i < log.size(); ++i) {
+      writer.append(log.records()[i], log.text_of(log.records()[i]), i % 3);
+    }
+    writer.seal();
+  }
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  for (std::uint64_t stream = 0; stream < 3; ++stream) {
+    logstore::Cursor cursor = reader.stream(stream);
+    logstore::StoreRecord got;
+    std::size_t matched = 0;
+    for (std::size_t i = stream; i < log.size(); i += 3) {
+      ASSERT_TRUE(cursor.next(got)) << "stream " << stream;
+      EXPECT_EQ(got.stream, stream);
+      expect_same_record(got, log.records()[i], log, i);
+      ++matched;
+    }
+    EXPECT_FALSE(cursor.next(got)) << "stream " << stream << " overshot";
+    EXPECT_EQ(matched, log.size() / 3 + (stream < log.size() % 3 ? 1 : 0));
+  }
+  // A stream never written yields nothing (footer counts skip the
+  // segments entirely).
+  logstore::Cursor none = reader.stream(99);
+  logstore::StoreRecord got;
+  EXPECT_FALSE(none.next(got));
+}
+
+TEST(LogStoreTest, OnlineReplayByteIdenticalToBinaryOracle) {
+  const RasLog log = generated_log(17);
+  const std::string bin_path = testing::TempDir() + "/store_oracle.rasb";
+  save_log_binary(bin_path, log);
+  const std::string dir = fresh_dir("store_replay");
+  logstore::convert_binary_log(bin_path, dir);
+
+  const ThreePhasePredictor tpp;
+  OnlineOptions online;
+  online.reorder_horizon = 5 * kMinute;
+
+  // Oracle: sequential binary read, fed record by record.
+  OnlineEngine oracle(tpp.make_predictor(Method::kEveryFailure), online);
+  const RasLog reloaded = load_log_binary(bin_path);
+  for (const RasRecord& rec : reloaded.records()) {
+    oracle.feed(rec, reloaded.text_of(rec));
+  }
+  oracle.flush();
+
+  // Subject: cursor replay out of the mmapped store.
+  OnlineEngine subject(tpp.make_predictor(Method::kEveryFailure), online);
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  logstore::Cursor cursor = reader.scan();
+  logstore::StoreRecord record;
+  while (cursor.next(record)) {
+    subject.feed(record.rec, record.entry);
+  }
+  subject.flush();
+
+  std::ostringstream oracle_blob;
+  std::ostringstream subject_blob;
+  oracle.save(oracle_blob);
+  subject.save(subject_blob);
+  EXPECT_EQ(oracle_blob.str(), subject_blob.str())
+      << "replayed engine state diverged from the sequential oracle";
+  std::filesystem::remove(bin_path);
+}
+
+/// The merge order MergeCursor promises: (time, location, severity,
+/// entry text, source index).
+struct MergedRow {
+  TimePoint time;
+  bgl::Location location;
+  int severity;
+  std::string entry;
+  std::size_t source;
+
+  bool operator<(const MergedRow& o) const {
+    if (time != o.time) return time < o.time;
+    if (location != o.location) return location < o.location;
+    if (severity != o.severity) return severity < o.severity;
+    if (entry != o.entry) return entry < o.entry;
+    return source < o.source;
+  }
+  bool operator==(const MergedRow& o) const {
+    return time == o.time && location == o.location &&
+           severity == o.severity && entry == o.entry && source == o.source;
+  }
+};
+
+TEST(LogStoreTest, MergeEqualsSortedConcatenation) {
+  constexpr std::size_t kStores = 3;
+  std::vector<logstore::StoreReader> readers;
+  std::vector<MergedRow> expected;
+  for (std::size_t s = 0; s < kStores; ++s) {
+    RasLog log = generated_log(100 + s, 0.004);
+    // RasLog::sort_by_time breaks ties by pool id; the merge breaks
+    // them by entry *text*. Sort each source the merge's way so the
+    // interleaving is a total order the oracle can reproduce.
+    std::stable_sort(log.mutable_records().begin(),
+                     log.mutable_records().end(),
+                     [&log](const RasRecord& a, const RasRecord& b) {
+                       if (a.time != b.time) return a.time < b.time;
+                       if (a.location != b.location) {
+                         return a.location < b.location;
+                       }
+                       if (a.severity != b.severity) {
+                         return a.severity < b.severity;
+                       }
+                       return log.text_of(a) < log.text_of(b);
+                     });
+    const std::string dir = fresh_dir("store_merge_" + std::to_string(s));
+    logstore::StoreOptions options;
+    options.segment_records = 256;
+    logstore::store_from_log(log, dir, /*stream=*/s, options);
+    readers.push_back(logstore::StoreReader::open(dir));
+    for (const RasRecord& rec : log.records()) {
+      expected.push_back({rec.time, rec.location,
+                          static_cast<int>(rec.severity), log.text_of(rec),
+                          s});
+    }
+  }
+  std::stable_sort(expected.begin(), expected.end());
+
+  std::vector<logstore::Cursor> sources;
+  for (const logstore::StoreReader& reader : readers) {
+    sources.push_back(reader.scan());
+  }
+  logstore::MergeCursor merge(std::move(sources));
+  logstore::StoreRecord record;
+  std::size_t source = 0;
+  std::size_t i = 0;
+  while (merge.next(record, &source)) {
+    ASSERT_LT(i, expected.size());
+    const MergedRow got{record.rec.time, record.rec.location,
+                        static_cast<int>(record.rec.severity),
+                        std::string(record.entry), source};
+    EXPECT_TRUE(got == expected[i])
+        << "merge diverged from sorted concatenation at " << i;
+    ++i;
+  }
+  EXPECT_EQ(i, expected.size());
+}
+
+TEST(LogStoreTest, TailFollowSeesExactlyPublishedSegments) {
+  const RasLog log = generated_log(23, 0.003);
+  ASSERT_GE(log.size(), 40u);
+  const std::string dir = fresh_dir("store_tail");
+  logstore::StoreOptions options;
+  options.segment_records = 16;
+  logstore::StoreWriter writer(dir, options);
+
+  auto feed = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      writer.append(log.records()[i], log.text_of(log.records()[i]));
+    }
+  };
+
+  // First segment must exist before a reader can open the store.
+  feed(0, 16);
+  logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  EXPECT_FALSE(reader.sealed());
+  logstore::TailCursor tail(reader);
+
+  auto drain = [&](std::size_t expect_from) -> std::size_t {
+    logstore::StoreRecord record;
+    std::size_t i = expect_from;
+    while (tail.poll(record) == logstore::TailCursor::Status::kRecord) {
+      if (i >= log.size()) {
+        ADD_FAILURE() << "tail cursor replayed past the source log";
+        break;
+      }
+      expect_same_record(record, log.records()[i], log, i);
+      ++i;
+    }
+    return i;
+  };
+
+  // Exactly the published prefix is visible; buffered records are not.
+  EXPECT_EQ(drain(0), 16u);
+  logstore::StoreRecord record;
+  EXPECT_EQ(tail.poll(record), logstore::TailCursor::Status::kWait);
+
+  feed(16, 36);  // publishes one more segment, leaves 4 buffered
+  EXPECT_EQ(drain(16), 32u);
+  EXPECT_EQ(tail.poll(record), logstore::TailCursor::Status::kWait);
+
+  writer.flush();  // short segment with the 4 buffered records
+  EXPECT_EQ(drain(32), 36u);
+  EXPECT_EQ(tail.poll(record), logstore::TailCursor::Status::kWait);
+
+  writer.seal();
+  EXPECT_EQ(tail.poll(record), logstore::TailCursor::Status::kEnd);
+  EXPECT_EQ(tail.poll(record), logstore::TailCursor::Status::kEnd);
+}
+
+TEST(LogStoreTest, WriterResumesUnsealedStoreAndSealRejectsAppends) {
+  const RasLog log = generated_log(29, 0.003);
+  ASSERT_GE(log.size(), 30u);
+  const std::string dir = fresh_dir("store_resume");
+  logstore::StoreOptions options;
+  options.segment_records = 8;
+  {
+    logstore::StoreWriter writer(dir, options);
+    for (std::size_t i = 0; i < 20; ++i) {
+      writer.append(log.records()[i], log.text_of(log.records()[i]));
+    }
+    // No seal: destructor flushes, store stays appendable.
+  }
+  {
+    logstore::StoreWriter writer(dir, options);
+    EXPECT_EQ(writer.records_written(), 20u);  // resumed from the manifest
+    for (std::size_t i = 20; i < 30; ++i) {
+      writer.append(log.records()[i], log.text_of(log.records()[i]));
+    }
+    writer.seal();
+  }
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  EXPECT_TRUE(reader.sealed());
+  EXPECT_EQ(reader.record_count(), 30u);
+  logstore::Cursor cursor = reader.scan();
+  logstore::StoreRecord got;
+  std::size_t i = 0;
+  while (cursor.next(got)) {
+    expect_same_record(got, log.records()[i], log, i);
+    ++i;
+  }
+  EXPECT_EQ(i, 30u);
+  // Sealed stores reject a new writer outright.
+  EXPECT_THROW(logstore::StoreWriter{dir}, Error);
+}
+
+TEST(LogStoreTest, IngestTextMatchesLoadClassified) {
+  const RasLog raw = generated_log(31, 0.005);
+  const std::string text_path = testing::TempDir() + "/store_ingest.log";
+  save_log(text_path, raw);
+  const std::string dir = fresh_dir("store_ingest");
+
+  PreprocessStats stats;
+  const logstore::ConvertStats converted = logstore::ingest_text_to_store(
+      text_path, dir, ReadOptions::strict(), {}, /*stream=*/0, {}, &stats);
+  const RasLog oracle = load_classified(text_path, ReadOptions::strict());
+  ASSERT_EQ(converted.records, oracle.size());
+  EXPECT_EQ(stats.unique_events, oracle.size());
+
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  logstore::Cursor cursor = reader.scan();
+  logstore::StoreRecord got;
+  std::size_t i = 0;
+  while (cursor.next(got)) {
+    ASSERT_LT(i, oracle.size());
+    expect_same_record(got, oracle.records()[i], oracle, i);
+    ++i;
+  }
+  EXPECT_EQ(i, oracle.size());
+  std::filesystem::remove(text_path);
+}
+
+TEST(LogStoreTest, OrphanSegmentsAreInvisible) {
+  const RasLog log = generated_log(37, 0.003);
+  const std::string dir = fresh_dir("store_orphan");
+  logstore::store_from_log(log, dir);
+  // A crashed writer can leave a segment the manifest never adopted;
+  // readers must not pick it up.
+  atomic_write_file(dir + "/seg-000099.bgls", "garbage orphan bytes");
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  EXPECT_EQ(reader.record_count(), log.size());
+}
+
+TEST(LogStoreTest, EmptyStoreAndEmptyWindows) {
+  const std::string dir = fresh_dir("store_empty");
+  {
+    logstore::StoreWriter writer(dir);
+    writer.seal();  // zero records, sealed
+  }
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  EXPECT_TRUE(reader.sealed());
+  EXPECT_EQ(reader.record_count(), 0u);
+  EXPECT_EQ(reader.segment_count(), 0u);
+  logstore::Cursor cursor = reader.scan();
+  logstore::StoreRecord got;
+  EXPECT_FALSE(cursor.next(got));
+  EXPECT_TRUE(cursor.done());
+}
+
+}  // namespace
+}  // namespace bglpred

@@ -103,7 +103,8 @@ MODULE_DAG: dict[str, list[str]] = {
     "meta": ["common", "predict"],
     "eval": ["common", "parallel", "raslog", "stats", "predict"],
     "simgen": ["common", "bgl", "raslog", "taxonomy"],
-    "faultinject": ["common", "raslog", "serve"],
+    "logstore": ["common", "raslog", "preprocess"],
+    "faultinject": ["common", "raslog", "serve", "logstore"],
     "core": ["common", "taxonomy", "preprocess", "predict", "meta", "eval"],
     "serve": ["common", "parallel", "raslog", "predict", "core"],
 }
@@ -115,6 +116,7 @@ MODULE_DAG: dict[str, list[str]] = {
 REQUIRED_HOT_FILES = (
     "src/raslog/fast_io.cpp",
     "src/raslog/fast_io.hpp",
+    "src/logstore/cursor.cpp",
     "src/mining/rules.cpp",
     "src/core/online.cpp",
     "src/serve/session.cpp",

@@ -46,6 +46,14 @@ Rules (C++ sources under src/, tests/, bench/, examples/):
                         The reference oracle in io.cpp — kept slow on
                         purpose as the differential-testing baseline —
                         carries explicit allow markers.
+  naked-store-write     std::ofstream / fopen() / O_WRONLY-style open()
+                        flags / filesystem::rename in the durable-store
+                        sources (src/logstore/, raslog/binary_io,
+                        serve/shard_manager). Every byte of a segment,
+                        manifest, binary log, or checkpoint reaches disk
+                        through atomic_write_file (common/atomic_io:
+                        tmp + fsync + rename + parent fsync); a direct
+                        write reintroduces torn files on crash.
   serve-wall-clock      std::chrono::system_clock in src/serve/. Every
                         serve-plane deadline (idle, write-stall, drain,
                         budget windows) must come from the monotonic
@@ -138,6 +146,14 @@ RE_SUBSTR = re.compile(r"\.substr\s*\(")
 # The wall clock is banned from the serve plane: timers and deadlines
 # must be monotonic (serve/clock.hpp).
 RE_WALL_CLOCK = re.compile(r"\bstd\s*::\s*chrono\s*::\s*system_clock\b")
+# Durable-store sources: every on-disk artifact there must be published
+# through common/atomic_io's atomic_write_file. Reads (ifstream, mmap's
+# O_RDONLY open) stay legal; write-mode idioms do not.
+STORE_WRITE_DIRS = re.compile(
+    r"^src/(logstore/|raslog/binary_io\.|serve/shard_manager\.)")
+RE_STORE_WRITE = re.compile(
+    r"\bstd\s*::\s*ofstream\b|\bfopen\s*\(|\bO_WRONLY\b|\bO_CREAT\b|"
+    r"\bO_TRUNC\b|\bfilesystem\s*::\s*rename\b|(?<![_\w])::\s*rename\s*\(")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -211,6 +227,7 @@ class Linter:
         send_recv_exempt = bool(SEND_RECV_EXEMPT.match(path))
         serve_file = bool(SERVE_DIR.match(path))
         slow_ingest = bool(SLOW_INGEST_DIRS.match(path))
+        store_file = bool(STORE_WRITE_DIRS.match(path))
         for idx, code in enumerate(code_lines):
             # Allow markers may sit on the offending line or just above.
             raw = (raw_lines[idx - 1] + "\n" if idx > 0 else "") \
@@ -249,6 +266,12 @@ class Linter:
                             "serve-plane time must be monotonic: use "
                             "monotonic_micros() from serve/clock.hpp, not "
                             "std::chrono::system_clock", raw)
+            if store_file and RE_STORE_WRITE.search(code):
+                self.report(path, no, "naked-store-write",
+                            "durable artifacts are published via "
+                            "atomic_write_file (common/atomic_io), never "
+                            "a direct ofstream/fopen/O_WRONLY write or "
+                            "rename", raw)
             if slow_ingest and (RE_SLOW_STREAM.search(code) or
                                 RE_SUBSTR.search(code)):
                 self.report(path, no, "slow-ingest",
