@@ -28,7 +28,7 @@ int main(int argc, char** argv) {
     std::size_t fatal_at_300 = 0;
     std::vector<std::pair<Duration, PreprocessStats>> results;
     for (const Duration threshold : thresholds) {
-      GeneratedLog g =
+      GeneratedLog g =  // repo-lint: allow(simgen-materialize)
           LogGenerator(profile_by_name(profile)).generate(scale);
       PreprocessOptions opt;
       opt.temporal_threshold = threshold;

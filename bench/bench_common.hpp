@@ -53,7 +53,7 @@ inline const PreparedLog& prepared_log(const std::string& profile_name,
   const std::string key = profile_name + "@" + std::to_string(scale);
   auto it = cache.find(key);
   if (it == cache.end()) {
-    GeneratedLog g =
+    GeneratedLog g =  // repo-lint: allow(simgen-materialize)
         LogGenerator(profile_by_name(profile_name)).generate(scale);
     PreparedLog prepared;
     prepared.raw_records = g.log.size();

@@ -23,7 +23,7 @@ namespace {
 void run_profile(const SystemProfile& profile, double scale,
                  std::size_t folds, Duration window) {
   std::printf("==== %s (scale=%.2f) ====\n", profile.name.c_str(), scale);
-  LogGenerator gen(profile);
+  LogGenerator gen(profile);  // repo-lint: allow(simgen-materialize)
   GeneratedLog g = gen.generate(scale);
   std::printf("raw records: %zu (target %.0f)\n", g.log.size(),
               static_cast<double>(profile.target_raw_records) * scale);

@@ -87,6 +87,9 @@ int main(int argc, char** argv) {
         static_cast<std::uint64_t>(args.get_int("seeds", 5));
     print_header("X8", "fault-injection survival smoke", scale);
 
+    // Fault injection corrupts a written artifact, so the full log must
+    // exist on disk first.
+    // repo-lint: allow(simgen-materialize)
     GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(scale);
     std::stringstream text_buffer;
     write_log(text_buffer, g.log);

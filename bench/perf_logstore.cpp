@@ -67,6 +67,7 @@ const Corpus& corpus() {
     std::filesystem::remove_all(out.root);
     std::filesystem::create_directories(out.root);
 
+    // repo-lint: allow(simgen-materialize)
     RasLog log = std::move(LogGenerator(SystemProfile::anl())
                                .generate(g_smoke ? 0.004 : 0.05)
                                .log);
@@ -90,6 +91,7 @@ const Corpus& corpus() {
                                  store_options());
 
     for (std::uint64_t s = 0; s < 3; ++s) {
+      // repo-lint: allow(simgen-materialize)
       RasLog part = std::move(LogGenerator(SystemProfile::anl())
                                   .generate(g_smoke ? 0.002 : 0.01, s + 1)
                                   .log);

@@ -18,7 +18,7 @@ void BM_Phase1Pipeline(benchmark::State& state) {
   const double scale = static_cast<double>(state.range(0)) / 100.0;
   // Generate once outside the loop; preprocess mutates, so copy per
   // iteration through subset().
-  const GeneratedLog generated =
+  const GeneratedLog generated =  // repo-lint: allow(simgen-materialize)
       LogGenerator(SystemProfile::anl()).generate(scale);
   std::size_t unique = 0;
   for (auto _ : state) {
@@ -37,7 +37,7 @@ void BM_Phase1Pipeline(benchmark::State& state) {
 }
 
 void BM_TemporalCompressionOnly(benchmark::State& state) {
-  const GeneratedLog generated =
+  const GeneratedLog generated =  // repo-lint: allow(simgen-materialize)
       LogGenerator(SystemProfile::anl()).generate(0.1);
   // Pre-classify once; compression is the measured piece.
   RasLog classified = generated.log.subset(generated.log.records());

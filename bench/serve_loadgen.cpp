@@ -60,7 +60,7 @@
 #include "serve/net_util.hpp"
 #include "serve/protocol.hpp"
 #include "serve/server.hpp"
-#include "simgen/generator.hpp"
+#include "simgen/stream.hpp"
 
 using namespace bglpred;
 using namespace bglpred::serve;
@@ -80,18 +80,25 @@ struct Workload {
 };
 
 /// Generated once per process: `streams` interleaved record sequences
-/// with their raw entry text, byte-reproducible across runs.
+/// with their raw entry text, byte-reproducible across runs. Built off
+/// the streaming generator batch by batch — the global record index
+/// keeps the round-robin interleave identical to a whole-log split, but
+/// no full RasLog is ever resident.
 const Workload& workload() {
   static const Workload w = [] {
     Workload out;
-    const double scale = g_smoke ? 0.01 : 0.05;
+    StreamConfig config;
+    config.scale = g_smoke ? 0.01 : 0.05;
     const std::size_t streams = g_smoke ? 2 : 8;
-    GeneratedLog g = LogGenerator(SystemProfile::anl()).generate(scale);
+    StreamRecordSource source(SystemProfile::anl(), config);
     out.streams.resize(streams);
-    for (std::size_t i = 0; i < g.log.records().size(); ++i) {
-      const RasRecord& rec = g.log.records()[i];
-      out.streams[i % streams].push_back(WireRecord{rec, g.log.text_of(rec)});
-      ++out.total_records;
+    RasLog batch;
+    while (source.next_batch(batch)) {
+      for (const RasRecord& rec : batch.records()) {
+        out.streams[out.total_records % streams].push_back(
+            WireRecord{rec, std::string(batch.text_of(rec))});
+        ++out.total_records;
+      }
     }
     return out;
   }();

@@ -3,14 +3,20 @@
 //
 //   $ ./logstore_convert --binary=log.bin --out=store_dir
 //   $ ./logstore_convert --text=raw_ras.txt --out=store_dir
+//   $ ./logstore_convert --simgen=anl|sdsc|bgq|dcp --out=store_dir
+//         [--scale=0.05] [--seed-offset=K] [--chunk-len=SECS] [--streams=N]
 //   $ ./logstore_convert --inspect=store_dir [--lenient]
 //   $ ./logstore_convert --replay=store_dir
 //         [--begin="2005-06-03-00.00.00"] [--end=...] [--stream=N]
 //
 // Conversion seals the store; `--stream` labels every converted record
 // with one source-stream id (merge several single-stream stores later
-// with MergeCursor). `--lenient` opens salvage intact segments and
-// print the per-fault-class drop tally instead of failing hard.
+// with MergeCursor). `--simgen` generates a synthetic log *streamed*
+// chunk by chunk (O(chunk) memory at any scale) and shards records
+// across `--streams` logical stream ids via stream_of — replay one with
+// `--replay --stream=N`, or all of them merged with a plain `--replay`.
+// `--lenient` opens salvage intact segments and print the
+// per-fault-class drop tally instead of failing hard.
 
 #include <cstdio>
 
@@ -21,6 +27,7 @@
 #include "logstore/convert.hpp"
 #include "logstore/cursor.hpp"
 #include "logstore/store.hpp"
+#include "simgen/stream.hpp"
 
 using namespace bglpred;
 
@@ -148,6 +155,53 @@ int convert(const CliArgs& args) {
   return 0;
 }
 
+SystemProfile simgen_profile(const std::string& name) {
+  if (name == "anl") {
+    return SystemProfile::anl();
+  }
+  if (name == "sdsc") {
+    return SystemProfile::sdsc();
+  }
+  if (name == "bgq") {
+    return SystemProfile::bgq_multistream();
+  }
+  if (name == "dcp") {
+    return SystemProfile::dc_prophet();
+  }
+  throw InvalidArgument("unknown simgen profile: " + name +
+                        " (expected anl, sdsc, bgq or dcp)");
+}
+
+int convert_simgen(const CliArgs& args) {
+  const std::string out = args.get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "--out=DIR is required for conversion\n");
+    return 2;
+  }
+  const SystemProfile profile = simgen_profile(args.get("simgen", ""));
+  StreamConfig config;
+  config.scale = args.get_double("scale", 0.05);
+  config.seed_offset =
+      static_cast<std::uint64_t>(args.get_int("seed-offset", 0));
+  config.chunk_len = args.get_int("chunk-len", 0);
+  const auto streams = static_cast<std::uint32_t>(
+      args.get_int("streams", profile.stream_count));
+
+  StreamRecordSource source(profile, config);
+  const logstore::ConvertStats stats = logstore::store_from_source(
+      source, out,
+      [streams](const RasRecord& rec) { return stream_of(rec, streams); },
+      store_options(args));
+  const GroundTruth& truth = source.totals();
+  std::printf(
+      "generated %llu record(s) across %llu segment(s), %u stream(s) -> %s\n",
+      static_cast<unsigned long long>(stats.records),
+      static_cast<unsigned long long>(stats.segments), streams, out.c_str());
+  std::printf("ground truth: %zu fatal occurrence(s), %zu unique event(s)\n",
+              truth.fatal_occurrences.size(), truth.unique_events);
+  return 0;
+}
+
 int run(int argc, char** argv) {
   const CliArgs args(argc, argv);
   if (args.has("inspect")) {
@@ -156,15 +210,20 @@ int run(int argc, char** argv) {
   if (args.has("replay")) {
     return replay(args);
   }
+  if (args.has("simgen")) {
+    return convert_simgen(args);
+  }
   if (args.has("binary") || args.has("text")) {
     return convert(args);
   }
   std::fprintf(stderr,
                "usage: %s --binary=LOG|--text=LOG --out=DIR [--stream=N]\n"
+               "       %s --simgen=anl|sdsc|bgq|dcp --out=DIR [--scale=S]\n"
+               "           [--seed-offset=K] [--chunk-len=SECS] [--streams=N]\n"
                "       %s --inspect=DIR [--lenient]\n"
                "       %s --replay=DIR [--begin=T] [--end=T] [--stream=N]\n",
                args.program().c_str(), args.program().c_str(),
-               args.program().c_str());
+               args.program().c_str(), args.program().c_str());
   return 2;
 }
 

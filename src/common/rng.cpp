@@ -21,6 +21,10 @@ constexpr std::uint64_t rotl(std::uint64_t x, int k) {
 
 }  // namespace
 
+std::uint64_t mix64(std::uint64_t x) {
+  return splitmix64(x);  // advances the local copy; returns the mix
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t s = seed;
   for (auto& w : state_) {

@@ -13,6 +13,14 @@
 
 namespace bglpred {
 
+/// One splitmix64 finalization step: a high-quality 64-bit mix used to
+/// derive independent RNG stream seeds from structured keys (profile
+/// seed, chunk index, process id, entity index). Chaining calls —
+/// mix64(mix64(a) ^ b) — is the repo's standard way to build a seed
+/// hierarchy whose leaves can be recomputed from their coordinates
+/// alone, which is what makes chunked generation seekable.
+std::uint64_t mix64(std::uint64_t x);
+
 /// xoshiro256** 1.0 engine with splitmix64 seeding.
 ///
 /// Satisfies UniformRandomBitGenerator, so it can also be plugged into

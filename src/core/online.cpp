@@ -154,6 +154,22 @@ std::vector<Warning> OnlineEngine::flush() {
 }
 // bgl:hot-end
 
+std::vector<Warning> OnlineEngine::feed_source(RecordBatchSource& source) {
+  std::vector<Warning> out;
+  RasLog batch;
+  while (source.next_batch(batch)) {
+    for (const RasRecord& rec : batch.records()) {
+      std::vector<Warning> got = feed(rec, batch.text_of(rec));
+      out.insert(out.end(), std::make_move_iterator(got.begin()),
+                 std::make_move_iterator(got.end()));
+    }
+  }
+  std::vector<Warning> tail = flush();
+  out.insert(out.end(), std::make_move_iterator(tail.begin()),
+             std::make_move_iterator(tail.end()));
+  return out;
+}
+
 // bgl:metric-names-begin
 const OnlineEngine::CounterSlot OnlineEngine::kCounterSlots[7] = {
     {"raw_records", &OnlineStats::raw_records, &BoundCounters::raw_records},

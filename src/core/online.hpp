@@ -31,6 +31,7 @@
 #include "common/metrics.hpp"
 #include "predict/predictor.hpp"
 #include "preprocess/compressors.hpp"
+#include "raslog/source.hpp"
 #include "taxonomy/classifier.hpp"
 
 namespace bglpred {
@@ -75,6 +76,11 @@ class OnlineEngine {
   /// Drains the reorder buffer at end-of-stream and returns any warnings
   /// the released records produce. A no-op when the horizon is 0.
   std::vector<Warning> flush();
+
+  /// Feeds an entire batch source (e.g. the streaming generator) through
+  /// feed(), one batch resident at a time, then flush()es — so a log of
+  /// any length runs in O(batch) memory. Returns every warning emitted.
+  std::vector<Warning> feed_source(RecordBatchSource& source);
 
   /// Serializes the complete engine state — options, stats, reorder
   /// buffer, dedup map, and the predictor's checkpoint blob — so a

@@ -16,6 +16,28 @@ ConvertStats store_from_log(const RasLog& log, const std::string& dir,
   return {writer.records_written(), writer.segments_published()};
 }
 
+ConvertStats store_from_source(RecordBatchSource& source,
+                               const std::string& dir, std::uint64_t stream,
+                               const StoreOptions& options) {
+  return store_from_source(
+      source, dir, [stream](const RasRecord&) { return stream; }, options);
+}
+
+ConvertStats store_from_source(RecordBatchSource& source,
+                               const std::string& dir,
+                               const StreamRouter& route,
+                               const StoreOptions& options) {
+  StoreWriter writer(dir, options);
+  RasLog batch;
+  while (source.next_batch(batch)) {
+    for (const RasRecord& rec : batch.records()) {
+      writer.append(rec, batch.text_of(rec), route(rec));
+    }
+  }
+  writer.seal();
+  return {writer.records_written(), writer.segments_published()};
+}
+
 ConvertStats convert_binary_log(const std::string& src_path,
                                 const std::string& dir, std::uint64_t stream,
                                 const StoreOptions& options,

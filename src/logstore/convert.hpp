@@ -1,25 +1,31 @@
 // Migration and ingest wiring into the columnar store.
 //
-// Three entry points, one per existing format boundary:
+// Four entry points, one per existing format boundary:
 //   * store_from_log       — in-memory RasLog -> sealed store
+//   * store_from_source    — RecordBatchSource -> sealed store, one
+//                            batch resident at a time (how the streaming
+//                            generator lands fleet-scale logs on disk
+//                            without ever materializing them)
 //   * convert_binary_log   — BGLRAS1 binary dump -> sealed store (the
 //                            `logstore_convert` tool's engine)
 //   * ingest_text_to_store — raw RAS text through the fused Phase-1
 //                            ingest (parse+classify+compress) straight
 //                            into segments, no intermediate file
 //
-// All three require time-sorted input (the store-writer contract; sort
-// with RasLog::sort_by_time first if needed) and seal the store on
-// success so tail-followers terminate.
+// All require time-sorted input (the store-writer contract; sort with
+// RasLog::sort_by_time first if needed; batch sources guarantee it) and
+// seal the store on success so tail-followers terminate.
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 
 #include "logstore/store.hpp"
 #include "preprocess/pipeline.hpp"
 #include "raslog/io.hpp"
 #include "raslog/log.hpp"
+#include "raslog/source.hpp"
 
 namespace bglpred::logstore {
 
@@ -32,6 +38,26 @@ struct ConvertStats {
 ConvertStats store_from_log(const RasLog& log, const std::string& dir,
                             std::uint64_t stream = 0,
                             const StoreOptions& options = {});
+
+/// Drains a batch source into `dir` and seals it, holding one batch at
+/// a time — O(batch) memory regardless of total log size. Every record
+/// is labelled `stream`.
+ConvertStats store_from_source(RecordBatchSource& source,
+                               const std::string& dir,
+                               std::uint64_t stream = 0,
+                               const StoreOptions& options = {});
+
+/// Per-record stream labelling hook for the routed overload below.
+using StreamRouter = std::function<std::uint64_t(const RasRecord&)>;
+
+/// As store_from_source, but labels each record with `route(rec)` — how
+/// a multi-stream feed (simgen's stream_of) shards one source across
+/// logical streams inside a single store, replayable per stream or
+/// re-merged with MergeCursor.
+ConvertStats store_from_source(RecordBatchSource& source,
+                               const std::string& dir,
+                               const StreamRouter& route,
+                               const StoreOptions& options = {});
 
 /// Migrates a binary log file (raslog/binary_io) into a sealed store.
 /// `read_options` follows the binary reader's strict/lenient semantics.

@@ -417,12 +417,15 @@ void Segment::block_offsets(std::size_t block, std::uint32_t out[6]) const {
 }
 
 std::size_t Segment::seek_block(TimePoint t) const {
-  // Greatest block whose first_time <= t; block 0 when t precedes all.
+  // Greatest block whose first_time is strictly < t; block 0 when t
+  // precedes (or ties) all. Strict: a run of records tied at exactly t
+  // can span block boundaries, and `<= t` would land on the *last*
+  // block opening with t, silently skipping the tied records before it.
   std::size_t lo = 0;
   std::size_t hi = block_count_;
   while (hi - lo > 1) {
     const std::size_t mid = lo + (hi - lo) / 2;
-    if (block_first_time(mid) <= t) {
+    if (block_first_time(mid) < t) {
       lo = mid;
     } else {
       hi = mid;

@@ -115,7 +115,9 @@ class Segment {
   void block_offsets(std::size_t block, std::uint32_t out[6]) const;
 
   /// Index of the first block whose records could contain time >= t:
-  /// the greatest block with first_time <= t (0 when t precedes all).
+  /// the greatest block with first_time strictly < t (0 when t
+  /// precedes or ties all) — strict so a tied run straddling a block
+  /// boundary is never skipped over.
   std::size_t seek_block(TimePoint t) const;
 
  private:

@@ -9,90 +9,125 @@
 #include "taxonomy/classifier.hpp"
 
 namespace bglpred {
+namespace {
+
+/// The shared classify -> temporal -> spatial per-record core of both
+/// fused entry points (text scanner and record-batch source). Holds the
+/// output log, the last-seen maps, and the running stats; push() is the
+/// per-record body, finish() computes the derived tallies.
+class FusedPipeline {
+ public:
+  explicit FusedPipeline(const PreprocessOptions& options)
+      : options_(options) {
+    BGL_REQUIRE(options.temporal_threshold >= 0,
+                "threshold must be non-negative");
+    BGL_REQUIRE(options.spatial_threshold >= 0,
+                "threshold must be non-negative");
+  }
+
+  void push(const RasRecord& parsed, std::string_view entry) {
+    BGL_REQUIRE(!have_prev_ || parsed.time >= prev_time_,
+                "fused ingest requires non-decreasing record times "
+                "(use read_log + preprocess for unsorted input)");
+    have_prev_ = true;
+    prev_time_ = parsed.time;
+    ++st_.raw_records;
+
+    // Intern unconditionally — even records the compressors drop —
+    // so pool ids line up with the three-step path, where read_log
+    // interns every kept record before any compression runs.
+    RasRecord rec = parsed;
+    rec.entry_data = log_.pool().intern(entry);
+    classifier_.classify_record(log_.pool().str(rec.entry_data), rec,
+                                st_.classification);
+
+    // Temporal pass (gap-based clustering, last_seen advances on
+    // every record — same update rule as compress_temporal).
+    ++st_.temporal.input_records;
+    const detail::TemporalKey tkey{rec.job, rec.location, rec.subcategory};
+    auto [tit, t_new] = temporal_seen_.try_emplace(tkey, rec.time);
+    if (!t_new && rec.time - tit->second <= options_.temporal_threshold) {
+      tit->second = rec.time;
+      return;
+    }
+    tit->second = rec.time;
+    ++st_.temporal.output_records;
+
+    // Spatial pass — sees only temporal survivors, exactly like the
+    // batch sequence compress_temporal -> compress_spatial.
+    ++st_.spatial.input_records;
+    const detail::SpatialKey skey{rec.entry_data, rec.job};
+    auto [sit, s_new] = spatial_seen_.try_emplace(skey, rec.time);
+    if (!s_new && rec.time - sit->second <= options_.spatial_threshold) {
+      sit->second = rec.time;
+      return;
+    }
+    sit->second = rec.time;
+    ++st_.spatial.output_records;
+    log_.append(rec);
+  }
+
+  RasLog finish(PreprocessStats* stats) {
+    st_.temporal.removed =
+        st_.temporal.input_records - st_.temporal.output_records;
+    st_.spatial.removed =
+        st_.spatial.input_records - st_.spatial.output_records;
+    st_.unique_events = log_.size();
+    for (const RasRecord& rec : log_.records()) {
+      if (rec.fatal()) {
+        ++st_.unique_fatal_events;
+        const MainCategory main = catalog().info(rec.subcategory).main;
+        ++st_.fatal_per_main[static_cast<std::size_t>(main)];
+      }
+    }
+    if (stats != nullptr) {
+      *stats = st_;
+    }
+    return std::move(log_);
+  }
+
+ private:
+  PreprocessOptions options_;
+  RasLog log_;
+  PreprocessStats st_;
+  const EventClassifier classifier_;
+  std::unordered_map<detail::TemporalKey, TimePoint, detail::TemporalKeyHash>
+      temporal_seen_;
+  std::unordered_map<detail::SpatialKey, TimePoint, detail::SpatialKeyHash>
+      spatial_seen_;
+  TimePoint prev_time_ = 0;
+  bool have_prev_ = false;
+};
+
+}  // namespace
 
 RasLog ingest_classified(std::istream& is, const ReadOptions& read_options,
                          const PreprocessOptions& options,
                          PreprocessStats* stats, IngestReport* report) {
-  BGL_REQUIRE(options.temporal_threshold >= 0,
-              "threshold must be non-negative");
-  BGL_REQUIRE(options.spatial_threshold >= 0,
-              "threshold must be non-negative");
-
-  RasLog log;
+  FusedPipeline pipeline(options);
   // Accumulate into a local and copy out at the end (assigning a
   // temporary through the caller's pointer trips gcc-12's
   // use-after-free analysis).
-  PreprocessStats st;
   IngestReport local_report;
   IngestReport& rep = report != nullptr ? *report : local_report;
+  ingest_records(is, read_options, rep,
+                 [&pipeline](const RasRecord& parsed, std::string_view entry) {
+                   pipeline.push(parsed, entry);
+                 });
+  return pipeline.finish(stats);
+}
 
-  const EventClassifier classifier;
-  std::unordered_map<detail::TemporalKey, TimePoint, detail::TemporalKeyHash>
-      temporal_seen;
-  std::unordered_map<detail::SpatialKey, TimePoint, detail::SpatialKeyHash>
-      spatial_seen;
-
-  TimePoint prev_time = 0;
-  bool have_prev = false;
-
-  ingest_records(
-      is, read_options, rep,
-      [&](const RasRecord& parsed, std::string_view entry) {
-        BGL_REQUIRE(!have_prev || parsed.time >= prev_time,
-                    "fused ingest requires non-decreasing record times "
-                    "(use read_log + preprocess for unsorted input)");
-        have_prev = true;
-        prev_time = parsed.time;
-        ++st.raw_records;
-
-        // Intern unconditionally — even records the compressors drop —
-        // so pool ids line up with the three-step path, where read_log
-        // interns every kept record before any compression runs.
-        RasRecord rec = parsed;
-        rec.entry_data = log.pool().intern(entry);
-        classifier.classify_record(log.pool().str(rec.entry_data), rec,
-                                   st.classification);
-
-        // Temporal pass (gap-based clustering, last_seen advances on
-        // every record — same update rule as compress_temporal).
-        ++st.temporal.input_records;
-        const detail::TemporalKey tkey{rec.job, rec.location, rec.subcategory};
-        auto [tit, t_new] = temporal_seen.try_emplace(tkey, rec.time);
-        if (!t_new && rec.time - tit->second <= options.temporal_threshold) {
-          tit->second = rec.time;
-          return;
-        }
-        tit->second = rec.time;
-        ++st.temporal.output_records;
-
-        // Spatial pass — sees only temporal survivors, exactly like the
-        // batch sequence compress_temporal -> compress_spatial.
-        ++st.spatial.input_records;
-        const detail::SpatialKey skey{rec.entry_data, rec.job};
-        auto [sit, s_new] = spatial_seen.try_emplace(skey, rec.time);
-        if (!s_new && rec.time - sit->second <= options.spatial_threshold) {
-          sit->second = rec.time;
-          return;
-        }
-        sit->second = rec.time;
-        ++st.spatial.output_records;
-        log.append(rec);
-      });
-
-  st.temporal.removed = st.temporal.input_records - st.temporal.output_records;
-  st.spatial.removed = st.spatial.input_records - st.spatial.output_records;
-  st.unique_events = log.size();
-  for (const RasRecord& rec : log.records()) {
-    if (rec.fatal()) {
-      ++st.unique_fatal_events;
-      const MainCategory main = catalog().info(rec.subcategory).main;
-      ++st.fatal_per_main[static_cast<std::size_t>(main)];
+RasLog ingest_classified(RecordBatchSource& source,
+                         const PreprocessOptions& options,
+                         PreprocessStats* stats) {
+  FusedPipeline pipeline(options);
+  RasLog batch;
+  while (source.next_batch(batch)) {
+    for (const RasRecord& rec : batch.records()) {
+      pipeline.push(rec, batch.text_of(rec));
     }
   }
-  if (stats != nullptr) {
-    *stats = st;
-  }
-  return log;
+  return pipeline.finish(stats);
 }
 
 RasLog load_classified(const std::string& path,

@@ -31,6 +31,7 @@
 #include "preprocess/pipeline.hpp"
 #include "raslog/io.hpp"
 #include "raslog/log.hpp"
+#include "raslog/source.hpp"
 
 namespace bglpred {
 
@@ -42,6 +43,15 @@ RasLog ingest_classified(std::istream& is, const ReadOptions& read_options,
                          const PreprocessOptions& options = {},
                          PreprocessStats* stats = nullptr,
                          IngestReport* report = nullptr);
+
+/// Same fused classify -> temporal -> spatial pass over a record-batch
+/// source (e.g. the streaming generator): one batch resident at a time,
+/// so a log of any length preprocesses in O(batch) memory. The source's
+/// records skip the text parse, so there is no IngestReport; the same
+/// non-decreasing-time precondition applies across and within batches.
+RasLog ingest_classified(RecordBatchSource& source,
+                         const PreprocessOptions& options = {},
+                         PreprocessStats* stats = nullptr);
 
 /// File convenience wrapper; throws Error on I/O failure.
 RasLog load_classified(const std::string& path,

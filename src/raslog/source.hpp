@@ -1,0 +1,35 @@
+// RecordBatchSource — the pull interface for streamed log production.
+//
+// A source hands out a time-ordered sequence of RasLog batches: within a
+// batch records are sorted by time, and every record of batch i+1 is at
+// or after the last record of batch i (the same non-decreasing-time
+// contract the fused ingest path and the log-store writer enforce).
+// Each batch owns its string pool, so consumers resolve entry text
+// against the batch they received and never hold more than one batch.
+//
+// This is the seam that lets O(chunk)-memory producers (the streaming
+// synthetic generator, a tailed store replay) feed whole-log consumers
+// (OnlineEngine, StoreWriter, the serve load generator) without ever
+// materializing the full log. The interface lives in raslog — below
+// every producer and consumer — so wiring a producer into a consumer
+// adds no cross-module dependency between them.
+#pragma once
+
+#include "raslog/log.hpp"
+
+namespace bglpred {
+
+/// See file comment. Implementations are single-pass unless documented
+/// otherwise.
+class RecordBatchSource {
+ public:
+  virtual ~RecordBatchSource() = default;
+
+  /// Replaces `out` with the next batch. Returns false at end of
+  /// stream, in which case `out` is left empty. Batches may be empty in
+  /// the middle of a stream (a quiet time chunk); end of stream is
+  /// signalled only by the return value.
+  virtual bool next_batch(RasLog& out) = 0;
+};
+
+}  // namespace bglpred

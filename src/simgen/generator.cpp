@@ -1,667 +1,114 @@
 #include "simgen/generator.hpp"
 
 #include <algorithm>
-#include <cmath>
-#include <deque>
-#include <set>
 #include <string>
+#include <utility>
+#include <vector>
 
-#include "bgl/torus.hpp"
 #include "common/error.hpp"
-#include "simgen/chains.hpp"
+#include "simgen/stream.hpp"
 #include "taxonomy/catalog.hpp"
 
 namespace bglpred {
-namespace {
-
-using bgl::Location;
-using bgl::LocationKind;
-using bgl::Topology;
-using bgl::TorusMap;
-
-constexpr std::size_t kNet =
-    static_cast<std::size_t>(MainCategory::kNetwork);
-constexpr std::size_t kIos =
-    static_cast<std::size_t>(MainCategory::kIostream);
-
-// Geometric count with the given mean (p = 1/(1+mean)); returns 0 for
-// non-positive means.
-std::size_t geometric_count(Rng& rng, double mean) {
-  if (mean <= 0.0) {
-    return 0;
-  }
-  const double p = 1.0 / (1.0 + mean);
-  double u = rng.uniform();
-  while (u <= 0.0) {
-    u = rng.uniform();
-  }
-  return static_cast<std::size_t>(std::log(u) / std::log(1.0 - p));
-}
-
-// One pre-duplication event.
-struct UniqueEvent {
-  TimePoint time = 0;
-  SubcategoryId subcategory = kUnclassified;
-  Location location;
-  bgl::JobId job = bgl::kNoJob;
-  std::uint64_t occurrence_id = 0;  ///< shared by all records of the event
-};
-
-// Samples a location of the given kind uniformly over the machine.
-Location random_location(Rng& rng, const Topology& topo,
-                         LocationKind kind) {
-  const auto& cfg = topo.config();
-  const auto rack = static_cast<std::uint16_t>(
-      rng.uniform_int(0, cfg.racks - 1));
-  const auto mid = static_cast<std::uint8_t>(
-      rng.uniform_int(0, cfg.midplanes_per_rack - 1));
-  switch (kind) {
-    case LocationKind::kRack:
-      return Location::make_rack(rack);
-    case LocationKind::kMidplane:
-      return Location::make_midplane(rack, mid);
-    case LocationKind::kServiceCard:
-      return Location::make_service_card(rack, mid);
-    case LocationKind::kLinkCard:
-      return Location::make_link_card(
-          rack, mid,
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.link_cards_per_midplane - 1)));
-    case LocationKind::kNodeCard:
-      return Location::make_node_card(
-          rack, mid,
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)));
-    case LocationKind::kIoNode:
-      return Location::make_io_node(
-          rack, mid,
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)),
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.io_nodes_per_node_card - 1)));
-    case LocationKind::kComputeChip:
-      return Location::make_compute_chip(
-          rack, mid,
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)),
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.chips_per_node_card - 1)));
-  }
-  return Location::make_rack(rack);
-}
-
-// Samples a location of the given kind inside the midplane of `anchor`
-// (locality for chain precursors, bursts, and fan-out duplicates).
-Location location_in_midplane(Rng& rng, const Topology& topo,
-                              LocationKind kind, const Location& anchor) {
-  const auto& cfg = topo.config();
-  const std::uint16_t rack = anchor.rack;
-  const std::uint8_t mid =
-      anchor.kind == LocationKind::kRack ? 0 : anchor.midplane;
-  switch (kind) {
-    case LocationKind::kRack:
-      return Location::make_rack(rack);
-    case LocationKind::kMidplane:
-      return Location::make_midplane(rack, mid);
-    case LocationKind::kServiceCard:
-      return Location::make_service_card(rack, mid);
-    case LocationKind::kLinkCard:
-      return Location::make_link_card(
-          rack, mid,
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.link_cards_per_midplane - 1)));
-    case LocationKind::kNodeCard:
-      return Location::make_node_card(
-          rack, mid,
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)));
-    case LocationKind::kIoNode:
-      return Location::make_io_node(
-          rack, mid,
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)),
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.io_nodes_per_node_card - 1)));
-    case LocationKind::kComputeChip:
-      return Location::make_compute_chip(
-          rack, mid,
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)),
-          static_cast<std::uint8_t>(
-              rng.uniform_int(0, cfg.chips_per_node_card - 1)));
-  }
-  return anchor;
-}
-
-// Subcategory sampling weights within a main category's fatal set:
-// heavily rank-skewed so the top one or two chain-capable fault modes
-// dominate each category — the concentration that lets their rules clear
-// the paper's 0.04 support threshold (real BG/L failures are similarly
-// dominated by a few recurring modes).
-std::vector<double> fatal_subcat_weights(MainCategory main) {
-  const auto& ids = catalog().fatal_by_main(main);
-  std::vector<double> weights;
-  weights.reserve(ids.size());
-  std::size_t chain_rank = 0;
-  for (SubcategoryId id : ids) {
-    if (templates_for(id).empty()) {
-      weights.push_back(0.3);
-    } else {
-      switch (chain_rank) {
-        case 0:
-          weights.push_back(10.0);
-          break;
-        case 1:
-          weights.push_back(8.0);
-          break;
-        case 2:
-          weights.push_back(2.5);
-          break;
-        default:
-          weights.push_back(1.2);
-          break;
-      }
-      ++chain_rank;
-    }
-  }
-  return weights;
-}
-
-// The set of subcategories that appear in cascade bodies; background
-// chatter avoids them so precursor phrases stay causally meaningful.
-const std::set<SubcategoryId>& chain_precursor_set() {
-  static const std::set<SubcategoryId> precursors = [] {
-    std::set<SubcategoryId> s;
-    for (const CascadeTemplate& t : cascade_templates()) {
-      s.insert(t.precursors.begin(), t.precursors.end());
-    }
-    return s;
-  }();
-  return precursors;
-}
-
-// Background sampling weights over non-fatal, non-precursor
-// subcategories: the lower the severity, the chattier the source.
-std::pair<std::vector<SubcategoryId>, std::vector<double>>
-background_pool() {
-  std::vector<SubcategoryId> ids;
-  std::vector<double> weights;
-  for (SubcategoryId id : catalog().non_fatal()) {
-    if (chain_precursor_set().count(id) != 0) {
-      continue;
-    }
-    ids.push_back(id);
-    switch (catalog().info(id).severity) {
-      case Severity::kInfo:
-        weights.push_back(6.0);
-        break;
-      case Severity::kWarning:
-        weights.push_back(3.0);
-        break;
-      case Severity::kError:
-        weights.push_back(1.5);
-        break;
-      default:
-        weights.push_back(1.0);
-        break;
-    }
-  }
-  return {std::move(ids), std::move(weights)};
-}
-
-EventType event_type_for(const SubcategoryInfo& info) {
-  if (info.facility == Facility::kMonitor) {
-    return EventType::kMonitor;
-  }
-  if (info.reporter == LocationKind::kServiceCard ||
-      info.reporter == LocationKind::kLinkCard) {
-    return EventType::kControl;
-  }
-  return EventType::kRas;
-}
-
-}  // namespace
 
 LogGenerator::LogGenerator(SystemProfile profile)
-    : profile_(std::move(profile)) {
-  BGL_REQUIRE(!profile_.span.empty(), "profile span must be non-empty");
-}
+    : profile_(std::move(profile)) {}
 
+// The materializing oracle: run the shared chunked process core
+// (simgen_detail::ChunkModel) over every chunk, expand everything, and
+// sort the whole log globally. Holds the full log in memory — use
+// StreamingGenerator for anything fleet-scale. Kept because a second,
+// structurally different orchestration of the same model is the
+// differential check that the streaming path's windowed emission drops
+// and duplicates nothing (tests/test_simgen_stream.cpp).
 GeneratedLog LogGenerator::generate(double scale,
                                     std::uint64_t seed_offset) const {
   BGL_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
-  const SystemProfile& p = profile_;
+  using simgen_detail::ChunkModel;
+  using simgen_detail::Fault;
+  using simgen_detail::MaterializedFault;
+  using simgen_detail::SourceEvent;
 
-  Rng master(p.seed * 0x9e3779b97f4a7c15ULL + seed_offset + 1);
-  Rng rng_jobs = master.split();
-  Rng rng_fatal = master.split();
-  Rng rng_chain = master.split();
-  Rng rng_background = master.split();
-  Rng rng_dup = master.split();
+  const ChunkModel model(profile_, scale, seed_offset,
+                         resolve_chunk_len(profile_, 0));
 
-  const TimeSpan span{
-      p.span.begin,
-      p.span.begin +
-          static_cast<Duration>(static_cast<double>(p.span.length()) *
-                                scale)};
-  const double days =
-      static_cast<double>(span.length()) / static_cast<double>(kDay);
+  GeneratedLog out;
+  out.span = model.span();
+  GroundTruth& truth = out.truth;
 
-  const Topology topo(p.machine);
-  const TorusMap torus(topo);
-  const bgl::JobTrace jobs = bgl::JobTrace::generate(
-      topo, span, bgl::WorkloadParams{}, rng_jobs);
-
-  // ---- Layer 2: fatal occurrences --------------------------------------
-  std::array<std::size_t, kMainCategoryCount> targets{};
-  std::size_t total_target = 0;
-  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
-    targets[c] = static_cast<std::size_t>(std::llround(
-        static_cast<double>(p.fatal_per_category[c]) * scale));
-    total_target += targets[c];
+  // Pass 1: walk chunks in order, collecting every pre-duplication
+  // source event and the ground truth. The fatal list of chunk k draws
+  // its candidates from roots(k-1) and roots(k); rotating the two root
+  // vectors reproduces the stream's exact construction order, which is
+  // what makes the aggregated GroundTruth comparable field-for-field.
+  std::vector<SourceEvent> events;
+  std::vector<Fault> prev_roots;
+  std::vector<Fault> cur_roots = model.roots(0);
+  for (std::size_t k = 0; k < model.chunks(); ++k) {
+    const std::vector<MaterializedFault> fatals =
+        model.fatal_list(k, k > 0 ? &prev_roots : nullptr, &cur_roots);
+    std::size_t true_k = 0;
+    for (const MaterializedFault& mf : fatals) {
+      model.chain_events(mf, events);
+      model.fatal_source(mf, events);
+      truth.fatal_occurrences.push_back(mf.occ);
+      ++truth.fatal_per_category[static_cast<std::size_t>(
+          catalog().info(mf.occ.subcategory).main)];
+      if (mf.occ.has_chain) {
+        ++true_k;
+      }
+    }
+    truth.true_chains += true_k;
+    truth.false_chains += model.false_chain_events(k, true_k, events);
+    for (const auto& ep : model.episodes(k)) {
+      model.episode_events(ep, events);
+    }
+    prev_roots = std::move(cur_roots);
+    cur_roots =
+        k + 1 < model.chunks() ? model.roots(k + 1) : std::vector<Fault>{};
   }
-
-  // Mean offspring of the branching follow-up process, used to shrink the
-  // seed counts so seeds + follow-ups land near the targets before the
-  // exact adjustment below.
-  double netio_weight = 0.0;
-  for (std::size_t c : {kNet, kIos}) {
-    netio_weight += static_cast<double>(targets[c]);
+  for (const SourceEvent& ev : events) {
+    if (ev.background) {
+      ++truth.background_events;
+    }
   }
-  const double netio_fraction =
-      total_target == 0
-          ? 0.0
-          : netio_weight / static_cast<double>(total_target);
-  const double netio_children =
-      p.followup_spawn_prob * (1.0 + p.followup_litter_extra);
-  const double mean_offspring =
-      netio_fraction * netio_children +
-      (1.0 - netio_fraction) * p.other_followup_probability;
-  const double seed_shrink =
-      std::max(0.05, 1.0 - std::min(0.95, mean_offspring));
+  truth.unique_events = events.size();
 
-  struct PendingFault {
-    TimePoint time;
-    MainCategory main;
-    bool is_followup;
-    // Cascade anchor: follow-ups inherit their seed's midplane so
-    // cascades are spatially coherent.
-    std::uint16_t anchor_rack = 0;
-    std::uint8_t anchor_midplane = 0;
+  // Pass 2: duplication. Expand every source event into raw records,
+  // then sort globally by canonical content order.
+  struct PendingRecord {
+    RasRecord rec;
+    std::uint32_t text = 0;
   };
-  std::deque<PendingFault> queue;
-  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
-    const auto seeds = static_cast<std::size_t>(std::llround(
-        static_cast<double>(targets[c]) * seed_shrink));
-    for (std::size_t i = 0; i < seeds; ++i) {
-      PendingFault seed{
-          span.begin + rng_fatal.uniform_int(0, span.length() - 1),
-          static_cast<MainCategory>(c), false};
-      seed.anchor_rack = static_cast<std::uint16_t>(
-          rng_fatal.uniform_int(0, p.machine.racks - 1));
-      seed.anchor_midplane = static_cast<std::uint8_t>(
-          rng_fatal.uniform_int(0, p.machine.midplanes_per_rack - 1));
-      queue.push_back(seed);
-    }
-  }
-
-  // Follow-up routing weights for the non-same-class branch: the cascade
-  // spills into the *other* categories (a torus failure taking down
-  // kernels and applications), so network/iostream are excluded here —
-  // the same-class share is controlled solely by followup_same_class_bias.
-  std::vector<double> category_weights(kMainCategoryCount);
-  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
-    category_weights[c] =
-        (c == kNet || c == kIos)
-            ? 0.0
-            : static_cast<double>(std::max<std::size_t>(targets[c], 1));
-  }
-
-  std::vector<PendingFault> faults;
-  const std::size_t hard_cap = total_target * 4 + 1024;  // runaway guard
-  while (!queue.empty() && faults.size() < hard_cap) {
-    PendingFault f = queue.front();
-    queue.pop_front();
-    faults.push_back(f);
-    const std::size_t ci = static_cast<std::size_t>(f.main);
-    std::int64_t children = 0;
-    if (ci == kNet || ci == kIos) {
-      if (rng_fatal.bernoulli(p.followup_spawn_prob)) {
-        children = 1 + rng_fatal.poisson(p.followup_litter_extra);
-      }
-    } else if (rng_fatal.bernoulli(p.other_followup_probability)) {
-      children = 1;
-    }
-    // The litter arrives as one packet: a single burst delay d0 shared by
-    // all children, with siblings spread over a few minutes. Packing
-    // siblings inside the statistical method's 5-minute lead keeps them
-    // invisible to each other's warnings, so a trigger's precision is
-    // governed by followup_spawn_prob rather than by burst interiors.
-    Duration d0 = 0;
-    if (children > 0) {
-      if (rng_fatal.bernoulli(p.followup_short_weight)) {
-        d0 = std::max<Duration>(
-            20, static_cast<Duration>(
-                    rng_fatal.exponential(p.followup_short_mean)));
-      } else {
-        d0 = rng_fatal.uniform_int(p.followup_tail_min,
-                                   p.followup_tail_max);
-      }
-    }
-    for (std::int64_t child = 0; child < children; ++child) {
-      const Duration delta = d0 + rng_fatal.uniform_int(0, 4 * kMinute);
-      const TimePoint t2 = f.time + delta;
-      if (t2 >= span.end) {
-        continue;
-      }
-      // Route the follow-up's category.
-      MainCategory main2;
-      if (rng_fatal.bernoulli(p.followup_same_class_bias)) {
-        const double net_share =
-            netio_weight == 0.0
-                ? 0.5
-                : static_cast<double>(targets[kNet]) / netio_weight;
-        main2 = rng_fatal.bernoulli(net_share) ? MainCategory::kNetwork
-                                               : MainCategory::kIostream;
-      } else {
-        main2 = static_cast<MainCategory>(
-            rng_fatal.weighted_index(category_weights));
-      }
-      PendingFault spawned{t2, main2, true};
-      spawned.anchor_rack = f.anchor_rack;
-      spawned.anchor_midplane = f.anchor_midplane;
-      queue.push_back(spawned);
-    }
-  }
-
-  // Exact per-category adjustment: trim overshoot at random, pad
-  // undershoot with fresh uniform seeds.
-  {
-    std::array<std::vector<std::size_t>, kMainCategoryCount> by_cat;
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      by_cat[static_cast<std::size_t>(faults[i].main)].push_back(i);
-    }
-    std::vector<bool> keep(faults.size(), true);
-    std::vector<PendingFault> padded;
-    for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
-      auto& idx = by_cat[c];
-      while (idx.size() > targets[c]) {
-        const auto pick = static_cast<std::size_t>(rng_fatal.uniform_int(
-            0, static_cast<std::int64_t>(idx.size()) - 1));
-        keep[idx[pick]] = false;
-        idx[pick] = idx.back();
-        idx.pop_back();
-      }
-      for (std::size_t need = idx.size(); need < targets[c]; ++need) {
-        PendingFault pad{
-            span.begin + rng_fatal.uniform_int(0, span.length() - 1),
-            static_cast<MainCategory>(c), false};
-        pad.anchor_rack = static_cast<std::uint16_t>(
-            rng_fatal.uniform_int(0, p.machine.racks - 1));
-        pad.anchor_midplane = static_cast<std::uint8_t>(
-            rng_fatal.uniform_int(0, p.machine.midplanes_per_rack - 1));
-        padded.push_back(pad);
-      }
-    }
-    std::vector<PendingFault> adjusted;
-    adjusted.reserve(total_target);
-    for (std::size_t i = 0; i < faults.size(); ++i) {
-      if (keep[i]) {
-        adjusted.push_back(faults[i]);
-      }
-    }
-    adjusted.insert(adjusted.end(), padded.begin(), padded.end());
-    faults = std::move(adjusted);
-  }
-  std::sort(faults.begin(), faults.end(),
-            [](const PendingFault& a, const PendingFault& b) {
-              return a.time < b.time;
-            });
-
-  // ---- materialize occurrences (subcategory, location, job) ------------
-  GroundTruth truth;
-  truth.fatal_occurrences.reserve(faults.size());
-  std::array<std::vector<double>, kMainCategoryCount> subcat_weights;
-  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
-    subcat_weights[c] =
-        fatal_subcat_weights(static_cast<MainCategory>(c));
-  }
-  for (const PendingFault& f : faults) {
-    const std::size_t ci = static_cast<std::size_t>(f.main);
-    const auto& ids = catalog().fatal_by_main(f.main);
-    BGL_ASSERT(!ids.empty());
-    const SubcategoryId subcat =
-        ids[rng_fatal.weighted_index(subcat_weights[ci])];
-    const SubcategoryInfo& info = catalog().info(subcat);
-    FaultOccurrence occ;
-    occ.time = f.time;
-    occ.subcategory = subcat;
-    if (rng_fatal.bernoulli(p.followup_same_midplane)) {
-      occ.location = location_in_midplane(
-          rng_fatal, topo, info.reporter,
-          Location::make_midplane(f.anchor_rack, f.anchor_midplane));
-    } else {
-      occ.location = random_location(rng_fatal, topo, info.reporter);
-    }
-    occ.job = jobs.job_at(occ.location, occ.time);
-    occ.is_followup = f.is_followup;
-    truth.fatal_occurrences.push_back(occ);
-    ++truth.fatal_per_category[ci];
-  }
-
-  // ---- Layer 3: causal chains ------------------------------------------
-  std::vector<UniqueEvent> uniques;
-  std::uint64_t next_occ_id = 1;
-
-  // Emits one precursor item series: first emission at
-  // fail_time - anchor - jitter; persistent chains re-emit (the degrading
-  // component keeps whining) until the guard interval before the failure.
-  // Each re-emission reports from a *different* unit of the same midplane
-  // and carries fresh ENTRY_DATA detail, so Phase-1 compression keeps the
-  // series alive — exactly how escalating faults look in real logs.
-  auto emit_chain_item = [&](SubcategoryId pre, TimePoint fail_time,
-                             Duration anchor, const Location& anchor_loc,
-                             bool persistent, Rng& rng) {
-    const Duration jitter = rng.uniform_int(0, 3 * kMinute);
-    TimePoint t = fail_time - anchor - jitter;
-    const TimePoint guard =
-        fail_time - rng.uniform_int(p.chain_guard_min, p.chain_guard_max);
-    const SubcategoryInfo& info = catalog().info(pre);
-    const std::uint64_t occ = next_occ_id++;
-    int emissions = 0;
-    while (t <= guard && emissions < 128) {
-      if (t >= span.begin && t < span.end) {
-        UniqueEvent ev;
-        ev.time = t;
-        ev.subcategory = pre;
-        ev.location =
-            location_in_midplane(rng, topo, info.reporter, anchor_loc);
-        ev.job = jobs.job_at(ev.location, t);
-        ev.occurrence_id = occ + (static_cast<std::uint64_t>(emissions)
-                                  << 40);
-        uniques.push_back(ev);
-      }
-      ++emissions;
-      if (!persistent) {
-        break;
-      }
-      t += std::max<Duration>(
-          30, static_cast<Duration>(rng.exponential(p.chain_repeat_mean)));
-    }
-  };
-
-  auto sample_anchor = [&](Rng& rng) {
-    return rng.bernoulli(p.anchor_short_weight)
-               ? rng.uniform_int(p.precursor_offset_min, p.anchor_short_max)
-               : rng.uniform_int(p.anchor_short_max,
-                                 p.precursor_offset_max);
-  };
-
-  auto emit_chain_body = [&](const CascadeTemplate& tmpl,
-                             TimePoint fail_time,
-                             const Location& anchor_loc, Rng& rng) {
-    const Duration anchor = sample_anchor(rng);
-    const bool persistent = rng.bernoulli(p.chain_persistent_prob);
-    for (SubcategoryId pre : tmpl.precursors) {
-      emit_chain_item(pre, fail_time, anchor, anchor_loc, persistent, rng);
-    }
-  };
-
-  for (FaultOccurrence& occ : truth.fatal_occurrences) {
-    const auto tmpls = templates_for(occ.subcategory);
-    if (tmpls.empty() || !rng_chain.bernoulli(p.precursor_probability)) {
+  std::vector<std::string> texts;
+  std::vector<PendingRecord> records;
+  simgen_detail::Expansion expansion;
+  for (const SourceEvent& ev : events) {
+    model.expand(ev, expansion);
+    if (expansion.records.empty()) {
       continue;
     }
-    const auto pick = static_cast<std::size_t>(rng_chain.uniform_int(
-        0, static_cast<std::int64_t>(tmpls.size()) - 1));
-    emit_chain_body(*tmpls[pick], occ.time, occ.location, rng_chain);
-    occ.has_chain = true;
-    ++truth.true_chains;
-  }
-
-  // False chains: bodies with no subsequent failure.
-  truth.false_chains = static_cast<std::size_t>(std::llround(
-      static_cast<double>(truth.true_chains) * p.false_chain_ratio));
-  const auto& all_templates = cascade_templates();
-  for (std::size_t i = 0; i < truth.false_chains; ++i) {
-    const auto pick = static_cast<std::size_t>(rng_chain.uniform_int(
-        0, static_cast<std::int64_t>(all_templates.size()) - 1));
-    const TimePoint pseudo_fail =
-        span.begin + rng_chain.uniform_int(0, span.length() - 1);
-    const Location anchor = random_location(
-        rng_chain, topo, LocationKind::kComputeChip);
-    emit_chain_body(all_templates[pick], pseudo_fail, anchor, rng_chain);
-  }
-
-  // ---- Layer 4: background chatter (bursty episodes) ---------------------
-  const auto [bg_ids, bg_weights] = background_pool();
-  // Precursor-leak pool: benign occurrences of chain-precursor messages.
-  std::vector<SubcategoryId> leak_ids(chain_precursor_set().begin(),
-                                      chain_precursor_set().end());
-  const double burst_extra = std::max(0.0, p.background_burst_size_mean - 1);
-  const double episodes_per_day =
-      p.background_events_per_day / std::max(1.0, 1.0 + burst_extra);
-  const auto episode_count = static_cast<std::size_t>(
-      rng_background.poisson(episodes_per_day * days));
-  std::size_t background_emitted = 0;
-  for (std::size_t e = 0; e < episode_count; ++e) {
-    const TimePoint start =
-        span.begin + rng_background.uniform_int(0, span.length() - 1);
-    const Location episode_anchor = random_location(
-        rng_background, topo, LocationKind::kComputeChip);
-    const std::size_t size =
-        1 + geometric_count(rng_background, burst_extra);
-    for (std::size_t k = 0; k < size; ++k) {
-      const SubcategoryId subcat =
-          rng_background.bernoulli(p.background_precursor_leak)
-              ? leak_ids[static_cast<std::size_t>(
-                    rng_background.uniform_int(
-                        0, static_cast<std::int64_t>(leak_ids.size()) - 1))]
-              : bg_ids[rng_background.weighted_index(bg_weights)];
-      const SubcategoryInfo& info = catalog().info(subcat);
-      UniqueEvent ev;
-      ev.time = start + rng_background.uniform_int(
-                            0, p.background_burst_spread);
-      if (ev.time >= span.end) {
-        continue;
-      }
-      ev.subcategory = subcat;
-      ev.location = location_in_midplane(rng_background, topo,
-                                         info.reporter, episode_anchor);
-      ev.job = jobs.job_at(ev.location, ev.time);
-      ev.occurrence_id = next_occ_id++;
-      uniques.push_back(ev);
-      ++background_emitted;
+    const auto text_idx = static_cast<std::uint32_t>(texts.size());
+    texts.push_back(expansion.text);
+    for (const RasRecord& rec : expansion.records) {
+      records.push_back(PendingRecord{rec, text_idx});
     }
   }
-  truth.background_events = background_emitted;
-
-  // Append the fatal occurrences themselves as unique events.
-  for (const FaultOccurrence& occ : truth.fatal_occurrences) {
-    UniqueEvent ev;
-    ev.time = occ.time;
-    ev.subcategory = occ.subcategory;
-    ev.location = occ.location;
-    ev.job = occ.job;
-    ev.occurrence_id = next_occ_id++;
-    uniques.push_back(ev);
-  }
-  truth.unique_events = uniques.size();
-
-  // ---- Layer 5: duplication ---------------------------------------------
-  GeneratedLog out;
-  out.span = span;
-  RasLog& log = out.log;
-
-  const std::size_t chips_per_midplane =
-      static_cast<std::size_t>(p.machine.node_cards_per_midplane) *
-      p.machine.chips_per_node_card;
-
-  std::string text;
-  for (const UniqueEvent& ev : uniques) {
-    const SubcategoryInfo& info = catalog().info(ev.subcategory);
-    text.assign(info.phrase);
-    text += " seq=";
-    text += std::to_string(ev.occurrence_id);
-    const StringId sid = log.pool().intern(text);
-
-    // Reporting locations: the primary reporter plus, for fatal events
-    // reported by compute chips, a fan-out across the job's partition.
-    std::vector<Location> reporters{ev.location};
-    const bool fans_out =
-        info.fatal() && (info.reporter == LocationKind::kComputeChip ||
-                         info.reporter == LocationKind::kIoNode);
-    if (fans_out) {
-      std::size_t fanout =
-          geometric_count(rng_dup, p.spatial_fanout_mean);
-      fanout = std::min(fanout, chips_per_midplane - 1);
-      if (info.main == MainCategory::kNetwork &&
-          info.reporter == LocationKind::kComputeChip && fanout > 0) {
-        // Network faults perturb a torus line through the origin chip,
-        // then spill onto random partition chips.
-        const auto line = torus.line_x(
-            ev.location, static_cast<int>(std::min<std::size_t>(
-                             fanout + 1, 8)));
-        reporters.assign(line.begin(), line.end());
-        if (reporters.empty()) {
-          reporters.push_back(ev.location);
-        }
-      }
-      while (reporters.size() < fanout + 1) {
-        reporters.push_back(location_in_midplane(
-            rng_dup, topo, LocationKind::kComputeChip, ev.location));
-      }
-    }
-
-    RasRecord base;
-    base.entry_data = sid;
-    base.job = ev.job;
-    base.event_type = event_type_for(info);
-    base.facility = info.facility;
-    base.severity = info.severity;
-
-    for (std::size_t r = 0; r < reporters.size(); ++r) {
-      RasRecord rec = base;
-      rec.location = reporters[r];
-      rec.time = ev.time + (r == 0 ? 0 : rng_dup.uniform_int(0, 20));
-      log.append(rec);
-      const std::size_t repeats =
-          geometric_count(rng_dup, p.temporal_duplicates_mean);
-      for (std::size_t d = 0; d < repeats; ++d) {
-        RasRecord dup = rec;
-        dup.time =
-            rec.time + rng_dup.uniform_int(1, p.temporal_duplicate_spread);
-        log.append(dup);
-      }
-    }
-  }
-
-  log.sort_by_time();
-  std::sort(truth.fatal_occurrences.begin(), truth.fatal_occurrences.end(),
-            [](const FaultOccurrence& a, const FaultOccurrence& b) {
-              return a.time < b.time;
+  std::sort(records.begin(), records.end(),
+            [&texts](const PendingRecord& a, const PendingRecord& b) {
+              return simgen_detail::canonical_less(a.rec, texts[a.text],
+                                                   b.rec, texts[b.text]);
             });
-  out.truth = std::move(truth);
+
+  std::vector<StringId> sids(texts.size(), kInvalidStringId);
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    sids[i] = out.log.pool().intern(texts[i]);
+  }
+  for (const PendingRecord& pr : records) {
+    RasRecord rec = pr.rec;
+    rec.entry_data = sids[pr.text];
+    out.log.append(rec);
+  }
   return out;
 }
 

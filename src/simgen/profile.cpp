@@ -87,6 +87,70 @@ SystemProfile SystemProfile::sdsc() {
   return p;
 }
 
+SystemProfile SystemProfile::bgq_multistream() {
+  SystemProfile p = anl();  // BG/L fault physics, scaled out
+  p.name = "BGQ";
+  p.machine.racks = 8;
+  p.machine.io_nodes_per_node_card = 2;
+  p.span = TimeSpan{make_time(2012, 3, 1), make_time(2013, 3, 1)};
+  // A fleet-year of failures: ~4x the ANL counts, same category shape.
+  p.fatal_per_category = {3050, 4690, 900, 210, 410, 1930, 80, 30};
+  p.target_raw_records = 16800000;
+  p.background_events_per_day = 650.0;
+  p.modulators.diurnal_amplitude = 0.25;
+  p.stream_count = 3;  // RAS / monitor / control feeds
+  p.seed = 0xB6C0ULL;
+  return p;
+}
+
+SystemProfile SystemProfile::dc_prophet() {
+  SystemProfile p;
+  p.name = "DC";
+  // A flat datacenter inventory reusing the rack/midplane grid: 64
+  // "racks" of 2 failure domains. Chips stand in for machines.
+  p.machine.racks = 64;
+  p.machine.io_nodes_per_node_card = 2;
+  p.span = TimeSpan{make_time(2016, 1, 1), make_time(2017, 1, 1)};
+  p.fatal_per_category = {9200, 6100, 4300, 2600, 900, 7400, 450, 150};
+  p.target_raw_records = 52000000;
+
+  p.followup_spawn_prob = 0.35;
+  p.followup_litter_extra = 1.4;
+  p.other_followup_probability = 0.05;
+  p.followup_short_mean = 3.0 * kMinute;
+  p.followup_short_weight = 0.3;
+  p.followup_tail_min = 5 * kMinute;
+  p.followup_tail_max = 60 * kMinute;
+  p.followup_same_class_bias = 0.7;
+  p.followup_same_midplane = 0.55;
+
+  p.precursor_probability = 0.4;
+  p.precursor_offset_max = 40 * kMinute;
+  p.false_chain_ratio = 0.25;
+
+  p.background_events_per_day = 2400.0;
+  p.background_burst_size_mean = 6.0;
+  p.background_precursor_leak = 0.03;
+
+  // Datacenter collectors dedup at the edge: thin duplication, volume
+  // comes from machine count.
+  p.temporal_duplicates_mean = 3.0;
+  p.temporal_duplicate_spread = 240;
+  p.spatial_fanout_mean = 8.0;
+
+  p.modulators.diurnal_amplitude = 0.6;
+  p.modulators.storm_rate_per_day = 0.12;
+  p.modulators.storm_duration = 2 * kHour;
+  p.modulators.storm_fatal_multiplier = 10.0;
+  p.modulators.storm_background_multiplier = 3.0;
+  p.modulators.maintenance_period_days = 7.0;
+  p.modulators.maintenance_duration = 4 * kHour;
+  p.modulators.maintenance_fatal_factor = 0.05;
+  p.modulators.maintenance_background_factor = 0.2;
+  p.seed = 0xDCF7ULL;
+  return p;
+}
+
 std::size_t SystemProfile::total_fatal_target() const {
   return std::accumulate(fatal_per_category.begin(),
                          fatal_per_category.end(), std::size_t{0});

@@ -19,6 +19,44 @@
 
 namespace bglpred {
 
+/// Deterministic rate modulators layered over the base event processes
+/// (all default-off). The chunked generator applies them as a
+/// time-varying intensity w(t) on fatal seeding and background chatter:
+/// diurnal load is a sinusoid, maintenance windows are a periodic
+/// square wave, and failure storms are per-chunk Poisson intervals that
+/// multiply the local rate. These model the non-BG/L workloads in
+/// PAPERS.md — BG/Q multi-stream logs (Sîrbu & Babaoglu) and
+/// DC-Prophet-style datacenter machine-failure traces.
+struct RateModulators {
+  /// Diurnal load swing: w *= 1 + A*sin(2*pi*(t - span.begin)/day + phase).
+  /// 0 disables; must stay in [0, 0.95] so the rate never goes negative.
+  double diurnal_amplitude = 0.0;
+  double diurnal_phase = 0.0;  ///< radians; 0 peaks 6h into each day
+
+  /// Failure storms: Poisson(storm_rate_per_day) storm windows per day,
+  /// each `storm_duration` long (truncated at chunk boundaries), during
+  /// which fatal seeding is multiplied by `storm_fatal_multiplier` and
+  /// background chatter by `storm_background_multiplier`.
+  double storm_rate_per_day = 0.0;
+  Duration storm_duration = kHour;
+  double storm_fatal_multiplier = 1.0;
+  double storm_background_multiplier = 1.0;
+
+  /// Maintenance windows: every `maintenance_period_days`, a window of
+  /// `maintenance_duration` opens (phase-locked to the span start)
+  /// during which both processes are scaled by the respective factor —
+  /// drained machines neither fail under load nor chatter much.
+  double maintenance_period_days = 0.0;
+  Duration maintenance_duration = 0;
+  double maintenance_fatal_factor = 1.0;
+  double maintenance_background_factor = 1.0;
+
+  bool any() const {
+    return diurnal_amplitude > 0.0 || storm_rate_per_day > 0.0 ||
+           maintenance_period_days > 0.0;
+  }
+};
+
 /// All generator knobs for one simulated installation.
 struct SystemProfile {
   std::string name;
@@ -106,6 +144,15 @@ struct SystemProfile {
   /// fan-out of one job's crash.
   double spatial_fanout_mean = 90.0;
 
+  // --- workload shaping beyond BG/L (see RateModulators)
+  RateModulators modulators;
+
+  /// Logical log streams the installation emits (BG/Q-style systems
+  /// split RAS, environment, and control traffic into separate feeds).
+  /// stream_of() maps each record onto [0, stream_count); 1 keeps the
+  /// single-stream BG/L behaviour.
+  std::uint32_t stream_count = 1;
+
   /// Random seed baked into the profile so "the ANL log" is a fixed
   /// artifact; override via LogGenerator::generate for replication.
   std::uint64_t seed = 0;
@@ -113,6 +160,18 @@ struct SystemProfile {
   /// The two installations evaluated in the paper.
   static SystemProfile anl();
   static SystemProfile sdsc();
+
+  /// BG/Q-style mini-fleet: 8 racks, I/O-rich, three logical streams
+  /// (RAS / monitor / control), a mild diurnal swing. Opens the
+  /// multi-stream scenarios of Sîrbu & Babaoglu at a volume the
+  /// materializing generator cannot hold.
+  static SystemProfile bgq_multistream();
+
+  /// DC-Prophet-style datacenter trace: a large flat machine inventory,
+  /// strong diurnal load, weekly maintenance windows, and failure
+  /// storms; duplication is thin (datacenter collectors dedup at the
+  /// edge), so volume comes from breadth, not chatter.
+  static SystemProfile dc_prophet();
 
   /// Total target compressed fatal events (Table 4 bottom row).
   std::size_t total_fatal_target() const;

@@ -1,0 +1,1246 @@
+#include "simgen/stream.hpp"
+
+#include <algorithm>
+#include <charconv>
+#include <cmath>
+#include <deque>
+#include <set>
+
+#include "bgl/scheduler.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "taxonomy/catalog.hpp"
+
+namespace bglpred {
+
+namespace simgen_detail {
+namespace {
+
+using bgl::Location;
+using bgl::LocationKind;
+using bgl::Topology;
+
+constexpr std::uint64_t kGolden = 0x9e3779b97f4a7c15ULL;
+
+constexpr std::size_t kNet = static_cast<std::size_t>(MainCategory::kNetwork);
+constexpr std::size_t kIos = static_cast<std::size_t>(MainCategory::kIostream);
+
+// Per-chunk RNG process ids (the "process" coordinate of the seed
+// hierarchy; see the header comment).
+constexpr std::uint64_t kProcRoots = 1;
+constexpr std::uint64_t kProcFalseChains = 2;
+constexpr std::uint64_t kProcBackground = 3;
+constexpr std::uint64_t kProcJobs = 4;
+constexpr std::uint64_t kProcStorms = 5;
+constexpr std::uint64_t kProcResidual = 6;
+
+// Cascade BFS cap per root: keeps a pathological litter from producing
+// an unbounded chunk and bounds every fault's uid ordinal to 8 bits.
+constexpr std::size_t kCascadeCap = 64;
+
+// Structural uid layout (fault skeleton only; item uids are hashes):
+//   bit 63        pad marker
+//   bit 62        false-chain marker (uid_src for item hashing)
+//   bits 40..61   chunk index
+//   bits 36..39   main category
+//   bits  8..35   seed index within (chunk, category)
+//   bits  0..7    BFS ordinal within the cascade
+std::uint64_t root_uid_base(std::size_t chunk, std::size_t category,
+                            std::uint64_t seed_index) {
+  return (static_cast<std::uint64_t>(chunk) << 40) |
+         (static_cast<std::uint64_t>(category) << 36) | (seed_index << 8);
+}
+
+// Geometric count with the given mean (p = 1/(1+mean)); returns 0 for
+// non-positive means.
+std::size_t geometric_count(Rng& rng, double mean) {
+  if (mean <= 0.0) {
+    return 0;
+  }
+  const double p = 1.0 / (1.0 + mean);
+  double u = rng.uniform();
+  while (u <= 0.0) {
+    u = rng.uniform();
+  }
+  return static_cast<std::size_t>(std::log(u) / std::log(1.0 - p));
+}
+
+// Samples a location of the given kind uniformly over the machine.
+Location random_location(Rng& rng, const Topology& topo, LocationKind kind) {
+  const auto& cfg = topo.config();
+  const auto rack =
+      static_cast<std::uint16_t>(rng.uniform_int(0, cfg.racks - 1));
+  const auto mid = static_cast<std::uint8_t>(
+      rng.uniform_int(0, cfg.midplanes_per_rack - 1));
+  switch (kind) {
+    case LocationKind::kRack:
+      return Location::make_rack(rack);
+    case LocationKind::kMidplane:
+      return Location::make_midplane(rack, mid);
+    case LocationKind::kServiceCard:
+      return Location::make_service_card(rack, mid);
+    case LocationKind::kLinkCard:
+      return Location::make_link_card(
+          rack, mid,
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.link_cards_per_midplane - 1)));
+    case LocationKind::kNodeCard:
+      return Location::make_node_card(
+          rack, mid,
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)));
+    case LocationKind::kIoNode:
+      return Location::make_io_node(
+          rack, mid,
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)),
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.io_nodes_per_node_card - 1)));
+    case LocationKind::kComputeChip:
+      return Location::make_compute_chip(
+          rack, mid,
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)),
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.chips_per_node_card - 1)));
+  }
+  return Location::make_rack(rack);
+}
+
+// Samples a location of the given kind inside the midplane of `anchor`
+// (locality for chain precursors, bursts, and fan-out duplicates).
+Location location_in_midplane(Rng& rng, const Topology& topo,
+                              LocationKind kind, const Location& anchor) {
+  const auto& cfg = topo.config();
+  const std::uint16_t rack = anchor.rack;
+  const std::uint8_t mid =
+      anchor.kind == LocationKind::kRack ? 0 : anchor.midplane;
+  switch (kind) {
+    case LocationKind::kRack:
+      return Location::make_rack(rack);
+    case LocationKind::kMidplane:
+      return Location::make_midplane(rack, mid);
+    case LocationKind::kServiceCard:
+      return Location::make_service_card(rack, mid);
+    case LocationKind::kLinkCard:
+      return Location::make_link_card(
+          rack, mid,
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.link_cards_per_midplane - 1)));
+    case LocationKind::kNodeCard:
+      return Location::make_node_card(
+          rack, mid,
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)));
+    case LocationKind::kIoNode:
+      return Location::make_io_node(
+          rack, mid,
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)),
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.io_nodes_per_node_card - 1)));
+    case LocationKind::kComputeChip:
+      return Location::make_compute_chip(
+          rack, mid,
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.node_cards_per_midplane - 1)),
+          static_cast<std::uint8_t>(
+              rng.uniform_int(0, cfg.chips_per_node_card - 1)));
+  }
+  return anchor;
+}
+
+// Subcategory sampling weights within a main category's fatal set:
+// heavily rank-skewed so the top one or two chain-capable fault modes
+// dominate each category — the concentration that lets their rules clear
+// the paper's 0.04 support threshold.
+std::vector<double> fatal_subcat_weights(MainCategory main) {
+  const auto& ids = catalog().fatal_by_main(main);
+  std::vector<double> weights;
+  weights.reserve(ids.size());
+  std::size_t chain_rank = 0;
+  for (SubcategoryId id : ids) {
+    if (templates_for(id).empty()) {
+      weights.push_back(0.3);
+    } else {
+      switch (chain_rank) {
+        case 0:
+          weights.push_back(10.0);
+          break;
+        case 1:
+          weights.push_back(8.0);
+          break;
+        case 2:
+          weights.push_back(2.5);
+          break;
+        default:
+          weights.push_back(1.2);
+          break;
+      }
+      ++chain_rank;
+    }
+  }
+  return weights;
+}
+
+// The set of subcategories that appear in cascade bodies; background
+// chatter avoids them so precursor phrases stay causally meaningful.
+const std::set<SubcategoryId>& chain_precursor_set() {
+  static const std::set<SubcategoryId> precursors = [] {
+    std::set<SubcategoryId> s;
+    for (const CascadeTemplate& t : cascade_templates()) {
+      s.insert(t.precursors.begin(), t.precursors.end());
+    }
+    return s;
+  }();
+  return precursors;
+}
+
+// Background sampling weights over non-fatal, non-precursor
+// subcategories: the lower the severity, the chattier the source.
+std::pair<std::vector<SubcategoryId>, std::vector<double>> background_pool() {
+  std::vector<SubcategoryId> ids;
+  std::vector<double> weights;
+  for (SubcategoryId id : catalog().non_fatal()) {
+    if (chain_precursor_set().count(id) != 0) {
+      continue;
+    }
+    ids.push_back(id);
+    switch (catalog().info(id).severity) {
+      case Severity::kInfo:
+        weights.push_back(6.0);
+        break;
+      case Severity::kWarning:
+        weights.push_back(3.0);
+        break;
+      case Severity::kError:
+        weights.push_back(1.5);
+        break;
+      default:
+        weights.push_back(1.0);
+        break;
+    }
+  }
+  return {std::move(ids), std::move(weights)};
+}
+
+EventType event_type_for(const SubcategoryInfo& info) {
+  if (info.facility == Facility::kMonitor) {
+    return EventType::kMonitor;
+  }
+  if (info.reporter == LocationKind::kServiceCard ||
+      info.reporter == LocationKind::kLinkCard) {
+    return EventType::kControl;
+  }
+  return EventType::kRas;
+}
+
+bool in_any(TimePoint t, const std::vector<TimeSpan>& windows) {
+  for (const TimeSpan& w : windows) {
+    if (t >= w.begin && t < w.end) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+bool canonical_less(const RasRecord& a, const std::string& text_a,
+                    const RasRecord& b, const std::string& text_b) {
+  if (a.time != b.time) {
+    return a.time < b.time;
+  }
+  if (a.location != b.location) {
+    return a.location < b.location;
+  }
+  if (a.severity != b.severity) {
+    return a.severity < b.severity;
+  }
+  return text_a < text_b;
+}
+
+// Per-midplane job segments covering one chunk. A stand-in for
+// JobTrace::generate restricted to the chunk window: same workload
+// shape, but ids are hashes of (chunk, midplane, ordinal) so they stay
+// unique across the whole stream without a global counter.
+struct ChunkModel::ChunkJobs {
+  struct JobSpan {
+    TimeSpan span;
+    bgl::JobId id = bgl::kNoJob;
+  };
+  std::vector<std::vector<JobSpan>> per_midplane;
+};
+
+ChunkModel::ChunkModel(const SystemProfile& profile, double scale,
+                       std::uint64_t seed_offset, Duration chunk_len)
+    : p_(profile), topo_(profile.machine), torus_(topo_) {
+  BGL_REQUIRE(!p_.span.empty(), "profile span must be non-empty");
+  BGL_REQUIRE(scale > 0.0 && scale <= 1.0, "scale must be in (0, 1]");
+  scale_ = scale;
+  span_ = TimeSpan{
+      p_.span.begin,
+      p_.span.begin + static_cast<Duration>(
+                          static_cast<double>(p_.span.length()) * scale)};
+  BGL_REQUIRE(!span_.empty(), "scaled span rounds to zero length");
+  BGL_REQUIRE(chunk_len >= min_chunk_len(p_),
+              "chunk_len below the profile's correctness floor");
+  chunk_len_ = chunk_len;
+  chunks_ = static_cast<std::size_t>((span_.length() + chunk_len_ - 1) /
+                                     chunk_len_);
+  base_seed_ = mix64(p_.seed * kGolden + seed_offset + 1);
+
+  const RateModulators& mod = p_.modulators;
+  BGL_REQUIRE(mod.diurnal_amplitude >= 0.0 && mod.diurnal_amplitude <= 0.95,
+              "diurnal_amplitude must be in [0, 0.95]");
+  BGL_REQUIRE(mod.storm_rate_per_day >= 0.0 && mod.storm_duration >= 0,
+              "storm parameters must be non-negative");
+  BGL_REQUIRE(mod.maintenance_period_days >= 0.0 &&
+                  mod.maintenance_duration >= 0,
+              "maintenance parameters must be non-negative");
+  BGL_REQUIRE(p_.stream_count >= 1, "stream_count must be >= 1");
+
+  // Targets and the seed-shrink factor (see generator.hpp layer 2).
+  std::size_t total_target = 0;
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    targets_[c] = static_cast<std::size_t>(std::llround(
+        static_cast<double>(p_.fatal_per_category[c]) * scale));
+    total_target += targets_[c];
+  }
+  netio_weight_ = static_cast<double>(targets_[kNet] + targets_[kIos]);
+  const double netio_fraction =
+      total_target == 0
+          ? 0.0
+          : netio_weight_ / static_cast<double>(total_target);
+  const double netio_children =
+      p_.followup_spawn_prob * (1.0 + p_.followup_litter_extra);
+  const double mean_offspring =
+      netio_fraction * netio_children +
+      (1.0 - netio_fraction) * p_.other_followup_probability;
+  const double seed_shrink =
+      std::max(0.05, 1.0 - std::min(0.95, mean_offspring));
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    seed_targets_[c] = static_cast<std::size_t>(std::llround(
+        static_cast<double>(targets_[c]) * seed_shrink));
+    subcat_weights_[c] = fatal_subcat_weights(static_cast<MainCategory>(c));
+  }
+
+  // Follow-up routing weights for the non-same-class branch (network and
+  // iostream excluded: the same-class share is followup_same_class_bias).
+  category_weights_.resize(kMainCategoryCount);
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    category_weights_[c] =
+        (c == kNet || c == kIos)
+            ? 0.0
+            : static_cast<double>(std::max<std::size_t>(targets_[c], 1));
+  }
+
+  auto pool = background_pool();
+  bg_ids_ = std::move(pool.first);
+  bg_weights_ = std::move(pool.second);
+  leak_ids_.assign(chain_precursor_set().begin(), chain_precursor_set().end());
+
+  // Per-chunk modulated mass tables (midpoint rule, 64 steps per chunk).
+  fatal_mass_cum_.resize(chunks_);
+  bg_mass_.resize(chunks_);
+  double cum = 0.0;
+  for (std::size_t k = 0; k < chunks_; ++k) {
+    const TimeSpan cs = chunk_span(k);
+    const auto storms = storm_windows(k);
+    constexpr int kSteps = 64;
+    double fatal_avg = 0.0;
+    double bg_avg = 0.0;
+    for (int i = 0; i < kSteps; ++i) {
+      const TimePoint t =
+          cs.begin + (cs.length() * (2 * i + 1)) / (2 * kSteps);
+      fatal_avg += fatal_rate_at(t, storms);
+      bg_avg += background_rate_at(t, storms);
+    }
+    fatal_avg /= kSteps;
+    bg_avg /= kSteps;
+    cum += fatal_avg * static_cast<double>(cs.length());
+    fatal_mass_cum_[k] = cum;
+    bg_mass_[k] = bg_avg * static_cast<double>(cs.length());
+  }
+  BGL_REQUIRE(fatal_mass_cum_.back() > 0.0,
+              "modulators suppress the entire fatal process");
+
+  build_residuals();
+}
+
+ChunkModel::~ChunkModel() = default;
+
+TimeSpan ChunkModel::chunk_span(std::size_t k) const {
+  const TimePoint begin =
+      span_.begin + static_cast<Duration>(k) * chunk_len_;
+  return TimeSpan{begin, std::min<TimePoint>(begin + chunk_len_, span_.end)};
+}
+
+std::size_t ChunkModel::chunk_of(TimePoint t) const {
+  if (t <= span_.begin) {
+    return 0;
+  }
+  const auto k = static_cast<std::size_t>((t - span_.begin) / chunk_len_);
+  return std::min(k, chunks_ - 1);
+}
+
+Duration ChunkModel::dup_reach() const {
+  return p_.temporal_duplicate_spread + 20;
+}
+
+std::uint64_t ChunkModel::chunk_seed(std::size_t chunk, std::uint64_t proc,
+                                     std::uint64_t sub) const {
+  std::uint64_t s =
+      mix64(base_seed_ ^ (static_cast<std::uint64_t>(chunk) * kGolden));
+  s = mix64(s ^ (proc * kGolden));
+  return mix64(s ^ sub);
+}
+
+std::vector<TimeSpan> ChunkModel::storm_windows(std::size_t k) const {
+  const RateModulators& mod = p_.modulators;
+  if (mod.storm_rate_per_day <= 0.0 || mod.storm_duration <= 0) {
+    return {};
+  }
+  Rng rng(chunk_seed(k, kProcStorms));
+  const TimeSpan cs = chunk_span(k);
+  const double expected = mod.storm_rate_per_day *
+                          static_cast<double>(cs.length()) /
+                          static_cast<double>(kDay);
+  const auto count = static_cast<std::size_t>(rng.poisson(expected));
+  std::vector<TimeSpan> windows;
+  windows.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    const TimePoint start =
+        cs.begin + rng.uniform_int(0, cs.length() - 1);
+    windows.push_back(TimeSpan{
+        start, std::min<TimePoint>(start + mod.storm_duration, cs.end)});
+  }
+  std::sort(windows.begin(), windows.end(),
+            [](const TimeSpan& a, const TimeSpan& b) {
+              return a.begin < b.begin;
+            });
+  return windows;
+}
+
+namespace {
+
+double diurnal_factor(const RateModulators& mod, TimePoint t,
+                      TimePoint origin) {
+  if (mod.diurnal_amplitude <= 0.0) {
+    return 1.0;
+  }
+  constexpr double kTwoPi = 6.283185307179586;
+  const double phase =
+      kTwoPi * static_cast<double>((t - origin) % kDay) /
+          static_cast<double>(kDay) +
+      mod.diurnal_phase;
+  return 1.0 + mod.diurnal_amplitude * std::sin(phase);
+}
+
+bool in_maintenance(const RateModulators& mod, TimePoint t,
+                    TimePoint origin) {
+  if (mod.maintenance_period_days <= 0.0 || mod.maintenance_duration <= 0) {
+    return false;
+  }
+  const auto period = static_cast<Duration>(mod.maintenance_period_days *
+                                            static_cast<double>(kDay));
+  if (period <= 0) {
+    return false;
+  }
+  return (t - origin) % period < mod.maintenance_duration;
+}
+
+}  // namespace
+
+double ChunkModel::fatal_rate_at(
+    TimePoint t, const std::vector<TimeSpan>& storms) const {
+  const RateModulators& mod = p_.modulators;
+  double w = diurnal_factor(mod, t, span_.begin);
+  if (in_maintenance(mod, t, span_.begin)) {
+    w *= mod.maintenance_fatal_factor;
+  }
+  if (in_any(t, storms)) {
+    w *= mod.storm_fatal_multiplier;
+  }
+  return w;
+}
+
+double ChunkModel::background_rate_at(
+    TimePoint t, const std::vector<TimeSpan>& storms) const {
+  const RateModulators& mod = p_.modulators;
+  double w = diurnal_factor(mod, t, span_.begin);
+  if (in_maintenance(mod, t, span_.begin)) {
+    w *= mod.maintenance_background_factor;
+  }
+  if (in_any(t, storms)) {
+    w *= mod.storm_background_multiplier;
+  }
+  return w;
+}
+
+std::size_t ChunkModel::seed_quota(std::size_t category,
+                                   std::size_t k) const {
+  const double total_mass = fatal_mass_cum_.back();
+  const auto target = static_cast<double>(seed_targets_[category]);
+  const double hi = std::floor(target * fatal_mass_cum_[k] / total_mass);
+  const double lo =
+      k == 0 ? 0.0
+             : std::floor(target * fatal_mass_cum_[k - 1] / total_mass);
+  return static_cast<std::size_t>(hi - lo);
+}
+
+TimePoint ChunkModel::place_time(Rng& rng, std::size_t k, bool fatal,
+                                 const std::vector<TimeSpan>& storms) const {
+  const TimeSpan cs = chunk_span(k);
+  if (!p_.modulators.any()) {
+    return cs.begin + rng.uniform_int(0, cs.length() - 1);
+  }
+  const RateModulators& mod = p_.modulators;
+  const double storm_mult =
+      fatal ? mod.storm_fatal_multiplier : mod.storm_background_multiplier;
+  const double maint =
+      fatal ? mod.maintenance_fatal_factor : mod.maintenance_background_factor;
+  const double bound = (1.0 + mod.diurnal_amplitude) *
+                       std::max(1.0, storm_mult) * std::max(1.0, maint);
+  TimePoint t = cs.begin;
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    t = cs.begin + rng.uniform_int(0, cs.length() - 1);
+    const double w =
+        fatal ? fatal_rate_at(t, storms) : background_rate_at(t, storms);
+    if (rng.uniform() * bound <= w) {
+      return t;
+    }
+  }
+  return t;  // pathological suppression: accept the last draw
+}
+
+void ChunkModel::expand_cascade(std::size_t category, std::size_t k,
+                                std::uint64_t seed_index,
+                                std::uint64_t root_seed,
+                                const std::vector<TimeSpan>& storms,
+                                std::vector<Fault>& out) const {
+  Rng rng(root_seed);
+  const TimePoint t0 = place_time(rng, k, /*fatal=*/true, storms);
+  const auto anchor_rack = static_cast<std::uint16_t>(
+      rng.uniform_int(0, p_.machine.racks - 1));
+  const auto anchor_mid = static_cast<std::uint8_t>(
+      rng.uniform_int(0, p_.machine.midplanes_per_rack - 1));
+
+  // Follow-ups are truncated at the end of chunk k+1 so the whole
+  // cascade is recomputable from the root's coordinates alone.
+  const TimePoint limit = std::min<TimePoint>(
+      span_.end, span_.begin + static_cast<Duration>(k + 2) * chunk_len_);
+  const std::uint64_t uid_base = root_uid_base(k, category, seed_index);
+
+  struct Pending {
+    TimePoint time;
+    MainCategory main;
+    bool is_followup;
+  };
+  std::deque<Pending> queue;
+  queue.push_back(Pending{t0, static_cast<MainCategory>(category), false});
+  std::uint64_t ordinal = 0;
+  while (!queue.empty() && ordinal < kCascadeCap) {
+    const Pending f = queue.front();
+    queue.pop_front();
+    Fault fault;
+    fault.time = f.time;
+    fault.main = f.main;
+    fault.is_followup = f.is_followup;
+    fault.anchor_rack = anchor_rack;
+    fault.anchor_midplane = anchor_mid;
+    fault.uid = uid_base | ordinal;
+    fault.mseed = rng();
+    out.push_back(fault);
+    ++ordinal;
+
+    const auto ci = static_cast<std::size_t>(f.main);
+    std::int64_t children = 0;
+    if (ci == kNet || ci == kIos) {
+      if (rng.bernoulli(p_.followup_spawn_prob)) {
+        children = 1 + rng.poisson(p_.followup_litter_extra);
+      }
+    } else if (rng.bernoulli(p_.other_followup_probability)) {
+      children = 1;
+    }
+    // The litter arrives as one packet: a shared burst delay d0, with
+    // siblings spread over a few minutes (see generator.hpp layer 2).
+    Duration d0 = 0;
+    if (children > 0) {
+      if (rng.bernoulli(p_.followup_short_weight)) {
+        d0 = std::max<Duration>(
+            20,
+            static_cast<Duration>(rng.exponential(p_.followup_short_mean)));
+      } else {
+        d0 = rng.uniform_int(p_.followup_tail_min, p_.followup_tail_max);
+      }
+    }
+    for (std::int64_t child = 0; child < children; ++child) {
+      const Duration delta = d0 + rng.uniform_int(0, 4 * kMinute);
+      const TimePoint t2 = f.time + delta;
+      if (t2 >= limit) {
+        continue;
+      }
+      MainCategory main2;
+      if (rng.bernoulli(p_.followup_same_class_bias)) {
+        const double net_share =
+            netio_weight_ == 0.0
+                ? 0.5
+                : static_cast<double>(targets_[kNet]) / netio_weight_;
+        main2 = rng.bernoulli(net_share) ? MainCategory::kNetwork
+                                         : MainCategory::kIostream;
+      } else {
+        main2 = static_cast<MainCategory>(
+            rng.weighted_index(category_weights_));
+      }
+      queue.push_back(Pending{t2, main2, true});
+    }
+  }
+}
+
+std::vector<Fault> ChunkModel::roots(std::size_t k) const {
+  std::vector<Fault> out;
+  const auto storms = storm_windows(k);
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    const std::size_t quota = seed_quota(c, k);
+    Rng cat_rng(chunk_seed(k, kProcRoots, c + 1));
+    for (std::size_t i = 0; i < quota; ++i) {
+      expand_cascade(c, k, i, cat_rng(), storms, out);
+    }
+  }
+  return out;
+}
+
+MaterializedFault ChunkModel::materialize(const Fault& fault) const {
+  Rng rng(fault.mseed);
+  const auto ci = static_cast<std::size_t>(fault.main);
+  const auto& ids = catalog().fatal_by_main(fault.main);
+  BGL_ASSERT(!ids.empty());
+  const SubcategoryId subcat = ids[rng.weighted_index(subcat_weights_[ci])];
+  const SubcategoryInfo& info = catalog().info(subcat);
+
+  MaterializedFault mf;
+  mf.uid = fault.uid;
+  mf.occ.time = fault.time;
+  mf.occ.subcategory = subcat;
+  if (rng.bernoulli(p_.followup_same_midplane)) {
+    mf.occ.location = location_in_midplane(
+        rng, topo_, info.reporter,
+        Location::make_midplane(fault.anchor_rack, fault.anchor_midplane));
+  } else {
+    mf.occ.location = random_location(rng, topo_, info.reporter);
+  }
+  mf.occ.job = job_at(mf.occ.location, mf.occ.time);
+  mf.occ.is_followup = fault.is_followup;
+
+  const auto tmpls = templates_for(subcat);
+  if (!tmpls.empty() && rng.bernoulli(p_.precursor_probability)) {
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(tmpls.size()) - 1));
+    mf.tmpl = tmpls[pick];
+    mf.chain_seed = rng();
+    mf.occ.has_chain = true;
+  }
+  mf.dup_seed = rng();
+  return mf;
+}
+
+std::vector<MaterializedFault> ChunkModel::fatal_list(
+    std::size_t k, const std::vector<Fault>* prev,
+    const std::vector<Fault>* cur) const {
+  std::vector<Fault> mine;
+  for (const std::vector<Fault>* set : {prev, cur}) {
+    if (set == nullptr) {
+      continue;
+    }
+    for (const Fault& f : *set) {
+      if (chunk_of(f.time) == k && trimmed_.count(f.uid) == 0) {
+        mine.push_back(f);
+      }
+    }
+  }
+  const auto pad_it = pads_.find(k);
+  if (pad_it != pads_.end()) {
+    mine.insert(mine.end(), pad_it->second.begin(), pad_it->second.end());
+  }
+  std::sort(mine.begin(), mine.end(), [](const Fault& a, const Fault& b) {
+    return a.time != b.time ? a.time < b.time : a.uid < b.uid;
+  });
+  std::vector<MaterializedFault> out;
+  out.reserve(mine.size());
+  for (const Fault& f : mine) {
+    out.push_back(materialize(f));
+  }
+  return out;
+}
+
+Duration ChunkModel::sample_anchor(Rng& rng) const {
+  return rng.bernoulli(p_.anchor_short_weight)
+             ? rng.uniform_int(p_.precursor_offset_min, p_.anchor_short_max)
+             : rng.uniform_int(p_.anchor_short_max, p_.precursor_offset_max);
+}
+
+// Emits one chain body: per precursor, a first emission at
+// fail_time - anchor - jitter, and (for persistent chains) re-emissions
+// at exponential intervals until the guard before the failure. Each
+// re-emission reports from a different unit of the anchor midplane and
+// carries a distinct seq tag, so Phase-1 compression keeps the series
+// alive — exactly how escalating faults look in real logs.
+void ChunkModel::chain_body(Rng& rng, const CascadeTemplate& tmpl,
+                            TimePoint fail_time, const Location& anchor_loc,
+                            std::uint64_t uid_src,
+                            std::vector<SourceEvent>& out) const {
+  const Duration anchor = sample_anchor(rng);
+  const bool persistent = rng.bernoulli(p_.chain_persistent_prob);
+  constexpr std::uint64_t kMask56 = (1ULL << 56) - 1;
+  for (std::size_t pi = 0; pi < tmpl.precursors.size(); ++pi) {
+    const SubcategoryId pre = tmpl.precursors[pi];
+    const SubcategoryInfo& info = catalog().info(pre);
+    const std::uint64_t item_base =
+        mix64(mix64(uid_src) ^ (pi + 1)) & kMask56;
+    const std::uint64_t item_dup = rng();
+    const Duration jitter = rng.uniform_int(0, 3 * kMinute);
+    TimePoint t = fail_time - anchor - jitter;
+    const TimePoint guard =
+        fail_time - rng.uniform_int(p_.chain_guard_min, p_.chain_guard_max);
+    std::uint64_t emissions = 0;
+    while (t <= guard && emissions < 128) {
+      if (t >= span_.begin && t < span_.end) {
+        SourceEvent ev;
+        ev.time = t;
+        ev.subcategory = pre;
+        ev.location =
+            location_in_midplane(rng, topo_, info.reporter, anchor_loc);
+        ev.job = job_at(ev.location, t);
+        ev.uid = item_base | (emissions << 56);
+        ev.dup_seed = mix64(item_dup ^ (emissions + 1) * kGolden);
+        out.push_back(ev);
+      }
+      ++emissions;
+      if (!persistent) {
+        break;
+      }
+      t += std::max<Duration>(
+          30, static_cast<Duration>(rng.exponential(p_.chain_repeat_mean)));
+    }
+  }
+}
+
+void ChunkModel::chain_events(const MaterializedFault& mf,
+                              std::vector<SourceEvent>& out) const {
+  if (mf.tmpl == nullptr) {
+    return;
+  }
+  Rng rng(mf.chain_seed);
+  chain_body(rng, *mf.tmpl, mf.occ.time, mf.occ.location, mf.uid, out);
+}
+
+std::size_t ChunkModel::false_chain_events(
+    std::size_t k, std::size_t true_chains,
+    std::vector<SourceEvent>& out) const {
+  Rng rng(chunk_seed(k, kProcFalseChains));
+  const double expected =
+      static_cast<double>(true_chains) * p_.false_chain_ratio;
+  auto count = static_cast<std::size_t>(std::floor(expected));
+  if (rng.bernoulli(expected - std::floor(expected))) {
+    ++count;
+  }
+  if (count == 0) {
+    return 0;
+  }
+  const auto storms = storm_windows(k);
+  const auto& all_templates = cascade_templates();
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto pick = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(all_templates.size()) - 1));
+    const TimePoint pseudo_fail = place_time(rng, k, /*fatal=*/true, storms);
+    const Location anchor =
+        random_location(rng, topo_, LocationKind::kComputeChip);
+    const std::uint64_t uid_src =
+        (1ULL << 62) | (static_cast<std::uint64_t>(k) << 24) | i;
+    chain_body(rng, all_templates[pick], pseudo_fail, anchor, uid_src, out);
+  }
+  return count;
+}
+
+std::vector<Episode> ChunkModel::episodes(std::size_t k) const {
+  Rng rng(chunk_seed(k, kProcBackground));
+  const double burst_extra =
+      std::max(0.0, p_.background_burst_size_mean - 1);
+  const double episodes_per_day =
+      p_.background_events_per_day / std::max(1.0, 1.0 + burst_extra);
+  const double expected =
+      episodes_per_day * bg_mass_[k] / static_cast<double>(kDay);
+  const auto count = static_cast<std::size_t>(rng.poisson(expected));
+  const auto storms = storm_windows(k);
+  std::vector<Episode> out;
+  out.reserve(count);
+  for (std::size_t e = 0; e < count; ++e) {
+    Episode ep;
+    ep.start = place_time(rng, k, /*fatal=*/false, storms);
+    ep.anchor = random_location(rng, topo_, LocationKind::kComputeChip);
+    ep.size = 1 + geometric_count(rng, burst_extra);
+    ep.seed = rng();
+    out.push_back(ep);
+  }
+  return out;
+}
+
+void ChunkModel::episode_events(const Episode& episode,
+                                std::vector<SourceEvent>& out) const {
+  Rng rng(episode.seed);
+  for (std::size_t j = 0; j < episode.size; ++j) {
+    const SubcategoryId subcat =
+        rng.bernoulli(p_.background_precursor_leak)
+            ? leak_ids_[static_cast<std::size_t>(rng.uniform_int(
+                  0, static_cast<std::int64_t>(leak_ids_.size()) - 1))]
+            : bg_ids_[rng.weighted_index(bg_weights_)];
+    const SubcategoryInfo& info = catalog().info(subcat);
+    const TimePoint t =
+        episode.start + rng.uniform_int(0, p_.background_burst_spread);
+    if (t >= span_.end) {
+      continue;
+    }
+    SourceEvent ev;
+    ev.time = t;
+    ev.subcategory = subcat;
+    ev.location =
+        location_in_midplane(rng, topo_, info.reporter, episode.anchor);
+    ev.job = job_at(ev.location, t);
+    ev.uid = mix64(episode.seed ^ (j + 1) * kGolden);
+    ev.dup_seed = rng();
+    ev.background = true;
+    out.push_back(ev);
+  }
+}
+
+void ChunkModel::fatal_source(const MaterializedFault& mf,
+                              std::vector<SourceEvent>& out) const {
+  SourceEvent ev;
+  ev.time = mf.occ.time;
+  ev.subcategory = mf.occ.subcategory;
+  ev.location = mf.occ.location;
+  ev.job = mf.occ.job;
+  ev.uid = mix64(mf.uid ^ 0xFA7A1ULL);
+  ev.dup_seed = mf.dup_seed;
+  out.push_back(ev);
+}
+
+void ChunkModel::expand(const SourceEvent& event, Expansion& out) const {
+  const SubcategoryInfo& info = catalog().info(event.subcategory);
+  out.records.clear();
+  out.text.assign(info.phrase);
+  out.text += " seq=";
+  char digits[24];
+  const auto conv =
+      std::to_chars(digits, digits + sizeof(digits), event.uid);
+  out.text.append(digits, conv.ptr);
+
+  const std::size_t chips_per_midplane =
+      static_cast<std::size_t>(p_.machine.node_cards_per_midplane) *
+      p_.machine.chips_per_node_card;
+
+  // bgl:hot-begin(simgen-emit)
+  // The per-record emission loop: fleet-scale generation spends its time
+  // here, so no string building, no throwing, no per-record allocation
+  // beyond vector growth into caller-reused buffers.
+  Rng rng(event.dup_seed);
+  out.reporters.clear();
+  out.reporters.push_back(event.location);
+  const bool fans_out =
+      info.fatal() && (info.reporter == LocationKind::kComputeChip ||
+                       info.reporter == LocationKind::kIoNode);
+  if (fans_out) {
+    std::size_t fanout = geometric_count(rng, p_.spatial_fanout_mean);
+    fanout = std::min(fanout, chips_per_midplane - 1);
+    if (info.main == MainCategory::kNetwork &&
+        info.reporter == LocationKind::kComputeChip && fanout > 0) {
+      // Network faults perturb a torus line through the origin chip,
+      // then spill onto random partition chips.
+      const auto line = torus_.line_x(
+          event.location,
+          static_cast<int>(std::min<std::size_t>(fanout + 1, 8)));
+      out.reporters.assign(line.begin(), line.end());
+      if (out.reporters.empty()) {
+        out.reporters.push_back(event.location);
+      }
+    }
+    while (out.reporters.size() < fanout + 1) {
+      out.reporters.push_back(location_in_midplane(
+          rng, topo_, LocationKind::kComputeChip, event.location));
+    }
+  }
+
+  RasRecord base;
+  base.job = event.job;
+  base.event_type = event_type_for(info);
+  base.facility = info.facility;
+  base.severity = info.severity;
+
+  for (std::size_t r = 0; r < out.reporters.size(); ++r) {
+    RasRecord rec = base;
+    rec.location = out.reporters[r];
+    rec.time = event.time + (r == 0 ? 0 : rng.uniform_int(0, 20));
+    out.records.push_back(rec);
+    const std::size_t repeats =
+        geometric_count(rng, p_.temporal_duplicates_mean);
+    for (std::size_t d = 0; d < repeats; ++d) {
+      RasRecord dup = rec;
+      dup.time =
+          rec.time + rng.uniform_int(1, p_.temporal_duplicate_spread);
+      out.records.push_back(dup);
+    }
+  }
+  // bgl:hot-end(simgen-emit)
+}
+
+const ChunkModel::ChunkJobs& ChunkModel::jobs(std::size_t k) const {
+  for (const auto& entry : job_cache_) {
+    if (entry.first == k) {
+      return *entry.second;
+    }
+  }
+  auto cj = std::make_unique<ChunkJobs>();
+  const auto& cfg = p_.machine;
+  const std::size_t mids =
+      static_cast<std::size_t>(cfg.racks) * cfg.midplanes_per_rack;
+  cj->per_midplane.resize(mids);
+  const TimeSpan cs = chunk_span(k);
+  const bgl::WorkloadParams wp;
+  for (std::size_t m = 0; m < mids; ++m) {
+    const std::uint64_t mseed = chunk_seed(k, kProcJobs, m + 1);
+    Rng rng(mseed);
+    auto& vec = cj->per_midplane[m];
+    std::uint64_t counter = 0;
+    TimePoint t =
+        cs.begin + static_cast<Duration>(rng.exponential(wp.mean_idle_gap));
+    while (t < cs.end) {
+      const double raw = rng.lognormal(wp.runtime_mu, wp.runtime_sigma);
+      const Duration runtime =
+          std::max<Duration>(wp.min_runtime, static_cast<Duration>(raw));
+      const TimePoint end = std::min<TimePoint>(cs.end, t + runtime);
+      // Hash-derived ids stay unique across chunks; |1 keeps them
+      // distinct from kNoJob.
+      const auto id = static_cast<bgl::JobId>(
+                          mix64(mseed ^ (++counter * kGolden))) |
+                      1U;
+      vec.push_back(ChunkJobs::JobSpan{TimeSpan{t, end}, id});
+      t = end + static_cast<Duration>(rng.exponential(wp.mean_idle_gap));
+    }
+  }
+  if (job_cache_.size() >= 4) {
+    job_cache_.erase(job_cache_.begin());
+  }
+  job_cache_.emplace_back(k, std::move(cj));
+  return *job_cache_.back().second;
+}
+
+bgl::JobId ChunkModel::job_at(const Location& where, TimePoint t) const {
+  if (where.kind == LocationKind::kRack ||
+      where.kind == LocationKind::kLinkCard ||
+      where.kind == LocationKind::kServiceCard) {
+    return bgl::kNoJob;  // infrastructure units report outside any job
+  }
+  const Location mid = where.kind == LocationKind::kMidplane
+                           ? where
+                           : where.parent_midplane();
+  const std::size_t mi =
+      static_cast<std::size_t>(mid.rack) * p_.machine.midplanes_per_rack +
+      mid.midplane;
+  const auto& spans = jobs(chunk_of(t)).per_midplane[mi];
+  auto after = std::upper_bound(
+      spans.begin(), spans.end(), t,
+      [](TimePoint time, const ChunkJobs::JobSpan& job) {
+        return time < job.span.begin;
+      });
+  if (after == spans.begin()) {
+    return bgl::kNoJob;
+  }
+  const auto& candidate = *(after - 1);
+  return candidate.span.contains(t) ? candidate.id : bgl::kNoJob;
+}
+
+void ChunkModel::build_residuals() {
+  // One pass over every chunk's fatal skeleton: counts and uids only.
+  std::array<std::vector<std::uint64_t>, kMainCategoryCount> uids;
+  std::vector<Fault> scratch;
+  for (std::size_t k = 0; k < chunks_; ++k) {
+    scratch.clear();
+    const auto storms = storm_windows(k);
+    for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+      const std::size_t quota = seed_quota(c, k);
+      Rng cat_rng(chunk_seed(k, kProcRoots, c + 1));
+      for (std::size_t i = 0; i < quota; ++i) {
+        expand_cascade(c, k, i, cat_rng(), storms, scratch);
+      }
+    }
+    for (const Fault& f : scratch) {
+      uids[static_cast<std::size_t>(f.main)].push_back(f.uid);
+    }
+  }
+
+  Rng rng(mix64(base_seed_ ^ kProcResidual * kGolden));
+  std::uint64_t pad_counter = 0;
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    auto& v = uids[c];
+    while (v.size() > targets_[c]) {
+      const auto pick = static_cast<std::size_t>(rng.uniform_int(
+          0, static_cast<std::int64_t>(v.size()) - 1));
+      trimmed_.insert(v[pick]);
+      v[pick] = v.back();
+      v.pop_back();
+    }
+    for (std::size_t need = v.size(); need < targets_[c]; ++need) {
+      Fault pad;
+      pad.time = span_.begin + rng.uniform_int(0, span_.length() - 1);
+      pad.main = static_cast<MainCategory>(c);
+      pad.is_followup = false;
+      pad.anchor_rack = static_cast<std::uint16_t>(
+          rng.uniform_int(0, p_.machine.racks - 1));
+      pad.anchor_midplane = static_cast<std::uint8_t>(
+          rng.uniform_int(0, p_.machine.midplanes_per_rack - 1));
+      pad.uid = (1ULL << 63) | (static_cast<std::uint64_t>(c) << 40) |
+                pad_counter++;
+      pad.mseed = rng();
+      pads_[chunk_of(pad.time)].push_back(pad);
+    }
+  }
+}
+
+}  // namespace simgen_detail
+
+Duration min_chunk_len(const SystemProfile& profile) {
+  Duration floor_len = kHour;
+  floor_len = std::max<Duration>(
+      floor_len, profile.precursor_offset_max + 3 * kMinute + 1);
+  floor_len =
+      std::max<Duration>(floor_len, profile.temporal_duplicate_spread + 21);
+  floor_len =
+      std::max<Duration>(floor_len, profile.background_burst_spread + 1);
+  return floor_len;
+}
+
+Duration resolve_chunk_len(const SystemProfile& profile, Duration requested) {
+  const Duration floor_len = min_chunk_len(profile);
+  if (requested == 0) {
+    return std::max<Duration>(kDay, floor_len);
+  }
+  BGL_REQUIRE(requested >= floor_len,
+              "chunk_len below the profile's correctness floor");
+  return requested;
+}
+
+std::uint32_t stream_of(const RasRecord& record,
+                        std::uint32_t stream_count) {
+  BGL_REQUIRE(stream_count >= 1, "stream_count must be >= 1");
+  if (stream_count == 1) {
+    return 0;
+  }
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(record.event_type) << 32) |
+      record.location.rack;
+  return static_cast<std::uint32_t>(mix64(key * 0x9e3779b97f4a7c15ULL + 1) %
+                                    stream_count);
+}
+
+void accumulate_truth(GroundTruth& total, const GroundTruth& delta) {
+  total.fatal_occurrences.insert(total.fatal_occurrences.end(),
+                                 delta.fatal_occurrences.begin(),
+                                 delta.fatal_occurrences.end());
+  total.true_chains += delta.true_chains;
+  total.false_chains += delta.false_chains;
+  total.background_events += delta.background_events;
+  total.unique_events += delta.unique_events;
+  for (std::size_t c = 0; c < kMainCategoryCount; ++c) {
+    total.fatal_per_category[c] += delta.fatal_per_category[c];
+  }
+}
+
+StreamingGenerator::StreamingGenerator(SystemProfile profile,
+                                       StreamConfig config)
+    : model_(profile, config.scale, config.seed_offset,
+             resolve_chunk_len(profile, config.chunk_len)) {}
+
+const std::vector<simgen_detail::Fault>& StreamingGenerator::roots_for(
+    std::size_t k) {
+  auto& slot = roots_[k % 3];
+  if (slot.key != k) {
+    slot.value = model_.roots(k);
+    slot.key = k;
+  }
+  return slot.value;
+}
+
+const std::vector<simgen_detail::MaterializedFault>&
+StreamingGenerator::fatals_for(std::size_t k) {
+  auto& slot = fatals_[k % 2];
+  if (slot.key != k) {
+    const std::vector<simgen_detail::Fault>* prev =
+        k > 0 ? &roots_for(k - 1) : nullptr;
+    const std::vector<simgen_detail::Fault>* cur = &roots_for(k);
+    slot.value = model_.fatal_list(k, prev, cur);
+    slot.key = k;
+  }
+  return slot.value;
+}
+
+const StreamingGenerator::ChunkSources& StreamingGenerator::sources_for(
+    std::size_t k) {
+  auto& slot = sources_[k % 2];
+  if (slot.key == k) {
+    return slot.value;
+  }
+  ChunkSources s;
+  std::vector<simgen_detail::SourceEvent> gathered;
+
+  const auto& fatals = fatals_for(k);
+  std::size_t true_k = 0;
+  for (const auto& mf : fatals) {
+    model_.chain_events(mf, gathered);
+    model_.fatal_source(mf, gathered);
+    s.truth.fatal_occurrences.push_back(mf.occ);
+    ++s.truth.fatal_per_category[static_cast<std::size_t>(
+        catalog().info(mf.occ.subcategory).main)];
+    if (mf.occ.has_chain) {
+      ++true_k;
+    }
+  }
+  s.truth.true_chains = true_k;
+  s.truth.false_chains = model_.false_chain_events(k, true_k, gathered);
+
+  if (k + 1 < model_.chunks()) {
+    const auto& ahead = fatals_for(k + 1);
+    std::size_t true_next = 0;
+    for (const auto& mf : ahead) {
+      model_.chain_events(mf, gathered);
+      if (mf.occ.has_chain) {
+        ++true_next;
+      }
+    }
+    // Next chunk's false chains can reach back into this window; the
+    // bodies are recomputed identically when chunk k+1 is built.
+    model_.false_chain_events(k + 1, true_next, gathered);
+  }
+  if (k > 0) {
+    for (const auto& ep : model_.episodes(k - 1)) {
+      model_.episode_events(ep, gathered);
+    }
+  }
+  for (const auto& ep : model_.episodes(k)) {
+    model_.episode_events(ep, gathered);
+  }
+
+  const TimeSpan cs = model_.chunk_span(k);
+  s.events.reserve(gathered.size());
+  for (const auto& ev : gathered) {
+    if (ev.time >= cs.begin && ev.time < cs.end) {
+      s.events.push_back(ev);
+      if (ev.background) {
+        ++s.truth.background_events;
+      }
+    }
+  }
+  s.truth.unique_events = s.events.size();
+
+  slot.value = std::move(s);
+  slot.key = k;
+  return slot.value;
+}
+
+bool StreamingGenerator::next(RecordBatch& out) {
+  out.log = RasLog{};
+  out.truth = GroundTruth{};
+  if (next_ >= model_.chunks()) {
+    out.span = TimeSpan{model_.span().end, model_.span().end};
+    out.chunk = next_;
+    return false;
+  }
+  const std::size_t k = next_;
+  const TimeSpan cs = model_.chunk_span(k);
+  const bool last = (k + 1 == model_.chunks());
+  const Duration reach = model_.dup_reach();
+
+  // Compute the previous window first so the steady-state sequential
+  // pass finds it cached and builds each chunk's skeleton exactly once.
+  const ChunkSources* prev = k > 0 ? &sources_for(k - 1) : nullptr;
+  const ChunkSources& cur = sources_for(k);
+
+  std::vector<std::string> texts;
+  struct PendingRecord {
+    RasRecord rec;
+    std::uint32_t text = 0;
+  };
+  std::vector<PendingRecord> records;
+
+  const auto emit_from = [&](const std::vector<simgen_detail::SourceEvent>&
+                                 events,
+                             bool boundary_only) {
+    for (const auto& ev : events) {
+      if (boundary_only && ev.time + reach < cs.begin) {
+        continue;
+      }
+      model_.expand(ev, scratch_expansion_);
+      const auto text_idx = static_cast<std::uint32_t>(texts.size());
+      bool used = false;
+      for (const RasRecord& rec : scratch_expansion_.records) {
+        if (rec.time < cs.begin || (!last && rec.time >= cs.end)) {
+          continue;
+        }
+        records.push_back(PendingRecord{rec, text_idx});
+        used = true;
+      }
+      if (used) {
+        texts.push_back(scratch_expansion_.text);
+      } else {
+        // no record landed in the window; reuse the slot next time
+      }
+    }
+  };
+  if (prev != nullptr) {
+    emit_from(prev->events, /*boundary_only=*/true);
+  }
+  emit_from(cur.events, /*boundary_only=*/false);
+
+  std::sort(records.begin(), records.end(),
+            [&texts](const PendingRecord& a, const PendingRecord& b) {
+              return simgen_detail::canonical_less(a.rec, texts[a.text],
+                                                   b.rec, texts[b.text]);
+            });
+
+  std::vector<StringId> sids(texts.size(), kInvalidStringId);
+  for (std::size_t i = 0; i < texts.size(); ++i) {
+    sids[i] = out.log.pool().intern(texts[i]);
+  }
+  for (const PendingRecord& pr : records) {
+    RasRecord rec = pr.rec;
+    rec.entry_data = sids[pr.text];
+    out.log.append(rec);
+  }
+
+  out.truth = cur.truth;
+  out.span = cs;
+  out.chunk = k;
+  ++next_;
+  return true;
+}
+
+void StreamingGenerator::seek_chunk(std::size_t k) {
+  BGL_REQUIRE(k <= model_.chunks(), "seek_chunk: chunk out of range");
+  next_ = k;
+}
+
+StreamRecordSource::StreamRecordSource(SystemProfile profile,
+                                       StreamConfig config)
+    : gen_(std::move(profile), config) {}
+
+bool StreamRecordSource::next_batch(RasLog& out) {
+  if (!gen_.next(batch_)) {
+    out = RasLog{};
+    return false;
+  }
+  accumulate_truth(totals_, batch_.truth);
+  out = std::move(batch_.log);
+  return true;
+}
+
+}  // namespace bglpred

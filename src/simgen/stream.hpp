@@ -1,0 +1,365 @@
+// Streaming fleet-scale log generation.
+//
+// The classic LogGenerator::generate() materializes the whole synthetic
+// log before anything can consume it, which caps every workload at what
+// RAM holds. This module rebuilds generation as a chunked deterministic
+// pull stream using the communication-free recomputation trick from
+// KaGen-style graph generators: the simulated span is partitioned into
+// fixed-length chunks, every stochastic process of the generation model
+// draws from an RNG stream seeded by mix64-chaining
+//
+//     (profile seed, seed_offset, chunk index, process id, entity id)
+//
+// and cross-chunk structure — cascade bodies anchored before a fatal in
+// the next chunk, duplicate re-reports straddling a boundary, follow-up
+// fatals spilling forward — is handled by *recomputing* the neighbour
+// chunk's seed processes from their coordinates instead of carrying
+// state. Chunk k of an arbitrarily large log is therefore reproducible
+// without generating chunks 0..k-1 (`seek_chunk`), and sequential
+// generation holds O(chunk) records, not O(log).
+//
+// The one inherently global piece is the exact Table-4 category
+// calibration: seeds + branching follow-ups only *approximate* the
+// per-category targets, and the generator trims/pads the difference.
+// The chunked engine keeps that exactness with a constructor-time
+// residual pass: it walks every chunk's fatal skeleton once (counts and
+// uids only — O(#fatals) time, transient memory), draws the trim/pad
+// adjustment, and stores just the residuals (trimmed uid set +
+// per-chunk pads). Everything volume-dominant — chains, chatter,
+// duplication, record text — stays strictly chunk-local.
+//
+// LogGenerator::generate() is implemented on the same ChunkModel as a
+// materialize-everything-then-sort-globally pass; it is the
+// differential oracle the streamed path must match record-for-record
+// (tests/test_simgen_stream.cpp, bench/perf_simgen.cpp --smoke).
+//
+// See DESIGN.md §12 for the seeding scheme, the per-chunk emission
+// windows, and the boundary-recomputation rules.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "bgl/topology.hpp"
+#include "bgl/torus.hpp"
+#include "raslog/source.hpp"
+#include "simgen/chains.hpp"
+#include "simgen/generator.hpp"
+
+namespace bglpred {
+
+/// Streamed-generation parameters.
+struct StreamConfig {
+  /// Span/volume scale in (0, 1], as in LogGenerator::generate.
+  double scale = 1.0;
+  /// Perturbs the profile seed for replicated experiments.
+  std::uint64_t seed_offset = 0;
+  /// Chunk length in seconds; 0 picks the default (one day, raised to
+  /// the profile's correctness floor — see min_chunk_len). The chunk
+  /// grid is part of the artifact definition: the same (profile, scale,
+  /// seed_offset, chunk_len) tuple always produces the same log.
+  Duration chunk_len = 0;
+};
+
+/// One generated chunk: a time-sorted log with its own string pool plus
+/// the chunk's ground-truth delta (occurrences and counters attributable
+/// to the chunk — accumulating deltas over all chunks reproduces the
+/// oracle's aggregate GroundTruth exactly).
+struct RecordBatch {
+  RasLog log;
+  GroundTruth truth;
+  TimeSpan span;  ///< [chunk begin, chunk end); duplicate re-reports of
+                  ///< in-span events may run past `end` in the final chunk
+  std::size_t chunk = 0;
+};
+
+/// Smallest chunk length for which cross-chunk influence is confined to
+/// adjacent chunks (chain lookback, duplicate reach, burst spread) —
+/// the invariant the boundary-recomputation rules rely on.
+Duration min_chunk_len(const SystemProfile& profile);
+
+/// Applies the default/floor policy to a requested chunk length;
+/// throws InvalidArgument if an explicit request is below the floor.
+Duration resolve_chunk_len(const SystemProfile& profile, Duration requested);
+
+/// Maps a record onto one of `stream_count` logical log streams
+/// (BG/Q-style multi-stream feeds): records are sharded by a stable hash
+/// of (event type, reporting rack), so the three traffic classes spread
+/// across feeds and big machines shard evenly. Pure and stable —
+/// replaying a log yields the same routing. stream_count must be >= 1.
+std::uint32_t stream_of(const RasRecord& record, std::uint32_t stream_count);
+
+/// Accumulates a chunk's ground-truth delta into a running aggregate.
+void accumulate_truth(GroundTruth& total, const GroundTruth& delta);
+
+namespace simgen_detail {
+
+// ---- shared chunked process core ----------------------------------------
+//
+// Both orchestrations — the streaming cursor below and the materializing
+// oracle in generator.cpp — are built from these primitives. Every
+// method is a pure function of (profile, scale, seed_offset, chunk_len)
+// and its arguments; the only mutable state is a bounded job-trace
+// cache.
+
+/// One fatal fault in the pre-materialization skeleton. `uid` is the
+/// fault's stable identity across recomputation (the residual pass keys
+/// trims on it); `mseed` seeds its materialization leaf stream.
+struct Fault {
+  TimePoint time = 0;
+  MainCategory main = MainCategory::kApplication;
+  bool is_followup = false;
+  std::uint16_t anchor_rack = 0;
+  std::uint8_t anchor_midplane = 0;
+  std::uint64_t uid = 0;
+  std::uint64_t mseed = 0;
+};
+
+/// A fatal fault after materialization: the ground-truth occurrence plus
+/// the leaf seeds its downstream expansions draw from.
+struct MaterializedFault {
+  FaultOccurrence occ;
+  std::uint64_t uid = 0;
+  std::uint64_t chain_seed = 0;  ///< valid iff tmpl != nullptr
+  std::uint64_t dup_seed = 0;
+  const CascadeTemplate* tmpl = nullptr;  ///< null: no cascade body
+};
+
+/// One pre-duplication event (every chain re-emission is its own event).
+/// `uid` feeds the ENTRY_DATA "seq=" tag; `dup_seed` seeds the
+/// duplication expansion, which is what lets a boundary chunk re-expand
+/// just the events within duplicate reach.
+struct SourceEvent {
+  TimePoint time = 0;
+  SubcategoryId subcategory = kUnclassified;
+  bgl::Location location;
+  bgl::JobId job = bgl::kNoJob;
+  std::uint64_t uid = 0;
+  std::uint64_t dup_seed = 0;
+  bool background = false;  ///< counts toward GroundTruth::background_events
+};
+
+/// A background burst skeleton; items expand from `seed` on demand.
+struct Episode {
+  TimePoint start = 0;
+  bgl::Location anchor;
+  std::size_t size = 0;
+  std::uint64_t seed = 0;
+};
+
+/// The duplication expansion of one source event: the shared entry text
+/// plus every raw record (entry_data left unset — the caller interns).
+/// Reused across calls to amortize allocations.
+struct Expansion {
+  std::string text;
+  std::vector<RasRecord> records;
+  std::vector<bgl::Location> reporters;  ///< scratch
+};
+
+/// Canonical record order: (time, location, severity, entry text). A
+/// total order on record *content*, independent of string-pool intern
+/// ids — which is why per-chunk sorts concatenate into exactly the
+/// global sort. Records tying on all four keys are identical records
+/// (the text's seq tag pins the source event, which pins every other
+/// field), so ties need no further break.
+bool canonical_less(const RasRecord& a, const std::string& text_a,
+                    const RasRecord& b, const std::string& text_b);
+
+class ChunkModel {
+ public:
+  ChunkModel(const SystemProfile& profile, double scale,
+             std::uint64_t seed_offset, Duration chunk_len);
+  ~ChunkModel();  // out-of-line: ChunkJobs is incomplete here
+
+  const SystemProfile& profile() const { return p_; }
+  TimeSpan span() const { return span_; }
+  Duration chunk_len() const { return chunk_len_; }
+  std::size_t chunks() const { return chunks_; }
+  TimeSpan chunk_span(std::size_t k) const;
+  std::size_t chunk_of(TimePoint t) const;
+
+  /// Records of an event at time t can land no further than this past t.
+  Duration dup_reach() const;
+
+  /// All cascade faults whose *root* is seeded in chunk k. Fault times
+  /// lie in [chunk k begin, chunk k+1 end) — cascades are truncated at
+  /// the end of the chunk after their root, which is what bounds
+  /// recomputation to radius one.
+  std::vector<Fault> roots(std::size_t k) const;
+
+  /// The final fatal list of chunk k: candidates (the concatenation of
+  /// roots(k-1) and roots(k), passed as `prev`/`cur`, either nullable)
+  /// filtered to the chunk, minus the residual trims, plus the residual
+  /// pads, (time, uid)-sorted and materialized.
+  std::vector<MaterializedFault> fatal_list(
+      std::size_t k, const std::vector<Fault>* prev,
+      const std::vector<Fault>* cur) const;
+
+  /// Appends the cascade-body events of a chained fault (all emissions,
+  /// span-filtered, chunk-unfiltered). No-op when mf.tmpl is null.
+  void chain_events(const MaterializedFault& mf,
+                    std::vector<SourceEvent>& out) const;
+
+  /// Draws chunk k's false-chain process given the chunk's true-chain
+  /// count; appends the body events and returns the number of bodies.
+  std::size_t false_chain_events(std::size_t k, std::size_t true_chains,
+                                 std::vector<SourceEvent>& out) const;
+
+  /// Background episode skeletons of chunk k (starts inside the chunk).
+  std::vector<Episode> episodes(std::size_t k) const;
+
+  /// Expands one episode; appends its items (span-filtered).
+  void episode_events(const Episode& episode,
+                      std::vector<SourceEvent>& out) const;
+
+  /// The fatal occurrence itself as a pre-duplication event.
+  void fatal_source(const MaterializedFault& mf,
+                    std::vector<SourceEvent>& out) const;
+
+  /// Duplication: expands one source event into its raw records
+  /// (primary reporter, spatial fan-out, temporal re-reports).
+  void expand(const SourceEvent& event, Expansion& out) const;
+
+ private:
+  struct ChunkJobs;
+
+  std::uint64_t chunk_seed(std::size_t chunk, std::uint64_t proc,
+                           std::uint64_t sub = 0) const;
+  std::vector<TimeSpan> storm_windows(std::size_t k) const;
+  double fatal_rate_at(TimePoint t, const std::vector<TimeSpan>& storms) const;
+  double background_rate_at(TimePoint t,
+                            const std::vector<TimeSpan>& storms) const;
+  /// Expected seed count of (category c, chunk k) via exact
+  /// floor-difference apportionment over the cumulative fatal mass.
+  std::size_t seed_quota(std::size_t category, std::size_t k) const;
+  TimePoint place_time(Rng& rng, std::size_t k, bool fatal,
+                       const std::vector<TimeSpan>& storms) const;
+  void expand_cascade(std::size_t category, std::size_t k,
+                      std::uint64_t seed_index, std::uint64_t root_seed,
+                      const std::vector<TimeSpan>& storms,
+                      std::vector<Fault>& out) const;
+  MaterializedFault materialize(const Fault& fault) const;
+  Duration sample_anchor(Rng& rng) const;
+  void chain_body(Rng& rng, const CascadeTemplate& tmpl, TimePoint fail_time,
+                  const bgl::Location& anchor_loc, std::uint64_t uid_src,
+                  std::vector<SourceEvent>& out) const;
+  const ChunkJobs& jobs(std::size_t k) const;
+  bgl::JobId job_at(const bgl::Location& where, TimePoint t) const;
+  void build_residuals();
+
+  SystemProfile p_;
+  std::uint64_t base_seed_ = 0;
+  TimeSpan span_{};
+  Duration chunk_len_ = 0;
+  std::size_t chunks_ = 0;
+  double scale_ = 1.0;
+
+  bgl::Topology topo_;
+  bgl::TorusMap torus_;
+
+  // Derived calibration state (constructor; O(chunks) + O(residuals)).
+  std::array<std::size_t, kMainCategoryCount> targets_{};
+  std::array<std::size_t, kMainCategoryCount> seed_targets_{};
+  std::array<std::vector<double>, kMainCategoryCount> subcat_weights_;
+  std::vector<double> category_weights_;
+  double netio_weight_ = 0.0;
+  std::vector<SubcategoryId> bg_ids_;
+  std::vector<double> bg_weights_;
+  std::vector<SubcategoryId> leak_ids_;
+  /// Cumulative modulated fatal mass through each chunk and per-chunk
+  /// background mass (uniform profiles: proportional to length). Drive
+  /// exact seed apportionment and episode intensities.
+  std::vector<double> fatal_mass_cum_;
+  std::vector<double> bg_mass_;
+  /// Residual calibration: globally trimmed fault uids and per-chunk
+  /// pad faults (see file comment).
+  std::unordered_set<std::uint64_t> trimmed_;
+  std::unordered_map<std::size_t, std::vector<Fault>> pads_;
+
+  // Bounded per-chunk job-trace cache (mutable: pure recomputation).
+  mutable std::vector<std::pair<std::size_t, std::unique_ptr<ChunkJobs>>>
+      job_cache_;
+};
+
+}  // namespace simgen_detail
+
+/// The O(chunk)-memory pull cursor over a profile's synthetic log. The
+/// concatenation of next() batches is record-for-record identical to
+/// LogGenerator::generate() with the same (scale, seed_offset) — the
+/// materializing path stays in-tree as the differential oracle.
+class StreamingGenerator {
+ public:
+  explicit StreamingGenerator(SystemProfile profile, StreamConfig config = {});
+
+  const SystemProfile& profile() const { return model_.profile(); }
+  TimeSpan span() const { return model_.span(); }
+  Duration chunk_len() const { return model_.chunk_len(); }
+  std::size_t chunk_count() const { return model_.chunks(); }
+  /// Index of the chunk the next next() call will produce.
+  std::size_t position() const { return next_; }
+
+  /// Produces the next chunk. Returns false (leaving `out` empty) once
+  /// all chunks have been produced.
+  bool next(RecordBatch& out);
+
+  /// Repositions the cursor so the following next() produces chunk k —
+  /// without generating chunks 0..k-1 (the recomputation property).
+  /// Requires k <= chunk_count(); seeking to chunk_count() pins the
+  /// cursor at end-of-stream.
+  void seek_chunk(std::size_t k);
+
+ private:
+  struct ChunkSources {
+    std::vector<simgen_detail::SourceEvent> events;
+    GroundTruth truth;
+  };
+  template <typename T>
+  struct Slot {
+    std::size_t key = static_cast<std::size_t>(-1);
+    T value{};
+  };
+
+  const std::vector<simgen_detail::Fault>& roots_for(std::size_t k);
+  const std::vector<simgen_detail::MaterializedFault>& fatals_for(
+      std::size_t k);
+  const ChunkSources& sources_for(std::size_t k);
+
+  simgen_detail::ChunkModel model_;
+  std::size_t next_ = 0;
+
+  // Sliding per-layer caches, keyed by chunk index mod slot count: the
+  // sequential access pattern (k-1, k, k+1) maps to distinct slots, so
+  // steady-state emission computes every chunk's skeleton exactly once;
+  // seek_chunk refills at most the window.
+  Slot<std::vector<simgen_detail::Fault>> roots_[3];
+  Slot<std::vector<simgen_detail::MaterializedFault>> fatals_[2];
+  Slot<ChunkSources> sources_[2];
+  simgen_detail::Expansion scratch_expansion_;
+};
+
+/// RecordBatchSource adapter: plugs the streaming generator into any
+/// batch consumer (OnlineEngine feed, StoreWriter conversion, the serve
+/// load generator) and aggregates the ground-truth side channel.
+class StreamRecordSource final : public RecordBatchSource {
+ public:
+  explicit StreamRecordSource(SystemProfile profile, StreamConfig config = {});
+
+  bool next_batch(RasLog& out) override;
+
+  StreamingGenerator& generator() { return gen_; }
+  /// Ground truth accumulated over the batches handed out so far.
+  const GroundTruth& totals() const { return totals_; }
+
+ private:
+  StreamingGenerator gen_;
+  RecordBatch batch_;
+  GroundTruth totals_;
+};
+
+}  // namespace bglpred

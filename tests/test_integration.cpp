@@ -19,7 +19,10 @@ struct ProfileCase {
 
 class IntegrationTest : public ::testing::TestWithParam<ProfileCase> {
  protected:
-  static constexpr double kScale = 0.15;
+  // Fixture scale: large enough that per-fold trigger selection is
+  // stable (at 0.15 the net/ios follow-up margin is one unlucky seed
+  // away from the 0.85 relative cut — see StatisticalOptions).
+  static constexpr double kScale = 0.25;
 
   static SystemProfile profile_for(const std::string& name) {
     return name == "ANL" ? SystemProfile::anl() : SystemProfile::sdsc();

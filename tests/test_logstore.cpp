@@ -21,6 +21,7 @@
 #include "raslog/binary_io.hpp"
 #include "raslog/io.hpp"
 #include "simgen/generator.hpp"
+#include "simgen/stream.hpp"
 
 namespace bglpred {
 namespace {
@@ -120,6 +121,47 @@ TEST(LogStoreTest, RangeCursorMatchesFilteredOracle) {
     EXPECT_FALSE(cursor.next(got))
         << "window [" << begin << "," << end << ") overshot";
   }
+}
+
+TEST(LogStoreTest, RangeSeekKeepsTiedRunStraddlingBlocks) {
+  // A run of records tied at one timestamp spanning several index
+  // blocks: range(t, t+1) must replay every tied record, including the
+  // ones before the last block opening with t (regression: seek_block
+  // used <= and skipped them).
+  const std::string dir = fresh_dir("store_tied_seek");
+  logstore::StoreOptions options;
+  options.segment_records = 64;
+  options.block_records = 8;
+  constexpr TimePoint kTied = 5000;
+  constexpr std::size_t kBefore = 13;  // mid-block start for the run
+  constexpr std::size_t kRun = 20;     // > 2 full blocks of ties
+  {
+    logstore::StoreWriter writer(dir, options);
+    RasRecord rec;
+    for (std::size_t i = 0; i < kBefore; ++i) {
+      rec.time = static_cast<TimePoint>(1000 + i);
+      writer.append(rec, "before", 0);
+    }
+    rec.time = kTied;
+    for (std::size_t i = 0; i < kRun; ++i) {
+      writer.append(rec, "tied", 0);
+    }
+    for (std::size_t i = 0; i < kBefore; ++i) {
+      rec.time = static_cast<TimePoint>(kTied + 100 + i);
+      writer.append(rec, "after", 0);
+    }
+    writer.seal();
+  }
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  logstore::Cursor cursor = reader.range(kTied, kTied + 1);
+  logstore::StoreRecord got;
+  std::size_t replayed = 0;
+  while (cursor.next(got)) {
+    EXPECT_EQ(got.rec.time, kTied);
+    EXPECT_EQ(got.entry, "tied");
+    ++replayed;
+  }
+  EXPECT_EQ(replayed, kRun);
 }
 
 TEST(LogStoreTest, StreamFilterReplaysOneStream) {
@@ -408,6 +450,156 @@ TEST(LogStoreTest, EmptyStoreAndEmptyWindows) {
   logstore::StoreRecord got;
   EXPECT_FALSE(cursor.next(got));
   EXPECT_TRUE(cursor.done());
+}
+
+// The streamed conversion path must land byte-identical stores to the
+// whole-log path: the streaming generator's batch concatenation equals
+// the oracle log, so the two stores replay record-for-record.
+TEST(LogStoreTest, StoreFromSourceMatchesStoreFromLog) {
+  constexpr std::uint64_t kSeed = 7;
+  constexpr double kScale = 0.01;
+  // The generator's output is already in canonical global order (time,
+  // location, severity, entry text) — the order the streamed chunks
+  // concatenate to. sort_by_time() would re-break ties differently.
+  const RasLog oracle = std::move(
+      LogGenerator(SystemProfile::anl()).generate(kScale, kSeed).log);
+
+  StreamConfig config;
+  config.scale = kScale;
+  config.seed_offset = kSeed;
+  StreamRecordSource source(SystemProfile::anl(), config);
+
+  const std::string streamed_dir = fresh_dir("store_src_streamed");
+  const std::string oracle_dir = fresh_dir("store_src_oracle");
+  logstore::StoreOptions options;
+  options.segment_records = 2048;
+  const logstore::ConvertStats streamed_stats =
+      logstore::store_from_source(source, streamed_dir, /*stream=*/5,
+                                  options);
+  const logstore::ConvertStats oracle_stats =
+      logstore::store_from_log(oracle, oracle_dir, /*stream=*/5, options);
+  EXPECT_EQ(streamed_stats.records, oracle.size());
+  EXPECT_EQ(streamed_stats.records, oracle_stats.records);
+  EXPECT_EQ(streamed_stats.segments, oracle_stats.segments);
+
+  const logstore::StoreReader streamed_reader =
+      logstore::StoreReader::open(streamed_dir);
+  logstore::Cursor got_cursor = streamed_reader.scan();
+  logstore::StoreRecord got;
+  std::size_t i = 0;
+  while (got_cursor.next(got)) {
+    ASSERT_LT(i, oracle.size());
+    EXPECT_EQ(got.stream, 5u) << "record " << i;
+    expect_same_record(got, oracle.records()[i], oracle, i);
+    ++i;
+  }
+  EXPECT_EQ(i, oracle.size());
+}
+
+// Routed conversion: stream_of shards one source across logical stream
+// ids inside the store. Per-stream cursors partition the log, every
+// record lands on its own hash's stream, and the k-way merge of the
+// per-stream cursors restores exactly the full-scan order.
+TEST(LogStoreTest, RoutedStreamsPartitionAndMergeBack) {
+  constexpr std::uint32_t kStreams = 3;
+  StreamConfig config;
+  config.scale = 0.005;
+  StreamRecordSource source(SystemProfile::anl(), config);
+
+  const std::string dir = fresh_dir("store_src_routed");
+  logstore::StoreOptions options;
+  options.segment_records = 1024;
+  const logstore::ConvertStats stats = logstore::store_from_source(
+      source, dir,
+      [](const RasRecord& rec) { return stream_of(rec, kStreams); },
+      options);
+  ASSERT_GT(stats.records, 0u);
+
+  const logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  std::size_t per_stream_total = 0;
+  for (std::uint64_t s = 0; s < kStreams; ++s) {
+    logstore::Cursor cursor = reader.stream(s);
+    logstore::StoreRecord got;
+    while (cursor.next(got)) {
+      EXPECT_EQ(stream_of(got.rec, kStreams), s);
+      ++per_stream_total;
+    }
+  }
+  EXPECT_EQ(per_stream_total, stats.records);
+
+  std::vector<logstore::Cursor> sources;
+  for (std::uint64_t s = 0; s < kStreams; ++s) {
+    sources.push_back(reader.stream(s));
+  }
+  logstore::MergeCursor merge(std::move(sources));
+  logstore::Cursor scan = reader.scan();
+  logstore::StoreRecord merged;
+  logstore::StoreRecord scanned;
+  std::size_t matched = 0;
+  while (merge.next(merged)) {
+    ASSERT_TRUE(scan.next(scanned)) << "merge overshot at " << matched;
+    EXPECT_EQ(merged.rec.time, scanned.rec.time) << "record " << matched;
+    EXPECT_EQ(merged.rec.location, scanned.rec.location)
+        << "record " << matched;
+    EXPECT_EQ(merged.rec.severity, scanned.rec.severity)
+        << "record " << matched;
+    EXPECT_EQ(merged.entry, scanned.entry) << "record " << matched;
+    ++matched;
+  }
+  EXPECT_FALSE(scan.next(scanned));
+  EXPECT_EQ(matched, stats.records);
+}
+
+// A tail-follower tracking a streamed conversion in flight sees exactly
+// the published batches, then kEnd at seal — the live-ingest shape of
+// the store_from_source path.
+TEST(LogStoreTest, TailFollowsStreamedConversion) {
+  StreamConfig config;
+  config.scale = 0.01;
+  StreamRecordSource source(SystemProfile::anl(), config);
+
+  const std::string dir = fresh_dir("store_src_tail");
+  logstore::StoreOptions options;
+  options.segment_records = 1u << 16;  // flush() decides publication
+  logstore::StoreWriter writer(dir, options);
+
+  RasLog batch;
+  ASSERT_TRUE(source.next_batch(batch));
+  std::size_t written = 0;
+  const auto append_batch = [&] {
+    for (const RasRecord& rec : batch.records()) {
+      writer.append(rec, batch.text_of(rec));
+      ++written;
+    }
+    writer.flush();
+  };
+  append_batch();
+
+  logstore::StoreReader reader = logstore::StoreReader::open(dir);
+  logstore::TailCursor tail(reader);
+  std::size_t replayed = 0;
+  logstore::StoreRecord record;
+  const auto drain = [&] {
+    while (tail.poll(record) == logstore::TailCursor::Status::kRecord) {
+      ++replayed;
+    }
+  };
+  drain();
+  EXPECT_EQ(replayed, written);
+  EXPECT_EQ(tail.poll(record), logstore::TailCursor::Status::kWait);
+
+  while (source.next_batch(batch)) {
+    append_batch();
+    drain();
+    EXPECT_EQ(replayed, written);
+  }
+  writer.seal();
+  drain();
+  EXPECT_EQ(replayed, written);
+  EXPECT_EQ(tail.poll(record), logstore::TailCursor::Status::kEnd);
+  // The side channel agrees with what landed: every generated record
+  // was replayed (unique events expand to >= 1 record each).
+  EXPECT_GE(replayed, source.totals().unique_events);
 }
 
 }  // namespace

@@ -105,7 +105,8 @@ MODULE_DAG: dict[str, list[str]] = {
     "simgen": ["common", "bgl", "raslog", "taxonomy"],
     "logstore": ["common", "raslog", "preprocess"],
     "faultinject": ["common", "raslog", "serve", "logstore"],
-    "core": ["common", "taxonomy", "preprocess", "predict", "meta", "eval"],
+    "core": ["common", "raslog", "taxonomy", "preprocess", "predict",
+             "meta", "eval"],
     "serve": ["common", "parallel", "raslog", "predict", "core"],
 }
 
@@ -116,6 +117,7 @@ MODULE_DAG: dict[str, list[str]] = {
 REQUIRED_HOT_FILES = (
     "src/raslog/fast_io.cpp",
     "src/raslog/fast_io.hpp",
+    "src/simgen/stream.cpp",
     "src/logstore/cursor.cpp",
     "src/mining/rules.cpp",
     "src/core/online.cpp",

@@ -62,6 +62,16 @@ Rules (C++ sources under src/, tests/, bench/, examples/):
                         timers spuriously. The one sanctioned wall-clock
                         read — the STATS dump timestamp — carries an
                         explicit allow marker.
+  simgen-materialize    LogGenerator / GeneratedLog (whole-log
+                        materialization) in bench/ or src/serve/.
+                        Benchmark workloads and the serve plane stream
+                        records through StreamingGenerator /
+                        StreamRecordSource (simgen/stream.hpp) in
+                        O(chunk) memory; materializing the full log at
+                        fleet scale is exactly the cost the streaming
+                        path removes. The differential oracles and
+                        calibration drivers that must materialize carry
+                        explicit allow markers.
 
 Suppress a finding with `// repo-lint: allow(<rule>)` on the offending
 line or on the line directly above it, or add a (path, rule) pair to
@@ -154,6 +164,11 @@ STORE_WRITE_DIRS = re.compile(
 RE_STORE_WRITE = re.compile(
     r"\bstd\s*::\s*ofstream\b|\bfopen\s*\(|\bO_WRONLY\b|\bO_CREAT\b|"
     r"\bO_TRUNC\b|\bfilesystem\s*::\s*rename\b|(?<![_\w])::\s*rename\s*\(")
+# Whole-log materialization is banned from benchmark workloads and the
+# serve plane: they stream through simgen/stream.hpp instead. The
+# materializing generator is reserved for marked oracle sites.
+MATERIALIZE_DIRS = re.compile(r"^(bench/|src/serve/)")
+RE_MATERIALIZE = re.compile(r"\bLogGenerator\b|\bGeneratedLog\b")
 
 
 def strip_comments_and_strings(text: str) -> str:
@@ -228,6 +243,7 @@ class Linter:
         serve_file = bool(SERVE_DIR.match(path))
         slow_ingest = bool(SLOW_INGEST_DIRS.match(path))
         store_file = bool(STORE_WRITE_DIRS.match(path))
+        materialize_scope = bool(MATERIALIZE_DIRS.match(path))
         for idx, code in enumerate(code_lines):
             # Allow markers may sit on the offending line or just above.
             raw = (raw_lines[idx - 1] + "\n" if idx > 0 else "") \
@@ -272,6 +288,13 @@ class Linter:
                             "atomic_write_file (common/atomic_io), never "
                             "a direct ofstream/fopen/O_WRONLY write or "
                             "rename", raw)
+            if materialize_scope and RE_MATERIALIZE.search(code):
+                self.report(path, no, "simgen-materialize",
+                            "bench/serve workloads stream via "
+                            "StreamingGenerator / StreamRecordSource "
+                            "(simgen/stream.hpp); whole-log "
+                            "materialization is reserved for marked "
+                            "differential-oracle sites", raw)
             if slow_ingest and (RE_SLOW_STREAM.search(code) or
                                 RE_SUBSTR.search(code)):
                 self.report(path, no, "slow-ingest",
